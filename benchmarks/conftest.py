@@ -1,0 +1,22 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark both (a) times a representative solve via
+pytest-benchmark and (b) prints the experiment's table — the same
+rows EXPERIMENTS.md records — so `pytest benchmarks/ --benchmark-only -s`
+regenerates the full evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(table: str) -> None:
+    """Print an experiment table (visible with -s / captured otherwise)."""
+    print("\n" + table + "\n")
+
+
+@pytest.fixture(scope="session")
+def master_seed() -> int:
+    """One seed to rule the whole benchmark run (reproducibility)."""
+    return 20100612  # SPAA 2010 nod

@@ -1,0 +1,93 @@
+"""E10 — Theorem 3.1.4 / 3.5.1: the subadditive gap is Theta(sqrt n).
+
+Two measurements on the hidden-set hard function:
+
+* upper bound — the O(sqrt n) algorithm's measured competitive ratio at
+  k = sqrt(n) stays above 1/O(sqrt n) for n in {64, 256, 1024};
+* hardness — a query-bounded adversary probing the oracle with random
+  size-k sets almost never sees a value above 1, so its achievable
+  value stalls at ~1 while OPT ~ k/r grows: the measured gap scales
+  with sqrt(n) exactly as the lower-bound construction predicts.
+"""
+
+import math
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.rng import as_generator, spawn
+from repro.secretary.stream import SecretaryStream
+from repro.secretary.subadditive import HiddenSetFunction, subadditive_secretary
+
+from conftest import emit
+
+SIZES = [64, 256, 1024]
+TRIALS = 40
+
+
+def test_e10_algorithm_upper_bound(benchmark, master_seed):
+    master = as_generator(master_seed)
+    rows = []
+    for n in SIZES:
+        k = int(math.isqrt(n))
+        ratios = []
+        for child in spawn(master, TRIALS):
+            fn = HiddenSetFunction([f"x{i}" for i in range(n)], k, 1.0, rng=child)
+            stream = SecretaryStream(fn, rng=child)
+            result = subadditive_secretary(stream, k, rng=child)
+            ratios.append(fn.value(result.selected) / fn.optimum())
+        stats = summarize(ratios)
+        floor = 1.0 / (4.0 * math.sqrt(n))
+        rows.append([n, k, stats.mean, floor])
+    emit(
+        format_table(
+            ["n", "k=sqrt(n)", "mean ratio", "floor 1/(4 sqrt n)"],
+            rows,
+            title="E10  subadditive secretary O(sqrt n) algorithm",
+        )
+    )
+    for _, _, mean, floor in rows:
+        assert mean >= floor
+
+    fn = HiddenSetFunction([f"x{i}" for i in range(256)], 16, 1.0, rng=1)
+    benchmark(lambda: subadditive_secretary(SecretaryStream(fn, rng=2), 16, rng=3))
+
+
+def test_e10_hardness_gap(benchmark, master_seed):
+    """The information-hiding gap of Theorem 3.5.1, measured."""
+    master = as_generator(master_seed + 1)
+    rows = []
+    for n in SIZES:
+        k = int(math.isqrt(n))
+        r = max(1.0, k / 4.0)
+        gaps, informative = [], 0
+        queries_per_trial = 40
+        for child in spawn(master, 10):
+            fn = HiddenSetFunction([f"x{i}" for i in range(n)], k, r, rng=child)
+            elements = sorted(fn.ground_set)
+            best_seen = 1.0
+            for _ in range(queries_per_trial):
+                idx = child.choice(n, size=k, replace=False)
+                v = fn.value(frozenset(elements[i] for i in idx))
+                if v > 1.0:
+                    informative += 1
+                best_seen = max(best_seen, v)
+            gaps.append(fn.optimum() / best_seen)
+        rows.append(
+            [n, k, r, summarize(gaps).mean,
+             informative / (10 * queries_per_trial), math.sqrt(n) / 4]
+        )
+    emit(
+        format_table(
+            ["n", "k", "r", "mean OPT/found", "informative query frac", "~sqrt(n)/4"],
+            rows,
+            title="E10b  hidden-set hardness: value found by blind queries",
+        )
+    )
+    # The gap must grow with n (the Omega(sqrt n) shape).
+    assert rows[-1][3] > rows[0][3]
+    # Blind queries almost never leak information.
+    for _, _, _, _, frac, _ in rows:
+        assert frac <= 0.25
+
+    fn = HiddenSetFunction([f"x{i}" for i in range(1024)], 32, 8.0, rng=9)
+    benchmark(lambda: fn.value(frozenset(sorted(fn.ground_set)[:32])))

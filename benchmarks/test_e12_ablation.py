@@ -1,0 +1,118 @@
+"""E12 — engineering ablation: lazy vs. plain greedy; incremental vs.
+from-scratch matching oracles.
+
+Not a paper claim — the design-choice audit DESIGN.md calls for.
+Measured: oracle calls (plain vs. lazy on identical instances) and
+wall-clock (incremental vs. plain solver engines), plus agreement of the
+produced costs (all engines realise the same guarantee).
+"""
+
+import time
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.core.budgeted import BudgetedInstance, budgeted_greedy
+from repro.core.functions import CoverageFunction
+from repro.core.lazy import lazy_budgeted_greedy
+from repro.core.oracle import CountingOracle
+from repro.rng import as_generator, spawn
+from repro.scheduling.power import AffineCost
+from repro.scheduling.solver import schedule_all_jobs
+from repro.workloads.jobs import random_multi_interval_instance
+
+from conftest import emit
+
+
+def cover_instance(rng, n_items, n_sets):
+    gen = as_generator(rng)
+    covers, costs = {}, {}
+    for i in range(n_sets):
+        mask = gen.random(n_items) < 0.2
+        covers[f"s{i}"] = {j for j in range(n_items) if mask[j]} or {0}
+        costs[f"s{i}"] = float(0.5 + gen.random())
+    covered = set().union(*covers.values())
+    covers["s0"] = set(covers["s0"]) | (set(range(n_items)) - covered)
+    return CoverageFunction(covers), covers, costs
+
+
+def test_e12_lazy_oracle_savings(benchmark, master_seed):
+    master = as_generator(master_seed)
+    rows = []
+    for n_items, n_sets in [(40, 30), (80, 60), (160, 120)]:
+        plain_calls, lazy_calls = [], []
+        for child in spawn(master, 5):
+            fn, covers, costs = cover_instance(child, n_items, n_sets)
+            subsets = {k: frozenset({k}) for k in covers}
+
+            c1 = CountingOracle(fn)
+            budgeted_greedy(
+                BudgetedInstance(c1, subsets, costs),
+                target=float(n_items), epsilon=1.0 / (n_items + 1),
+            )
+            plain_calls.append(c1.calls)
+
+            c2 = CountingOracle(fn)
+            lazy_budgeted_greedy(
+                BudgetedInstance(c2, subsets, costs),
+                target=float(n_items), epsilon=1.0 / (n_items + 1),
+            )
+            lazy_calls.append(c2.calls)
+        p, l = summarize(plain_calls).mean, summarize(lazy_calls).mean
+        rows.append([f"{n_items}x{n_sets}", p, l, p / l])
+    emit(
+        format_table(
+            ["instance", "plain oracle calls", "lazy oracle calls", "speedup"],
+            rows,
+            title="E12  lazy vs. plain greedy (oracle-call counts)",
+        )
+    )
+    for _, p, l, _ in rows:
+        assert l <= p
+
+    fn, covers, costs = cover_instance(0, 80, 60)
+    subsets = {k: frozenset({k}) for k in covers}
+    benchmark(
+        lambda: lazy_budgeted_greedy(
+            BudgetedInstance(fn, subsets, costs), target=80.0, epsilon=1.0 / 81
+        )
+    )
+
+
+def test_e12_solver_engines(benchmark, master_seed):
+    master = as_generator(master_seed + 1)
+    rows = []
+    for n_jobs, procs, horizon in [(15, 3, 24), (30, 4, 40), (50, 4, 60)]:
+        times = {m: [] for m in ("incremental", "lazy", "plain")}
+        costs = {m: [] for m in ("incremental", "lazy", "plain")}
+        for child in spawn(master, 3):
+            inst = random_multi_interval_instance(
+                n_jobs, procs, horizon, cost_model=AffineCost(2.0), rng=child
+            )
+            for m in times:
+                t0 = time.perf_counter()
+                result = schedule_all_jobs(inst, method=m)
+                times[m].append(time.perf_counter() - t0)
+                costs[m].append(result.cost)
+        # All engines produce equally good schedules.
+        for i in range(3):
+            trio = {round(costs[m][i], 6) for m in costs}
+            assert len(trio) == 1, f"engines disagree: {costs}"
+        rows.append(
+            [
+                f"n={n_jobs} p={procs}",
+                summarize(times["plain"]).mean,
+                summarize(times["lazy"]).mean,
+                summarize(times["incremental"]).mean,
+                summarize(times["plain"]).mean / summarize(times["incremental"]).mean,
+            ]
+        )
+    emit(
+        format_table(
+            ["instance", "plain s", "lazy s", "incremental s", "incr speedup"],
+            rows,
+            title="E12b  solver engines (same guarantee, different work)",
+        )
+    )
+
+    inst = random_multi_interval_instance(30, 4, 40, cost_model=AffineCost(2.0), rng=0)
+    benchmark(lambda: schedule_all_jobs(inst, method="incremental"))

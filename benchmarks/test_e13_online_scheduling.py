@@ -1,0 +1,124 @@
+"""E13 — the online scheduling bridge + the robust top-k rule.
+
+Extension experiments (the paper sketches both without evaluation):
+
+* online processor selection — Algorithm 1 applied to the Section 2.2
+  matching utility (the Chapter 3 motivation made concrete); measured
+  competitive ratio vs. the hindsight greedy fleet, floor 1/(7e);
+* gamma-oblivious top-k — one run of the robust rule scored
+  simultaneously against three different non-increasing weightings.
+"""
+
+import math
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.core.functions import AdditiveFunction
+from repro.rng import as_generator, spawn
+from repro.scheduling.instance import Job
+from repro.scheduling.intervals import AwakeInterval
+from repro.secretary.online_scheduling import (
+    ProcessorMarket,
+    ProcessorUtility,
+    online_processor_selection,
+)
+from repro.secretary.robust import gamma_objective, robust_topk_secretary
+from repro.secretary.stream import SecretaryStream
+
+from conftest import emit
+
+TRIALS = 30
+
+
+def build_market(rng, n_procs, n_jobs, horizon=12):
+    gen = as_generator(rng)
+    offers = {}
+    for i in range(n_procs):
+        start = int(gen.integers(horizon - 3))
+        offers[f"vm{i}"] = (AwakeInterval(f"vm{i}", start, start + 2),)
+    jobs = []
+    for j in range(n_jobs):
+        slots = set()
+        for _ in range(3):
+            p = f"vm{int(gen.integers(n_procs))}"
+            iv = offers[p][0]
+            slots.add((p, int(gen.integers(iv.start, iv.end + 1))))
+        jobs.append(Job(f"job{j}", frozenset(slots)))
+    return ProcessorMarket(offers=offers, jobs=tuple(jobs))
+
+
+def hindsight(market, k):
+    util = ProcessorUtility(market)
+    chosen, value = set(), 0.0
+    for _ in range(k):
+        best, gain = None, 0.0
+        for p in util.ground_set - chosen:
+            g = util.value(frozenset(chosen | {p})) - value
+            if g > gain:
+                best, gain = p, g
+        if best is None:
+            break
+        chosen.add(best)
+        value = util.value(frozenset(chosen))
+    return value
+
+
+def test_e13_online_processor_selection(benchmark, master_seed):
+    master = as_generator(master_seed)
+    rows = []
+    for n_procs, n_jobs, k in [(16, 12, 3), (24, 18, 5), (40, 30, 8)]:
+        ratios = []
+        for child in spawn(master, TRIALS):
+            market = build_market(child, n_procs, n_jobs)
+            opt = hindsight(market, k)
+            result = online_processor_selection(market, k, rng=child)
+            ratios.append(result.utility / opt if opt else 1.0)
+        stats = summarize(ratios)
+        rows.append([n_procs, n_jobs, k, stats.mean, stats.ci95_low, 1 / (7 * math.e)])
+    emit(
+        format_table(
+            ["procs", "jobs", "k", "mean ratio", "ci95 low", "floor 1/(7e)"],
+            rows,
+            title="E13  online processor selection (Chapter 3 motivation)",
+        )
+    )
+    for _, _, _, mean, ci_low, floor in rows:
+        assert ci_low >= floor
+
+    market = build_market(as_generator(0), 24, 18)
+    benchmark(lambda: online_processor_selection(market, 5, rng=1))
+
+
+def test_e13_robust_topk(benchmark, master_seed):
+    master = as_generator(master_seed + 13)
+    n, k = 60, 4
+    values = {f"s{i}": float(i + 1) for i in range(n)}
+    fn = AdditiveFunction(values)
+    ranked = sorted(values.values(), reverse=True)
+    gammas = {"max (1,0,0,0)": [1, 0, 0, 0], "sum (1,1,1,1)": [1, 1, 1, 1],
+              "linear (4,3,2,1)": [4, 3, 2, 1]}
+    totals = {name: 0.0 for name in gammas}
+    trials = 150
+    for child in spawn(master, trials):
+        stream = SecretaryStream(fn, rng=child)
+        result = robust_topk_secretary(stream, values, k)
+        for name, g in gammas.items():
+            totals[name] += gamma_objective(values, result.selected, g)
+    rows = []
+    for name, g in gammas.items():
+        opt = sum(w * v for w, v in zip(g, ranked))
+        rows.append([name, totals[name] / trials / opt])
+    emit(
+        format_table(
+            ["gamma", "mean ratio vs. gamma-opt"],
+            rows,
+            title="E13b  gamma-oblivious top-k (one run, all objectives)",
+        )
+    )
+    for _, ratio in rows:
+        assert ratio >= 0.15
+
+    stream_seed = as_generator(1)
+    benchmark(
+        lambda: robust_topk_secretary(SecretaryStream(fn, rng=stream_seed), values, k)
+    )

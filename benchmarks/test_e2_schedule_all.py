@@ -1,0 +1,90 @@
+"""E2 — Theorem 2.2.1: schedule-all cost vs. certified optimum.
+
+Paper claim: cost <= O(log n) * OPT.
+Measured: cost/OPT across n and processor counts, with OPT certified by
+branch and bound on small-candidate-pool instances; the proof bound
+2*log2(n+1) is printed next to the measured worst case.
+"""
+
+import math
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.rng import as_generator, spawn
+from repro.scheduling.exact import optimal_schedule_bruteforce
+from repro.scheduling.solver import schedule_all_jobs
+from repro.workloads.jobs import small_certifiable_instance
+
+from conftest import emit
+
+SWEEP = [
+    (4, 1, 12, 10),
+    (6, 2, 14, 12),
+    (8, 2, 16, 14),
+    (10, 3, 18, 15),
+    (12, 3, 20, 16),
+]
+TRIALS = 8
+
+
+def test_e2_ratio_vs_n(benchmark, master_seed):
+    rows = []
+    master = as_generator(master_seed)
+    for n_jobs, n_procs, horizon, n_ivs in SWEEP:
+        ratios = []
+        for child in spawn(master, TRIALS):
+            inst = small_certifiable_instance(
+                n_jobs, n_procs, horizon, n_ivs, rng=child
+            )
+            opt = optimal_schedule_bruteforce(inst).cost
+            got = schedule_all_jobs(inst).cost
+            ratios.append(got / opt)
+        stats = summarize(ratios)
+        bound = 2.0 * math.log2(n_jobs + 1)
+        rows.append([n_jobs, n_procs, stats.mean, stats.maximum, bound])
+    emit(
+        format_table(
+            ["n jobs", "procs", "mean cost/OPT", "max cost/OPT", "bound 2*log2(n+1)"],
+            rows,
+            title="E2  Theorem 2.2.1 schedule-all approximation ratio",
+        )
+    )
+    for _, _, _, worst, bound in rows:
+        assert worst <= bound + 1e-9
+
+    inst = small_certifiable_instance(10, 3, 18, 15, rng=as_generator(master_seed))
+    benchmark(lambda: schedule_all_jobs(inst))
+
+
+def test_e2_baseline_gap(benchmark, master_seed):
+    """Greedy vs. the always-on and per-job baselines on the same pool."""
+    from repro.scheduling.baselines import sequential_cheapest_interval
+    from repro.workloads.jobs import bursty_instance
+    from repro.scheduling.power import AffineCost
+
+    master = as_generator(master_seed + 2)
+    rows = []
+    for n_jobs in (6, 12, 18):
+        greedy_costs, seq_costs = [], []
+        for child in spawn(master, TRIALS):
+            inst = bursty_instance(
+                n_jobs, 3, 40, n_bursts=3, burst_width=4,
+                cost_model=AffineCost(4.0), rng=child,
+            )
+            greedy_costs.append(schedule_all_jobs(inst).cost)
+            seq_costs.append(sequential_cheapest_interval(inst).cost(inst))
+        rows.append(
+            [n_jobs, summarize(greedy_costs).mean, summarize(seq_costs).mean]
+        )
+    emit(
+        format_table(
+            ["n jobs", "greedy cost", "per-job baseline cost"],
+            rows,
+            title="E2b  interval sharing: greedy vs. myopic baseline (bursty)",
+        )
+    )
+    for _, greedy_mean, seq_mean in rows:
+        assert greedy_mean <= seq_mean + 1e-9
+
+    inst = bursty_instance(12, 3, 40, cost_model=AffineCost(4.0), rng=0)
+    benchmark(lambda: schedule_all_jobs(inst))

@@ -1,0 +1,54 @@
+"""E3 — Theorem 2.3.1: prize-collecting bicriteria guarantee.
+
+Paper claim: value >= (1 - eps) Z at cost O(log(1/eps)) * OPT(Z).
+Measured: value fraction and cost/OPT(Z) over an eps sweep with OPT
+certified exactly.
+"""
+
+import math
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.rng import as_generator, spawn
+from repro.scheduling.exact import optimal_prize_collecting_bruteforce
+from repro.scheduling.prize_collecting import prize_collecting_schedule
+from repro.workloads.jobs import small_certifiable_instance
+
+from conftest import emit
+
+EPS_SWEEP = [0.5, 0.25, 0.1]
+TRIALS = 8
+
+
+def test_e3_eps_sweep(benchmark, master_seed):
+    rows = []
+    master = as_generator(master_seed)
+    for eps in EPS_SWEEP:
+        fractions, ratios = [], []
+        for child in spawn(master, TRIALS):
+            inst = small_certifiable_instance(
+                7, 2, 16, 12, value_spread=4.0, rng=child
+            )
+            target = 0.6 * inst.total_value()
+            opt = optimal_prize_collecting_bruteforce(inst, target).cost
+            result = prize_collecting_schedule(inst, target, eps)
+            fractions.append(result.value / target)
+            ratios.append(result.cost / opt if opt > 0 else 1.0)
+        bound = 2.0 * math.log2(1.0 / eps) + 2.0
+        rows.append(
+            [eps, 1 - eps, summarize(fractions).mean, summarize(ratios).maximum, bound]
+        )
+    emit(
+        format_table(
+            ["eps", "required value frac", "measured frac", "max cost/OPT", "proof bound"],
+            rows,
+            title="E3  Theorem 2.3.1 prize-collecting bicriteria",
+        )
+    )
+    for eps, req, frac, worst, bound in rows:
+        assert frac >= req - 1e-9
+        assert worst <= bound + 1e-9
+
+    inst = small_certifiable_instance(7, 2, 16, 12, value_spread=4.0, rng=0)
+    target = 0.6 * inst.total_value()
+    benchmark(lambda: prize_collecting_schedule(inst, target, 0.25))

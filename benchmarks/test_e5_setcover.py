@@ -1,0 +1,78 @@
+"""E5 — Appendix .1: Set-Cover hardness anchor and greedy log factor.
+
+Paper claims: (a) one-interval nonuniform-processor scheduling *is* Set
+Cover (Theorem .1.2), so no o(log n) approximation exists; (b) the
+framework's greedy specialises to the classical H_n-approximate greedy.
+Measured: on planted instances, the greedy's cost/OPT grows like the
+harmonic number's shape and never exceeds it; the scheduling reduction
+reproduces the set-cover greedy cost exactly.
+"""
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.rng import as_generator, spawn
+from repro.scheduling.setcover import (
+    greedy_set_cover,
+    harmonic_number,
+    random_set_cover_instance,
+    set_cover_to_scheduling,
+)
+from repro.scheduling.solver import schedule_all_jobs
+
+from conftest import emit
+
+SIZES = [20, 60, 120, 240]
+TRIALS = 6
+
+
+def test_e5_greedy_log_factor(benchmark, master_seed):
+    rows = []
+    master = as_generator(master_seed)
+    for n in SIZES:
+        ratios = []
+        for child in spawn(master, TRIALS):
+            planted = max(3, n // 12)
+            sc = random_set_cover_instance(
+                n, planted + 14, planted_cover_size=planted, density=0.12, rng=child
+            )
+            result = greedy_set_cover(sc)
+            ratios.append(result.cost / planted)  # planted cover costs `planted`
+        stats = summarize(ratios)
+        rows.append([n, stats.mean, stats.maximum, harmonic_number(n)])
+    emit(
+        format_table(
+            ["universe n", "mean cost/OPT", "max cost/OPT", "H_n bound"],
+            rows,
+            title="E5  greedy Set Cover via Lemma 2.1.2 (planted instances)",
+        )
+    )
+    for n, _, worst, h in rows:
+        assert worst <= h + 1e-9
+
+    sc = random_set_cover_instance(120, 24, planted_cover_size=10, rng=0)
+    benchmark(lambda: greedy_set_cover(sc))
+
+
+def test_e5_scheduling_reduction_equivalence(benchmark, master_seed):
+    """Theorem .1.2's reduction: scheduling greedy == set-cover greedy."""
+    master = as_generator(master_seed + 5)
+    rows = []
+    for child in spawn(master, 4):
+        sc = random_set_cover_instance(24, 12, planted_cover_size=4, rng=child)
+        cover_cost = greedy_set_cover(sc).cost
+        inst = set_cover_to_scheduling(sc)
+        sched_cost = schedule_all_jobs(inst).cost
+        rows.append([len(sc.universe), len(sc.subsets), cover_cost, sched_cost])
+    emit(
+        format_table(
+            ["elements", "sets", "set-cover greedy cost", "scheduling greedy cost"],
+            rows,
+            title="E5b  Appendix .1 reduction: scheduling == Set Cover",
+        )
+    )
+    for _, _, cover_cost, sched_cost in rows:
+        assert abs(cover_cost - sched_cost) <= 1e-9
+
+    sc = random_set_cover_instance(24, 12, planted_cover_size=4, rng=9)
+    inst = set_cover_to_scheduling(sc)
+    benchmark(lambda: schedule_all_jobs(inst))

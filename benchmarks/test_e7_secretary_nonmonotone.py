@@ -1,0 +1,54 @@
+"""E7 — Theorem 3.1.1 (non-monotone): Algorithm 2 is 8e^2-competitive.
+
+Measured: mean ratio achieved/OPT on G(n,p) cut streams; the floor is
+1/(8e^2) ~ 0.0169.  Also reports the half-split strategy mix (the coin
+must be fair for the Lemma 3.2.7 argument to apply).
+"""
+
+import math
+
+from repro.analysis.ratio import offline_optimum_cardinality
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.rng import as_generator, spawn
+from repro.secretary.stream import SecretaryStream
+from repro.secretary.submodular_secretary import nonmonotone_submodular_secretary
+from repro.workloads.secretary_streams import cut_utility
+
+from conftest import emit
+
+BOUND = 1.0 / (8 * math.e**2)
+TRIALS = 60
+
+
+def test_e7_competitive_ratio(benchmark, master_seed):
+    master = as_generator(master_seed)
+    rows = []
+    for n, k, p in [(60, 4, 0.3), (120, 8, 0.15), (120, 4, 0.5)]:
+        ratios = []
+        halves = {"first-half": 0, "second-half": 0}
+        for child in spawn(master, TRIALS):
+            fn = cut_utility(n, edge_probability=p, rng=child)
+            opt, _ = offline_optimum_cardinality(fn, k, exhaustive_budget=0)
+            stream = SecretaryStream(fn, rng=child)
+            result = nonmonotone_submodular_secretary(stream, k, rng=child)
+            halves[result.strategy] += 1
+            ratios.append(fn.value(result.selected) / opt if opt > 0 else 1.0)
+        stats = summarize(ratios)
+        mix = halves["first-half"] / TRIALS
+        rows.append([n, k, p, stats.mean, stats.ci95_low, mix, BOUND])
+    emit(
+        format_table(
+            ["n", "k", "edge p", "mean ratio", "ci95 low", "first-half frac", "bound 1/(8e^2)"],
+            rows,
+            title="E7  Theorem 3.1.1 non-monotone secretary (cut streams)",
+        )
+    )
+    for _, _, _, mean, ci_low, mix, bound in rows:
+        assert ci_low >= bound
+        assert 0.2 <= mix <= 0.8  # fair-ish coin across trials
+
+    fn = cut_utility(120, edge_probability=0.3, rng=3)
+    benchmark(
+        lambda: nonmonotone_submodular_secretary(SecretaryStream(fn, rng=4), 6, rng=5)
+    )

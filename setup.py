@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The execution environment has no `wheel` package (offline), so PEP 660
+editable installs fail; this file enables the legacy develop-mode path:
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+
+Plain `pip install -e .` works wherever `wheel` is available.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro — Scheduling to Minimize Power Consumption using Submodular Functions.
+
+A from-scratch reproduction of Zadimoghaddam (SPAA 2010 / MIT thesis):
+
+* :mod:`repro.core` — submodular maximization with budget constraints
+  (Lemma 2.1.2's bicriteria greedy and its lazy variant);
+* :mod:`repro.matching` — the bipartite-matching substrate and the
+  submodular matching utilities of Lemmas 2.2.2 / 2.3.2;
+* :mod:`repro.scheduling` — multi-interval multi-processor power
+  minimization (Theorem 2.2.1), the prize-collecting variants
+  (Theorems 2.3.1 / 2.3.3), exact references, baselines, and the
+  Set-Cover hardness reduction (Appendix .1);
+* :mod:`repro.matroids` — independence-oracle matroids (§3.3);
+* :mod:`repro.secretary` — the submodular secretary algorithms
+  (Theorems 3.1.1–3.1.4) and the subadditive hardness construction;
+* :mod:`repro.workloads` — synthetic instance/stream generators;
+* :mod:`repro.analysis` — optimum certification and ratio statistics.
+
+Quickstart::
+
+    from repro import Job, ScheduleInstance, AffineCost, schedule_all_jobs
+
+    jobs = [Job("a", {("cpu0", 0), ("cpu0", 5)}), Job("b", {("cpu0", 1)})]
+    inst = ScheduleInstance(["cpu0"], jobs, horizon=8, cost_model=AffineCost(2.0))
+    result = schedule_all_jobs(inst)
+    print(result.schedule.summary(inst))
+"""
+
+from repro.errors import (
+    BudgetError,
+    InfeasibleError,
+    InvalidInstanceError,
+    NotSubmodularError,
+    OracleError,
+    ReproError,
+)
+from repro.core import (
+    AdditiveFunction,
+    BudgetAdditiveFunction,
+    BudgetedInstance,
+    CoverageFunction,
+    CutFunction,
+    FacilityLocationFunction,
+    GreedyResult,
+    LambdaSetFunction,
+    SetFunction,
+    TruncatedFunction,
+    WeightedCoverageFunction,
+    budgeted_greedy,
+    check_monotone,
+    check_submodular,
+    lazy_budgeted_greedy,
+)
+from repro.scheduling import (
+    AffineCost,
+    AwakeInterval,
+    Job,
+    Schedule,
+    ScheduleInstance,
+    SuperlinearCost,
+    TableCost,
+    TimeOfUseCost,
+    UnavailabilityCost,
+    optimal_schedule_bruteforce,
+    prize_collecting_exact_value,
+    prize_collecting_schedule,
+    schedule_all_jobs,
+)
+from repro.secretary import (
+    SecretaryStream,
+    monotone_submodular_secretary,
+    nonmonotone_submodular_secretary,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "InvalidInstanceError",
+    "InfeasibleError",
+    "OracleError",
+    "BudgetError",
+    "NotSubmodularError",
+    # core
+    "SetFunction",
+    "LambdaSetFunction",
+    "TruncatedFunction",
+    "AdditiveFunction",
+    "BudgetAdditiveFunction",
+    "CoverageFunction",
+    "WeightedCoverageFunction",
+    "CutFunction",
+    "FacilityLocationFunction",
+    "BudgetedInstance",
+    "budgeted_greedy",
+    "lazy_budgeted_greedy",
+    "GreedyResult",
+    "check_monotone",
+    "check_submodular",
+    # scheduling
+    "Job",
+    "ScheduleInstance",
+    "Schedule",
+    "AwakeInterval",
+    "AffineCost",
+    "TimeOfUseCost",
+    "SuperlinearCost",
+    "UnavailabilityCost",
+    "TableCost",
+    "schedule_all_jobs",
+    "prize_collecting_schedule",
+    "prize_collecting_exact_value",
+    "optimal_schedule_bruteforce",
+    # secretary
+    "SecretaryStream",
+    "monotone_submodular_secretary",
+    "nonmonotone_submodular_secretary",
+]

@@ -1,0 +1,31 @@
+"""Experiment harness: optimum certification, ratio statistics, tables."""
+
+from repro.analysis.ratio import (
+    offline_greedy_cardinality,
+    offline_optimum_cardinality,
+    competitive_trials,
+)
+from repro.analysis.stats import TrialStats, summarize
+from repro.analysis.tables import format_table
+from repro.analysis.bounds import (
+    capacity_lower_bound,
+    job_cover_lower_bound,
+    schedule_cost_lower_bound,
+)
+from repro.analysis.gaps import GapReport, gap_statistics
+from repro.analysis.render import render_schedule
+
+__all__ = [
+    "GapReport",
+    "gap_statistics",
+    "render_schedule",
+    "job_cover_lower_bound",
+    "capacity_lower_bound",
+    "schedule_cost_lower_bound",
+    "offline_greedy_cardinality",
+    "offline_optimum_cardinality",
+    "competitive_trials",
+    "TrialStats",
+    "summarize",
+    "format_table",
+]

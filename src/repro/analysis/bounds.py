@@ -1,0 +1,103 @@
+"""Certificate-free lower bounds for scheduling optima.
+
+The exact branch-and-bound reference caps out around ~26 candidate
+intervals; beyond that, ratio experiments still need *some* floor under
+OPT.  Two cheap, always-valid lower bounds:
+
+* :func:`job_cover_lower_bound` — every feasible schedule buys, for each
+  job, at least one interval containing one of its slots; a fractional
+  charging argument (each bought interval can serve many jobs, so charge
+  each job ``c(I)/|jobs I can serve|``) yields a valid LP-flavoured
+  floor without solving an LP.
+
+* :func:`capacity_lower_bound` — any interval covering ``s`` usable
+  slots schedules at most ``s`` jobs, so OPT >= n * (cheapest
+  cost-per-usable-slot).  Tight when jobs are dense, vacuous when slots
+  are plentiful; the maximum of the two bounds is reported by
+  :func:`schedule_cost_lower_bound`.
+
+Both are deliberately simple: their role is regression-guarding large
+experiments, not replacing the exact reference where it is affordable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+from repro.errors import InfeasibleError
+from repro.scheduling.instance import ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+
+__all__ = [
+    "job_cover_lower_bound",
+    "capacity_lower_bound",
+    "schedule_cost_lower_bound",
+]
+
+
+def _finite_pool(instance: ScheduleInstance, candidates):
+    pool = list(candidates) if candidates is not None else instance.candidates()
+    slot_map = {
+        iv: slots for iv, slots in instance.interval_slot_map(pool).items() if slots
+    }
+    costs = {iv: instance.cost_of(iv) for iv in slot_map}
+    return (
+        {iv: s for iv, s in slot_map.items() if not math.isinf(costs[iv])},
+        {iv: c for iv, c in costs.items() if not math.isinf(c)},
+    )
+
+
+def job_cover_lower_bound(
+    instance: ScheduleInstance,
+    candidates: Optional[Sequence[AwakeInterval]] = None,
+) -> float:
+    """Fractional job-charging floor under the schedule-all optimum.
+
+    For each job j let ``m_j = min over intervals I usable by j of
+    c(I) / (number of jobs I can serve)``; then OPT >= sum_j m_j,
+    because in any solution each bought interval I's cost can be split
+    evenly across the <= (jobs I can serve) jobs charged to it, and
+    each job is charged to at least one bought interval.
+    """
+    slot_map, costs = _finite_pool(instance, candidates)
+    if not slot_map:
+        raise InfeasibleError("no finite-cost candidate interval covers any slot")
+
+    serves: Dict[AwakeInterval, int] = {}
+    for iv, slots in slot_map.items():
+        serves[iv] = sum(1 for job in instance.jobs if job.slots & slots)
+
+    total = 0.0
+    for job in instance.jobs:
+        best = math.inf
+        for iv, slots in slot_map.items():
+            if job.slots & slots and serves[iv] > 0:
+                best = min(best, costs[iv] / serves[iv])
+        if math.isinf(best):
+            raise InfeasibleError(f"job {job.id!r} is not coverable by any interval")
+        total += best
+    return total
+
+
+def capacity_lower_bound(
+    instance: ScheduleInstance,
+    candidates: Optional[Sequence[AwakeInterval]] = None,
+) -> float:
+    """Slot-capacity floor: OPT >= n * min over intervals of cost/slots."""
+    slot_map, costs = _finite_pool(instance, candidates)
+    if not slot_map:
+        raise InfeasibleError("no finite-cost candidate interval covers any slot")
+    per_slot = min(costs[iv] / len(slots) for iv, slots in slot_map.items())
+    return instance.n_jobs * per_slot
+
+
+def schedule_cost_lower_bound(
+    instance: ScheduleInstance,
+    candidates: Optional[Sequence[AwakeInterval]] = None,
+) -> float:
+    """The better (larger) of the two floors — still always valid."""
+    return max(
+        job_cover_lower_bound(instance, candidates),
+        capacity_lower_bound(instance, candidates),
+    )

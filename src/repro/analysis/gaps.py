@@ -1,0 +1,72 @@
+"""Gap statistics — the metric of the prior-work "minimum-gap" model.
+
+Baptiste [9] and Demaine et al. [13] phrase power saving as minimizing
+the number of *gaps* (maximal idle periods, each charged a restart
+alpha).  The paper generalises away from per-gap charging, but the gap
+count remains the natural diagnostic of a schedule's sleep structure;
+these helpers compute it so experiments and examples can report both
+views of the same schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduling.instance import ScheduleInstance
+    from repro.scheduling.schedule import Schedule
+
+__all__ = ["GapReport", "gap_statistics"]
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """Per-schedule sleep/awake structure."""
+
+    awake_runs: int
+    awake_slots: int
+    busy_slots: int
+    idle_awake_slots: int
+    gaps: int
+    gap_slots: int
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of awake time (1.0 = no wasted energy)."""
+        return self.busy_slots / self.awake_slots if self.awake_slots else 1.0
+
+
+def gap_statistics(schedule: "Schedule", instance: "ScheduleInstance") -> GapReport:
+    """Compute the gap structure of *schedule* over *instance*'s horizon.
+
+    A *gap* is a maximal asleep period on a processor that lies strictly
+    between two of that processor's awake runs (leading/trailing sleep
+    is not a gap — matching the minimum-gap literature, where only
+    restarts between busy periods cost alpha).
+    """
+    runs_by_proc: Dict[Hashable, List] = {}
+    for iv in schedule.awake_pattern():
+        runs_by_proc.setdefault(iv.processor, []).append(iv)
+
+    awake_runs = 0
+    awake_slots = 0
+    gaps = 0
+    gap_slots = 0
+    for proc, runs in runs_by_proc.items():
+        runs.sort(key=lambda iv: iv.start)
+        awake_runs += len(runs)
+        awake_slots += sum(iv.length for iv in runs)
+        for prev, nxt in zip(runs, runs[1:]):
+            gaps += 1
+            gap_slots += nxt.start - prev.end - 1
+
+    busy = len(schedule.assignment)
+    return GapReport(
+        awake_runs=awake_runs,
+        awake_slots=awake_slots,
+        busy_slots=busy,
+        idle_awake_slots=awake_slots - busy,
+        gaps=gaps,
+        gap_slots=gap_slots,
+    )

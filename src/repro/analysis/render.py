@@ -1,0 +1,65 @@
+"""ASCII rendering of schedules — a Gantt chart in a terminal.
+
+One row per processor; each time slot prints as
+
+    .   asleep
+    #   awake and idle
+    a-z / A-Z   awake and running the job labelled with that letter
+
+A legend maps labels back to job ids.  Used by the examples and handy
+in tests (a rendered schedule makes assertion failures readable).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduling.instance import ScheduleInstance
+    from repro.scheduling.schedule import Schedule
+
+__all__ = ["render_schedule"]
+
+_LABELS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def render_schedule(schedule: "Schedule", instance: "ScheduleInstance") -> str:
+    """Render *schedule* on *instance* as a multi-line ASCII chart."""
+    awake = set()
+    for iv in schedule.awake_pattern():
+        awake |= iv.slots()
+
+    job_ids = sorted(schedule.assignment, key=repr)
+    label_of: Dict = {}
+    for i, job_id in enumerate(job_ids):
+        label_of[job_id] = _LABELS[i % len(_LABELS)]
+    slot_label: Dict = {
+        slot: label_of[job_id] for job_id, slot in schedule.assignment.items()
+    }
+
+    width = len(str(instance.horizon - 1))
+    lines: List[str] = []
+    header = " " * 8 + "".join(
+        str(t)[-1] for t in range(instance.horizon)
+    )
+    lines.append(header)
+    for proc in instance.processors:
+        cells = []
+        for t in range(instance.horizon):
+            slot = (proc, t)
+            if slot in slot_label:
+                cells.append(slot_label[slot])
+            elif slot in awake:
+                cells.append("#")
+            else:
+                cells.append(".")
+        lines.append(f"{str(proc)[:7]:>7} " + "".join(cells))
+    legend = ", ".join(f"{label_of[j]}={j}" for j in job_ids)
+    if legend:
+        lines.append(f"legend: {legend}")
+    lines.append(
+        f"cost={schedule.cost(instance):.4g} "
+        f"awake_slots={schedule.awake_slot_count()} "
+        f"jobs={len(schedule.assignment)}/{instance.n_jobs}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Trial aggregation: means, deviations, normal-approximation CIs.
+
+Deliberately dependency-light (numpy only) — the experiments report a
+mean ratio with a 95% confidence band, which is enough to compare
+against the paper's bounds; anything fancier belongs in a notebook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["TrialStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Summary statistics of a batch of scalar trial outcomes."""
+
+    count: int
+    mean: float
+    std: float
+    stderr: float
+    ci95_low: float
+    ci95_high: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4g} ± {1.96 * self.stderr:.2g} "
+            f"(n={self.count}, range [{self.minimum:.4g}, {self.maximum:.4g}])"
+        )
+
+
+def summarize(values: Iterable[float] | Sequence[float]) -> TrialStats:
+    """Summarise trial outcomes; raises on an empty batch (a silent empty
+    summary would hide a broken experiment loop)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise zero trials")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    stderr = std / float(np.sqrt(arr.size)) if arr.size > 1 else 0.0
+    return TrialStats(
+        count=int(arr.size),
+        mean=mean,
+        std=std,
+        stderr=stderr,
+        ci95_low=mean - 1.96 * stderr,
+        ci95_high=mean + 1.96 * stderr,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,166 @@
+"""Command-line interface.
+
+Four subcommands mirroring the library's main entry points::
+
+    python -m repro solve INSTANCE.json [--method M] [--render]
+    python -m repro prize INSTANCE.json --target Z [--epsilon E] [--exact]
+    python -m repro demo  [--seed S]                # random instance, solved
+    python -m repro check INSTANCE.json             # validate + stats only
+
+All output is JSON on stdout (render/diagnostics on stderr), so the CLI
+composes with jq-style pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.render import render_schedule
+from repro.errors import ReproError
+from repro.io import (
+    instance_to_dict,
+    load_instance,
+    schedule_to_dict,
+)
+from repro.scheduling.prize_collecting import (
+    prize_collecting_exact_value,
+    prize_collecting_schedule,
+)
+from repro.scheduling.solver import schedule_all_jobs
+from repro.workloads.jobs import random_multi_interval_instance
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Power-minimizing scheduling via submodular maximization "
+        "(Zadimoghaddam, SPAA 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="schedule all jobs (Theorem 2.2.1)")
+    solve.add_argument("instance", help="instance JSON file")
+    solve.add_argument(
+        "--method", choices=["incremental", "lazy", "plain"], default="incremental"
+    )
+    solve.add_argument("--render", action="store_true", help="ASCII chart on stderr")
+
+    prize = sub.add_parser("prize", help="prize-collecting (Theorems 2.3.1/2.3.3)")
+    prize.add_argument("instance", help="instance JSON file")
+    prize.add_argument("--target", type=float, required=True, help="value threshold Z")
+    prize.add_argument("--epsilon", type=float, default=None,
+                       help="bicriteria slack (omit with --exact)")
+    prize.add_argument("--exact", action="store_true",
+                       help="reach the threshold exactly (Theorem 2.3.3)")
+    prize.add_argument("--render", action="store_true")
+
+    demo = sub.add_parser("demo", help="generate and solve a random instance")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--jobs", type=int, default=10)
+    demo.add_argument("--processors", type=int, default=3)
+    demo.add_argument("--horizon", type=int, default=20)
+
+    check = sub.add_parser("check", help="validate an instance file")
+    check.add_argument("instance", help="instance JSON file")
+    return parser
+
+
+def _emit(payload: dict) -> None:
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def _cmd_solve(args) -> int:
+    instance = load_instance(args.instance)
+    result = schedule_all_jobs(instance, method=args.method)
+    if args.render:
+        print(render_schedule(result.schedule, instance), file=sys.stderr)
+    _emit(
+        {
+            "cost": result.cost,
+            "bound_factor": result.approximation_bound(),
+            "method": result.method,
+            "oracle_work": result.oracle_work,
+            "schedule": schedule_to_dict(result.schedule),
+        }
+    )
+    return 0
+
+
+def _cmd_prize(args) -> int:
+    instance = load_instance(args.instance)
+    if args.exact:
+        result = prize_collecting_exact_value(instance, args.target)
+    else:
+        epsilon = 0.25 if args.epsilon is None else args.epsilon
+        result = prize_collecting_schedule(instance, args.target, epsilon)
+    if args.render:
+        print(render_schedule(result.schedule, instance), file=sys.stderr)
+    _emit(
+        {
+            "value": result.value,
+            "target": result.target_value,
+            "epsilon": result.epsilon,
+            "cost": result.cost,
+            "schedule": schedule_to_dict(result.schedule),
+        }
+    )
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    instance = random_multi_interval_instance(
+        args.jobs, args.processors, args.horizon, rng=args.seed
+    )
+    result = schedule_all_jobs(instance)
+    print(render_schedule(result.schedule, instance), file=sys.stderr)
+    _emit(
+        {
+            "instance": instance_to_dict(instance),
+            "cost": result.cost,
+            "schedule": schedule_to_dict(result.schedule),
+        }
+    )
+    return 0
+
+
+def _cmd_check(args) -> int:
+    instance = load_instance(args.instance)  # load validates
+    _emit(
+        {
+            "ok": True,
+            "n_jobs": instance.n_jobs,
+            "processors": len(instance.processors),
+            "horizon": instance.horizon,
+            "total_value": instance.total_value(),
+            "usable_slots": len(instance.all_slots()),
+            "candidate_intervals": len(instance.candidates()),
+        }
+    )
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "prize": _cmd_prize,
+    "demo": _cmd_demo,
+    "check": _cmd_check,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

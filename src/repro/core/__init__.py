@@ -1,0 +1,68 @@
+"""Core primitives: submodular set functions and budgeted maximization.
+
+This subpackage implements the paper's foundational contribution
+(Section 2.1): monotone submodular utility maximization subject to a
+budget constraint over *explicitly given, arbitrarily priced* subsets,
+with the bicriteria guarantee of Lemma 2.1.2 — utility at least
+``(1 - eps) * x`` at cost at most ``O(log(1/eps))`` times the optimum.
+"""
+
+from repro.core.submodular import (
+    SetFunction,
+    LambdaSetFunction,
+    TruncatedFunction,
+    RestrictedFunction,
+    check_monotone,
+    check_submodular,
+)
+from repro.core.functions import (
+    AdditiveFunction,
+    BudgetAdditiveFunction,
+    CoverageFunction,
+    CutFunction,
+    FacilityLocationFunction,
+    MatroidRankFunction,
+    MaxValueFunction,
+    MinValueFunction,
+    WeightedCoverageFunction,
+)
+from repro.core.oracle import CachedOracle, CountingOracle
+from repro.core.budgeted import BudgetedInstance, budgeted_greedy
+from repro.core.lazy import lazy_budgeted_greedy
+from repro.core.trace import GreedyResult, GreedyStep, phase_of
+from repro.core.knapsack import (
+    KnapsackSolution,
+    knapsack_density_greedy,
+    knapsack_maximize,
+    multi_knapsack_maximize,
+)
+
+__all__ = [
+    "KnapsackSolution",
+    "knapsack_density_greedy",
+    "knapsack_maximize",
+    "multi_knapsack_maximize",
+    "SetFunction",
+    "LambdaSetFunction",
+    "TruncatedFunction",
+    "RestrictedFunction",
+    "check_monotone",
+    "check_submodular",
+    "AdditiveFunction",
+    "BudgetAdditiveFunction",
+    "CoverageFunction",
+    "CutFunction",
+    "FacilityLocationFunction",
+    "MatroidRankFunction",
+    "MaxValueFunction",
+    "MinValueFunction",
+    "WeightedCoverageFunction",
+    "CachedOracle",
+    "CountingOracle",
+    "BudgetedInstance",
+    "budgeted_greedy",
+    "lazy_budgeted_greedy",
+    "GreedyResult",
+    "GreedyStep",
+    "phase_of",
+]

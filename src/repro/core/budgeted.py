@@ -1,0 +1,184 @@
+"""Budgeted submodular maximization — the algorithm of Lemma 2.1.2.
+
+Problem (Definition 1): given items ``U``, explicitly listed allowable
+subsets ``S_1..S_m`` with arbitrary costs ``C_1..C_m`` (costs need *not*
+be additive over items — that generality is what lets the scheduling
+reduction price whole awake intervals), a monotone submodular utility
+``F`` on ``U`` and a target ``x``: find a cheap collection whose union
+has utility at least ``x``.
+
+The greedy repeatedly picks the subset maximising
+
+    (min(x, F(S ∪ S_i)) - F(S)) / C_i
+
+until utility reaches ``(1 - eps) x``.  Lemma 2.1.2: if some collection
+of cost ``B`` achieves utility ``x``, the greedy's cost is at most
+``O(B log(1/eps))``.  Setting ``eps = 1/(n+1)`` for integer-valued
+utilities upgrades this to exact coverage at ``O(B log n)`` — exactly
+how Theorem 2.2.1 consumes it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence
+
+from repro.core.submodular import Element, SetFunction
+from repro.core.trace import GreedyResult, GreedyStep
+from repro.errors import BudgetError, InfeasibleError, InvalidInstanceError
+
+__all__ = ["BudgetedInstance", "budgeted_greedy"]
+
+
+@dataclass(frozen=True)
+class BudgetedInstance:
+    """An instance of submodular maximization with budget constraints.
+
+    Parameters
+    ----------
+    utility:
+        Monotone submodular :class:`SetFunction` over the item universe.
+    subsets:
+        Mapping from a subset identifier to the frozenset of items the
+        subset contributes (the paper's explicitly-given ``S_i``).
+    costs:
+        Mapping from subset identifier to its non-negative cost ``C_i``.
+    """
+
+    utility: SetFunction
+    subsets: Mapping[Hashable, FrozenSet[Element]]
+    costs: Mapping[Hashable, float]
+
+    def __post_init__(self) -> None:
+        missing = set(self.subsets) ^ set(self.costs)
+        if missing:
+            raise InvalidInstanceError(
+                f"subsets and costs must share keys; mismatched: {sorted(map(repr, missing))[:5]}"
+            )
+        ground = self.utility.ground_set
+        for key, items in self.subsets.items():
+            stray = set(items) - set(ground)
+            if stray:
+                raise InvalidInstanceError(
+                    f"subset {key!r} contains items outside the utility ground set: "
+                    f"{sorted(map(repr, stray))[:5]}"
+                )
+        negative = [k for k, c in self.costs.items() if c < 0]
+        if negative:
+            raise InvalidInstanceError(f"negative costs: {sorted(map(repr, negative))[:5]}")
+
+    @classmethod
+    def from_items(
+        cls,
+        utility: SetFunction,
+        item_costs: Mapping[Element, float],
+    ) -> "BudgetedInstance":
+        """Classical linear-cost special case: every subset is a singleton.
+
+        This is the "all previous work" model the paper generalises; kept
+        as a constructor because Set Cover / Max Cover instances arrive
+        in this shape.
+        """
+        subsets = {item: frozenset({item}) for item in item_costs}
+        return cls(utility=utility, subsets=dict(subsets), costs=dict(item_costs))
+
+    def union_of(self, keys: Iterable[Hashable]) -> FrozenSet[Element]:
+        out: set = set()
+        for k in keys:
+            out |= self.subsets[k]
+        return frozenset(out)
+
+    def cost_of(self, keys: Iterable[Hashable]) -> float:
+        return float(sum(self.costs[k] for k in keys))
+
+
+def _validate_parameters(target: float, epsilon: float) -> None:
+    if target < 0:
+        raise BudgetError(f"target utility must be non-negative, got {target}")
+    if not (0.0 < epsilon < 1.0):
+        raise BudgetError(f"epsilon must lie in (0, 1), got {epsilon}")
+
+
+def budgeted_greedy(
+    instance: BudgetedInstance,
+    target: float,
+    epsilon: float,
+    *,
+    max_steps: int | None = None,
+) -> GreedyResult:
+    """Run the Lemma 2.1.2 greedy to utility ``(1 - epsilon) * target``.
+
+    Raises :class:`InfeasibleError` when no remaining subset has positive
+    marginal gain before the goal is reached (then no collection achieves
+    utility ``target``, by monotonicity).
+
+    Notes
+    -----
+    This is the straightforward implementation that re-scans all ``m``
+    subsets every round (``O(m)`` oracle calls per pick).  The
+    lazy-evaluation variant in :mod:`repro.core.lazy` is observably
+    cheaper in oracle calls while keeping the same guarantee (selections
+    can differ only on exact ratio ties); E12 quantifies the gap.
+    """
+    _validate_parameters(target, epsilon)
+    goal = (1.0 - epsilon) * target
+    cap = float(target)
+
+    selection: set = set()
+    utility = instance.utility.value(frozenset())
+    if utility < 0:
+        raise InvalidInstanceError("utility of the empty set must be non-negative")
+    chosen: List[Hashable] = []
+    steps: List[GreedyStep] = []
+    total_cost = 0.0
+    remaining: Dict[Hashable, FrozenSet[Element]] = dict(instance.subsets)
+    limit = max_steps if max_steps is not None else len(instance.subsets) * 64
+
+    while utility < goal - 1e-12:
+        if len(steps) >= limit:
+            raise InfeasibleError(
+                f"greedy exceeded {limit} steps without reaching utility {goal:.6g}"
+            )
+        best_key = None
+        best_ratio = 0.0
+        best_gain = 0.0
+        for key, items in remaining.items():
+            if items <= selection:
+                continue
+            truncated = min(cap, instance.utility.value(frozenset(selection | items)))
+            gain = truncated - min(cap, utility)
+            if gain <= 1e-12:
+                continue
+            cost = instance.costs[key]
+            ratio = math.inf if cost == 0 else gain / cost
+            if ratio > best_ratio or (ratio == best_ratio and gain > best_gain):
+                best_key, best_ratio, best_gain = key, ratio, gain
+        if best_key is None:
+            raise InfeasibleError(
+                f"no subset improves utility beyond {utility:.6g}; "
+                f"target {target:.6g} is unreachable"
+            )
+        selection |= remaining.pop(best_key)
+        utility = instance.utility.value(frozenset(selection))
+        total_cost += instance.costs[best_key]
+        chosen.append(best_key)
+        steps.append(
+            GreedyStep(
+                index=best_key,
+                cost=instance.costs[best_key],
+                gain=best_gain,
+                utility_after=utility,
+                cost_after=total_cost,
+            )
+        )
+
+    return GreedyResult(
+        chosen=chosen,
+        selection=frozenset(selection),
+        utility=utility,
+        cost=total_cost,
+        target=target,
+        epsilon=epsilon,
+        steps=steps,
+    )

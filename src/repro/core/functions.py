@@ -1,0 +1,246 @@
+"""Concrete submodular (and deliberately non-submodular) set functions.
+
+These are the utility families the paper cites as motivating special
+cases of Definition 1: Set-Cover / Max-Cover style coverage functions
+[33, 43], weighted coverage, matroid rank functions [15], graph cut
+functions (the canonical *non-monotone* submodular family used by the
+non-monotone secretary experiments), facility location, and the additive
+/ budget-additive utilities of the classical multiple-choice secretary
+problem [36].  ``MaxValueFunction`` and ``MinValueFunction`` model the
+two aggregate objectives discussed in the conclusions (Section 3.6) —
+note ``min`` is *not* submodular, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.submodular import Element, SetFunction
+
+__all__ = [
+    "AdditiveFunction",
+    "BudgetAdditiveFunction",
+    "CoverageFunction",
+    "WeightedCoverageFunction",
+    "CutFunction",
+    "FacilityLocationFunction",
+    "MatroidRankFunction",
+    "MaxValueFunction",
+    "MinValueFunction",
+]
+
+
+class CoverageFunction(SetFunction):
+    """``F(S) = | union of the item sets chosen by S |``.
+
+    *covers* maps each ground element (e.g. a candidate interval, a
+    secretary) to the set of universe items it covers.  Monotone
+    submodular; with unit costs the budgeted greedy on this function is
+    exactly the classical greedy Set-Cover algorithm, which Lemma 2.1.2
+    generalises.
+    """
+
+    def __init__(self, covers: Mapping[Element, Iterable[Hashable]]):
+        self._covers: Dict[Element, FrozenSet[Hashable]] = {
+            k: frozenset(v) for k, v in covers.items()
+        }
+        self._ground = frozenset(self._covers)
+
+    @property
+    def ground_set(self) -> FrozenSet[Element]:
+        return self._ground
+
+    @property
+    def universe(self) -> FrozenSet[Hashable]:
+        """All items coverable by the full ground set."""
+        out: set = set()
+        for s in self._covers.values():
+            out |= s
+        return frozenset(out)
+
+    def covered(self, subset: FrozenSet[Element]) -> FrozenSet[Hashable]:
+        out: set = set()
+        for e in subset:
+            out |= self._covers[e]
+        return frozenset(out)
+
+    def value(self, subset: FrozenSet[Element]) -> float:
+        return float(len(self.covered(subset)))
+
+
+class WeightedCoverageFunction(CoverageFunction):
+    """Coverage where each universe item carries a non-negative weight.
+
+    ``F(S) = sum of weights of items covered by S`` — still monotone
+    submodular.  Items missing from *weights* default to weight 1.
+    """
+
+    def __init__(
+        self,
+        covers: Mapping[Element, Iterable[Hashable]],
+        weights: Mapping[Hashable, float],
+    ):
+        super().__init__(covers)
+        self._weights = {k: float(v) for k, v in weights.items()}
+        bad = [k for k, v in self._weights.items() if v < 0]
+        if bad:
+            raise ValueError(f"negative item weights not allowed: {bad[:3]}")
+
+    def value(self, subset: FrozenSet[Element]) -> float:
+        return float(sum(self._weights.get(i, 1.0) for i in self.covered(subset)))
+
+
+class AdditiveFunction(SetFunction):
+    """Modular utility ``F(S) = sum of per-element values``.
+
+    The multiple-choice secretary objective of Kleinberg [36]; the
+    degenerate-but-important base case of submodularity.
+    """
+
+    def __init__(self, values: Mapping[Element, float]):
+        self._values = {k: float(v) for k, v in values.items()}
+        self._ground = frozenset(self._values)
+
+    @property
+    def ground_set(self) -> FrozenSet[Element]:
+        return self._ground
+
+    def value(self, subset: FrozenSet[Element]) -> float:
+        return float(sum(self._values[e] for e in subset))
+
+
+class BudgetAdditiveFunction(AdditiveFunction):
+    """``F(S) = min(cap, sum of values)`` — monotone submodular.
+
+    The standard "budget-additive" utility from combinatorial auctions;
+    exercises the truncation path of the greedy.
+    """
+
+    def __init__(self, values: Mapping[Element, float], cap: float):
+        super().__init__(values)
+        if cap < 0:
+            raise ValueError(f"cap must be non-negative, got {cap}")
+        self.cap = float(cap)
+
+    def value(self, subset: FrozenSet[Element]) -> float:
+        return min(self.cap, super().value(subset))
+
+
+class CutFunction(SetFunction):
+    """Undirected weighted cut ``F(S) = total weight of edges leaving S``.
+
+    The canonical *non-monotone* submodular function (Max-Cut family
+    [25]); drives Algorithm 2's experiments.  Edges are given as
+    ``(u, v, weight)`` triples over the ground set of vertices.
+    """
+
+    def __init__(self, vertices: Iterable[Element], edges: Iterable[Tuple[Element, Element, float]]):
+        self._ground = frozenset(vertices)
+        self._edges: list[Tuple[Element, Element, float]] = []
+        for u, v, w in edges:
+            if u not in self._ground or v not in self._ground:
+                raise ValueError(f"edge ({u!r}, {v!r}) uses unknown vertex")
+            if w < 0:
+                raise ValueError("cut functions require non-negative edge weights")
+            if u != v:
+                self._edges.append((u, v, float(w)))
+
+    @property
+    def ground_set(self) -> FrozenSet[Element]:
+        return self._ground
+
+    def value(self, subset: FrozenSet[Element]) -> float:
+        return float(sum(w for u, v, w in self._edges if (u in subset) != (v in subset)))
+
+
+class FacilityLocationFunction(SetFunction):
+    """``F(S) = sum over clients of max benefit from an open facility in S``.
+
+    The uncapacitated facility-location utility [2, 11, 12].  *benefit*
+    is a (clients x facilities) non-negative matrix; opening facility set
+    S serves each client by its best open facility.  Monotone submodular.
+    """
+
+    def __init__(self, facilities: Iterable[Element], benefit: np.ndarray):
+        self._facilities = list(facilities)
+        self._index = {f: i for i, f in enumerate(self._facilities)}
+        mat = np.asarray(benefit, dtype=float)
+        if mat.ndim != 2 or mat.shape[1] != len(self._facilities):
+            raise ValueError(
+                f"benefit must be (clients x {len(self._facilities)}) 2-D, got {mat.shape}"
+            )
+        if (mat < 0).any():
+            raise ValueError("facility benefits must be non-negative")
+        self._benefit = mat
+        self._ground = frozenset(self._facilities)
+
+    @property
+    def ground_set(self) -> FrozenSet[Element]:
+        return self._ground
+
+    def value(self, subset: FrozenSet[Element]) -> float:
+        if not subset:
+            return 0.0
+        cols = [self._index[f] for f in subset]
+        # Vectorised best-facility-per-client reduction; this is the hot
+        # call in secretary sweeps, hence numpy instead of a python loop.
+        return float(self._benefit[:, cols].max(axis=1).sum())
+
+
+class MatroidRankFunction(SetFunction):
+    """Rank of a matroid as a set function — monotone submodular [15].
+
+    Accepts any object following the :class:`repro.matroids.base.Matroid`
+    protocol (an ``is_independent``/``rank``/``ground_set`` trio).
+    """
+
+    def __init__(self, matroid) -> None:
+        self._matroid = matroid
+
+    @property
+    def ground_set(self) -> FrozenSet[Element]:
+        return frozenset(self._matroid.ground_set)
+
+    def value(self, subset: FrozenSet[Element]) -> float:
+        return float(self._matroid.rank(subset))
+
+
+class MaxValueFunction(SetFunction):
+    """``F(S) = max of per-element values`` (0 on the empty set).
+
+    The classical best-choice secretary objective [22, 23]; monotone
+    submodular.
+    """
+
+    def __init__(self, values: Mapping[Element, float]):
+        self._values = {k: float(v) for k, v in values.items()}
+        self._ground = frozenset(self._values)
+
+    @property
+    def ground_set(self) -> FrozenSet[Element]:
+        return self._ground
+
+    def value(self, subset: FrozenSet[Element]) -> float:
+        return max((self._values[e] for e in subset), default=0.0)
+
+
+class MinValueFunction(SetFunction):
+    """``F(S) = min of per-element values`` — the Section 3.6 bottleneck.
+
+    *Not* submodular (the tests prove it with a witness); included so the
+    bottleneck secretary experiment can use the same oracle machinery.
+    The empty set is assigned 0, matching "no group hired, no speed".
+    """
+
+    def __init__(self, values: Mapping[Element, float]):
+        self._values = {k: float(v) for k, v in values.items()}
+        self._ground = frozenset(self._values)
+
+    @property
+    def ground_set(self) -> FrozenSet[Element]:
+        return self._ground
+
+    def value(self, subset: FrozenSet[Element]) -> float:
+        return min((self._values[e] for e in subset), default=0.0)

@@ -1,0 +1,94 @@
+"""Execution traces for the budgeted greedy.
+
+Lemma 2.1.2's proof organises the greedy's picks into ``log(1/eps)``
+*phases*: phase ``i`` ends when utility first reaches ``(1 - 1/2^i) x``
+and the proof charges each phase at most ``2B``.  The trace records
+enough per-step information to reconstruct that accounting, which the
+E1 benchmark prints as its "cost per phase" table — an empirical view
+of the proof itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, List, Sequence
+
+__all__ = ["GreedyStep", "GreedyResult", "phase_of"]
+
+
+def phase_of(utility: float, target: float) -> int:
+    """Phase index (1-based) a given utility level belongs to.
+
+    Phase ``i`` covers utilities in ``[(1 - 1/2^(i-1)) x, (1 - 1/2^i) x)``.
+    Utilities at or beyond the target map to ``inf``-like large phases;
+    we clamp to 63 to keep the arithmetic in integers.
+    """
+    if target <= 0:
+        return 1
+    frac = utility / target
+    if frac >= 1.0:
+        return 63
+    remaining = 1.0 - frac
+    # remaining in (1/2^i, 1/2^(i-1)]  =>  phase i
+    return min(63, max(1, int(math.floor(-math.log2(remaining))) + 1))
+
+
+@dataclass(frozen=True)
+class GreedyStep:
+    """One pick of the greedy: which subset, at what marginal ratio."""
+
+    index: Hashable
+    cost: float
+    gain: float
+    utility_after: float
+    cost_after: float
+
+    @property
+    def ratio(self) -> float:
+        """Truncated utility gain per unit cost (the greedy's selection key)."""
+        return self.gain / self.cost if self.cost > 0 else math.inf
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of a budgeted-greedy run.
+
+    ``chosen`` preserves pick order; ``selection`` is the union of the
+    picked subsets' elements (what the utility was evaluated on).
+    """
+
+    chosen: List[Hashable]
+    selection: frozenset
+    utility: float
+    cost: float
+    target: float
+    epsilon: float
+    steps: List[GreedyStep] = field(default_factory=list)
+
+    @property
+    def reached_target(self) -> bool:
+        """Whether the bicriteria utility goal ``(1 - eps) x`` was met."""
+        return self.utility >= (1.0 - self.epsilon) * self.target - 1e-9
+
+    def cost_by_phase(self) -> dict[int, float]:
+        """Total cost attributed to each proof phase (see module doc)."""
+        out: dict[int, float] = {}
+        prev_utility = 0.0
+        for step in self.steps:
+            ph = phase_of(prev_utility, self.target)
+            out[ph] = out.get(ph, 0.0) + step.cost
+            prev_utility = step.utility_after
+        return out
+
+    def summary(self) -> str:
+        """One-line human-readable digest used by examples and benches."""
+        return (
+            f"greedy: {len(self.chosen)} picks, utility {self.utility:.4g}"
+            f"/{self.target:.4g} (eps={self.epsilon:.3g}), cost {self.cost:.4g}"
+        )
+
+
+def total_cost(steps: Sequence[GreedyStep]) -> float:
+    """Sum of step costs (kept as a function for the stats module)."""
+    return float(sum(s.cost for s in steps))

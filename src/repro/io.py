@@ -1,0 +1,225 @@
+"""JSON serialization for instances and schedules.
+
+A downstream user needs to get problems *into* the library and results
+*out of* it without writing Python constructors by hand; this module
+defines a stable, versioned JSON interchange format used by the CLI
+(:mod:`repro.cli`) and usable from any language.
+
+Format (version 1)::
+
+    {
+      "format": "repro-instance/1",
+      "processors": ["cpu0", "cpu1"],
+      "horizon": 12,
+      "cost_model": {"kind": "affine", "restart_cost": 3.0, "rate": 1.0},
+      "jobs": [
+        {"id": "compile", "value": 5.0,
+         "slots": [["cpu0", 0], ["cpu0", 1], ["cpu1", 5]]}
+      ],
+      "candidate_intervals": [["cpu0", 0, 3]]          // optional
+    }
+
+Cost-model kinds: ``affine``, ``per_processor``, ``time_of_use``,
+``superlinear``, ``table`` (plus ``unavailable`` wrapping any of them).
+Processor ids are strings in the interchange format (JSON keys must
+be); loading preserves them as given.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import InvalidInstanceError
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import (
+    AffineCost,
+    CostModel,
+    PerProcessorRateCost,
+    SuperlinearCost,
+    TableCost,
+    TimeOfUseCost,
+    UnavailabilityCost,
+)
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "dump_instance",
+    "load_instance",
+]
+
+_INSTANCE_FORMAT = "repro-instance/1"
+_SCHEDULE_FORMAT = "repro-schedule/1"
+
+
+# -- cost models -------------------------------------------------------
+
+
+def _cost_model_to_dict(model: CostModel) -> Dict[str, Any]:
+    if isinstance(model, UnavailabilityCost):
+        return {
+            "kind": "unavailable",
+            "base": _cost_model_to_dict(model.base),
+            "blocked": sorted([[str(p), int(t)] for p, t in model.blocked]),
+        }
+    if isinstance(model, AffineCost):
+        return {"kind": "affine", "restart_cost": model.restart_cost, "rate": model.rate}
+    if isinstance(model, PerProcessorRateCost):
+        return {
+            "kind": "per_processor",
+            "rates": {str(p): r for p, r in model.rates.items()},
+            "restart_costs": {str(p): c for p, c in model.restart_costs.items()},
+        }
+    if isinstance(model, TimeOfUseCost):
+        return {
+            "kind": "time_of_use",
+            "prices": [float(x) for x in model.prices],
+            "restart_cost": model.restart_cost,
+            "per_processor_prices": {
+                str(p): [float(x) for x in arr] for p, arr in model._per_proc.items()
+            },
+        }
+    if isinstance(model, SuperlinearCost):
+        return {
+            "kind": "superlinear",
+            "restart_cost": model.restart_cost,
+            "exponent": model.exponent,
+            "scale": model.scale,
+        }
+    if isinstance(model, TableCost):
+        return {
+            "kind": "table",
+            "default": None if model.default == float("inf") else model.default,
+            "entries": sorted(
+                [[str(iv.processor), iv.start, iv.end, c] for iv, c in model.table.items()],
+            ),
+        }
+    raise InvalidInstanceError(
+        f"cost model {type(model).__name__} has no JSON representation"
+    )
+
+
+def _cost_model_from_dict(data: Dict[str, Any]) -> CostModel:
+    kind = data.get("kind")
+    if kind == "affine":
+        return AffineCost(data["restart_cost"], data.get("rate", 1.0))
+    if kind == "per_processor":
+        return PerProcessorRateCost(data["rates"], data["restart_costs"])
+    if kind == "time_of_use":
+        return TimeOfUseCost(
+            data["prices"],
+            data.get("restart_cost", 0.0),
+            data.get("per_processor_prices") or None,
+        )
+    if kind == "superlinear":
+        return SuperlinearCost(data["restart_cost"], data["exponent"], data.get("scale", 1.0))
+    if kind == "table":
+        default = data.get("default")
+        return TableCost(
+            {
+                AwakeInterval(p, s, e): float(c)
+                for p, s, e, c in data.get("entries", [])
+            },
+            default=float("inf") if default is None else float(default),
+        )
+    if kind == "unavailable":
+        return UnavailabilityCost(
+            _cost_model_from_dict(data["base"]),
+            [(p, int(t)) for p, t in data.get("blocked", [])],
+        )
+    raise InvalidInstanceError(f"unknown cost model kind {kind!r}")
+
+
+# -- instances ----------------------------------------------------------
+
+
+def instance_to_dict(instance: ScheduleInstance) -> Dict[str, Any]:
+    """Serialise an instance (processor/job ids stringified)."""
+    out: Dict[str, Any] = {
+        "format": _INSTANCE_FORMAT,
+        "processors": [str(p) for p in instance.processors],
+        "horizon": instance.horizon,
+        "cost_model": _cost_model_to_dict(instance.cost_model),
+        "jobs": [
+            {
+                "id": str(job.id),
+                "value": job.value,
+                "slots": sorted([[str(p), int(t)] for p, t in job.slots]),
+            }
+            for job in instance.jobs
+        ],
+    }
+    if instance._candidates is not None:
+        out["candidate_intervals"] = sorted(
+            [[str(iv.processor), iv.start, iv.end] for iv in instance._candidates]
+        )
+    return out
+
+
+def instance_from_dict(data: Dict[str, Any]) -> ScheduleInstance:
+    if data.get("format") != _INSTANCE_FORMAT:
+        raise InvalidInstanceError(
+            f"expected format {_INSTANCE_FORMAT!r}, got {data.get('format')!r}"
+        )
+    jobs = [
+        Job(
+            id=j["id"],
+            slots=frozenset((p, int(t)) for p, t in j["slots"]),
+            value=float(j.get("value", 1.0)),
+        )
+        for j in data.get("jobs", [])
+    ]
+    candidates = None
+    if "candidate_intervals" in data:
+        candidates = [AwakeInterval(p, int(s), int(e)) for p, s, e in data["candidate_intervals"]]
+    return ScheduleInstance(
+        processors=list(data["processors"]),
+        jobs=jobs,
+        horizon=int(data["horizon"]),
+        cost_model=_cost_model_from_dict(data["cost_model"]),
+        candidate_intervals=candidates,
+    )
+
+
+# -- schedules ----------------------------------------------------------
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    return {
+        "format": _SCHEDULE_FORMAT,
+        "intervals": sorted(
+            [[str(iv.processor), iv.start, iv.end] for iv in schedule.intervals]
+        ),
+        "assignment": {
+            str(j): [str(p), int(t)] for j, (p, t) in schedule.assignment.items()
+        },
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+    if data.get("format") != _SCHEDULE_FORMAT:
+        raise InvalidInstanceError(
+            f"expected format {_SCHEDULE_FORMAT!r}, got {data.get('format')!r}"
+        )
+    return Schedule(
+        intervals=[AwakeInterval(p, int(s), int(e)) for p, s, e in data.get("intervals", [])],
+        assignment={j: (p, int(t)) for j, (p, t) in data.get("assignment", {}).items()},
+    )
+
+
+# -- file helpers --------------------------------------------------------
+
+
+def dump_instance(instance: ScheduleInstance, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(instance_to_dict(instance), fh, indent=2, sort_keys=True)
+
+
+def load_instance(path: str) -> ScheduleInstance:
+    with open(path, "r", encoding="utf-8") as fh:
+        return instance_from_dict(json.load(fh))

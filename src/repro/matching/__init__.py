@@ -1,0 +1,32 @@
+"""Bipartite-matching substrate.
+
+Section 2.2 reduces power-minimizing scheduling to maximizing a matching
+function over slot subsets: slots (time-unit, processor pairs) on the
+left side ``X``, jobs on the right side ``Y``, and
+
+    F(S) = size (or job-value weight) of the maximum matching that
+           saturates only slots of S,
+
+which Lemmas 2.2.2 and 2.3.2 prove monotone submodular.  This package
+implements the graph type, Hopcroft–Karp maximum-cardinality matching,
+maximum vertex-weighted matching (matroid greedy over the transversal
+matroid with augmenting-path feasibility tests), and the incremental
+oracle that makes the budgeted greedy's marginal-gain probes cheap.
+"""
+
+from repro.matching.graph import BipartiteGraph, Matching
+from repro.matching.hopcroft_karp import hopcroft_karp, max_matching_size
+from repro.matching.weighted import max_weight_matching, weighted_matching_value
+from repro.matching.incremental import IncrementalMatchingOracle, MatchingUtility, WeightedMatchingUtility
+
+__all__ = [
+    "BipartiteGraph",
+    "Matching",
+    "hopcroft_karp",
+    "max_matching_size",
+    "max_weight_matching",
+    "weighted_matching_value",
+    "IncrementalMatchingOracle",
+    "MatchingUtility",
+    "WeightedMatchingUtility",
+]

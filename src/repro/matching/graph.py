@@ -1,0 +1,150 @@
+"""Bipartite graph and matching value types.
+
+The graph is deliberately small and dictionary-backed: scheduling
+instances have sparse adjacency (each job lists a handful of valid
+slot/processor pairs), so adjacency lists beat dense matrices both in
+memory and in augmenting-path traversal cost.  Vertices are arbitrary
+hashables so slots can be ``(processor, time)`` tuples and jobs can be
+job ids without any translation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Set, Tuple
+
+from repro.errors import InvalidInstanceError
+
+__all__ = ["BipartiteGraph", "Matching"]
+
+Vertex = Hashable
+
+
+class BipartiteGraph:
+    """A bipartite graph with named sides ``left`` (slots) and ``right`` (jobs).
+
+    Parameters
+    ----------
+    left, right:
+        Vertex collections for the two sides.  They must be disjoint.
+    edges:
+        Iterable of ``(left_vertex, right_vertex)`` pairs.  Duplicate
+        edges are collapsed.
+    """
+
+    def __init__(
+        self,
+        left: Iterable[Vertex],
+        right: Iterable[Vertex],
+        edges: Iterable[Tuple[Vertex, Vertex]],
+    ):
+        self._left: FrozenSet[Vertex] = frozenset(left)
+        self._right: FrozenSet[Vertex] = frozenset(right)
+        overlap = self._left & self._right
+        if overlap:
+            raise InvalidInstanceError(
+                f"left/right sides must be disjoint; shared: {sorted(map(repr, overlap))[:5]}"
+            )
+        self._adj_left: Dict[Vertex, Set[Vertex]] = {v: set() for v in self._left}
+        self._adj_right: Dict[Vertex, Set[Vertex]] = {v: set() for v in self._right}
+        for u, v in edges:
+            if u not in self._adj_left:
+                raise InvalidInstanceError(f"edge endpoint {u!r} is not a left vertex")
+            if v not in self._adj_right:
+                raise InvalidInstanceError(f"edge endpoint {v!r} is not a right vertex")
+            self._adj_left[u].add(v)
+            self._adj_right[v].add(u)
+
+    # -- accessors ----------------------------------------------------
+
+    @property
+    def left(self) -> FrozenSet[Vertex]:
+        return self._left
+
+    @property
+    def right(self) -> FrozenSet[Vertex]:
+        return self._right
+
+    def neighbors_of_left(self, u: Vertex) -> FrozenSet[Vertex]:
+        return frozenset(self._adj_left[u])
+
+    def neighbors_of_right(self, v: Vertex) -> FrozenSet[Vertex]:
+        return frozenset(self._adj_right[v])
+
+    def adj_left(self) -> Mapping[Vertex, Set[Vertex]]:
+        """Raw left adjacency (treat as read-only; used by the matchers)."""
+        return self._adj_left
+
+    def adj_right(self) -> Mapping[Vertex, Set[Vertex]]:
+        return self._adj_right
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._adj_left.values())
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        for u in self._adj_left:
+            for v in self._adj_left[u]:
+                yield (u, v)
+
+    def degree_histogram_right(self) -> Dict[int, int]:
+        """How many jobs have each slot-degree (workload diagnostics)."""
+        hist: Dict[int, int] = {}
+        for v in self._right:
+            d = len(self._adj_right[v])
+            hist[d] = hist.get(d, 0) + 1
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BipartiteGraph(|left|={len(self._left)}, |right|={len(self._right)}, "
+            f"edges={self.edge_count()})"
+        )
+
+
+@dataclass
+class Matching:
+    """A (partial) matching as a pair of mutually inverse dictionaries.
+
+    ``left_to_right[x] == y  <=>  right_to_left[y] == x``.  The dataclass
+    owns its dictionaries; :meth:`copy` is used by the incremental oracle
+    to probe candidate augmentations without committing them.
+    """
+
+    left_to_right: Dict[Vertex, Vertex] = field(default_factory=dict)
+    right_to_left: Dict[Vertex, Vertex] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.left_to_right)
+
+    def copy(self) -> "Matching":
+        return Matching(dict(self.left_to_right), dict(self.right_to_left))
+
+    def pairs(self) -> List[Tuple[Vertex, Vertex]]:
+        return sorted(self.left_to_right.items(), key=lambda p: (repr(p[0]), repr(p[1])))
+
+    def match(self, u: Vertex, v: Vertex) -> None:
+        """Add (or re-point) the pair ``u -- v`` keeping both maps in sync."""
+        old_v = self.left_to_right.pop(u, None)
+        if old_v is not None:
+            self.right_to_left.pop(old_v, None)
+        old_u = self.right_to_left.pop(v, None)
+        if old_u is not None:
+            self.left_to_right.pop(old_u, None)
+        self.left_to_right[u] = v
+        self.right_to_left[v] = u
+
+    def validate(self, graph: BipartiteGraph) -> None:
+        """Assert structural consistency against *graph*.
+
+        Checks mutual inversity and that every matched pair is an actual
+        edge; raises :class:`InvalidInstanceError` otherwise.  Solvers
+        call this before returning, making silent corruption loud.
+        """
+        for u, v in self.left_to_right.items():
+            if self.right_to_left.get(v) != u:
+                raise InvalidInstanceError(f"matching maps out of sync at {u!r} -> {v!r}")
+            if v not in graph.neighbors_of_left(u):
+                raise InvalidInstanceError(f"matched pair ({u!r}, {v!r}) is not an edge")
+        for v, u in self.right_to_left.items():
+            if self.left_to_right.get(u) != v:
+                raise InvalidInstanceError(f"matching maps out of sync at {v!r} -> {u!r}")

@@ -1,0 +1,163 @@
+"""Hopcroft–Karp maximum-cardinality bipartite matching.
+
+Implemented from scratch (no networkx dependency in library code) with
+one extension the scheduling reduction needs: the matching may be
+restricted to saturate only an *allowed subset* of left vertices, which
+is exactly the ``F(S)`` of Lemma 2.2.2 — "the maximum cardinality
+matching that saturates only vertices of S in part X".
+
+The algorithm alternates BFS phases (building a layered graph of
+shortest alternating paths from free left vertices) with DFS phases
+(extracting a maximal set of vertex-disjoint shortest augmenting
+paths); O(E sqrt(V)) overall.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from repro.matching.graph import BipartiteGraph, Matching, Vertex
+
+__all__ = ["hopcroft_karp", "max_matching_size"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    graph: BipartiteGraph,
+    allowed_left: Optional[Iterable[Vertex]] = None,
+    *,
+    seed_matching: Optional[Matching] = None,
+) -> Matching:
+    """Return a maximum matching saturating only *allowed_left* slots.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph.
+    allowed_left:
+        Left vertices the matching may use.  ``None`` means all of them.
+    seed_matching:
+        Optional valid partial matching (already confined to
+        *allowed_left*) to warm-start from; augmenting paths only ever
+        grow a matching, so seeding with the matching of a smaller slot
+        set is both correct and the source of the incremental oracle's
+        speed.
+    """
+    allowed: FrozenSet[Vertex] = (
+        graph.left if allowed_left is None else frozenset(allowed_left) & graph.left
+    )
+    adj = graph.adj_left()
+
+    matching = seed_matching.copy() if seed_matching is not None else Matching()
+    match_l = matching.left_to_right
+    match_r = matching.right_to_left
+
+    dist: Dict[Vertex, float] = {}
+
+    def bfs() -> bool:
+        """Layer free allowed-left vertices; True if some free right is reachable."""
+        queue: deque = deque()
+        for u in allowed:
+            if u not in match_l:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                w = match_r.get(v)
+                if w is None:
+                    found = True
+                elif w in allowed and dist.get(w, _INF) == _INF:
+                    dist[w] = dist[u] + 1.0
+                    queue.append(w)
+        return found
+
+    def dfs(u: Vertex) -> bool:
+        for v in adj[u]:
+            w = match_r.get(v)
+            if w is None or (
+                w in allowed and dist.get(w, _INF) == dist[u] + 1.0 and dfs(w)
+            ):
+                match_l[u] = v
+                match_r[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    while bfs():
+        for u in list(allowed):
+            if u not in match_l and dist.get(u) == 0.0:
+                dfs(u)
+        dist.clear()
+
+    return matching
+
+
+def max_matching_size(
+    graph: BipartiteGraph, allowed_left: Optional[Iterable[Vertex]] = None
+) -> int:
+    """``F(S)`` of Lemma 2.2.2: maximum matching cardinality using slots S."""
+    return len(hopcroft_karp(graph, allowed_left))
+
+
+def augment_from_left(
+    graph: BipartiteGraph,
+    matching: Matching,
+    start: Vertex,
+    allowed: FrozenSet[Vertex],
+) -> bool:
+    """Try one Kuhn augmentation from free left vertex *start*; in-place.
+
+    Iterative alternating-path DFS (explicit stack, so deep paths cannot
+    hit the recursion limit).  All intermediate left vertices on the path
+    are matched already and therefore inside *allowed*; *start* itself
+    must be in *allowed*, which the caller guarantees.
+
+    Returns ``True`` and applies the augmentation if a path to a free
+    right vertex exists; otherwise leaves *matching* untouched.
+    """
+    adj = graph.adj_left()
+    match_l = matching.left_to_right
+    match_r = matching.right_to_left
+
+    if start in match_l or start not in allowed:
+        return False
+
+    # parent[y] = the left vertex from which we reached right vertex y.
+    parent: Dict[Vertex, Vertex] = {}
+    visited_right: Set[Vertex] = set()
+    stack = [start]
+    free_right: Optional[Vertex] = None
+
+    while stack and free_right is None:
+        u = stack.pop()
+        for v in adj[u]:
+            if v in visited_right:
+                continue
+            visited_right.add(v)
+            parent[v] = u
+            w = match_r.get(v)
+            if w is None:
+                free_right = v
+                break
+            stack.append(w)
+
+    if free_right is None:
+        return False
+
+    # Walk back flipping matched/unmatched edges along the path.
+    v = free_right
+    while True:
+        u = parent[v]
+        prev_v = match_l.get(u)
+        match_l[u] = v
+        match_r[v] = u
+        if prev_v is None:
+            break
+        v = prev_v
+    return True

@@ -1,0 +1,107 @@
+"""Maximum vertex-weighted bipartite matching (weights on the job side).
+
+Lemma 2.3.2 needs ``F(S) = maximum weight of a matching saturating only
+slots of S``, where a matching's weight is the sum of the *values of the
+jobs it saturates*.  Because weights sit on one side only, the family of
+job sets matchable into ``S`` is a transversal matroid, and the matroid
+greedy is exact: process jobs in non-increasing value order and accept a
+job iff an augmenting path (holding all previously accepted jobs
+matched) exists.  The feasibility test is a single Kuhn augmentation
+from the job side, so the whole solve is ``O(|Y| * E)``.
+
+This gives a *certified optimal* weighted matching without implementing
+a general Hungarian algorithm — and the greedy's exactness is itself a
+matroid fact the property tests verify against brute force.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.matching.graph import BipartiteGraph, Matching, Vertex
+
+__all__ = ["max_weight_matching", "weighted_matching_value"]
+
+
+def _augment_from_right(
+    graph: BipartiteGraph,
+    matching: Matching,
+    start: Vertex,
+    allowed: FrozenSet[Vertex],
+) -> bool:
+    """Kuhn augmentation from free job *start* over slots in *allowed*.
+
+    Iterative with explicit parent pointers (mirror image of
+    :func:`repro.matching.hopcroft_karp.augment_from_left`).
+    """
+    adj = graph.adj_right()
+    match_l = matching.left_to_right
+    match_r = matching.right_to_left
+
+    parent: Dict[Vertex, Vertex] = {}  # slot -> job we reached it from
+    visited_slots: Set[Vertex] = set()
+    stack = [start]
+    free_slot: Optional[Vertex] = None
+
+    while stack and free_slot is None:
+        y = stack.pop()
+        for x in adj[y]:
+            if x not in allowed or x in visited_slots:
+                continue
+            visited_slots.add(x)
+            parent[x] = y
+            w = match_l.get(x)
+            if w is None:
+                free_slot = x
+                break
+            stack.append(w)
+
+    if free_slot is None:
+        return False
+
+    x = free_slot
+    while True:
+        y = parent[x]
+        prev_x = match_r.get(y)
+        match_l[x] = y
+        match_r[y] = x
+        if prev_x is None:
+            break
+        x = prev_x
+    return True
+
+
+def max_weight_matching(
+    graph: BipartiteGraph,
+    job_values: Mapping[Vertex, float],
+    allowed_left: Optional[Iterable[Vertex]] = None,
+) -> Matching:
+    """Maximum job-value matching saturating only *allowed_left* slots.
+
+    Jobs with value 0 are still scheduled when free capacity remains
+    (they cannot hurt), keeping parity with the unweighted solver on
+    all-equal values.  Negative job values are rejected: the paper's
+    prize-collecting model has non-negative prizes.
+    """
+    negative = [j for j, v in job_values.items() if v < 0]
+    if negative:
+        raise ValueError(f"job values must be non-negative: {sorted(map(repr, negative))[:5]}")
+    allowed: FrozenSet[Vertex] = (
+        graph.left if allowed_left is None else frozenset(allowed_left) & graph.left
+    )
+    matching = Matching()
+    # Sort by value descending; tie-break on repr for determinism.
+    order = sorted(graph.right, key=lambda y: (-job_values.get(y, 0.0), repr(y)))
+    for y in order:
+        _augment_from_right(graph, matching, y, allowed)
+    return matching
+
+
+def weighted_matching_value(
+    graph: BipartiteGraph,
+    job_values: Mapping[Vertex, float],
+    allowed_left: Optional[Iterable[Vertex]] = None,
+) -> float:
+    """``F(S)`` of Lemma 2.3.2 — the optimal scheduled job value using S."""
+    matching = max_weight_matching(graph, job_values, allowed_left)
+    return float(sum(job_values.get(y, 0.0) for y in matching.right_to_left))

@@ -1,0 +1,29 @@
+"""Matroid substrate for the submodular matroid secretary problem (§3.3).
+
+Matroids are given by independence oracles, exactly as in the paper
+("assume we have an oracle to answer whether a subset of U belongs to I
+or not").  Implemented families: uniform, partition, graphic,
+transversal, and laminar — the special cases Babaioff et al. [8] and
+the paper's experiments use — plus an axiom checker used by the
+property-based tests.
+"""
+
+from repro.matroids.base import Matroid, check_matroid_axioms
+from repro.matroids.uniform import UniformMatroid
+from repro.matroids.partition import PartitionMatroid
+from repro.matroids.graphic import GraphicMatroid
+from repro.matroids.transversal import TransversalMatroid
+from repro.matroids.laminar import LaminarMatroid
+from repro.matroids.adapters import MatroidIntersection, TruncatedMatroid
+
+__all__ = [
+    "TruncatedMatroid",
+    "MatroidIntersection",
+    "Matroid",
+    "check_matroid_axioms",
+    "UniformMatroid",
+    "PartitionMatroid",
+    "GraphicMatroid",
+    "TransversalMatroid",
+    "LaminarMatroid",
+]

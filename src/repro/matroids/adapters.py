@@ -1,0 +1,76 @@
+"""Matroid adapters: truncation and intersection.
+
+* :class:`TruncatedMatroid` — cap any matroid at rank ``k``.  Truncation
+  of a matroid is a matroid; Algorithm 3's analysis implicitly works
+  with rank-``k`` truncations when it guesses ``|S*|``, and the paper's
+  related work highlights *truncated partition matroids* as a
+  constant-competitive special case of Babaioff et al.
+
+* :class:`MatroidIntersection` — the conjunction of several matroids'
+  independence (a common *independence system*, in general NOT a
+  matroid; the axiom checker proves that on a witness in the tests).
+  This is the feasibility structure of the ``l``-matroid secretary
+  problem, packaged so it can be handed to anything expecting a single
+  ``is_independent`` oracle.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Sequence
+
+from repro.errors import InvalidInstanceError
+from repro.matroids.base import Matroid
+
+__all__ = ["TruncatedMatroid", "MatroidIntersection"]
+
+
+class TruncatedMatroid(Matroid):
+    """``I' = { S in I : |S| <= k }`` — still a matroid."""
+
+    def __init__(self, base: Matroid, k: int):
+        if k < 0:
+            raise InvalidInstanceError(f"truncation rank must be non-negative, got {k}")
+        self.base = base
+        self.k = int(k)
+
+    @property
+    def ground_set(self) -> FrozenSet[Hashable]:
+        return frozenset(self.base.ground_set)
+
+    def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        s = frozenset(subset)
+        return len(s) <= self.k and self.base.is_independent(s)
+
+    def rank(self, subset: Iterable[Hashable] | None = None) -> int:
+        return min(self.k, self.base.rank(subset))
+
+
+class MatroidIntersection(Matroid):
+    """Conjunction of several matroids' independence oracles.
+
+    Warning: despite subclassing :class:`Matroid` for interface
+    compatibility, the intersection of two or more matroids generally
+    violates the augmentation axiom — derived queries (``rank``,
+    ``max_independent_subset``) are greedy *approximations*, not exact
+    ranks.  The online algorithms only ever call ``is_independent`` /
+    ``can_add``, which are exact.
+    """
+
+    def __init__(self, matroids: Sequence[Matroid]):
+        if not matroids:
+            raise InvalidInstanceError("need at least one matroid")
+        self.matroids = list(matroids)
+        ground = frozenset(self.matroids[0].ground_set)
+        for m in self.matroids[1:]:
+            ground &= frozenset(m.ground_set)
+        self._ground = ground
+
+    @property
+    def ground_set(self) -> FrozenSet[Hashable]:
+        return self._ground
+
+    def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        s = frozenset(subset)
+        if not s <= self._ground:
+            return False
+        return all(m.is_independent(s) for m in self.matroids)

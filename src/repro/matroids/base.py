@@ -1,0 +1,109 @@
+"""Matroid ABC and the axiom checker.
+
+A matroid ``(U, I)`` satisfies (1) the empty set is independent, (2)
+independence is closed under containment, and (3) the augmentation
+property.  Implementations provide :meth:`is_independent`; rank and
+maximal-independent-subset queries are derived (correct for any matroid
+by the greedy/exchange property).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import combinations
+from typing import FrozenSet, Hashable, Iterable, List
+
+from repro.errors import InvalidInstanceError
+
+__all__ = ["Matroid", "check_matroid_axioms"]
+
+Element = Hashable
+
+
+class Matroid(ABC):
+    """Independence-oracle matroid."""
+
+    @property
+    @abstractmethod
+    def ground_set(self) -> FrozenSet[Element]:
+        """The matroid's ground set."""
+
+    @abstractmethod
+    def is_independent(self, subset: Iterable[Element]) -> bool:
+        """Membership of *subset* in the independent-set family ``I``."""
+
+    # -- derived queries ------------------------------------------------
+
+    def rank(self, subset: Iterable[Element] | None = None) -> int:
+        """Rank of *subset* (of the whole matroid when ``None``).
+
+        Computed by the incremental greedy: scan elements in a
+        deterministic order, keep those preserving independence.  Exact
+        for matroids by the exchange property.
+        """
+        return len(self.max_independent_subset(subset))
+
+    def max_independent_subset(
+        self, subset: Iterable[Element] | None = None
+    ) -> FrozenSet[Element]:
+        """A maximal independent subset of *subset* (a basis of it)."""
+        pool = self.ground_set if subset is None else frozenset(subset)
+        stray = pool - self.ground_set
+        if stray:
+            raise InvalidInstanceError(
+                f"elements outside the ground set: {sorted(map(repr, stray))[:5]}"
+            )
+        chosen: List[Element] = []
+        for e in sorted(pool, key=repr):
+            if self.is_independent([*chosen, e]):
+                chosen.append(e)
+        return frozenset(chosen)
+
+    def can_add(self, independent: Iterable[Element], element: Element) -> bool:
+        """Whether *independent* + *element* stays independent.
+
+        The primitive the online algorithms call at each arrival.
+        """
+        base = list(independent)
+        if element in base:
+            return True
+        return self.is_independent([*base, element])
+
+
+def check_matroid_axioms(matroid: Matroid, *, max_ground: int = 12) -> bool:
+    """Exhaustively verify the three matroid axioms on a small ground set.
+
+    Used by the test suite on every implemented family (with ground sets
+    small enough for the ``2^n`` sweep).  Raises
+    :class:`InvalidInstanceError` with a witness on failure.
+    """
+    ground = sorted(matroid.ground_set, key=repr)
+    if len(ground) > max_ground:
+        raise InvalidInstanceError(
+            f"axiom check is exponential; ground set of {len(ground)} exceeds {max_ground}"
+        )
+    if not matroid.is_independent([]):
+        raise InvalidInstanceError("axiom 1 violated: empty set not independent")
+
+    independents: List[FrozenSet[Element]] = []
+    for r in range(len(ground) + 1):
+        for combo in combinations(ground, r):
+            if matroid.is_independent(combo):
+                independents.append(frozenset(combo))
+
+    indep_set = set(independents)
+    for s in independents:
+        for e in s:
+            if s - {e} not in indep_set:
+                raise InvalidInstanceError(
+                    f"axiom 2 (hereditary) violated: {set(s)} independent but "
+                    f"{set(s - {e})} is not"
+                )
+    for a in independents:
+        for b in independents:
+            if len(a) > len(b):
+                if not any(matroid.is_independent(b | {e}) for e in a - b):
+                    raise InvalidInstanceError(
+                        f"axiom 3 (augmentation) violated for A={set(a)}, B={set(b)}"
+                    )
+    return True

@@ -1,0 +1,68 @@
+"""Partition matroid: at most ``capacity[block]`` elements per block.
+
+One of Babaioff et al.'s constant-competitive special cases (truncated
+partition matroids); also the natural "at most c hires per department"
+constraint for the secretary experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping
+
+from repro.errors import InvalidInstanceError
+from repro.matroids.base import Matroid
+
+__all__ = ["PartitionMatroid"]
+
+
+class PartitionMatroid(Matroid):
+    """Ground set partitioned into blocks, each with a capacity.
+
+    Parameters
+    ----------
+    blocks:
+        Mapping from element to its block label.  Every element belongs
+        to exactly one block (a partition — enforced by the mapping).
+    capacities:
+        Mapping from block label to a non-negative capacity.  Blocks
+        absent from the mapping default to capacity 1.
+    """
+
+    def __init__(
+        self,
+        blocks: Mapping[Hashable, Hashable],
+        capacities: Mapping[Hashable, int] | None = None,
+    ):
+        self._block_of: Dict[Hashable, Hashable] = dict(blocks)
+        self._ground = frozenset(self._block_of)
+        self._capacity: Dict[Hashable, int] = dict(capacities or {})
+        for label, cap in self._capacity.items():
+            if cap < 0:
+                raise InvalidInstanceError(f"block {label!r} has negative capacity {cap}")
+
+    @property
+    def ground_set(self) -> FrozenSet[Hashable]:
+        return self._ground
+
+    def capacity_of(self, label: Hashable) -> int:
+        return self._capacity.get(label, 1)
+
+    def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        s = frozenset(subset)
+        if not s <= self._ground:
+            return False
+        counts: Dict[Hashable, int] = {}
+        for e in s:
+            label = self._block_of[e]
+            counts[label] = counts.get(label, 0) + 1
+            if counts[label] > self.capacity_of(label):
+                return False
+        return True
+
+    def rank(self, subset: Iterable[Hashable] | None = None) -> int:
+        pool = self._ground if subset is None else frozenset(subset) & self._ground
+        counts: Dict[Hashable, int] = {}
+        for e in pool:
+            label = self._block_of[e]
+            counts[label] = counts.get(label, 0) + 1
+        return sum(min(c, self.capacity_of(label)) for label, c in counts.items())

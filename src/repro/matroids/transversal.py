@@ -1,0 +1,55 @@
+"""Transversal matroid: subsets of the left side matchable into the right.
+
+This is the matroid the whole scheduling reduction secretly lives in
+(job sets matchable into a slot set), so the implementation reuses the
+matching substrate's augmenting-path machinery.  Independence of a set
+``S`` is checked by building a matching that saturates all of ``S``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping
+
+from repro.matching.graph import BipartiteGraph, Matching
+from repro.matching.weighted import _augment_from_right
+from repro.matroids.base import Matroid
+
+__all__ = ["TransversalMatroid"]
+
+
+class TransversalMatroid(Matroid):
+    """Matroid on *elements*, independent iff matchable into *resources*.
+
+    Parameters
+    ----------
+    adjacency:
+        Mapping from each ground element to the iterable of resources it
+        may be matched to.
+    """
+
+    def __init__(self, adjacency: Mapping[Hashable, Iterable[Hashable]]):
+        self._adjacency = {k: frozenset(v) for k, v in adjacency.items()}
+        self._ground = frozenset(self._adjacency)
+        resources = frozenset().union(*self._adjacency.values()) if self._adjacency else frozenset()
+        # Elements live on the RIGHT side of the matching substrate so we
+        # can reuse the job-side augmentation directly.
+        self._graph = BipartiteGraph(
+            left=resources,
+            right=self._ground,
+            edges=[(r, e) for e, rs in self._adjacency.items() for r in rs],
+        )
+        self._resources = resources
+
+    @property
+    def ground_set(self) -> FrozenSet[Hashable]:
+        return self._ground
+
+    def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        s = frozenset(subset)
+        if not s <= self._ground:
+            return False
+        matching = Matching()
+        for e in sorted(s, key=repr):
+            if not _augment_from_right(self._graph, matching, e, self._resources):
+                return False
+        return True

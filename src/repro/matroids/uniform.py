@@ -1,0 +1,40 @@
+"""Uniform matroid: independent iff size at most k.
+
+The cardinality constraint of the basic submodular secretary problem
+("select a set of at most k applicants") *is* the uniform matroid; the
+matroid secretary algorithm run on it must therefore match Algorithm 1's
+behaviour, which the integration tests check.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable
+
+from repro.errors import InvalidInstanceError
+from repro.matroids.base import Matroid
+
+__all__ = ["UniformMatroid"]
+
+
+class UniformMatroid(Matroid):
+    """All subsets of size at most *k* are independent."""
+
+    def __init__(self, ground: Iterable[Hashable], k: int):
+        self._ground = frozenset(ground)
+        if k < 0:
+            raise InvalidInstanceError(f"k must be non-negative, got {k}")
+        self.k = int(k)
+
+    @property
+    def ground_set(self) -> FrozenSet[Hashable]:
+        return self._ground
+
+    def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        s = frozenset(subset)
+        if not s <= self._ground:
+            return False
+        return len(s) <= self.k
+
+    def rank(self, subset: Iterable[Hashable] | None = None) -> int:
+        pool = self._ground if subset is None else frozenset(subset)
+        return min(self.k, len(pool & self._ground))

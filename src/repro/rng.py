@@ -1,0 +1,51 @@
+"""Deterministic random-number plumbing.
+
+All stochastic code in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` and normalises it through
+:func:`as_generator`.  Experiments pass explicit seeds so every table in
+EXPERIMENTS.md is reproducible bit-for-bit, which is the reproducibility
+discipline the HPC guides call for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn", "random_permutation"]
+
+T = TypeVar("T")
+
+RngLike = "int | np.random.Generator | None"
+
+
+def as_generator(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``None`` yields an OS-entropy generator (interactive use); an ``int``
+    yields a deterministic PCG64 stream; a ``Generator`` passes through
+    unchanged so callers can thread one stream through a pipeline.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split *rng* into *n* independent child generators.
+
+    Used by multi-trial experiment loops so trials are independent yet
+    reproducible regardless of execution order (the same pattern one
+    would use to give each MPI rank / worker its own stream).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+
+
+def random_permutation(items: Sequence[T] | Iterable[T], rng: np.random.Generator) -> list[T]:
+    """Return *items* in a uniformly random order (non-destructive)."""
+    pool = list(items)
+    order = rng.permutation(len(pool))
+    return [pool[i] for i in order]

@@ -1,0 +1,74 @@
+"""Multi-interval, multi-processor power-minimizing scheduling.
+
+Implements Definition 2 of the paper and both solver families:
+
+* :func:`repro.scheduling.solver.schedule_all_jobs` — Theorem 2.2.1,
+  the O(log n)-approximation for scheduling *all* jobs;
+* :mod:`repro.scheduling.prize_collecting` — Theorems 2.3.1 and 2.3.3,
+  the bicriteria and exact-value prize-collecting versions.
+
+Substrates: arbitrary per-interval energy-cost models
+(:mod:`repro.scheduling.power`), candidate-interval enumeration
+(:mod:`repro.scheduling.intervals`), exact reference solvers for optimum
+certification (:mod:`repro.scheduling.exact`), naive baselines
+(:mod:`repro.scheduling.baselines`) and the Appendix .1 Set-Cover
+reduction (:mod:`repro.scheduling.setcover`).
+"""
+
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval, enumerate_candidate_intervals
+from repro.scheduling.power import (
+    AffineCost,
+    CostModel,
+    PerProcessorRateCost,
+    SuperlinearCost,
+    TableCost,
+    TimeOfUseCost,
+    UnavailabilityCost,
+)
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.solver import ScheduleAllResult, schedule_all_jobs
+from repro.scheduling.prize_collecting import (
+    PrizeCollectingResult,
+    prize_collecting_schedule,
+    prize_collecting_exact_value,
+)
+from repro.scheduling.baselines import always_on_schedule, sequential_cheapest_interval
+from repro.scheduling.exact import (
+    optimal_prize_collecting_bruteforce,
+    optimal_schedule_bruteforce,
+)
+from repro.scheduling.setcover import (
+    SetCoverInstance,
+    greedy_set_cover,
+    random_set_cover_instance,
+    set_cover_to_scheduling,
+)
+
+__all__ = [
+    "Job",
+    "ScheduleInstance",
+    "AwakeInterval",
+    "enumerate_candidate_intervals",
+    "CostModel",
+    "AffineCost",
+    "PerProcessorRateCost",
+    "SuperlinearCost",
+    "TableCost",
+    "TimeOfUseCost",
+    "UnavailabilityCost",
+    "Schedule",
+    "ScheduleAllResult",
+    "schedule_all_jobs",
+    "PrizeCollectingResult",
+    "prize_collecting_schedule",
+    "prize_collecting_exact_value",
+    "always_on_schedule",
+    "sequential_cheapest_interval",
+    "optimal_schedule_bruteforce",
+    "optimal_prize_collecting_bruteforce",
+    "SetCoverInstance",
+    "greedy_set_cover",
+    "random_set_cover_instance",
+    "set_cover_to_scheduling",
+]

@@ -1,0 +1,101 @@
+"""Naive baseline schedulers, for cost comparison in the experiments.
+
+Neither baseline carries an approximation guarantee; they bracket the
+greedy from the "obvious practice" side:
+
+* :func:`always_on_schedule` — keep every processor awake for the whole
+  horizon (the no-power-management strawman).
+* :func:`sequential_cheapest_interval` — handle jobs one at a time,
+  buying each the cheapest interval that opens a free valid slot
+  (a reasonable-looking heuristic that ignores interval sharing, which
+  is precisely what the submodular greedy exploits).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import InfeasibleError
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.scheduling.instance import ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["always_on_schedule", "sequential_cheapest_interval"]
+
+
+def always_on_schedule(instance: ScheduleInstance) -> Schedule:
+    """Buy ``[0, horizon-1]`` on every processor, then match jobs in.
+
+    Processors whose full-horizon interval costs infinity (unavailable
+    at some slot) are skipped entirely — the baseline is deliberately
+    blunt.  Raises :class:`InfeasibleError` when the always-on slots
+    cannot host all jobs.
+    """
+    intervals: List[AwakeInterval] = []
+    for proc in instance.processors:
+        iv = AwakeInterval(proc, 0, instance.horizon - 1)
+        if not math.isinf(instance.cost_of(iv)):
+            intervals.append(iv)
+    awake: set = set()
+    for iv in intervals:
+        awake |= iv.slots()
+    graph = instance.bipartite_graph()
+    matching = hopcroft_karp(graph, awake & set(graph.left))
+    if len(matching) < instance.n_jobs:
+        raise InfeasibleError(
+            f"always-on baseline schedules only {len(matching)}/{instance.n_jobs} jobs"
+        )
+    assignment = {job: slot for slot, job in matching.left_to_right.items()}
+    schedule = Schedule(intervals=intervals, assignment=assignment)
+    schedule.validate(instance, require_all=True)
+    return schedule
+
+
+def sequential_cheapest_interval(
+    instance: ScheduleInstance,
+    candidates: Optional[Sequence[AwakeInterval]] = None,
+) -> Schedule:
+    """Per-job greedy: cheapest interval opening a free valid slot.
+
+    Jobs are processed in sorted-id order; each job pays for its own
+    interval even when an already-bought interval could host it (we do
+    check bought intervals first, at zero marginal cost — otherwise the
+    baseline would be uselessly bad).
+    """
+    pool = list(candidates) if candidates is not None else instance.candidates()
+    bought: List[AwakeInterval] = []
+    awake: set = set()
+    used: set = set()
+    assignment: Dict = {}
+
+    for job in sorted(instance.jobs, key=lambda j: repr(j.id)):
+        free_awake = [s for s in job.slots if s in awake and s not in used]
+        if free_awake:
+            slot = min(free_awake, key=repr)
+            assignment[job.id] = slot
+            used.add(slot)
+            continue
+        best_iv = None
+        best_cost = math.inf
+        best_slot = None
+        for iv in pool:
+            cost = instance.cost_of(iv)
+            if cost >= best_cost:
+                continue
+            openable = [s for s in job.slots if iv.contains(s) and s not in used]
+            if openable:
+                best_iv, best_cost, best_slot = iv, cost, min(openable, key=repr)
+        if best_iv is None:
+            raise InfeasibleError(
+                f"sequential baseline cannot place job {job.id!r}"
+            )
+        bought.append(best_iv)
+        awake |= best_iv.slots()
+        assignment[job.id] = best_slot
+        used.add(best_slot)
+
+    schedule = Schedule(intervals=bought, assignment=assignment)
+    schedule.validate(instance, require_all=True)
+    return schedule

@@ -1,0 +1,190 @@
+"""Scheduling instances (Definition 2 of the paper).
+
+An instance bundles processors, unit-time jobs with their valid
+slot/processor pairs ``T_i``, a discrete horizon, an energy-cost oracle,
+and (optionally) an explicit candidate-interval list.  Jobs carry values
+for the prize-collecting variants; the schedule-all solver ignores them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidInstanceError
+from repro.matching.graph import BipartiteGraph
+from repro.scheduling.intervals import AwakeInterval, enumerate_candidate_intervals
+from repro.scheduling.power import CostModel
+
+__all__ = ["Job", "ScheduleInstance"]
+
+Processor = Hashable
+Slot = Tuple[Processor, int]
+
+
+@dataclass(frozen=True)
+class Job:
+    """A unit-processing-time job.
+
+    ``slots`` is the set ``T_i`` of valid (processor, time) pairs — per
+    the multi-interval generalisation it need not form one interval and
+    may differ across processors.  ``value`` is the prize-collecting
+    value ``z_i`` (ignored by the schedule-all problem; defaults to 1).
+    """
+
+    id: Hashable
+    slots: FrozenSet[Slot]
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "slots", frozenset(self.slots))
+        if self.value < 0:
+            raise InvalidInstanceError(f"job {self.id!r} has negative value {self.value}")
+        for slot in self.slots:
+            if not (isinstance(slot, tuple) and len(slot) == 2):
+                raise InvalidInstanceError(
+                    f"job {self.id!r}: slot {slot!r} is not a (processor, time) pair"
+                )
+            if not isinstance(slot[1], (int,)) or slot[1] < 0:
+                raise InvalidInstanceError(
+                    f"job {self.id!r}: slot time {slot[1]!r} must be a non-negative int"
+                )
+
+    def processors(self) -> FrozenSet[Processor]:
+        return frozenset(p for p, _ in self.slots)
+
+    def times_on(self, processor: Processor) -> List[int]:
+        return sorted(t for p, t in self.slots if p == processor)
+
+
+class ScheduleInstance:
+    """A full problem instance: processors, jobs, horizon, cost oracle.
+
+    Parameters
+    ----------
+    processors:
+        Processor identifiers (any hashables).
+    jobs:
+        The jobs; ids must be unique and distinct from slot tuples.
+    horizon:
+        Number of discrete time slots ``0 .. horizon-1``.
+    cost_model:
+        An energy-cost oracle from :mod:`repro.scheduling.power`.
+    candidate_intervals:
+        Optional explicit list of purchasable intervals.  When omitted,
+        :func:`enumerate_candidate_intervals` generates them on demand
+        (event-point endpoints).
+    """
+
+    def __init__(
+        self,
+        processors: Sequence[Processor],
+        jobs: Sequence[Job],
+        horizon: int,
+        cost_model: CostModel,
+        candidate_intervals: Optional[Sequence[AwakeInterval]] = None,
+    ):
+        self.processors: List[Processor] = list(processors)
+        self.jobs: List[Job] = list(jobs)
+        self.horizon = int(horizon)
+        self.cost_model = cost_model
+        self._candidates: Optional[List[AwakeInterval]] = (
+            list(candidate_intervals) if candidate_intervals is not None else None
+        )
+        self.validate()
+
+    # -- validation ----------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural sanity; raise :class:`InvalidInstanceError`."""
+        if self.horizon <= 0:
+            raise InvalidInstanceError(f"horizon must be positive, got {self.horizon}")
+        if len(set(self.processors)) != len(self.processors):
+            raise InvalidInstanceError("duplicate processor identifiers")
+        seen_ids = set()
+        proc_set = set(self.processors)
+        for job in self.jobs:
+            if job.id in seen_ids:
+                raise InvalidInstanceError(f"duplicate job id {job.id!r}")
+            seen_ids.add(job.id)
+            for proc, t in job.slots:
+                if proc not in proc_set:
+                    raise InvalidInstanceError(
+                        f"job {job.id!r} references unknown processor {proc!r}"
+                    )
+                if t >= self.horizon:
+                    raise InvalidInstanceError(
+                        f"job {job.id!r} slot time {t} is outside horizon {self.horizon}"
+                    )
+        if self._candidates is not None:
+            for iv in self._candidates:
+                if iv.processor not in proc_set:
+                    raise InvalidInstanceError(
+                        f"candidate interval {iv} uses unknown processor"
+                    )
+                if iv.end >= self.horizon:
+                    raise InvalidInstanceError(
+                        f"candidate interval {iv} extends past horizon {self.horizon}"
+                    )
+
+    # -- derived structures ---------------------------------------------
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    def job_by_id(self, job_id: Hashable) -> Job:
+        for job in self.jobs:
+            if job.id == job_id:
+                return job
+        raise KeyError(job_id)
+
+    def job_values(self) -> Dict[Hashable, float]:
+        return {job.id: job.value for job in self.jobs}
+
+    def total_value(self) -> float:
+        return float(sum(job.value for job in self.jobs))
+
+    def all_slots(self) -> FrozenSet[Slot]:
+        """Every (processor, time) pair some job can use."""
+        out: set = set()
+        for job in self.jobs:
+            out |= job.slots
+        return frozenset(out)
+
+    def cost_of(self, interval: AwakeInterval) -> float:
+        return self.cost_model(interval)
+
+    def candidates(self, **kwargs) -> List[AwakeInterval]:
+        """The purchasable intervals (cached when explicitly provided)."""
+        if self._candidates is not None:
+            return list(self._candidates)
+        return enumerate_candidate_intervals(self, **kwargs)
+
+    def bipartite_graph(self) -> BipartiteGraph:
+        """The Section 2.2 reduction graph: slots (left) vs. jobs (right).
+
+        Only slots some job can use appear — other slots have zero
+        marginal utility and would only bloat the matching runs.
+        """
+        slots = self.all_slots()
+        edges = [(slot, job.id) for job in self.jobs for slot in job.slots]
+        return BipartiteGraph(slots, [job.id for job in self.jobs], edges)
+
+    def interval_slot_map(
+        self, intervals: Iterable[AwakeInterval]
+    ) -> Dict[AwakeInterval, FrozenSet[Slot]]:
+        """Map each interval to the *useful* slots it contributes.
+
+        Intersecting with :meth:`all_slots` keeps the utility ground set
+        tight: buying an interval only matters through the job-usable
+        slots inside it.
+        """
+        useful = self.all_slots()
+        return {iv: iv.slots() & useful for iv in intervals}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScheduleInstance(p={len(self.processors)}, n={len(self.jobs)}, "
+            f"horizon={self.horizon}, cost={type(self.cost_model).__name__})"
+        )

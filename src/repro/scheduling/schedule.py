@@ -1,0 +1,102 @@
+"""Schedule objects: awake intervals + job assignment, with validation.
+
+A feasible schedule (Definition 2) is a set of awake intervals per
+processor and an assignment of jobs to (processor, time) slots such that
+jobs run only in valid slots that are awake, with no two jobs sharing a
+slot.  :meth:`Schedule.validate` enforces exactly that; every solver
+validates its own output before returning it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Hashable, List, Tuple
+
+from repro.errors import InvalidInstanceError
+from repro.scheduling.intervals import AwakeInterval, merge_intervals
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduling.instance import ScheduleInstance
+
+__all__ = ["Schedule"]
+
+Slot = Tuple[Hashable, int]
+
+
+@dataclass
+class Schedule:
+    """Awake intervals plus an assignment of (some) jobs to slots.
+
+    ``intervals`` is the list the solver *paid for* (cost accounting
+    charges each listed interval separately, matching the paper's "the
+    cost of a collection of intervals is the sum of the costs");
+    :meth:`awake_pattern` reports the merged physical awake runs.
+    """
+
+    intervals: List[AwakeInterval] = field(default_factory=list)
+    assignment: Dict[Hashable, Slot] = field(default_factory=dict)
+
+    # -- accounting -----------------------------------------------------
+
+    def cost(self, instance: "ScheduleInstance") -> float:
+        """Total energy paid: sum of the instance's interval costs."""
+        return float(sum(instance.cost_of(iv) for iv in self.intervals))
+
+    def value(self, instance: "ScheduleInstance") -> float:
+        """Total value of the scheduled jobs (prize-collecting metric)."""
+        values = instance.job_values()
+        return float(sum(values[j] for j in self.assignment))
+
+    def scheduled_jobs(self) -> List[Hashable]:
+        return sorted(self.assignment, key=repr)
+
+    def awake_pattern(self) -> List[AwakeInterval]:
+        """Merged awake runs per processor (for reporting/plotting)."""
+        return merge_intervals(self.intervals) if self.intervals else []
+
+    def awake_slot_count(self) -> int:
+        """Number of distinct awake (processor, time) slots."""
+        return sum(iv.length for iv in self.awake_pattern())
+
+    # -- validation -------------------------------------------------------
+
+    def validate(self, instance: "ScheduleInstance", require_all: bool = False) -> None:
+        """Raise :class:`InvalidInstanceError` unless feasible per Def. 2.
+
+        With ``require_all=True`` additionally demands every job be
+        scheduled (the Theorem 2.2.1 setting).
+        """
+        jobs_by_id = {job.id: job for job in instance.jobs}
+        used_slots: set = set()
+        awake: set = set()
+        for iv in self.intervals:
+            if iv.end >= instance.horizon:
+                raise InvalidInstanceError(f"interval {iv} exceeds the horizon")
+            awake |= iv.slots()
+        for job_id, slot in self.assignment.items():
+            if job_id not in jobs_by_id:
+                raise InvalidInstanceError(f"assignment references unknown job {job_id!r}")
+            if slot not in jobs_by_id[job_id].slots:
+                raise InvalidInstanceError(
+                    f"job {job_id!r} assigned to invalid slot {slot!r} (not in its T set)"
+                )
+            if slot not in awake:
+                raise InvalidInstanceError(
+                    f"job {job_id!r} assigned to slot {slot!r} outside awake intervals"
+                )
+            if slot in used_slots:
+                raise InvalidInstanceError(f"slot {slot!r} double-booked")
+            used_slots.add(slot)
+        if require_all and len(self.assignment) != len(instance.jobs):
+            missing = sorted(
+                (j.id for j in instance.jobs if j.id not in self.assignment), key=repr
+            )
+            raise InvalidInstanceError(f"jobs left unscheduled: {missing[:5]}")
+
+    def summary(self, instance: "ScheduleInstance") -> str:
+        """Human-readable one-liner used by the examples."""
+        return (
+            f"schedule: {len(self.assignment)}/{instance.n_jobs} jobs, "
+            f"{len(self.awake_pattern())} awake runs, cost {self.cost(instance):.4g}, "
+            f"value {self.value(instance):.4g}"
+        )

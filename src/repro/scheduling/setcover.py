@@ -1,0 +1,199 @@
+"""Set Cover: the paper's hardness anchor and greedy special case.
+
+Appendix .1 proves the scheduling problems Set-Cover hard via two
+reductions; this module implements the *one-interval nonuniform
+processors* reduction (Theorem .1.2): one processor per set, one job per
+element, every job's window is the full horizon but only on the
+processors of the sets containing it, and each processor's full-horizon
+interval costs that set's cost.  Minimum-power scheduling of the reduced
+instance *is* minimum-cost set cover.
+
+The module also exposes :func:`greedy_set_cover` built on the budgeted
+greedy — Lemma 2.1.2 with ``eps < 1/|universe|`` *is* the classical
+greedy Set Cover algorithm (the paper points this out right before the
+lemma), so the E5 experiment validates the framework against the known
+``H_n`` behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set
+
+from repro.core.budgeted import BudgetedInstance, budgeted_greedy
+from repro.core.functions import CoverageFunction
+from repro.core.lazy import lazy_budgeted_greedy
+from repro.core.trace import GreedyResult
+from repro.errors import InfeasibleError, InvalidInstanceError
+from repro.rng import as_generator
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import TableCost
+
+__all__ = [
+    "SetCoverInstance",
+    "greedy_set_cover",
+    "random_set_cover_instance",
+    "set_cover_to_scheduling",
+    "harmonic_number",
+]
+
+
+def harmonic_number(n: int) -> float:
+    """H_n = 1 + 1/2 + ... + 1/n — the greedy Set-Cover guarantee."""
+    return float(sum(1.0 / i for i in range(1, n + 1)))
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A weighted Set-Cover instance."""
+
+    universe: FrozenSet[Hashable]
+    subsets: Mapping[Hashable, FrozenSet[Hashable]]
+    costs: Mapping[Hashable, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "universe", frozenset(self.universe))
+        object.__setattr__(
+            self, "subsets", {k: frozenset(v) for k, v in self.subsets.items()}
+        )
+        object.__setattr__(self, "costs", dict(self.costs))
+        if set(self.subsets) != set(self.costs):
+            raise InvalidInstanceError("subsets and costs must share keys")
+        stray = set().union(*self.subsets.values(), frozenset()) - self.universe
+        if stray:
+            raise InvalidInstanceError(f"subsets mention non-universe items: {sorted(map(repr, stray))[:5]}")
+        covered = set().union(*self.subsets.values(), frozenset())
+        if covered != set(self.universe):
+            raise InvalidInstanceError(
+                f"universe not coverable; missing {sorted(map(repr, set(self.universe) - covered))[:5]}"
+            )
+
+    def coverage_function(self) -> CoverageFunction:
+        return CoverageFunction({k: v for k, v in self.subsets.items()})
+
+
+def greedy_set_cover(
+    sc: SetCoverInstance, *, method: str = "lazy"
+) -> GreedyResult:
+    """Cover the universe via the budgeted greedy (``eps = 1/(|U|+1)``).
+
+    Coverage is integer-valued, so utility ``> |U| - 1`` means full
+    coverage — the same trick Theorem 2.2.1 uses for scheduling.
+    """
+    coverage = sc.coverage_function()
+    # CoverageFunction's ground set is the *subset names*; the utility of a
+    # name set is the size of the union.  The budgeted instance's "items"
+    # are therefore the names themselves, one per allowable subset.
+    budgeted = BudgetedInstance(
+        utility=coverage,
+        subsets={name: frozenset({name}) for name in sc.subsets},
+        costs=dict(sc.costs),
+    )
+    n = len(sc.universe)
+    runner = lazy_budgeted_greedy if method == "lazy" else budgeted_greedy
+    result = runner(budgeted, target=float(n), epsilon=1.0 / (n + 1))
+    if result.utility < n - 1e-9:
+        raise InfeasibleError("greedy terminated before covering the universe")
+    return result
+
+
+def set_cover_to_scheduling(sc: SetCoverInstance) -> ScheduleInstance:
+    """The Theorem .1.2 reduction to one-interval nonuniform scheduling.
+
+    Returns an instance whose candidate intervals are exactly one
+    full-horizon interval per processor (set), priced at the set's cost
+    via :class:`TableCost`.  A minimum-cost schedule of all jobs selects
+    a minimum-cost cover.
+    """
+    elements = sorted(sc.universe, key=repr)
+    horizon = len(elements)
+    processors = sorted(sc.subsets, key=repr)
+    membership: Dict[Hashable, List[Hashable]] = {e: [] for e in elements}
+    for name, items in sc.subsets.items():
+        for e in items:
+            membership[e].append(name)
+
+    jobs = [
+        Job(
+            id=("job", e),
+            slots=frozenset(
+                (name, t) for name in membership[e] for t in range(horizon)
+            ),
+        )
+        for e in elements
+    ]
+    intervals = [AwakeInterval(name, 0, horizon - 1) for name in processors]
+    table = {AwakeInterval(name, 0, horizon - 1): float(sc.costs[name]) for name in processors}
+    return ScheduleInstance(
+        processors=processors,
+        jobs=jobs,
+        horizon=horizon,
+        cost_model=TableCost(table),
+        candidate_intervals=intervals,
+    )
+
+
+def random_set_cover_instance(
+    n_elements: int,
+    n_sets: int,
+    *,
+    density: float = 0.2,
+    planted_cover_size: Optional[int] = None,
+    cost_spread: float = 1.0,
+    rng=None,
+) -> SetCoverInstance:
+    """Random coverable instance, optionally with a planted cheap cover.
+
+    With *planted_cover_size* = k, the first k sets partition the
+    universe (so an optimal cover of cost about k exists), and the rest
+    are random noise — the classical testbed for measuring the greedy's
+    ratio against a known OPT upper bound.
+    """
+    gen = as_generator(rng)
+    if n_elements <= 0 or n_sets <= 0:
+        raise InvalidInstanceError("need positive universe and set counts")
+    universe = [f"e{i}" for i in range(n_elements)]
+    subsets: Dict[Hashable, Set[Hashable]] = {}
+    costs: Dict[Hashable, float] = {}
+
+    start = 0
+    if planted_cover_size:
+        if planted_cover_size > n_sets:
+            raise InvalidInstanceError("planted cover larger than the set pool")
+        boundaries = sorted(
+            gen.choice(
+                range(1, n_elements), size=min(planted_cover_size - 1, n_elements - 1),
+                replace=False,
+            ).tolist()
+        ) if planted_cover_size > 1 else []
+        pieces = []
+        prev = 0
+        for b in boundaries + [n_elements]:
+            pieces.append(universe[prev:b])
+            prev = b
+        for i, piece in enumerate(pieces):
+            subsets[f"S{i}"] = set(piece)
+            costs[f"S{i}"] = 1.0
+        start = len(pieces)
+
+    for i in range(start, n_sets):
+        mask = gen.random(n_elements) < density
+        chosen = {universe[j] for j in range(n_elements) if mask[j]}
+        if not chosen:
+            chosen = {universe[int(gen.integers(n_elements))]}
+        subsets[f"S{i}"] = chosen
+        costs[f"S{i}"] = float(1.0 + cost_spread * gen.random())
+
+    covered = set().union(*subsets.values())
+    missing = set(universe) - covered
+    if missing:
+        # Guarantee coverability by topping up the last set.
+        subsets[f"S{n_sets - 1}"] |= missing
+
+    return SetCoverInstance(
+        universe=frozenset(universe),
+        subsets={k: frozenset(v) for k, v in subsets.items()},
+        costs=costs,
+    )

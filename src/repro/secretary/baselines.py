@@ -1,0 +1,80 @@
+"""Naive online baselines for the secretary experiments.
+
+None of these carries a guarantee; they bracket the paper's algorithms
+from below and give the E6 table its "who wins" comparison:
+
+* :func:`first_k_baseline` — hire the first k arrivals (no observation);
+* :func:`random_k_baseline` — hire k uniformly random arrivals (decided
+  upfront by position, so still a legal online rule);
+* :func:`greedy_no_observation_baseline` — hire any arrival with a
+  positive marginal until k hires (greedy with a zero threshold: fills
+  early with mediocre candidates, the failure mode the observation
+  windows exist to avoid).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable
+
+from repro.errors import BudgetError
+from repro.rng import as_generator
+from repro.secretary.stream import SecretaryStream
+from repro.secretary.submodular_secretary import SecretaryResult
+
+__all__ = [
+    "first_k_baseline",
+    "random_k_baseline",
+    "greedy_no_observation_baseline",
+]
+
+
+def _check_k(k: int) -> None:
+    if k <= 0:
+        raise BudgetError(f"k must be positive, got {k}")
+
+
+def first_k_baseline(stream: SecretaryStream, k: int) -> SecretaryResult:
+    """Hire the first k arrivals unconditionally."""
+    _check_k(k)
+    selected: set = set()
+    for pos, a in enumerate(stream):
+        if pos >= k:
+            break
+        selected.add(a)
+    return SecretaryResult(selected=frozenset(selected), traces=[], strategy="first-k")
+
+
+def random_k_baseline(stream: SecretaryStream, k: int, rng=None) -> SecretaryResult:
+    """Hire k positions chosen uniformly in advance.
+
+    Equivalent to a uniformly random k-subset of the ground set (the
+    arrival order is itself uniform), so its expected value is the
+    Lemma 3.2.3 random-sample benchmark ``(k/n) f(R)``-ish — a useful
+    reference line.
+    """
+    _check_k(k)
+    gen = as_generator(rng)
+    n = stream.n
+    take = set(int(i) for i in gen.choice(n, size=min(k, n), replace=False))
+    selected: set = set()
+    for pos, a in enumerate(stream):
+        if pos in take:
+            selected.add(a)
+    return SecretaryResult(selected=frozenset(selected), traces=[], strategy="random-k")
+
+
+def greedy_no_observation_baseline(stream: SecretaryStream, k: int) -> SecretaryResult:
+    """Hire greedily on any positive marginal, no observation window."""
+    _check_k(k)
+    selected: set = set()
+    value = stream.oracle.value(frozenset())
+    for a in stream:
+        if len(selected) >= k:
+            break
+        candidate = stream.oracle.value(frozenset(selected | {a}))
+        if candidate > value + 1e-12:
+            selected.add(a)
+            value = candidate
+    return SecretaryResult(
+        selected=frozenset(selected), traces=[], strategy="greedy-no-obs"
+    )

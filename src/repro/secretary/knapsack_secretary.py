@@ -1,0 +1,183 @@
+"""Section 3.4 — the submodular secretary problem with knapsack constraints.
+
+Two pieces, mirroring the paper exactly:
+
+* :func:`reduce_knapsacks_to_one` — Lemma 3.4.1's reduction: scale every
+  knapsack to capacity 1 and give item ``j`` the single weight
+  ``w'_j = max_i w_ij / C_i``.  Any feasible set of the reduced
+  instance is feasible originally, and the reduction loses at most a
+  ``4l`` factor of value, giving Theorem 3.1.3's O(l) ratio.
+
+* :func:`knapsack_submodular_secretary` — the single-knapsack online
+  rule: flip a coin; on heads try to hire the single most valuable
+  feasible item (classical rule); on tails observe the first half
+  without hiring, estimate OPT offline on it (density greedy + best
+  singleton — a constant-factor estimate standing in for the Lee et al.
+  offline subroutine the paper cites), then hire any second-half item
+  whose marginal-value density beats ``OPT_hat / 6``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Optional, Sequence
+
+from repro.core.submodular import SetFunction
+from repro.errors import BudgetError, InvalidInstanceError
+from repro.rng import as_generator
+from repro.secretary.classical import dynkin_threshold
+from repro.secretary.stream import SecretaryStream
+from repro.secretary.submodular_secretary import SecretaryResult
+
+__all__ = ["reduce_knapsacks_to_one", "knapsack_submodular_secretary", "offline_knapsack_estimate"]
+
+
+def reduce_knapsacks_to_one(
+    weights: Mapping[Hashable, Sequence[float]],
+    capacities: Sequence[float],
+) -> Dict[Hashable, float]:
+    """Collapse ``l`` knapsacks into one of capacity 1 (Lemma 3.4.1).
+
+    ``weights[j][i]`` is item j's weight in knapsack i.  Returns the
+    reduced per-item weight ``w'_j = max_i w_ij / C_i``.  The reduction
+    is online-safe: each item's reduced weight depends only on its own
+    weights, so it can be computed at arrival time.
+    """
+    caps = [float(c) for c in capacities]
+    if not caps or any(c <= 0 for c in caps):
+        raise InvalidInstanceError(f"capacities must be positive, got {caps}")
+    reduced: Dict[Hashable, float] = {}
+    for j, ws in weights.items():
+        ws = [float(w) for w in ws]
+        if len(ws) != len(caps):
+            raise InvalidInstanceError(
+                f"item {j!r} has {len(ws)} weights for {len(caps)} knapsacks"
+            )
+        if any(w < 0 for w in ws):
+            raise InvalidInstanceError(f"item {j!r} has negative weight")
+        reduced[j] = max(w / c for w, c in zip(ws, caps))
+    return reduced
+
+
+def offline_knapsack_estimate(
+    utility: SetFunction,
+    weights: Mapping[Hashable, float],
+    items: Sequence[Hashable],
+    capacity: float = 1.0,
+) -> float:
+    """Constant-factor offline estimate of the knapsack optimum on *items*.
+
+    max(best feasible singleton, density-greedy value): the classical
+    analysis gives value >= OPT/3 for monotone submodular utilities on a
+    knapsack, which is all the online rule needs ("a constant factor
+    estimation of OPT by looking at the first half").
+    """
+    feasible = [j for j in items if weights.get(j, math.inf) <= capacity]
+    if not feasible:
+        return 0.0
+    best_single = max(utility.value(frozenset({j})) for j in feasible)
+
+    chosen: set = set()
+    load = 0.0
+    value = utility.value(frozenset())
+    remaining = set(feasible)
+    while remaining:
+        best_j, best_density = None, 0.0
+        for j in remaining:
+            w = weights[j]
+            if load + w > capacity:
+                continue
+            gain = utility.value(frozenset(chosen | {j})) - value
+            density = gain / w if w > 0 else (math.inf if gain > 0 else 0.0)
+            if density > best_density:
+                best_j, best_density = j, density
+        if best_j is None:
+            break
+        chosen.add(best_j)
+        load += weights[best_j]
+        value = utility.value(frozenset(chosen))
+        remaining.discard(best_j)
+    return max(best_single, value)
+
+
+def knapsack_submodular_secretary(
+    stream: SecretaryStream,
+    weights: Mapping[Hashable, Sequence[float]] | Mapping[Hashable, float],
+    capacities: Sequence[float] | float = 1.0,
+    *,
+    rng=None,
+    density_divisor: float = 6.0,
+) -> SecretaryResult:
+    """Theorem 3.1.3's O(l)-competitive algorithm.
+
+    Accepts multi-knapsack inputs (``weights[j]`` a vector with
+    *capacities* a matching sequence) or pre-reduced single-knapsack
+    inputs (``weights[j]`` a float, *capacities* a float).
+    """
+    gen = as_generator(rng)
+
+    if isinstance(capacities, (int, float)):
+        w1: Dict[Hashable, float] = {}
+        for j, w in weights.items():  # type: ignore[union-attr]
+            if isinstance(w, (int, float)):
+                w1[j] = float(w) / float(capacities)
+            else:
+                raise InvalidInstanceError(
+                    "scalar capacity requires scalar per-item weights"
+                )
+    else:
+        w1 = reduce_knapsacks_to_one(weights, capacities)  # type: ignore[arg-type]
+
+    missing = stream.utility.ground_set - set(w1)
+    if missing:
+        raise InvalidInstanceError(
+            f"items without weights: {sorted(map(repr, missing))[:5]}"
+        )
+    if density_divisor <= 0:
+        raise BudgetError("density_divisor must be positive")
+
+    n = stream.n
+    half = n // 2
+
+    if gen.random() < 0.5:
+        # Heads: chase the single best feasible item.
+        window = dynkin_threshold(n)
+        best_seen = -math.inf
+        for pos, a in enumerate(stream):
+            if w1[a] > 1.0:
+                continue
+            score = stream.oracle.value(frozenset({a}))
+            if pos < window:
+                best_seen = max(best_seen, score)
+            elif score >= best_seen:
+                return SecretaryResult(
+                    selected=frozenset({a}), traces=[], strategy="best-singleton"
+                )
+        return SecretaryResult(selected=frozenset(), traces=[], strategy="best-singleton")
+
+    # Tails: estimate OPT on the first half, density-filter the second.
+    first_half = []
+    it = iter(stream)
+    for pos, a in enumerate(it):
+        first_half.append(a)
+        if pos + 1 >= half:
+            break
+    opt_hat = offline_knapsack_estimate(stream.oracle, w1, first_half)
+    bar = opt_hat / density_divisor
+
+    selected: set = set()
+    load = 0.0
+    value = stream.oracle.value(frozenset())
+    for a in it:
+        w = w1[a]
+        if load + w > 1.0:
+            continue
+        gain = stream.oracle.value(frozenset(selected | {a})) - value
+        if w > 0 and gain / w >= bar and gain > 0:
+            selected.add(a)
+            load += w
+            value = stream.oracle.value(frozenset(selected))
+        elif w == 0 and gain > 0:
+            selected.add(a)
+            value = stream.oracle.value(frozenset(selected))
+    return SecretaryResult(selected=frozenset(selected), traces=[], strategy="density")

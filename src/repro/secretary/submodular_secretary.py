@@ -1,0 +1,228 @@
+"""Algorithms 1 and 2 — the (non-)monotone submodular secretary problem.
+
+Algorithm 1 (monotone, Theorem 3.1.1, competitive ratio 1/(7e)):
+partition the arrival stream into ``k`` equal segments and run one
+classical-secretary subroutine per segment on the *marginal* value
+``g_i(a) = f(T_{i-1} + a) - f(T_{i-1})``: observe the first ``l/e``
+arrivals of the segment, record the best marginal seen (clamped below by
+the current value — the algorithm's first `if`), then take the first
+later arrival matching it.  At most one hire per segment, k hires total.
+
+Algorithm 2 (non-monotone, 8e^2-competitive): split the stream into two
+halves and run Algorithm 1 on a uniformly random half.  The analysis
+(Lemma 3.2.7) needs the two halves' candidate sets to be disjoint, which
+the coin flip provides.
+
+The segment engine is written as a strict single pass over arrivals so
+it composes with :class:`repro.secretary.stream.ArrivalOracle`'s
+no-peeking contract: every oracle query involves only elements already
+interviewed, and the test suite asserts that property by construction.
+Both algorithms accept an optional feasibility predicate
+``can_take(T, a)`` so the matroid and knapsack variants (Algorithm 3 /
+Section 3.4) can reuse the machinery — they differ only in which hires
+are permitted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import BudgetError
+from repro.rng import as_generator
+from repro.secretary.stream import SecretaryStream
+
+__all__ = [
+    "SecretaryResult",
+    "SegmentTrace",
+    "segmented_submodular_pick",
+    "monotone_submodular_secretary",
+    "nonmonotone_submodular_secretary",
+]
+
+CanTake = Callable[[FrozenSet[Hashable], Hashable], bool]
+
+
+@dataclass(frozen=True)
+class SegmentTrace:
+    """What happened inside one segment (for diagnostics/tests)."""
+
+    segment: int
+    start: int
+    observe_until: int
+    end: int
+    threshold: float
+    picked: Optional[Hashable]
+    gain: float
+
+
+@dataclass
+class SecretaryResult:
+    """Outcome of an online run: the hired set plus per-segment traces."""
+
+    selected: FrozenSet[Hashable]
+    traces: List[SegmentTrace] = field(default_factory=list)
+    strategy: str = "segments"
+
+    @property
+    def hires(self) -> int:
+        return len(self.selected)
+
+
+def _segment_bounds(n: int, k: int) -> List[Tuple[int, int]]:
+    """Split positions ``0..n-1`` into k near-equal contiguous segments.
+
+    The paper pads with dummy secretaries to make ``k | n``; distributing
+    the remainder across segments is the equivalent trick without
+    simulating dummies (each real arrival keeps a uniform position).
+    Segments may be empty when ``k > n``.
+    """
+    return [((j * n) // k, ((j + 1) * n) // k) for j in range(k)]
+
+
+def segmented_submodular_pick(
+    arrivals: Iterable[Hashable],
+    n: int,
+    oracle,
+    k: int,
+    *,
+    can_take: Optional[CanTake] = None,
+    monotone_clamp: bool = True,
+    position_offset: int = 0,
+) -> SecretaryResult:
+    """Core of Algorithm 1, one strict pass over *arrivals*.
+
+    Parameters
+    ----------
+    arrivals:
+        The arrival iterator (elements are interviewed as they are
+        consumed; with an :class:`ArrivalOracle`-backed stream, queries
+        about later arrivals would raise).
+    n:
+        Number of arrivals the segment layout is computed for (the
+        secretary model's publicly known n).
+    oracle:
+        Value oracle; only queried on sets of already-consumed elements.
+    k:
+        Maximum number of hires (= number of segments).
+    can_take:
+        Optional feasibility predicate (matroid/knapsack hooks).
+    monotone_clamp:
+        Implements ``if a_i < f(T_{i-1}): a_i := f(T_{i-1})``, which for
+        non-monotone ``f`` keeps the running value non-decreasing.
+    position_offset:
+        Where this window starts inside a larger stream (trace labels
+        only).
+    """
+    if k <= 0:
+        raise BudgetError(f"k must be positive, got {k}")
+    bounds = _segment_bounds(n, k)
+    observe_len = {j: int(math.floor((e - s) / math.e)) for j, (s, e) in enumerate(bounds)}
+
+    selected: set = set()
+    traces: List[SegmentTrace] = []
+    current_value = oracle.value(frozenset())
+    base = frozenset()
+
+    seg = 0
+    threshold = -math.inf
+    picked_this_segment: Optional[Hashable] = None
+    best_gain = 0.0
+
+    def close_segment(j: int) -> None:
+        s, e = bounds[j]
+        traces.append(
+            SegmentTrace(
+                segment=j,
+                start=position_offset + s,
+                observe_until=position_offset + s + observe_len[j],
+                end=position_offset + e,
+                threshold=threshold,
+                picked=picked_this_segment,
+                gain=best_gain,
+            )
+        )
+
+    for pos, a in enumerate(arrivals):
+        if pos >= n:
+            break
+        # Advance past finished (possibly empty) segments.
+        while seg < k and pos >= bounds[seg][1]:
+            close_segment(seg)
+            seg += 1
+            threshold = -math.inf
+            picked_this_segment = None
+            best_gain = 0.0
+            base = frozenset(selected)
+        if seg >= k:
+            break
+        start, end = bounds[seg]
+        in_window = pos - start < observe_len[seg]
+        if in_window:
+            threshold = max(threshold, oracle.value(base | {a}))
+            continue
+        if picked_this_segment is not None:
+            continue  # one hire per segment
+        effective = threshold
+        if monotone_clamp and effective < current_value:
+            effective = current_value
+        if can_take is not None and not can_take(base, a):
+            continue
+        candidate = oracle.value(base | {a})
+        if candidate >= effective:
+            picked_this_segment = a
+            best_gain = candidate - current_value
+            selected.add(a)
+            current_value = candidate
+
+    while seg < k:
+        close_segment(seg)
+        seg += 1
+        threshold = -math.inf
+        picked_this_segment = None
+        best_gain = 0.0
+        base = frozenset(selected)
+
+    return SecretaryResult(selected=frozenset(selected), traces=traces)
+
+
+def monotone_submodular_secretary(
+    stream: SecretaryStream,
+    k: int,
+    *,
+    can_take: Optional[CanTake] = None,
+) -> SecretaryResult:
+    """Algorithm 1: hire at most k, 1/(7e)-competitive for monotone f."""
+    return segmented_submodular_pick(iter(stream), stream.n, stream.oracle, k, can_take=can_take)
+
+
+def nonmonotone_submodular_secretary(
+    stream: SecretaryStream,
+    k: int,
+    rng=None,
+) -> SecretaryResult:
+    """Algorithm 2: random-half trick, 8e^2-competitive for any submodular f.
+
+    With probability 1/2 runs Algorithm 1 on the first half of the
+    stream (ignoring the second entirely); otherwise skips the first
+    half and runs on the second.
+    """
+    gen = as_generator(rng)
+    use_first_half = bool(gen.random() < 0.5)
+    half = stream.n // 2
+    it = iter(stream)
+    if use_first_half:
+        result = segmented_submodular_pick(it, half, stream.oracle, k)
+        strategy = "first-half"
+    else:
+        consumed = 0
+        for _ in it:
+            consumed += 1
+            if consumed >= half:
+                break
+        result = segmented_submodular_pick(
+            it, stream.n - half, stream.oracle, k, position_offset=half
+        )
+        strategy = "second-half"
+    return SecretaryResult(selected=result.selected, traces=result.traces, strategy=strategy)

@@ -1,0 +1,34 @@
+"""Synthetic workload generators.
+
+The paper evaluates nothing empirically; these generators provide the
+laptop-scale synthetic equivalents the experiments run on (see the
+substitution note in DESIGN.md): random multi-interval job sets, bursty
+arrival patterns, time-of-use energy price traces, and the utility
+streams the secretary experiments consume.  Everything is seeded through
+:func:`repro.rng.as_generator` for bit-for-bit reproducibility.
+"""
+
+from repro.workloads.jobs import (
+    bursty_instance,
+    random_multi_interval_instance,
+    small_certifiable_instance,
+)
+from repro.workloads.energy import spot_market_trace, tou_price_trace
+from repro.workloads.secretary_streams import (
+    additive_values,
+    coverage_utility,
+    cut_utility,
+    facility_utility,
+)
+
+__all__ = [
+    "random_multi_interval_instance",
+    "bursty_instance",
+    "small_certifiable_instance",
+    "tou_price_trace",
+    "spot_market_trace",
+    "additive_values",
+    "coverage_utility",
+    "cut_utility",
+    "facility_utility",
+]

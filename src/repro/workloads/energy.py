@@ -1,0 +1,73 @@
+"""Energy-price traces for the time-of-use cost experiments.
+
+Two families standing in for real market data (Introduction, motivation
+2: "energy cost ... varies substantially in energy markets over the
+course of a day"):
+
+* :func:`tou_price_trace` — a smooth diurnal curve: cheap at night,
+  expensive in the afternoon peak, with optional noise;
+* :func:`spot_market_trace` — a flat base price with random short
+  spikes, the caricature of spot-market volatility.
+
+Both return plain numpy arrays consumable by
+:class:`repro.scheduling.power.TimeOfUseCost`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.rng import as_generator
+
+__all__ = ["tou_price_trace", "spot_market_trace"]
+
+
+def tou_price_trace(
+    horizon: int,
+    *,
+    base: float = 1.0,
+    peak_multiplier: float = 3.0,
+    period: int | None = None,
+    noise: float = 0.0,
+    rng=None,
+) -> np.ndarray:
+    """Sinusoidal day-curve prices over *horizon* slots.
+
+    The curve bottoms at ``base`` and tops at ``base * peak_multiplier``;
+    *period* defaults to the full horizon (one "day").  *noise* adds
+    i.i.d. uniform jitter of that relative magnitude, clipped at zero.
+    """
+    if horizon <= 0:
+        raise InvalidInstanceError(f"horizon must be positive, got {horizon}")
+    if base < 0 or peak_multiplier < 1:
+        raise InvalidInstanceError("need base >= 0 and peak_multiplier >= 1")
+    period = horizon if period is None else period
+    t = np.arange(horizon)
+    # Phase-shifted so slot 0 is the cheap trough (night).
+    curve = 0.5 * (1.0 - np.cos(2.0 * np.pi * t / max(1, period)))
+    prices = base * (1.0 + (peak_multiplier - 1.0) * curve)
+    if noise > 0:
+        gen = as_generator(rng)
+        prices = prices * (1.0 + noise * (gen.random(horizon) - 0.5))
+    return np.clip(prices, 0.0, None)
+
+
+def spot_market_trace(
+    horizon: int,
+    *,
+    base: float = 1.0,
+    spike_probability: float = 0.05,
+    spike_multiplier: float = 10.0,
+    rng=None,
+) -> np.ndarray:
+    """Flat price with random multiplicative spikes."""
+    if horizon <= 0:
+        raise InvalidInstanceError(f"horizon must be positive, got {horizon}")
+    if not (0.0 <= spike_probability <= 1.0):
+        raise InvalidInstanceError("spike probability must be in [0, 1]")
+    gen = as_generator(rng)
+    prices = np.full(horizon, float(base))
+    spikes = gen.random(horizon) < spike_probability
+    prices[spikes] *= float(spike_multiplier)
+    return prices

@@ -1,0 +1,102 @@
+"""Utility generators for the secretary experiments.
+
+Each helper builds a concrete submodular utility (plus any side data the
+experiment needs) over a fresh ground set of ``n`` elements:
+
+* :func:`additive_values` — i.i.d. values (uniform or heavy-tailed
+  lognormal), the multiple-choice secretary benchmark [36];
+* :func:`coverage_utility` — secretaries covering random skill subsets,
+  the Max-Cover-flavoured monotone utility;
+* :func:`facility_utility` — facility-location benefit matrices;
+* :func:`cut_utility` — weighted cut functions on G(n, p) graphs, the
+  canonical non-monotone family for Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.functions import (
+    AdditiveFunction,
+    CoverageFunction,
+    CutFunction,
+    FacilityLocationFunction,
+)
+from repro.errors import InvalidInstanceError
+from repro.rng import as_generator
+
+__all__ = ["additive_values", "coverage_utility", "facility_utility", "cut_utility"]
+
+
+def additive_values(
+    n: int,
+    *,
+    distribution: str = "uniform",
+    rng=None,
+) -> Tuple[AdditiveFunction, Dict[str, float]]:
+    """i.i.d. per-element values; returns (utility, raw values)."""
+    gen = as_generator(rng)
+    if n <= 0:
+        raise InvalidInstanceError(f"n must be positive, got {n}")
+    if distribution == "uniform":
+        raw = gen.random(n)
+    elif distribution == "lognormal":
+        raw = gen.lognormal(mean=0.0, sigma=1.0, size=n)
+    else:
+        raise InvalidInstanceError(f"unknown distribution {distribution!r}")
+    values = {f"s{i}": float(v) for i, v in enumerate(raw)}
+    return AdditiveFunction(values), values
+
+
+def coverage_utility(
+    n: int,
+    universe_size: int,
+    *,
+    skills_per_secretary: int = 4,
+    rng=None,
+) -> CoverageFunction:
+    """Each secretary covers a random subset of a skill universe."""
+    gen = as_generator(rng)
+    if n <= 0 or universe_size <= 0:
+        raise InvalidInstanceError("n and universe_size must be positive")
+    covers = {}
+    for i in range(n):
+        size = min(universe_size, max(1, int(gen.integers(1, skills_per_secretary + 1))))
+        idx = gen.choice(universe_size, size=size, replace=False)
+        covers[f"s{i}"] = {f"u{j}" for j in idx}
+    return CoverageFunction(covers)
+
+
+def facility_utility(
+    n: int,
+    n_clients: int,
+    *,
+    rng=None,
+) -> FacilityLocationFunction:
+    """Random non-negative client-benefit matrix (uniform [0, 1))."""
+    gen = as_generator(rng)
+    if n <= 0 or n_clients <= 0:
+        raise InvalidInstanceError("n and n_clients must be positive")
+    benefit = gen.random((n_clients, n))
+    return FacilityLocationFunction([f"s{i}" for i in range(n)], benefit)
+
+
+def cut_utility(
+    n: int,
+    *,
+    edge_probability: float = 0.3,
+    rng=None,
+) -> CutFunction:
+    """Weighted cut function of a G(n, p) graph — non-monotone submodular."""
+    gen = as_generator(rng)
+    if n <= 0:
+        raise InvalidInstanceError(f"n must be positive, got {n}")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise InvalidInstanceError("edge probability must be in [0, 1]")
+    vertices = [f"s{i}" for i in range(n)]
+    edges: List[Tuple[str, str, float]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if gen.random() < edge_probability:
+                edges.append((vertices[i], vertices[j], float(gen.random())))
+    return CutFunction(vertices, edges)

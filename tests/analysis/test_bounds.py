@@ -1,0 +1,81 @@
+"""Lower bounds: validity against certified optima."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    capacity_lower_bound,
+    job_cover_lower_bound,
+    schedule_cost_lower_bound,
+)
+from repro.errors import InfeasibleError
+from repro.scheduling.exact import optimal_schedule_bruteforce
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import AffineCost, TableCost
+from repro.scheduling.solver import schedule_all_jobs
+from repro.workloads.jobs import small_certifiable_instance
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bounds_below_certified_optimum(self, seed):
+        inst = small_certifiable_instance(6, 2, 14, 12, rng=seed)
+        opt = optimal_schedule_bruteforce(inst).cost
+        assert job_cover_lower_bound(inst) <= opt + 1e-9
+        assert capacity_lower_bound(inst) <= opt + 1e-9
+        assert schedule_cost_lower_bound(inst) <= opt + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_combined_bound_is_max(self, seed):
+        inst = small_certifiable_instance(5, 2, 12, 10, rng=seed + 20)
+        combined = schedule_cost_lower_bound(inst)
+        assert combined == pytest.approx(
+            max(job_cover_lower_bound(inst), capacity_lower_bound(inst))
+        )
+
+    def test_tight_on_disjoint_unit_jobs(self):
+        # Each job needs its own dedicated interval: bound == OPT.
+        jobs = [Job(f"j{i}", {("p", 4 * i)}) for i in range(3)]
+        table = {AwakeInterval("p", 4 * i, 4 * i): 2.0 for i in range(3)}
+        inst = ScheduleInstance(
+            ["p"], jobs, 12, TableCost(table), candidate_intervals=list(table)
+        )
+        opt = optimal_schedule_bruteforce(inst).cost
+        assert job_cover_lower_bound(inst) == pytest.approx(opt)
+
+    def test_positive_on_nontrivial_instances(self):
+        inst = small_certifiable_instance(5, 2, 12, 10, rng=99)
+        assert schedule_cost_lower_bound(inst) > 0.0
+
+
+class TestErrors:
+    def test_uncoverable_job_raises(self):
+        jobs = [Job("a", {("p", 0)})]
+        inst = ScheduleInstance(
+            ["p"], jobs, 2, TableCost({}),
+            candidate_intervals=[AwakeInterval("p", 0, 0)],
+        )
+        with pytest.raises(InfeasibleError):
+            job_cover_lower_bound(inst)
+        with pytest.raises(InfeasibleError):
+            capacity_lower_bound(inst)
+
+
+class TestUseAsRatioFloor:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ratio_against_bound_exceeds_ratio_against_opt(self, seed):
+        # Using the bound in place of OPT can only inflate the measured
+        # ratio (conservative direction) — the property experiments rely on.
+        inst = small_certifiable_instance(6, 2, 14, 12, rng=seed + 50)
+        opt = optimal_schedule_bruteforce(inst).cost
+        bound = schedule_cost_lower_bound(inst)
+        greedy = schedule_all_jobs(inst).cost
+        assert greedy / bound >= greedy / opt - 1e-12
+
+    def test_scales_to_larger_instances(self):
+        from repro.workloads.jobs import random_multi_interval_instance
+
+        inst = random_multi_interval_instance(30, 3, 40, rng=3)
+        bound = schedule_cost_lower_bound(inst)
+        greedy = schedule_all_jobs(inst).cost
+        assert 0.0 < bound <= greedy + 1e-9

@@ -1,0 +1,83 @@
+"""Gap statistics."""
+
+import pytest
+
+from repro.analysis.gaps import gap_statistics
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import AffineCost
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.solver import schedule_all_jobs
+from repro.workloads.jobs import random_multi_interval_instance
+
+
+def instance():
+    jobs = [Job("a", {("p", 0)}), Job("b", {("p", 5)}), Job("c", {("q", 2)})]
+    return ScheduleInstance(["p", "q"], jobs, 8, AffineCost(1.0))
+
+
+class TestGapStatistics:
+    def test_counts_gaps_between_runs(self):
+        sched = Schedule(
+            intervals=[
+                AwakeInterval("p", 0, 0),
+                AwakeInterval("p", 5, 5),
+                AwakeInterval("q", 2, 2),
+            ],
+            assignment={"a": ("p", 0), "b": ("p", 5), "c": ("q", 2)},
+        )
+        report = gap_statistics(sched, instance())
+        assert report.awake_runs == 3
+        assert report.gaps == 1          # only between p's two runs
+        assert report.gap_slots == 4     # slots 1..4
+        assert report.busy_slots == 3
+        assert report.idle_awake_slots == 0
+        assert report.utilization == 1.0
+
+    def test_idle_awake_counted(self):
+        sched = Schedule(
+            intervals=[AwakeInterval("p", 0, 5)],
+            assignment={"a": ("p", 0), "b": ("p", 5)},
+        )
+        report = gap_statistics(sched, instance())
+        assert report.awake_runs == 1
+        assert report.gaps == 0
+        assert report.idle_awake_slots == 4
+        assert report.utilization == pytest.approx(2 / 6)
+
+    def test_leading_trailing_sleep_not_gaps(self):
+        sched = Schedule(
+            intervals=[AwakeInterval("p", 3, 4)],
+            assignment={},
+        )
+        report = gap_statistics(sched, instance())
+        assert report.gaps == 0
+
+    def test_empty_schedule(self):
+        report = gap_statistics(Schedule(), instance())
+        assert report.awake_runs == 0
+        assert report.utilization == 1.0
+
+    def test_merged_runs_counted_once(self):
+        sched = Schedule(
+            intervals=[AwakeInterval("p", 0, 2), AwakeInterval("p", 2, 4)],
+            assignment={},
+        )
+        report = gap_statistics(sched, instance())
+        assert report.awake_runs == 1
+        assert report.awake_slots == 5
+
+    def test_restart_cost_drives_gap_count(self):
+        # High restart cost should produce fewer gaps than low restart
+        # cost on the same bursty workload.
+        inst_sparse = random_multi_interval_instance(
+            10, 1, 40, windows_per_job=1, window_length=2,
+            cost_model=AffineCost(0.5), rng=5,
+        )
+        inst_dense = ScheduleInstance(
+            inst_sparse.processors, inst_sparse.jobs, inst_sparse.horizon,
+            AffineCost(50.0),
+        )
+        low = gap_statistics(schedule_all_jobs(inst_sparse).schedule, inst_sparse)
+        high = gap_statistics(schedule_all_jobs(inst_dense).schedule, inst_dense)
+        assert high.gaps <= low.gaps

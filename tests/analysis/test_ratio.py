@@ -1,0 +1,91 @@
+"""Optimum certification and the trial harness."""
+
+import pytest
+
+from repro.analysis.ratio import (
+    competitive_trials,
+    offline_greedy_cardinality,
+    offline_optimum_cardinality,
+)
+from repro.core.functions import AdditiveFunction, CoverageFunction
+
+
+def coverage():
+    return CoverageFunction(
+        {"a": {1, 2, 3}, "b": {3, 4}, "c": {5}, "d": {1, 2, 3, 4}}
+    )
+
+
+class TestOfflineGreedy:
+    def test_additive_picks_top_k(self):
+        fn = AdditiveFunction({"a": 3.0, "b": 1.0, "c": 2.0})
+        chosen, value = offline_greedy_cardinality(fn, 2)
+        assert chosen == frozenset({"a", "c"})
+        assert value == 5.0
+
+    def test_k_zero(self):
+        chosen, value = offline_greedy_cardinality(coverage(), 0)
+        assert chosen == frozenset()
+        assert value == 0.0
+
+    def test_stops_when_no_gain(self):
+        fn = AdditiveFunction({"a": 1.0, "b": 0.0})
+        chosen, _ = offline_greedy_cardinality(fn, 5)
+        assert chosen == frozenset({"a"})
+
+    def test_coverage_guarantee(self):
+        # Greedy >= (1 - 1/e) OPT; here it is exactly optimal.
+        _, value = offline_greedy_cardinality(coverage(), 2)
+        opt, exact = offline_optimum_cardinality(coverage(), 2)
+        assert exact
+        assert value >= (1 - 1 / 2.7182818) * opt
+
+
+class TestOfflineOptimum:
+    def test_exhaustive_exact(self):
+        opt, exact = offline_optimum_cardinality(coverage(), 2)
+        assert exact
+        assert opt == 5.0  # d covers {1,2,3,4}, c adds {5}
+
+    def test_k_capped_at_ground(self):
+        opt, exact = offline_optimum_cardinality(coverage(), 99)
+        assert exact
+        assert opt == 5.0
+
+    def test_greedy_fallback(self):
+        fn = AdditiveFunction({f"e{i}": float(i) for i in range(40)})
+        opt, exact = offline_optimum_cardinality(fn, 10, exhaustive_budget=10)
+        assert not exact
+        assert opt == sum(range(30, 40))  # greedy is exact for additive
+
+
+class TestCompetitiveTrials:
+    def test_ratio_statistics(self):
+        stats = competitive_trials(lambda rng: (1.0, 2.0), trials=10, rng=0)
+        assert stats.mean == pytest.approx(0.5)
+        assert stats.count == 10
+
+    def test_zero_benchmark_handling(self):
+        stats = competitive_trials(lambda rng: (0.0, 0.0), trials=5, rng=0)
+        assert stats.mean == 1.0
+        stats2 = competitive_trials(lambda rng: (1.0, 0.0), trials=5, rng=0)
+        assert stats2.mean == 0.0
+
+    def test_rng_children_vary(self):
+        seen = []
+        competitive_trials(
+            lambda rng: (seen.append(float(rng.random())) or 1.0, 1.0),
+            trials=8,
+            rng=1,
+        )
+        assert len(set(seen)) == 8
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ValueError):
+            competitive_trials(lambda rng: (1.0, 1.0), trials=0)
+
+    def test_determinism(self):
+        f = lambda rng: (float(rng.random()), 1.0)
+        a = competitive_trials(f, trials=6, rng=9)
+        b = competitive_trials(f, trials=6, rng=9)
+        assert a.mean == b.mean

@@ -1,0 +1,62 @@
+"""ASCII schedule rendering."""
+
+from repro.analysis.render import render_schedule
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import AffineCost
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.solver import schedule_all_jobs
+from repro.workloads.jobs import random_multi_interval_instance
+
+
+def tiny():
+    jobs = [Job("alpha", {("p", 0)}), Job("beta", {("p", 2)})]
+    inst = ScheduleInstance(["p"], jobs, 4, AffineCost(1.0))
+    sched = Schedule(
+        intervals=[AwakeInterval("p", 0, 2)],
+        assignment={"alpha": ("p", 0), "beta": ("p", 2)},
+    )
+    return inst, sched
+
+
+class TestRender:
+    def test_symbols(self):
+        inst, sched = tiny()
+        out = render_schedule(sched, inst)
+        row = [l for l in out.splitlines() if l.strip().startswith("p ")][0]
+        cells = row.split()[-1]
+        # slot 0: job a; slot 1: awake idle; slot 2: job b; slot 3: asleep.
+        assert cells == "a#b."
+
+    def test_legend_lists_jobs(self):
+        inst, sched = tiny()
+        out = render_schedule(sched, inst)
+        assert "a=alpha" in out
+        assert "b=beta" in out
+
+    def test_footer_stats(self):
+        inst, sched = tiny()
+        out = render_schedule(sched, inst)
+        assert "jobs=2/2" in out
+        assert "awake_slots=3" in out
+
+    def test_one_row_per_processor(self):
+        inst = random_multi_interval_instance(8, 3, 15, rng=0)
+        sched = schedule_all_jobs(inst).schedule
+        out = render_schedule(sched, inst)
+        body = [l for l in out.splitlines()[1:] if not l.startswith(("legend", "cost"))]
+        assert len(body) == 3
+
+    def test_empty_schedule(self):
+        inst = ScheduleInstance(["p"], [], 3, AffineCost(1.0))
+        out = render_schedule(Schedule(), inst)
+        assert "jobs=0/0" in out
+        assert "..." in out
+
+    def test_every_assigned_job_visible(self):
+        inst = random_multi_interval_instance(10, 2, 18, rng=1)
+        sched = schedule_all_jobs(inst).schedule
+        out = render_schedule(sched, inst)
+        grid = "".join(l.split()[-1] for l in out.splitlines()[1:3])
+        letters = [c for c in grid if c.isalpha()]
+        assert len(letters) == len(sched.assignment)

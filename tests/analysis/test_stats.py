@@ -1,0 +1,36 @@
+"""Trial statistics."""
+
+import pytest
+
+from repro.analysis.stats import summarize
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([3.0])
+        assert s.mean == 3.0
+        assert s.std == 0.0
+        assert s.ci95_low == s.ci95_high == 3.0
+
+    def test_basic_moments(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.count == 4
+
+    def test_ci_contains_mean(self):
+        s = summarize(range(100))
+        assert s.ci95_low <= s.mean <= s.ci95_high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_accepts_generators(self):
+        s = summarize(float(x) for x in range(5))
+        assert s.count == 5
+
+    def test_str_is_informative(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "n=2" in text

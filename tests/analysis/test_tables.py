@@ -1,0 +1,29 @@
+"""ASCII table formatter."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "x"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines if "|" in line)
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out

@@ -1,0 +1,188 @@
+"""Tests for the Lemma 2.1.2 greedy and BudgetedInstance validation."""
+
+import math
+
+import pytest
+
+from repro.core.budgeted import BudgetedInstance, budgeted_greedy
+from repro.core.functions import (
+    AdditiveFunction,
+    BudgetAdditiveFunction,
+    CoverageFunction,
+    WeightedCoverageFunction,
+)
+from repro.errors import BudgetError, InfeasibleError, InvalidInstanceError
+
+
+def cover_instance():
+    """Small weighted-cover instance with a known optimum.
+
+    Universe {1..6}; the 'big' set covers everything at cost 10, three
+    cheap sets cover it at total cost 3.
+    """
+    covers = {
+        "big": {1, 2, 3, 4, 5, 6},
+        "s1": {1, 2},
+        "s2": {3, 4},
+        "s3": {5, 6},
+    }
+    utility = CoverageFunction(covers)
+    subsets = {k: frozenset({k}) for k in covers}
+    costs = {"big": 10.0, "s1": 1.0, "s2": 1.0, "s3": 1.0}
+    return BudgetedInstance(utility=utility, subsets=subsets, costs=costs)
+
+
+class TestBudgetedInstanceValidation:
+    def test_mismatched_keys_rejected(self):
+        utility = CoverageFunction({"a": {1}})
+        with pytest.raises(InvalidInstanceError):
+            BudgetedInstance(utility, {"a": frozenset({"a"})}, {"b": 1.0})
+
+    def test_stray_items_rejected(self):
+        utility = CoverageFunction({"a": {1}})
+        with pytest.raises(InvalidInstanceError):
+            BudgetedInstance(utility, {"a": frozenset({"zzz"})}, {"a": 1.0})
+
+    def test_negative_costs_rejected(self):
+        utility = CoverageFunction({"a": {1}})
+        with pytest.raises(InvalidInstanceError):
+            BudgetedInstance(utility, {"a": frozenset({"a"})}, {"a": -1.0})
+
+    def test_from_items_builds_singletons(self):
+        utility = AdditiveFunction({"a": 1.0, "b": 2.0})
+        inst = BudgetedInstance.from_items(utility, {"a": 1.0, "b": 1.0})
+        assert inst.subsets["a"] == frozenset({"a"})
+        assert inst.cost_of(["a", "b"]) == 2.0
+
+    def test_union_of(self):
+        inst = cover_instance()
+        assert inst.union_of(["s1", "s2"]) == frozenset({"s1", "s2"})
+
+
+class TestGreedyParameters:
+    def test_bad_epsilon_rejected(self):
+        inst = cover_instance()
+        for eps in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(BudgetError):
+                budgeted_greedy(inst, target=6.0, epsilon=eps)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(BudgetError):
+            budgeted_greedy(cover_instance(), target=-1.0, epsilon=0.5)
+
+
+class TestGreedyBehaviour:
+    def test_reaches_target_utility(self):
+        inst = cover_instance()
+        result = budgeted_greedy(inst, target=6.0, epsilon=1.0 / 7)
+        assert result.utility >= 6.0 - 1e-9
+        assert result.reached_target
+
+    def test_prefers_cheap_sets(self):
+        # Ratio of each cheap set is 2/1 = 2; big set's is 6/10 = 0.6.
+        inst = cover_instance()
+        result = budgeted_greedy(inst, target=6.0, epsilon=1.0 / 7)
+        assert "big" not in result.chosen
+        assert result.cost == 3.0
+
+    def test_steps_record_monotone_utility(self):
+        inst = cover_instance()
+        result = budgeted_greedy(inst, target=6.0, epsilon=1.0 / 7)
+        utilities = [s.utility_after for s in result.steps]
+        assert utilities == sorted(utilities)
+
+    def test_cost_accumulates(self):
+        inst = cover_instance()
+        result = budgeted_greedy(inst, target=6.0, epsilon=1.0 / 7)
+        assert result.steps[-1].cost_after == pytest.approx(result.cost)
+
+    def test_partial_target(self):
+        inst = cover_instance()
+        # Target 2 with eps=0.5 only needs utility 1; one set suffices.
+        result = budgeted_greedy(inst, target=2.0, epsilon=0.5)
+        assert result.utility >= 1.0
+        assert len(result.chosen) == 1
+
+    def test_infeasible_target_raises(self):
+        inst = cover_instance()
+        with pytest.raises(InfeasibleError):
+            budgeted_greedy(inst, target=100.0, epsilon=0.5)
+
+    def test_zero_cost_subsets_supported(self):
+        utility = CoverageFunction({"free": {1, 2}, "paid": {3}})
+        inst = BudgetedInstance(
+            utility,
+            {k: frozenset({k}) for k in ("free", "paid")},
+            {"free": 0.0, "paid": 5.0},
+        )
+        result = budgeted_greedy(inst, target=3.0, epsilon=0.25)
+        assert result.chosen[0] == "free"  # infinite ratio goes first
+
+    def test_grouped_subsets_with_nonlinear_cost(self):
+        # The paper's generalisation: a bundle may be cheaper than its parts.
+        covers = {"x": {1}, "y": {2}, "bundle": {1, 2}}
+        utility = CoverageFunction(covers)
+        subsets = {
+            "x": frozenset({"x"}),
+            "y": frozenset({"y"}),
+            "bundle": frozenset({"x", "y"}),
+        }
+        costs = {"x": 2.0, "y": 2.0, "bundle": 2.5}
+        inst = BudgetedInstance(utility, subsets, costs)
+        result = budgeted_greedy(inst, target=2.0, epsilon=1.0 / 3)
+        assert result.chosen == ["bundle"]
+
+    def test_truncation_respected_for_budget_additive(self):
+        utility = BudgetAdditiveFunction({"a": 10.0, "b": 1.0}, cap=4.0)
+        inst = BudgetedInstance.from_items(utility, {"a": 1.0, "b": 1.0})
+        result = budgeted_greedy(inst, target=4.0, epsilon=0.1)
+        assert result.utility == 4.0
+
+
+class TestSetCoverGuarantee:
+    """Lemma 2.1.2 specialised to Set Cover must respect H_n * OPT."""
+
+    def test_log_factor_on_planted_instance(self):
+        # Planted optimum: 3 disjoint sets of cost 1 cover U; noise sets
+        # are strictly worse. Greedy's cost must be within H_9 * 3.
+        universe = set(range(9))
+        covers = {
+            "opt0": {0, 1, 2},
+            "opt1": {3, 4, 5},
+            "opt2": {6, 7, 8},
+            "noise0": {0, 3, 6},
+            "noise1": {1, 4, 7},
+        }
+        utility = CoverageFunction(covers)
+        subsets = {k: frozenset({k}) for k in covers}
+        costs = {"opt0": 1.0, "opt1": 1.0, "opt2": 1.0, "noise0": 1.5, "noise1": 1.5}
+        inst = BudgetedInstance(utility, subsets, costs)
+        n = len(universe)
+        result = budgeted_greedy(inst, target=float(n), epsilon=1.0 / (n + 1))
+        assert result.utility == float(n)
+        h_n = sum(1.0 / i for i in range(1, n + 1))
+        assert result.cost <= 3.0 * h_n + 1e-9
+
+    def test_exact_coverage_with_integer_trick(self):
+        # eps = 1/(n+1) forces full coverage for integer-valued utilities.
+        covers = {f"s{i}": {i} for i in range(5)}
+        utility = CoverageFunction(covers)
+        inst = BudgetedInstance(
+            utility, {k: frozenset({k}) for k in covers}, {k: 1.0 for k in covers}
+        )
+        result = budgeted_greedy(inst, target=5.0, epsilon=1.0 / 6)
+        assert result.utility == 5.0
+        assert result.cost == 5.0
+
+
+class TestWeightedCoverTarget:
+    def test_weighted_cover_respects_truncation(self):
+        fn = WeightedCoverageFunction(
+            {"a": {1}, "b": {2}}, weights={1: 10.0, 2: 1.0}
+        )
+        inst = BudgetedInstance.from_items(fn, {"a": 1.0, "b": 1.0})
+        # Target 5: the 'a' set alone overshoots; truncated gain counts
+        # only up to 5 so its ratio is 5, still the best.
+        result = budgeted_greedy(inst, target=5.0, epsilon=0.2)
+        assert result.chosen == ["a"]
+        assert result.utility >= 4.0

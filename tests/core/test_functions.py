@@ -1,0 +1,192 @@
+"""Unit tests for the concrete set-function families."""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import (
+    AdditiveFunction,
+    BudgetAdditiveFunction,
+    CoverageFunction,
+    CutFunction,
+    FacilityLocationFunction,
+    MatroidRankFunction,
+    MaxValueFunction,
+    MinValueFunction,
+    WeightedCoverageFunction,
+)
+from repro.core.submodular import check_monotone, check_submodular
+from repro.matroids import GraphicMatroid, UniformMatroid
+
+
+class TestCoverage:
+    def test_basic_values(self):
+        fn = CoverageFunction({"a": {1, 2}, "b": {2, 3, 4}})
+        assert fn(set()) == 0
+        assert fn({"a"}) == 2
+        assert fn({"a", "b"}) == 4
+
+    def test_universe(self):
+        fn = CoverageFunction({"a": {1}, "b": {2}})
+        assert fn.universe == frozenset({1, 2})
+
+    def test_covered(self):
+        fn = CoverageFunction({"a": {1, 2}, "b": {2}})
+        assert fn.covered(frozenset({"b"})) == frozenset({2})
+
+    def test_structure(self):
+        fn = CoverageFunction({"a": {1, 2}, "b": {2, 3}, "c": {3, 4, 5}})
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+
+class TestWeightedCoverage:
+    def test_weighted_values(self):
+        fn = WeightedCoverageFunction(
+            {"a": {1, 2}, "b": {2}}, weights={1: 5.0, 2: 1.0}
+        )
+        assert fn({"a"}) == 6.0
+        assert fn({"b"}) == 1.0
+
+    def test_default_weight_is_one(self):
+        fn = WeightedCoverageFunction({"a": {1, 9}}, weights={1: 2.0})
+        assert fn({"a"}) == 3.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedCoverageFunction({"a": {1}}, weights={1: -1.0})
+
+    def test_structure(self):
+        fn = WeightedCoverageFunction(
+            {"a": {1, 2}, "b": {2, 3}, "c": {1, 3}},
+            weights={1: 1.0, 2: 2.5, 3: 0.5},
+        )
+        assert check_submodular(fn)
+
+
+class TestAdditive:
+    def test_sum(self):
+        fn = AdditiveFunction({"x": 1.0, "y": 2.0})
+        assert fn({"x", "y"}) == 3.0
+
+    def test_modular_means_marginals_constant(self):
+        fn = AdditiveFunction({"x": 1.0, "y": 2.0, "z": 4.0})
+        assert fn.marginal_element(frozenset(), "z") == fn.marginal_element({"x", "y"}, "z")
+
+    def test_structure(self):
+        fn = AdditiveFunction({"x": 1.0, "y": 2.0, "z": 0.0})
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+
+class TestBudgetAdditive:
+    def test_cap(self):
+        fn = BudgetAdditiveFunction({"x": 3.0, "y": 4.0}, cap=5.0)
+        assert fn({"x"}) == 3.0
+        assert fn({"x", "y"}) == 5.0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetAdditiveFunction({"x": 1.0}, cap=-2.0)
+
+    def test_structure(self):
+        fn = BudgetAdditiveFunction({"x": 3.0, "y": 4.0, "z": 2.0}, cap=5.0)
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+
+class TestCut:
+    def triangle(self):
+        return CutFunction(
+            ["u", "v", "w"], [("u", "v", 1.0), ("v", "w", 2.0), ("u", "w", 4.0)]
+        )
+
+    def test_cut_values(self):
+        fn = self.triangle()
+        assert fn(set()) == 0.0
+        assert fn({"u"}) == 5.0
+        assert fn({"u", "v"}) == 6.0
+        assert fn({"u", "v", "w"}) == 0.0
+
+    def test_nonmonotone(self):
+        fn = self.triangle()
+        assert fn({"u", "v", "w"}) < fn({"u"})
+
+    def test_submodular_but_not_monotone(self):
+        fn = self.triangle()
+        assert check_submodular(fn)
+
+    def test_self_loops_ignored(self):
+        fn = CutFunction(["u", "v"], [("u", "u", 9.0), ("u", "v", 1.0)])
+        assert fn({"u"}) == 1.0
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            CutFunction(["u"], [("u", "zz", 1.0)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CutFunction(["u", "v"], [("u", "v", -1.0)])
+
+
+class TestFacilityLocation:
+    def test_best_facility_per_client(self):
+        benefit = np.array([[1.0, 3.0], [2.0, 0.0]])
+        fn = FacilityLocationFunction(["f0", "f1"], benefit)
+        assert fn({"f0"}) == 3.0  # clients get 1 and 2
+        assert fn({"f1"}) == 3.0  # clients get 3 and 0
+        assert fn({"f0", "f1"}) == 5.0  # max(1,3) + max(2,0)
+
+    def test_empty_is_zero(self):
+        fn = FacilityLocationFunction(["f0"], np.array([[1.0]]))
+        assert fn(set()) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            FacilityLocationFunction(["f0", "f1"], np.array([1.0, 2.0]))
+
+    def test_negative_benefit_rejected(self):
+        with pytest.raises(ValueError):
+            FacilityLocationFunction(["f0"], np.array([[-1.0]]))
+
+    def test_structure(self):
+        rng = np.random.default_rng(0)
+        fn = FacilityLocationFunction(
+            [f"f{i}" for i in range(5)], rng.random((6, 5))
+        )
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+
+class TestMatroidRank:
+    def test_uniform_rank(self):
+        fn = MatroidRankFunction(UniformMatroid({1, 2, 3, 4}, k=2))
+        assert fn({1}) == 1.0
+        assert fn({1, 2, 3}) == 2.0
+
+    def test_graphic_rank_is_forest_size(self):
+        gm = GraphicMatroid({0: ("a", "b"), 1: ("b", "c"), 2: ("a", "c")})
+        fn = MatroidRankFunction(gm)
+        assert fn({0, 1, 2}) == 2.0  # spanning tree of the triangle
+
+    def test_structure(self):
+        gm = GraphicMatroid({0: ("a", "b"), 1: ("b", "c"), 2: ("a", "c"), 3: ("c", "d")})
+        fn = MatroidRankFunction(gm)
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+
+class TestMaxMin:
+    def test_max_value(self):
+        fn = MaxValueFunction({"a": 1.0, "b": 5.0})
+        assert fn(set()) == 0.0
+        assert fn({"a", "b"}) == 5.0
+
+    def test_max_is_submodular(self):
+        fn = MaxValueFunction({"a": 1.0, "b": 5.0, "c": 3.0})
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+    def test_min_value(self):
+        fn = MinValueFunction({"a": 1.0, "b": 5.0})
+        assert fn({"a", "b"}) == 1.0
+        assert fn(set()) == 0.0

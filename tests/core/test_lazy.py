@@ -1,0 +1,85 @@
+"""Lazy greedy: agreement with the plain greedy + oracle savings."""
+
+import pytest
+
+from repro.core.budgeted import BudgetedInstance, budgeted_greedy
+from repro.core.functions import CoverageFunction
+from repro.core.lazy import lazy_budgeted_greedy
+from repro.core.oracle import CountingOracle
+from repro.errors import InfeasibleError
+from repro.rng import as_generator
+
+
+def random_cover_instance(seed: int, n_items: int = 24, n_sets: int = 14):
+    gen = as_generator(seed)
+    covers = {}
+    costs = {}
+    for i in range(n_sets):
+        mask = gen.random(n_items) < 0.3
+        items = {j for j in range(n_items) if mask[j]} or {int(gen.integers(n_items))}
+        covers[f"s{i}"] = items
+        costs[f"s{i}"] = float(0.5 + gen.random() * 3.0)
+    # Guarantee coverability.
+    covered = set().union(*covers.values())
+    covers["s0"] = set(covers["s0"]) | (set(range(n_items)) - covered)
+    utility = CoverageFunction(covers)
+    subsets = {k: frozenset({k}) for k in covers}
+    return BudgetedInstance(utility, subsets, costs), n_items
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_lazy_matches_plain_cost_and_utility(seed):
+    inst, n = random_cover_instance(seed)
+    eps = 1.0 / (n + 1)
+    plain = budgeted_greedy(inst, target=float(n), epsilon=eps)
+    lazy = lazy_budgeted_greedy(inst, target=float(n), epsilon=eps)
+    # Selections may differ on exact ratio ties; cost and utility agree.
+    assert lazy.utility == pytest.approx(plain.utility)
+    assert lazy.cost == pytest.approx(plain.cost)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_lazy_uses_fewer_oracle_calls(seed):
+    inst, n = random_cover_instance(seed, n_items=30, n_sets=20)
+    eps = 1.0 / (n + 1)
+
+    counting_plain = CountingOracle(inst.utility)
+    plain_inst = BudgetedInstance(counting_plain, dict(inst.subsets), dict(inst.costs))
+    budgeted_greedy(plain_inst, target=float(n), epsilon=eps)
+
+    counting_lazy = CountingOracle(inst.utility)
+    lazy_inst = BudgetedInstance(counting_lazy, dict(inst.subsets), dict(inst.costs))
+    lazy_budgeted_greedy(lazy_inst, target=float(n), epsilon=eps)
+
+    assert counting_lazy.calls <= counting_plain.calls
+
+
+def test_lazy_infeasible_raises():
+    covers = {"a": {1}}
+    utility = CoverageFunction(covers)
+    inst = BudgetedInstance(utility, {"a": frozenset({"a"})}, {"a": 1.0})
+    with pytest.raises(InfeasibleError):
+        lazy_budgeted_greedy(inst, target=5.0, epsilon=0.5)
+
+
+def test_lazy_zero_cost_priority():
+    covers = {"free": {1, 2, 3}, "paid": {4}}
+    utility = CoverageFunction(covers)
+    inst = BudgetedInstance(
+        utility,
+        {k: frozenset({k}) for k in covers},
+        {"free": 0.0, "paid": 1.0},
+    )
+    result = lazy_budgeted_greedy(inst, target=4.0, epsilon=0.1)
+    assert result.chosen[0] == "free"
+    assert result.utility == 4.0
+
+
+def test_lazy_single_step():
+    covers = {"all": {1, 2, 3}}
+    utility = CoverageFunction(covers)
+    inst = BudgetedInstance(utility, {"all": frozenset({"all"})}, {"all": 2.0})
+    result = lazy_budgeted_greedy(inst, target=3.0, epsilon=0.25)
+    assert result.chosen == ["all"]
+    assert len(result.steps) == 1
+    assert result.steps[0].gain == pytest.approx(3.0)

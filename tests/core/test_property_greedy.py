@@ -1,0 +1,110 @@
+"""Property-based tests for the budgeted greedy (hypothesis).
+
+Invariants attacked on random coverage instances:
+
+* the greedy reaches its goal or correctly reports infeasibility;
+* utility is non-decreasing along the trace and cost strictly positive
+  when picks are made;
+* lazy and plain greedy realise identical utility and cost;
+* on instances small enough for brute force, the greedy's cost stays
+  within the Lemma 2.1.2 bound of the true optimum.
+"""
+
+from itertools import combinations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.budgeted import BudgetedInstance, budgeted_greedy
+from repro.core.functions import CoverageFunction
+from repro.core.lazy import lazy_budgeted_greedy
+from repro.errors import InfeasibleError
+
+import math
+
+import pytest
+
+
+@st.composite
+def cover_instances(draw, max_items=10, max_sets=7):
+    n_items = draw(st.integers(min_value=1, max_value=max_items))
+    n_sets = draw(st.integers(min_value=1, max_value=max_sets))
+    covers = {}
+    costs = {}
+    for i in range(n_sets):
+        members = draw(
+            st.sets(st.integers(min_value=0, max_value=n_items - 1), max_size=n_items)
+        )
+        covers[f"s{i}"] = members or {0}
+        costs[f"s{i}"] = float(draw(st.integers(min_value=1, max_value=8)))
+    inst = BudgetedInstance(
+        CoverageFunction(covers), {k: frozenset({k}) for k in covers}, costs
+    )
+    coverable = set().union(*covers.values())
+    return inst, covers, costs, len(coverable)
+
+
+@given(cover_instances())
+@settings(max_examples=100, deadline=None)
+def test_greedy_reaches_goal_or_raises(data):
+    inst, covers, costs, coverable = data
+    target = float(coverable)
+    try:
+        result = budgeted_greedy(inst, target=target, epsilon=1.0 / (coverable + 1))
+    except InfeasibleError:
+        pytest.fail("coverable target reported infeasible")
+    assert result.utility >= coverable - 1e-9
+
+
+@given(cover_instances())
+@settings(max_examples=100, deadline=None)
+def test_trace_invariants(data):
+    inst, covers, costs, coverable = data
+    result = budgeted_greedy(inst, target=float(coverable), epsilon=0.25)
+    prev = 0.0
+    for step in result.steps:
+        assert step.utility_after >= prev - 1e-12
+        assert step.gain > 0
+        assert step.cost >= 0
+        prev = step.utility_after
+    assert result.cost == pytest.approx(sum(s.cost for s in result.steps))
+
+
+@given(cover_instances())
+@settings(max_examples=100, deadline=None)
+def test_lazy_plain_agreement(data):
+    inst, covers, costs, coverable = data
+    eps = 1.0 / (coverable + 1)
+    plain = budgeted_greedy(inst, target=float(coverable), epsilon=eps)
+    lazy = lazy_budgeted_greedy(inst, target=float(coverable), epsilon=eps)
+    assert lazy.utility == pytest.approx(plain.utility)
+    assert lazy.cost == pytest.approx(plain.cost)
+
+
+def brute_force_opt(covers, costs, coverable):
+    names = sorted(covers)
+    best = math.inf
+    for r in range(len(names) + 1):
+        for combo in combinations(names, r):
+            covered = set().union(*(covers[c] for c in combo), set())
+            if len(covered) >= coverable:
+                best = min(best, sum(costs[c] for c in combo))
+    return best
+
+
+@given(cover_instances(max_items=8, max_sets=6))
+@settings(max_examples=60, deadline=None)
+def test_cost_within_lemma_bound_of_bruteforce(data):
+    inst, covers, costs, coverable = data
+    eps = 1.0 / (coverable + 1)
+    result = budgeted_greedy(inst, target=float(coverable), epsilon=eps)
+    opt = brute_force_opt(covers, costs, coverable)
+    phases = math.ceil(math.log2(1.0 / eps))
+    assert result.cost <= 2.0 * phases * opt + 1e-9
+
+
+@given(cover_instances(), st.floats(min_value=0.05, max_value=0.9))
+@settings(max_examples=80, deadline=None)
+def test_bicriteria_fraction_respected(data, eps):
+    inst, covers, costs, coverable = data
+    result = budgeted_greedy(inst, target=float(coverable), epsilon=eps)
+    assert result.utility >= (1 - eps) * coverable - 1e-9

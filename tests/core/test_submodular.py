@@ -1,0 +1,141 @@
+"""Unit tests for the SetFunction abstraction and structural checkers."""
+
+import math
+
+import pytest
+
+from repro.core.submodular import (
+    LambdaSetFunction,
+    RestrictedFunction,
+    TruncatedFunction,
+    check_monotone,
+    check_submodular,
+    powerset,
+)
+from repro.core.functions import AdditiveFunction, CoverageFunction, MinValueFunction
+from repro.errors import NotSubmodularError
+
+
+def make_coverage():
+    return CoverageFunction({"a": {1, 2}, "b": {2, 3}, "c": {4}})
+
+
+class TestSetFunctionBasics:
+    def test_call_matches_value(self):
+        fn = make_coverage()
+        assert fn({"a", "b"}) == fn.value(frozenset({"a", "b"}))
+
+    def test_call_accepts_any_iterable(self):
+        fn = make_coverage()
+        assert fn(["a", "b"]) == 3.0
+        assert fn(iter(["a"])) == 2.0
+
+    def test_marginal_of_disjoint_set(self):
+        fn = make_coverage()
+        assert fn.marginal({"a"}, {"c"}) == 1.0
+
+    def test_marginal_of_overlapping_set(self):
+        fn = make_coverage()
+        # b adds only item 3 on top of a.
+        assert fn.marginal({"a"}, {"b"}) == 1.0
+
+    def test_marginal_element(self):
+        fn = make_coverage()
+        assert fn.marginal_element(frozenset(), "a") == 2.0
+        assert fn.marginal_element({"a"}, "a") == 0.0
+
+    def test_is_normalized(self):
+        assert make_coverage().is_normalized()
+
+    def test_empty_set_value(self):
+        assert make_coverage()(frozenset()) == 0.0
+
+
+class TestLambdaSetFunction:
+    def test_wraps_callable(self):
+        fn = LambdaSetFunction({1, 2, 3}, lambda s: float(len(s)) ** 0.5)
+        assert fn({1, 2, 3, }) == pytest.approx(math.sqrt(3))
+        assert fn.ground_set == frozenset({1, 2, 3})
+
+    def test_coerces_to_float(self):
+        fn = LambdaSetFunction({1}, lambda s: len(s))
+        assert isinstance(fn(frozenset({1})), float)
+
+
+class TestTruncatedFunction:
+    def test_truncation_caps_value(self):
+        base = make_coverage()
+        fn = TruncatedFunction(base, 2.0)
+        assert fn({"a", "b", "c"}) == 2.0
+        assert fn({"c"}) == 1.0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TruncatedFunction(make_coverage(), -1.0)
+
+    def test_truncation_preserves_submodularity(self):
+        fn = TruncatedFunction(make_coverage(), 2.0)
+        assert check_submodular(fn)
+        assert check_monotone(fn)
+
+    def test_ground_set_passthrough(self):
+        base = make_coverage()
+        assert TruncatedFunction(base, 1.0).ground_set == base.ground_set
+
+
+class TestRestrictedFunction:
+    def test_restriction_ignores_outside_elements(self):
+        base = make_coverage()
+        fn = RestrictedFunction(base, {"a", "b"})
+        assert fn.ground_set == frozenset({"a", "b"})
+        # Asking about "a" only; value ignores anything outside allowed.
+        assert fn({"a"}) == base({"a"})
+
+    def test_restriction_requires_subset(self):
+        with pytest.raises(ValueError):
+            RestrictedFunction(make_coverage(), {"a", "zzz"})
+
+    def test_restriction_stays_submodular(self):
+        fn = RestrictedFunction(make_coverage(), {"a", "c"})
+        assert check_submodular(fn)
+
+
+class TestPowerset:
+    def test_counts(self):
+        assert sum(1 for _ in powerset([1, 2, 3])) == 8
+
+    def test_empty(self):
+        assert list(powerset([])) == [()]
+
+
+class TestCheckers:
+    def test_monotone_passes_coverage(self):
+        assert check_monotone(make_coverage())
+
+    def test_submodular_passes_coverage(self):
+        assert check_submodular(make_coverage())
+
+    def test_monotone_detects_violation(self):
+        # f decreasing in size.
+        fn = LambdaSetFunction({1, 2, 3}, lambda s: -float(len(s)))
+        with pytest.raises(NotSubmodularError) as exc:
+            check_monotone(fn)
+        assert exc.value.witness is not None
+
+    def test_submodular_detects_supermodular(self):
+        fn = LambdaSetFunction({1, 2, 3}, lambda s: float(len(s)) ** 2)
+        with pytest.raises(NotSubmodularError):
+            check_submodular(fn)
+
+    def test_min_function_not_submodular(self):
+        # The Section 3.6 bottleneck function: witness required by the paper's
+        # remark that min "is not even submodular".
+        fn = MinValueFunction({"a": 1.0, "b": 3.0, "c": 2.0})
+        with pytest.raises(NotSubmodularError):
+            check_submodular(fn)
+
+    def test_randomised_paths_run(self):
+        values = {f"e{i}": float(i % 7) for i in range(40)}
+        fn = AdditiveFunction(values)
+        assert check_monotone(fn, rng=0, trials=50)
+        assert check_submodular(fn, rng=0, trials=50)

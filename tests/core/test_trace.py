@@ -1,0 +1,81 @@
+"""Greedy trace bookkeeping: phases and per-phase cost accounting."""
+
+import math
+
+import pytest
+
+from repro.core.trace import GreedyResult, GreedyStep, phase_of
+
+
+class TestPhaseOf:
+    def test_phase_one_at_zero_utility(self):
+        assert phase_of(0.0, 100.0) == 1
+
+    def test_phase_boundaries(self):
+        # utility 50/100 => remaining 1/2 => start of phase 2.
+        assert phase_of(50.0, 100.0) == 2
+        # utility 75/100 => remaining 1/4 => phase 3.
+        assert phase_of(75.0, 100.0) == 3
+        # just below 50 stays in phase 1.
+        assert phase_of(49.9, 100.0) == 1
+
+    def test_target_reached_clamps(self):
+        assert phase_of(100.0, 100.0) == 63
+        assert phase_of(150.0, 100.0) == 63
+
+    def test_zero_target(self):
+        assert phase_of(0.0, 0.0) == 1
+
+
+def make_result():
+    steps = [
+        GreedyStep(index="a", cost=1.0, gain=40.0, utility_after=40.0, cost_after=1.0),
+        GreedyStep(index="b", cost=2.0, gain=20.0, utility_after=60.0, cost_after=3.0),
+        GreedyStep(index="c", cost=4.0, gain=30.0, utility_after=90.0, cost_after=7.0),
+    ]
+    return GreedyResult(
+        chosen=["a", "b", "c"],
+        selection=frozenset({"a", "b", "c"}),
+        utility=90.0,
+        cost=7.0,
+        target=100.0,
+        epsilon=0.125,
+        steps=steps,
+    )
+
+
+class TestGreedyResult:
+    def test_reached_target(self):
+        result = make_result()
+        # goal = (1 - 0.125) * 100 = 87.5 <= 90.
+        assert result.reached_target
+
+    def test_not_reached(self):
+        result = make_result()
+        result.utility = 50.0
+        assert not result.reached_target
+
+    def test_cost_by_phase_partitions_total(self):
+        result = make_result()
+        by_phase = result.cost_by_phase()
+        assert sum(by_phase.values()) == pytest.approx(result.cost)
+
+    def test_cost_by_phase_attribution(self):
+        result = make_result()
+        by_phase = result.cost_by_phase()
+        # Step a starts at utility 0 (phase 1); b at 40 (phase 1);
+        # c at 60 (remaining .4 -> phase 2).
+        assert by_phase[1] == pytest.approx(3.0)
+        assert by_phase[2] == pytest.approx(4.0)
+
+    def test_step_ratio(self):
+        step = GreedyStep(index="a", cost=2.0, gain=10.0, utility_after=10.0, cost_after=2.0)
+        assert step.ratio == 5.0
+
+    def test_zero_cost_ratio_is_inf(self):
+        step = GreedyStep(index="a", cost=0.0, gain=1.0, utility_after=1.0, cost_after=0.0)
+        assert math.isinf(step.ratio)
+
+    def test_summary_mentions_counts(self):
+        text = make_result().summary()
+        assert "3 picks" in text

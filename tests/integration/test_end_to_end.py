@@ -1,0 +1,126 @@
+"""Cross-module integration scenarios exercising the public API."""
+
+import math
+
+import pytest
+
+from repro import (
+    AffineCost,
+    AwakeInterval,
+    Job,
+    ScheduleInstance,
+    SuperlinearCost,
+    TimeOfUseCost,
+    UnavailabilityCost,
+    prize_collecting_exact_value,
+    prize_collecting_schedule,
+    schedule_all_jobs,
+)
+from repro.scheduling.baselines import always_on_schedule
+from repro.workloads.energy import tou_price_trace
+from repro.workloads.jobs import random_multi_interval_instance
+
+
+class TestTimeOfUseDatacenter:
+    """Flexible batch jobs + diurnal electricity prices: the optimiser
+    must push work into the cheap trough."""
+
+    def make_instance(self):
+        horizon = 24
+        prices = tou_price_trace(horizon, base=1.0, peak_multiplier=5.0)
+        # 6 batch jobs, each runnable any hour on either machine.
+        jobs = [
+            Job(
+                f"batch{i}",
+                frozenset((p, t) for p in ("m0", "m1") for t in range(horizon)),
+            )
+            for i in range(6)
+        ]
+        model = TimeOfUseCost(prices, restart_cost=0.5)
+        return ScheduleInstance(["m0", "m1"], jobs, horizon, model), prices
+
+    def test_work_lands_in_cheap_hours(self):
+        inst, prices = self.make_instance()
+        result = schedule_all_jobs(inst)
+        result.schedule.validate(inst, require_all=True)
+        threshold = prices.mean()
+        cheap = sum(
+            1 for (_, t) in result.schedule.assignment.values() if prices[t] <= threshold
+        )
+        assert cheap >= 5  # nearly all jobs in below-average-price hours
+
+    def test_beats_always_on(self):
+        inst, _ = self.make_instance()
+        greedy = schedule_all_jobs(inst).cost
+        naive = always_on_schedule(inst).cost(inst)
+        assert greedy < naive / 3  # TOU peaks make always-on very costly
+
+
+class TestUnavailabilityWindows:
+    def test_jobs_routed_around_outage(self):
+        # m0 is down during [2, 4]; both jobs must end up on m1 or
+        # outside the outage window.
+        blocked = [("m0", 2), ("m0", 3), ("m0", 4)]
+        model = UnavailabilityCost(AffineCost(1.0), blocked)
+        jobs = [
+            Job("a", {("m0", 3), ("m1", 3)}),
+            Job("b", {("m0", 2), ("m0", 6)}),
+        ]
+        inst = ScheduleInstance(["m0", "m1"], jobs, 8, model)
+        result = schedule_all_jobs(inst)
+        result.schedule.validate(inst, require_all=True)
+        for job_id, (proc, t) in result.schedule.assignment.items():
+            assert (proc, t) not in set(blocked)
+
+
+class TestSuperlinearFanCosts:
+    def test_long_runs_get_split(self):
+        # Six jobs spread across 18 slots, quadratic energy in length:
+        # several short awake runs must beat one long one.
+        jobs = [Job(f"j{i}", {("p", 3 * i)}) for i in range(6)]
+        inst = ScheduleInstance(["p"], jobs, 18, SuperlinearCost(1.0, 2.0))
+        result = schedule_all_jobs(inst)
+        result.schedule.validate(inst, require_all=True)
+        spanning_cost = SuperlinearCost(1.0, 2.0)(AwakeInterval("p", 0, 15))
+        assert result.cost < spanning_cost
+
+
+class TestPrizeCollectingPipeline:
+    def test_thresholds_and_costs_consistent(self):
+        inst = random_multi_interval_instance(
+            10, 2, 16, value_spread=4.0, rng=5
+        )
+        total = inst.total_value()
+        half = prize_collecting_schedule(inst, 0.5 * total, 0.25)
+        exact = prize_collecting_exact_value(inst, 0.5 * total)
+        assert exact.value >= 0.5 * total - 1e-9
+        assert half.value >= 0.75 * 0.5 * total - 1e-9
+        # More value must not be cheaper than the bicriteria relaxation
+        # by more than float noise (same greedy prefix).
+        assert exact.cost >= half.cost - 1e-9
+
+    def test_schedule_all_equals_prize_collecting_at_full_value(self):
+        inst = random_multi_interval_instance(8, 2, 14, rng=6)
+        full = schedule_all_jobs(inst)
+        pc = prize_collecting_exact_value(inst, inst.total_value())
+        assert pc.value == pytest.approx(inst.total_value())
+        assert len(pc.schedule.assignment) == inst.n_jobs
+        # Both are feasible full schedules; costs should be comparable
+        # (identical utilities up to weighting), allow slack for ties.
+        assert pc.cost <= full.cost * 2 + 1e-9
+
+
+class TestScaleSmoke:
+    def test_moderate_scale_instance_solves(self):
+        inst = random_multi_interval_instance(40, 4, 60, rng=9)
+        result = schedule_all_jobs(inst)
+        result.schedule.validate(inst, require_all=True)
+        assert result.greedy.utility == 40.0
+
+    def test_methods_scale_consistently(self):
+        inst = random_multi_interval_instance(15, 3, 24, rng=10)
+        costs = {
+            m: schedule_all_jobs(inst, method=m).cost
+            for m in ("incremental", "lazy", "plain")
+        }
+        assert max(costs.values()) <= min(costs.values()) + 1e-9

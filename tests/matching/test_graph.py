@@ -1,0 +1,117 @@
+"""BipartiteGraph and Matching value-type tests."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.matching.graph import BipartiteGraph, Matching
+
+
+def small_graph():
+    return BipartiteGraph(
+        left=["x1", "x2"],
+        right=["y1", "y2"],
+        edges=[("x1", "y1"), ("x1", "y2"), ("x2", "y2")],
+    )
+
+
+class TestBipartiteGraph:
+    def test_sides(self):
+        g = small_graph()
+        assert g.left == frozenset({"x1", "x2"})
+        assert g.right == frozenset({"y1", "y2"})
+
+    def test_neighbors(self):
+        g = small_graph()
+        assert g.neighbors_of_left("x1") == frozenset({"y1", "y2"})
+        assert g.neighbors_of_right("y2") == frozenset({"x1", "x2"})
+
+    def test_edge_count_collapses_duplicates(self):
+        g = BipartiteGraph(["x"], ["y"], [("x", "y"), ("x", "y")])
+        assert g.edge_count() == 1
+
+    def test_edges_iteration(self):
+        g = small_graph()
+        assert set(g.edges()) == {("x1", "y1"), ("x1", "y2"), ("x2", "y2")}
+
+    def test_overlapping_sides_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BipartiteGraph(["a"], ["a"], [])
+
+    def test_unknown_left_endpoint_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BipartiteGraph(["x"], ["y"], [("zz", "y")])
+
+    def test_unknown_right_endpoint_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BipartiteGraph(["x"], ["y"], [("x", "zz")])
+
+    def test_isolated_vertices_allowed(self):
+        g = BipartiteGraph(["x"], ["y"], [])
+        assert g.neighbors_of_left("x") == frozenset()
+
+    def test_degree_histogram(self):
+        g = small_graph()
+        assert g.degree_histogram_right() == {1: 1, 2: 1}
+
+
+class TestMatching:
+    def test_match_keeps_maps_in_sync(self):
+        m = Matching()
+        m.match("x1", "y1")
+        assert m.left_to_right == {"x1": "y1"}
+        assert m.right_to_left == {"y1": "x1"}
+
+    def test_rematch_removes_old_pairs(self):
+        m = Matching()
+        m.match("x1", "y1")
+        m.match("x1", "y2")
+        assert "y1" not in m.right_to_left
+        assert m.left_to_right == {"x1": "y2"}
+
+    def test_rematch_right(self):
+        m = Matching()
+        m.match("x1", "y1")
+        m.match("x2", "y1")
+        assert "x1" not in m.left_to_right
+        assert m.right_to_left == {"y1": "x2"}
+
+    def test_copy_is_independent(self):
+        m = Matching()
+        m.match("x1", "y1")
+        c = m.copy()
+        c.match("x2", "y2")
+        assert len(m) == 1
+        assert len(c) == 2
+
+    def test_len(self):
+        m = Matching()
+        assert len(m) == 0
+        m.match("x1", "y1")
+        assert len(m) == 1
+
+    def test_validate_accepts_real_matching(self):
+        g = small_graph()
+        m = Matching()
+        m.match("x1", "y1")
+        m.match("x2", "y2")
+        m.validate(g)  # should not raise
+
+    def test_validate_rejects_non_edges(self):
+        g = small_graph()
+        m = Matching()
+        m.match("x2", "y1")  # not an edge
+        with pytest.raises(InvalidInstanceError):
+            m.validate(g)
+
+    def test_validate_rejects_desync(self):
+        g = small_graph()
+        m = Matching()
+        m.left_to_right["x1"] = "y1"  # manual desync, no inverse entry
+        with pytest.raises(InvalidInstanceError):
+            m.validate(g)
+
+    def test_pairs_sorted(self):
+        m = Matching()
+        m.match("x2", "y2")
+        m.match("x1", "y1")
+        assert m.pairs() == [("x1", "y1"), ("x2", "y2")]

@@ -1,0 +1,124 @@
+"""Incremental matching oracle: agreement with from-scratch solves."""
+
+import pytest
+
+from repro.matching.graph import BipartiteGraph
+from repro.matching.hopcroft_karp import max_matching_size
+from repro.matching.incremental import (
+    IncrementalMatchingOracle,
+    MatchingUtility,
+    WeightedMatchingUtility,
+)
+from repro.rng import as_generator
+
+
+def random_bipartite(seed, nl=14, nr=10, p=0.3):
+    gen = as_generator(seed)
+    left = [f"x{i}" for i in range(nl)]
+    right = [f"y{j}" for j in range(nr)]
+    edges = [(x, y) for x in left for y in right if gen.random() < p]
+    return BipartiteGraph(left, right, edges)
+
+
+class TestMatchingUtility:
+    def test_matches_hopcroft_karp(self):
+        g = random_bipartite(0)
+        util = MatchingUtility(g)
+        for size in (0, 3, 7, len(g.left)):
+            subset = frozenset(sorted(g.left, key=repr)[:size])
+            assert util.value(subset) == max_matching_size(g, subset)
+
+    def test_ground_set_is_left_side(self):
+        g = random_bipartite(1)
+        assert MatchingUtility(g).ground_set == g.left
+
+
+class TestWeightedMatchingUtility:
+    def test_value_and_matching_consistent(self):
+        g = random_bipartite(2)
+        values = {y: float(i + 1) for i, y in enumerate(sorted(g.right, key=repr))}
+        util = WeightedMatchingUtility(g, values)
+        subset = frozenset(sorted(g.left, key=repr)[:6])
+        matching = util.best_matching(subset)
+        assert util.value(subset) == pytest.approx(
+            sum(values[y] for y in matching.right_to_left)
+        )
+
+    def test_monotone_in_slots(self):
+        g = random_bipartite(3)
+        values = {y: 1.0 for y in g.right}
+        util = WeightedMatchingUtility(g, values)
+        lefts = sorted(g.left, key=repr)
+        prev = 0.0
+        for size in range(len(lefts) + 1):
+            v = util.value(frozenset(lefts[:size]))
+            assert v >= prev
+            prev = v
+
+
+class TestIncrementalOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_commit_sequence_matches_scratch(self, seed):
+        g = random_bipartite(seed)
+        gen = as_generator(seed + 500)
+        oracle = IncrementalMatchingOracle(g)
+        committed = set()
+        lefts = sorted(g.left, key=repr)
+        for _ in range(6):
+            batch_size = int(gen.integers(1, 4))
+            idx = gen.choice(len(lefts), size=batch_size, replace=False)
+            batch = {lefts[i] for i in idx}
+            oracle.commit(batch)
+            committed |= batch
+            assert len(oracle.matching) == max_matching_size(g, committed)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_gain_probe_is_nondestructive_and_correct(self, seed):
+        g = random_bipartite(seed)
+        lefts = sorted(g.left, key=repr)
+        oracle = IncrementalMatchingOracle(g, committed=lefts[:4])
+        base_size = len(oracle.matching)
+        extra = set(lefts[4:8])
+        gain = oracle.gain(extra)
+        # Probe must not mutate state.
+        assert len(oracle.matching) == base_size
+        assert oracle.committed == frozenset(lefts[:4])
+        # Gain agrees with from-scratch difference.
+        expected = max_matching_size(g, set(lefts[:4]) | extra) - max_matching_size(
+            g, lefts[:4]
+        )
+        assert gain == expected
+
+    def test_value_superset_fast_path(self):
+        g = random_bipartite(11)
+        lefts = sorted(g.left, key=repr)
+        oracle = IncrementalMatchingOracle(g, committed=lefts[:5])
+        superset = frozenset(lefts[:9])
+        assert oracle.value(superset) == max_matching_size(g, superset)
+
+    def test_value_non_superset_falls_back(self):
+        g = random_bipartite(12)
+        lefts = sorted(g.left, key=repr)
+        oracle = IncrementalMatchingOracle(g, committed=lefts[:5])
+        other = frozenset(lefts[3:8])  # not a superset of committed
+        assert oracle.value(other) == max_matching_size(g, other)
+
+    def test_reset(self):
+        g = random_bipartite(13)
+        oracle = IncrementalMatchingOracle(g, committed=list(g.left))
+        oracle.reset()
+        assert oracle.committed == frozenset()
+        assert len(oracle.matching) == 0
+
+    def test_commit_returns_gain(self):
+        g = BipartiteGraph(["x1", "x2"], ["y1"], [("x1", "y1"), ("x2", "y1")])
+        oracle = IncrementalMatchingOracle(g)
+        assert oracle.commit({"x1"}) == 1
+        assert oracle.commit({"x2"}) == 0  # y1 already matched
+
+    def test_probe_counter_increments(self):
+        g = random_bipartite(14)
+        oracle = IncrementalMatchingOracle(g)
+        before = oracle.probe_augmentations
+        oracle.gain(set(sorted(g.left, key=repr)[:3]))
+        assert oracle.probe_augmentations == before + 3

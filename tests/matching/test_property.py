@@ -1,0 +1,78 @@
+"""Property-based verification of the paper's key structural lemmas.
+
+Lemma 2.2.2: the maximum-cardinality matching function over slot subsets
+is monotone submodular.  Lemma 2.3.2: so is the vertex-weighted version.
+These are the load-bearing facts of the whole reduction, so we attack
+them with hypothesis-generated random bipartite graphs rather than a few
+hand examples.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.submodular import check_monotone, check_submodular
+from repro.matching.graph import BipartiteGraph
+from repro.matching.incremental import MatchingUtility, WeightedMatchingUtility
+
+
+@st.composite
+def bipartite_graphs(draw, max_left=6, max_right=5):
+    nl = draw(st.integers(min_value=1, max_value=max_left))
+    nr = draw(st.integers(min_value=1, max_value=max_right))
+    left = [f"x{i}" for i in range(nl)]
+    right = [f"y{j}" for j in range(nr)]
+    possible = [(x, y) for x in left for y in right]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+    )
+    return BipartiteGraph(left, right, edges)
+
+
+@st.composite
+def weighted_bipartite_graphs(draw):
+    graph = draw(bipartite_graphs())
+    values = {
+        y: float(draw(st.integers(min_value=0, max_value=8)))
+        for y in sorted(graph.right, key=repr)
+    }
+    return graph, values
+
+
+@given(bipartite_graphs())
+@settings(max_examples=120, deadline=None)
+def test_lemma_2_2_2_matching_function_is_submodular(graph):
+    fn = MatchingUtility(graph)
+    assert check_submodular(fn, exhaustive_limit=6, trials=80, rng=0)
+
+
+@given(bipartite_graphs())
+@settings(max_examples=60, deadline=None)
+def test_matching_function_is_monotone(graph):
+    fn = MatchingUtility(graph)
+    assert check_monotone(fn, exhaustive_limit=6, trials=80, rng=0)
+
+
+@given(weighted_bipartite_graphs())
+@settings(max_examples=120, deadline=None)
+def test_lemma_2_3_2_weighted_matching_function_is_submodular(graph_and_values):
+    graph, values = graph_and_values
+    fn = WeightedMatchingUtility(graph, values)
+    assert check_submodular(fn, exhaustive_limit=6, trials=80, rng=0)
+
+
+@given(weighted_bipartite_graphs())
+@settings(max_examples=60, deadline=None)
+def test_weighted_matching_function_is_monotone(graph_and_values):
+    graph, values = graph_and_values
+    fn = WeightedMatchingUtility(graph, values)
+    assert check_monotone(fn, exhaustive_limit=6, trials=80, rng=0)
+
+
+@given(bipartite_graphs())
+@settings(max_examples=60, deadline=None)
+def test_matching_function_integer_valued(graph):
+    fn = MatchingUtility(graph)
+    lefts = sorted(graph.left, key=repr)
+    for size in range(len(lefts) + 1):
+        v = fn.value(frozenset(lefts[:size]))
+        assert v == int(v)
+        assert 0 <= v <= min(len(graph.left), len(graph.right))

@@ -1,0 +1,102 @@
+"""Vertex-weighted matching: matroid-greedy optimality vs. brute force."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.matching.graph import BipartiteGraph
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.weighted import max_weight_matching, weighted_matching_value
+from repro.rng import as_generator
+
+
+def brute_force_value(graph, values, allowed):
+    """Max total value of any matchable job subset (exponential)."""
+    jobs = sorted(graph.right, key=repr)
+    best = 0.0
+    for r in range(len(jobs) + 1):
+        for combo in combinations(jobs, r):
+            # Feasible iff a matching saturating all of combo exists.
+            sub = BipartiteGraph(
+                graph.left,
+                combo,
+                [(x, y) for x, y in graph.edges() if y in combo and x in allowed],
+            )
+            m = hopcroft_karp(sub, allowed)
+            if len(m) == len(combo):
+                best = max(best, sum(values[y] for y in combo))
+    return best
+
+
+def random_weighted(seed, nl=6, nr=5, p=0.4):
+    gen = as_generator(seed)
+    left = [f"x{i}" for i in range(nl)]
+    right = [f"y{j}" for j in range(nr)]
+    edges = [(x, y) for x in left for y in right if gen.random() < p]
+    values = {y: float(gen.integers(0, 10)) for y in right}
+    return BipartiteGraph(left, right, edges), values
+
+
+class TestMaxWeightMatching:
+    def test_prefers_heavy_job(self):
+        g = BipartiteGraph(["x"], ["cheap", "dear"], [("x", "cheap"), ("x", "dear")])
+        values = {"cheap": 1.0, "dear": 10.0}
+        m = max_weight_matching(g, values)
+        assert m.right_to_left == {"dear": "x"}
+
+    def test_heavy_job_displaces_via_augmenting_path(self):
+        # dear can only use x1; cheap can use x1 or x2. Optimal: both.
+        g = BipartiteGraph(
+            ["x1", "x2"],
+            ["cheap", "dear"],
+            [("x1", "cheap"), ("x2", "cheap"), ("x1", "dear")],
+        )
+        values = {"cheap": 1.0, "dear": 10.0}
+        m = max_weight_matching(g, values)
+        assert len(m) == 2
+        assert m.right_to_left["dear"] == "x1"
+
+    def test_zero_value_jobs_still_scheduled(self):
+        g = BipartiteGraph(["x1", "x2"], ["a", "b"], [("x1", "a"), ("x2", "b")])
+        m = max_weight_matching(g, {"a": 0.0, "b": 1.0})
+        assert len(m) == 2
+
+    def test_negative_values_rejected(self):
+        g = BipartiteGraph(["x"], ["y"], [("x", "y")])
+        with pytest.raises(ValueError):
+            max_weight_matching(g, {"y": -1.0})
+
+    def test_restricted_slots(self):
+        g = BipartiteGraph(
+            ["x1", "x2"], ["a", "b"], [("x1", "a"), ("x2", "b")]
+        )
+        values = {"a": 5.0, "b": 3.0}
+        assert weighted_matching_value(g, values, {"x2"}) == 3.0
+        assert weighted_matching_value(g, values, {"x1", "x2"}) == 8.0
+        assert weighted_matching_value(g, values, set()) == 0.0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_optimal_against_brute_force(self, seed):
+        g, values = random_weighted(seed)
+        assert weighted_matching_value(g, values) == pytest.approx(
+            brute_force_value(g, values, g.left)
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimal_on_restricted_slots(self, seed):
+        g, values = random_weighted(seed)
+        allowed = frozenset(sorted(g.left, key=repr)[:3])
+        assert weighted_matching_value(g, values, allowed) == pytest.approx(
+            brute_force_value(g, values, allowed)
+        )
+
+    def test_all_equal_values_matches_cardinality(self):
+        g, _ = random_weighted(42)
+        values = {y: 1.0 for y in g.right}
+        m = max_weight_matching(g, values)
+        assert len(m) == len(hopcroft_karp(g))
+
+    def test_result_validates(self):
+        g, values = random_weighted(7)
+        m = max_weight_matching(g, values)
+        m.validate(g)

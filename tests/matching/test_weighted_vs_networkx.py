@@ -1,0 +1,64 @@
+"""Cross-validation of the vertex-weighted matcher against networkx.
+
+A vertex-weighted bipartite matching (weights on jobs) equals a maximum
+edge-weighted matching where every edge inherits its job's weight, so
+``networkx.max_weight_matching`` provides an independent oracle for our
+matroid-greedy implementation on larger graphs than brute force allows.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.matching.graph import BipartiteGraph
+from repro.matching.weighted import weighted_matching_value
+from repro.rng import as_generator
+
+
+def random_weighted(seed, nl=15, nr=12, p=0.25):
+    gen = as_generator(seed)
+    left = [f"x{i}" for i in range(nl)]
+    right = [f"y{j}" for j in range(nr)]
+    edges = [(x, y) for x in left for y in right if gen.random() < p]
+    values = {y: float(gen.integers(0, 100)) for y in right}
+    return BipartiteGraph(left, right, edges), values
+
+
+def networkx_value(graph, values, allowed=None):
+    allowed = graph.left if allowed is None else frozenset(allowed)
+    g = nx.Graph()
+    for x, y in graph.edges():
+        if x in allowed:
+            g.add_edge(("L", x), ("R", y), weight=values[y])
+    matching = nx.max_weight_matching(g, maxcardinality=False)
+    total = 0.0
+    for u, v in matching:
+        y = u[1] if u[0] == "R" else v[1]
+        total += values[y]
+    return total
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_agrees_with_networkx(seed):
+    graph, values = random_weighted(seed)
+    assert weighted_matching_value(graph, values) == pytest.approx(
+        networkx_value(graph, values)
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_agrees_on_restricted_slots(seed):
+    graph, values = random_weighted(seed + 100)
+    allowed = frozenset(sorted(graph.left, key=repr)[::2])
+    assert weighted_matching_value(graph, values, allowed) == pytest.approx(
+        networkx_value(graph, values, allowed)
+    )
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_agrees_with_integer_plus_fractional_weights(seed):
+    gen = as_generator(seed + 200)
+    graph, _ = random_weighted(seed + 200)
+    values = {y: float(gen.random() * 10) for y in graph.right}
+    assert weighted_matching_value(graph, values) == pytest.approx(
+        networkx_value(graph, values)
+    )

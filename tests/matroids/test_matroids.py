@@ -1,0 +1,211 @@
+"""Matroid families: axioms, ranks, and family-specific behaviour."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.matroids import (
+    GraphicMatroid,
+    LaminarMatroid,
+    PartitionMatroid,
+    TransversalMatroid,
+    UniformMatroid,
+    check_matroid_axioms,
+)
+from repro.rng import as_generator
+
+
+class TestUniform:
+    def test_independence(self):
+        m = UniformMatroid({1, 2, 3}, k=2)
+        assert m.is_independent([])
+        assert m.is_independent([1, 2])
+        assert not m.is_independent([1, 2, 3])
+
+    def test_rank(self):
+        m = UniformMatroid({1, 2, 3, 4}, k=2)
+        assert m.rank() == 2
+        assert m.rank({1}) == 1
+
+    def test_outside_elements_dependent(self):
+        m = UniformMatroid({1}, k=5)
+        assert not m.is_independent([99])
+
+    def test_k_zero(self):
+        m = UniformMatroid({1, 2}, k=0)
+        assert m.is_independent([])
+        assert not m.is_independent([1])
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            UniformMatroid({1}, k=-1)
+
+    def test_axioms(self):
+        assert check_matroid_axioms(UniformMatroid({1, 2, 3, 4, 5}, k=2))
+
+
+class TestPartition:
+    def make(self):
+        blocks = {e: e % 3 for e in range(9)}
+        return PartitionMatroid(blocks, capacities={0: 1, 1: 2, 2: 0})
+
+    def test_capacities_respected(self):
+        m = self.make()
+        assert m.is_independent([0])        # block 0 cap 1
+        assert not m.is_independent([0, 3])  # two from block 0
+        assert m.is_independent([1, 4])      # block 1 cap 2
+        assert not m.is_independent([2])     # block 2 cap 0
+
+    def test_default_capacity_is_one(self):
+        m = PartitionMatroid({1: "a", 2: "a"})
+        assert m.is_independent([1])
+        assert not m.is_independent([1, 2])
+
+    def test_rank_closed_form(self):
+        m = self.make()
+        assert m.rank() == 1 + 2 + 0
+        assert m.rank([0, 3, 6, 1]) == 1 + 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            PartitionMatroid({1: "a"}, capacities={"a": -1})
+
+    def test_axioms(self):
+        blocks = {e: e % 2 for e in range(6)}
+        assert check_matroid_axioms(PartitionMatroid(blocks, {0: 2, 1: 1}))
+
+
+class TestGraphic:
+    def triangle_plus_tail(self):
+        return GraphicMatroid(
+            {"e0": ("a", "b"), "e1": ("b", "c"), "e2": ("a", "c"), "e3": ("c", "d")}
+        )
+
+    def test_forest_independent(self):
+        m = self.triangle_plus_tail()
+        assert m.is_independent(["e0", "e1", "e3"])
+
+    def test_cycle_dependent(self):
+        m = self.triangle_plus_tail()
+        assert not m.is_independent(["e0", "e1", "e2"])
+
+    def test_self_loop_dependent(self):
+        m = GraphicMatroid({"loop": ("a", "a")})
+        assert not m.is_independent(["loop"])
+
+    def test_parallel_edges(self):
+        m = GraphicMatroid({"e0": ("a", "b"), "e1": ("a", "b")})
+        assert m.is_independent(["e0"])
+        assert not m.is_independent(["e0", "e1"])
+
+    def test_rank_is_spanning_forest(self):
+        m = self.triangle_plus_tail()
+        assert m.rank() == 3  # 4 vertices, connected
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            GraphicMatroid([("a", "b")])
+
+    def test_axioms(self):
+        assert check_matroid_axioms(self.triangle_plus_tail())
+
+    def test_axioms_on_random_graph(self):
+        gen = as_generator(7)
+        edges = {
+            f"e{i}": (int(gen.integers(5)), int(gen.integers(5))) for i in range(8)
+        }
+        assert check_matroid_axioms(GraphicMatroid(edges))
+
+
+class TestTransversal:
+    def test_matchable_independent(self):
+        m = TransversalMatroid({"a": [1, 2], "b": [2], "c": [3]})
+        assert m.is_independent(["a", "b", "c"])
+
+    def test_overloaded_resource_dependent(self):
+        m = TransversalMatroid({"a": [1], "b": [1]})
+        assert m.is_independent(["a"])
+        assert not m.is_independent(["a", "b"])
+
+    def test_empty_adjacency_is_loop(self):
+        m = TransversalMatroid({"a": [], "b": [1]})
+        assert not m.is_independent(["a"])
+
+    def test_rank(self):
+        m = TransversalMatroid({"a": [1], "b": [1], "c": [2]})
+        assert m.rank() == 2
+
+    def test_axioms(self):
+        m = TransversalMatroid({"a": [1, 2], "b": [2, 3], "c": [1], "d": [3]})
+        assert check_matroid_axioms(m)
+
+
+class TestLaminar:
+    def make(self):
+        ground = {"a", "b", "c", "d"}
+        family = {
+            "inner": ({"a", "b"}, 1),
+            "outer": ({"a", "b", "c"}, 2),
+        }
+        return LaminarMatroid(ground, family)
+
+    def test_nested_capacities(self):
+        m = self.make()
+        assert m.is_independent(["a", "c"])
+        assert not m.is_independent(["a", "b"])       # inner cap 1
+        assert not m.is_independent(["a", "c", "b"])  # outer cap 2 + inner
+        assert m.is_independent(["a", "c", "d"])      # d unconstrained
+
+    def test_non_laminar_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            LaminarMatroid(
+                {"a", "b", "c"},
+                {"x": ({"a", "b"}, 1), "y": ({"b", "c"}, 1)},
+            )
+
+    def test_non_ground_members_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            LaminarMatroid({"a"}, {"x": ({"a", "zz"}, 1)})
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            LaminarMatroid({"a"}, {"x": ({"a"}, -1)})
+
+    def test_axioms(self):
+        assert check_matroid_axioms(self.make())
+
+    def test_generalises_partition(self):
+        # Disjoint family sets = partition matroid.
+        ground = set(range(6))
+        family = {"b0": ({0, 1, 2}, 1), "b1": ({3, 4, 5}, 2)}
+        m = LaminarMatroid(ground, family)
+        assert m.rank() == 6 - 3  # greedy picks 1 + 2 from the blocks...
+
+    def test_rank_via_greedy(self):
+        ground = set(range(4))
+        m = LaminarMatroid(ground, {"all": (ground, 2)})
+        assert m.rank() == 2
+
+
+class TestDerivedQueries:
+    def test_max_independent_subset_is_independent(self):
+        m = GraphicMatroid({"e0": ("a", "b"), "e1": ("b", "c"), "e2": ("a", "c")})
+        basis = m.max_independent_subset()
+        assert m.is_independent(basis)
+        assert len(basis) == m.rank()
+
+    def test_stray_elements_rejected_in_rank(self):
+        m = GraphicMatroid({"e0": ("a", "b")})
+        with pytest.raises(InvalidInstanceError):
+            m.rank({"zz"})
+
+    def test_uniform_rank_ignores_stray(self):
+        # UniformMatroid uses a closed form that intersects with the
+        # ground set rather than raising (documented difference).
+        m = UniformMatroid({1, 2}, k=1)
+        assert m.rank({99}) == 0
+
+    def test_can_add(self):
+        m = UniformMatroid({1, 2, 3}, k=2)
+        assert m.can_add([1], 2)
+        assert not m.can_add([1, 2], 3)
+        assert m.can_add([1, 2], 1)  # already a member

@@ -1,0 +1,88 @@
+"""Baseline schedulers."""
+
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.scheduling.baselines import always_on_schedule, sequential_cheapest_interval
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import AffineCost, UnavailabilityCost
+from repro.scheduling.solver import schedule_all_jobs
+from repro.workloads.jobs import bursty_instance
+
+
+def instance():
+    jobs = [Job("a", {("p", 0)}), Job("b", {("p", 3)})]
+    return ScheduleInstance(["p"], jobs, 6, AffineCost(2.0))
+
+
+class TestAlwaysOn:
+    def test_schedules_all(self):
+        sched = always_on_schedule(instance())
+        sched.validate(instance(), require_all=True)
+
+    def test_cost_is_full_horizon(self):
+        sched = always_on_schedule(instance())
+        assert sched.cost(instance()) == 2.0 + 6.0
+
+    def test_skips_unavailable_processors(self):
+        jobs = [Job("a", {("p", 0), ("q", 0)})]
+        model = UnavailabilityCost(AffineCost(1.0), blocked=[("p", 3)])
+        inst = ScheduleInstance(["p", "q"], jobs, 6, model)
+        sched = always_on_schedule(inst)
+        assert all(iv.processor == "q" for iv in sched.intervals)
+
+    def test_infeasible_when_capacity_missing(self):
+        jobs = [Job("a", {("p", 0)}), Job("b", {("p", 0)})]
+        inst = ScheduleInstance(["p"], jobs, 2, AffineCost(1.0))
+        with pytest.raises(InfeasibleError):
+            always_on_schedule(inst)
+
+
+class TestSequential:
+    def test_schedules_all(self):
+        sched = sequential_cheapest_interval(instance())
+        sched.validate(instance(), require_all=True)
+
+    def test_reuses_bought_intervals(self):
+        # With the covering interval as the only candidate, the second
+        # job rides along at zero marginal cost instead of buying again.
+        jobs = [Job("a", {("p", 0)}), Job("b", {("p", 0), ("p", 1)})]
+        inst = ScheduleInstance(["p"], jobs, 2, AffineCost(10.0))
+        pool = [AwakeInterval("p", 0, 1)]
+        sched = sequential_cheapest_interval(inst, candidates=pool)
+        assert len(sched.intervals) == 1
+
+    def test_buys_cheapest_per_job(self):
+        # Unit intervals are individually cheaper than the covering one,
+        # so the myopic baseline buys two of them — exactly the failure
+        # mode the submodular greedy avoids.
+        jobs = [Job("a", {("p", 0)}), Job("b", {("p", 1)})]
+        inst = ScheduleInstance(["p"], jobs, 2, AffineCost(10.0))
+        sched = sequential_cheapest_interval(inst)
+        assert len(sched.intervals) == 2
+        assert sched.cost(inst) == 22.0
+
+    def test_infeasible_raises(self):
+        jobs = [Job("a", {("p", 0)}), Job("b", {("p", 0)})]
+        inst = ScheduleInstance(["p"], jobs, 1, AffineCost(1.0))
+        with pytest.raises(InfeasibleError):
+            sequential_cheapest_interval(inst)
+
+    def test_explicit_candidate_pool(self):
+        inst = instance()
+        pool = [AwakeInterval("p", 0, 0), AwakeInterval("p", 3, 3)]
+        sched = sequential_cheapest_interval(inst, candidates=pool)
+        assert set(sched.intervals) <= set(pool)
+
+
+class TestBaselinesVsGreedy:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_greedy_never_worse_than_always_on_on_bursty(self, seed):
+        inst = bursty_instance(
+            9, 3, 40, n_bursts=2, burst_width=4,
+            cost_model=AffineCost(2.0), rng=seed,
+        )
+        greedy_cost = schedule_all_jobs(inst).cost
+        baseline_cost = always_on_schedule(inst).cost(inst)
+        assert greedy_cost <= baseline_cost + 1e-9

@@ -1,0 +1,88 @@
+"""Composed cost models and solver parameter plumbing."""
+
+import math
+
+import pytest
+
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import (
+    PerProcessorRateCost,
+    SuperlinearCost,
+    TimeOfUseCost,
+    UnavailabilityCost,
+)
+from repro.scheduling.prize_collecting import prize_collecting_schedule
+from repro.scheduling.solver import schedule_all_jobs
+from repro.workloads.energy import tou_price_trace
+
+
+class TestComposedModels:
+    def test_unavailability_over_tou(self):
+        prices = tou_price_trace(12, base=1.0, peak_multiplier=2.0)
+        model = UnavailabilityCost(TimeOfUseCost(prices, 0.5), [("p", 5)])
+        assert math.isinf(model(AwakeInterval("p", 4, 6)))
+        finite = model(AwakeInterval("p", 0, 2))
+        assert finite == pytest.approx(0.5 + prices[0:3].sum())
+
+    def test_unavailability_over_superlinear(self):
+        model = UnavailabilityCost(SuperlinearCost(1.0, 2.0), [("q", 0)])
+        assert math.isinf(model(AwakeInterval("q", 0, 0)))
+        assert model(AwakeInterval("p", 0, 1)) == 1.0 + 4.0
+
+    def test_solver_with_per_processor_and_outage(self):
+        # p is cheap but down mid-horizon; q is expensive but reliable.
+        base = PerProcessorRateCost(
+            rates={"p": 1.0, "q": 3.0}, restart_costs={"p": 1.0, "q": 1.0}
+        )
+        model = UnavailabilityCost(base, [("p", t) for t in range(3, 9)])
+        jobs = [
+            Job("early", {("p", 1), ("q", 1)}),
+            Job("mid", {("p", 5), ("q", 5)}),   # p is down: must use q
+            Job("late", {("p", 10), ("q", 10)}),
+        ]
+        inst = ScheduleInstance(["p", "q"], jobs, 12, model)
+        result = schedule_all_jobs(inst)
+        result.schedule.validate(inst, require_all=True)
+        assert result.schedule.assignment["mid"][0] == "q"
+
+    def test_prize_collecting_with_tou(self):
+        prices = tou_price_trace(12, base=1.0, peak_multiplier=5.0)
+        model = TimeOfUseCost(prices, restart_cost=1.0)
+        jobs = [
+            Job(f"flex{i}", frozenset(("p", t) for t in range(12)), value=1.0)
+            for i in range(4)
+        ]
+        inst = ScheduleInstance(["p"], jobs, 12, model)
+        result = prize_collecting_schedule(inst, target_value=2.0, epsilon=0.25)
+        # The cheap trough is at the start; scheduled slots should sit
+        # in below-average-price hours.
+        mean_price = prices.mean()
+        for _, (proc, t) in result.schedule.assignment.items():
+            assert prices[t] <= mean_price
+
+
+class TestSolverParameterPlumbing:
+    def test_explicit_candidates_restrict_solver(self):
+        jobs = [Job("a", {("p", 0), ("p", 5)})]
+        inst = ScheduleInstance(
+            ["p"], jobs, 8,
+            PerProcessorRateCost({"p": 1.0}, {"p": 1.0}),
+        )
+        pool = [AwakeInterval("p", 5, 5)]  # slot 0 not purchasable
+        result = schedule_all_jobs(inst, candidates=pool)
+        assert result.schedule.assignment["a"] == ("p", 5)
+
+    def test_prize_collecting_explicit_candidates(self):
+        jobs = [
+            Job("a", {("p", 0)}, value=3.0),
+            Job("b", {("p", 5)}, value=1.0),
+        ]
+        inst = ScheduleInstance(
+            ["p"], jobs, 8, PerProcessorRateCost({"p": 1.0}, {"p": 1.0})
+        )
+        pool = [AwakeInterval("p", 5, 5)]  # only b's slot available
+        result = prize_collecting_schedule(
+            inst, target_value=1.0, epsilon=0.5, candidates=pool
+        )
+        assert set(result.schedule.assignment) == {"b"}

@@ -1,0 +1,110 @@
+"""Exact branch-and-bound reference solvers."""
+
+import pytest
+
+from repro.errors import InfeasibleError, InvalidInstanceError
+from repro.scheduling.exact import (
+    optimal_prize_collecting_bruteforce,
+    optimal_schedule_bruteforce,
+)
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import AffineCost, TableCost
+
+
+def hand_instance():
+    """Hand-solvable: jobs at t=0 and t=4; candidates are the two unit
+    intervals (cost 2 each) and one spanning interval (cost 6)."""
+    jobs = [Job("a", {("p", 0)}), Job("b", {("p", 4)})]
+    table = {
+        AwakeInterval("p", 0, 0): 2.0,
+        AwakeInterval("p", 4, 4): 2.0,
+        AwakeInterval("p", 0, 4): 6.0,
+    }
+    return ScheduleInstance(
+        ["p"], jobs, 5, TableCost(table), candidate_intervals=list(table)
+    )
+
+
+class TestScheduleAllExact:
+    def test_hand_computed_optimum(self):
+        result = optimal_schedule_bruteforce(hand_instance())
+        assert result.cost == 4.0
+        assert set(result.intervals) == {
+            AwakeInterval("p", 0, 0),
+            AwakeInterval("p", 4, 4),
+        }
+
+    def test_spanning_wins_when_units_expensive(self):
+        jobs = [Job("a", {("p", 0)}), Job("b", {("p", 4)})]
+        table = {
+            AwakeInterval("p", 0, 0): 5.0,
+            AwakeInterval("p", 4, 4): 5.0,
+            AwakeInterval("p", 0, 4): 6.0,
+        }
+        inst = ScheduleInstance(
+            ["p"], jobs, 5, TableCost(table), candidate_intervals=list(table)
+        )
+        result = optimal_schedule_bruteforce(inst)
+        assert result.cost == 6.0
+
+    def test_schedule_validated(self):
+        result = optimal_schedule_bruteforce(hand_instance())
+        result.schedule.validate(hand_instance(), require_all=True)
+
+    def test_infeasible_raises(self):
+        jobs = [Job("a", {("p", 0)}), Job("b", {("p", 0)})]
+        inst = ScheduleInstance(["p"], jobs, 1, AffineCost(1.0))
+        with pytest.raises(InfeasibleError):
+            optimal_schedule_bruteforce(inst)
+
+    def test_limit_guard(self):
+        jobs = [Job(f"j{t}", {("p", t)}) for t in range(9)]
+        inst = ScheduleInstance(["p"], jobs, 9, AffineCost(1.0))
+        # 9 event points -> 45 candidate intervals > default limit.
+        with pytest.raises(InvalidInstanceError):
+            optimal_schedule_bruteforce(inst)
+        # Raising the limit explicitly works.
+        result = optimal_schedule_bruteforce(inst, limit=50)
+        assert result.cost > 0
+
+    def test_node_count_reported(self):
+        result = optimal_schedule_bruteforce(hand_instance())
+        assert result.nodes_explored >= 1
+
+
+class TestPrizeCollectingExact:
+    def instance(self):
+        jobs = [
+            Job("hi", {("p", 0)}, value=10.0),
+            Job("lo", {("p", 4)}, value=1.0),
+        ]
+        table = {
+            AwakeInterval("p", 0, 0): 3.0,
+            AwakeInterval("p", 4, 4): 1.0,
+        }
+        return ScheduleInstance(
+            ["p"], jobs, 5, TableCost(table), candidate_intervals=list(table)
+        )
+
+    def test_picks_cheapest_way_to_value(self):
+        # Value target 1: the cheap interval with the low-value job wins.
+        result = optimal_prize_collecting_bruteforce(self.instance(), 1.0)
+        assert result.cost == 1.0
+
+    def test_high_target_needs_expensive_interval(self):
+        result = optimal_prize_collecting_bruteforce(self.instance(), 10.0)
+        assert result.cost == 3.0
+
+    def test_combined_target(self):
+        result = optimal_prize_collecting_bruteforce(self.instance(), 11.0)
+        assert result.cost == 4.0
+
+    def test_zero_target_free(self):
+        result = optimal_prize_collecting_bruteforce(self.instance(), 0.0)
+        assert result.cost == 0.0
+        assert result.intervals == []
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(InfeasibleError):
+            optimal_prize_collecting_bruteforce(self.instance(), 99.0)

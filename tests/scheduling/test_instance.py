@@ -1,0 +1,120 @@
+"""ScheduleInstance and Job validation + derived structures."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import AffineCost
+
+
+def basic_instance():
+    jobs = [
+        Job("a", {("p", 0), ("q", 2)}, value=2.0),
+        Job("b", {("p", 1)}, value=1.0),
+    ]
+    return ScheduleInstance(["p", "q"], jobs, 4, AffineCost(1.0))
+
+
+class TestJob:
+    def test_slots_frozen(self):
+        job = Job("a", {("p", 0)})
+        assert isinstance(job.slots, frozenset)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job("a", {("p", 0)}, value=-1.0)
+
+    def test_malformed_slot_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job("a", {("p",)})
+        with pytest.raises(InvalidInstanceError):
+            Job("a", {("p", -3)})
+        with pytest.raises(InvalidInstanceError):
+            Job("a", {("p", 1.5)})
+
+    def test_processors_and_times(self):
+        job = Job("a", {("p", 0), ("p", 3), ("q", 2)})
+        assert job.processors() == frozenset({"p", "q"})
+        assert job.times_on("p") == [0, 3]
+        assert job.times_on("zz") == []
+
+
+class TestInstanceValidation:
+    def test_valid_instance_passes(self):
+        basic_instance()  # must not raise
+
+    def test_nonpositive_horizon_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            ScheduleInstance(["p"], [], 0, AffineCost(1.0))
+
+    def test_duplicate_processors_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            ScheduleInstance(["p", "p"], [], 4, AffineCost(1.0))
+
+    def test_duplicate_job_ids_rejected(self):
+        jobs = [Job("a", {("p", 0)}), Job("a", {("p", 1)})]
+        with pytest.raises(InvalidInstanceError):
+            ScheduleInstance(["p"], jobs, 4, AffineCost(1.0))
+
+    def test_unknown_processor_rejected(self):
+        jobs = [Job("a", {("zz", 0)})]
+        with pytest.raises(InvalidInstanceError):
+            ScheduleInstance(["p"], jobs, 4, AffineCost(1.0))
+
+    def test_slot_past_horizon_rejected(self):
+        jobs = [Job("a", {("p", 9)})]
+        with pytest.raises(InvalidInstanceError):
+            ScheduleInstance(["p"], jobs, 4, AffineCost(1.0))
+
+    def test_candidate_interval_validation(self):
+        jobs = [Job("a", {("p", 0)})]
+        with pytest.raises(InvalidInstanceError):
+            ScheduleInstance(
+                ["p"], jobs, 4, AffineCost(1.0),
+                candidate_intervals=[AwakeInterval("zz", 0, 1)],
+            )
+        with pytest.raises(InvalidInstanceError):
+            ScheduleInstance(
+                ["p"], jobs, 4, AffineCost(1.0),
+                candidate_intervals=[AwakeInterval("p", 0, 9)],
+            )
+
+
+class TestDerivedStructures:
+    def test_all_slots(self):
+        inst = basic_instance()
+        assert inst.all_slots() == frozenset({("p", 0), ("q", 2), ("p", 1)})
+
+    def test_job_values_and_total(self):
+        inst = basic_instance()
+        assert inst.job_values() == {"a": 2.0, "b": 1.0}
+        assert inst.total_value() == 3.0
+
+    def test_job_by_id(self):
+        inst = basic_instance()
+        assert inst.job_by_id("a").value == 2.0
+        with pytest.raises(KeyError):
+            inst.job_by_id("zzz")
+
+    def test_bipartite_graph_structure(self):
+        inst = basic_instance()
+        graph = inst.bipartite_graph()
+        assert graph.right == frozenset({"a", "b"})
+        assert graph.left == inst.all_slots()
+        assert graph.neighbors_of_right("a") == frozenset({("p", 0), ("q", 2)})
+
+    def test_interval_slot_map_keeps_only_useful(self):
+        inst = basic_instance()
+        iv = AwakeInterval("p", 0, 3)
+        mapped = inst.interval_slot_map([iv])
+        assert mapped[iv] == frozenset({("p", 0), ("p", 1)})
+
+    def test_explicit_candidates_returned(self):
+        jobs = [Job("a", {("p", 0)})]
+        pool = [AwakeInterval("p", 0, 0), AwakeInterval("p", 0, 2)]
+        inst = ScheduleInstance(["p"], jobs, 4, AffineCost(1.0), candidate_intervals=pool)
+        assert inst.candidates() == pool
+
+    def test_n_jobs(self):
+        assert basic_instance().n_jobs == 2

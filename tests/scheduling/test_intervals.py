@@ -1,0 +1,114 @@
+"""AwakeInterval, merging, and candidate enumeration."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import (
+    AwakeInterval,
+    enumerate_candidate_intervals,
+    merge_intervals,
+)
+from repro.scheduling.power import AffineCost, UnavailabilityCost
+
+
+class TestAwakeInterval:
+    def test_length(self):
+        assert AwakeInterval("p", 2, 2).length == 1
+        assert AwakeInterval("p", 0, 4).length == 5
+
+    def test_slots(self):
+        iv = AwakeInterval("p", 1, 3)
+        assert iv.slots() == frozenset({("p", 1), ("p", 2), ("p", 3)})
+
+    def test_contains(self):
+        iv = AwakeInterval("p", 1, 3)
+        assert iv.contains(("p", 2))
+        assert not iv.contains(("p", 4))
+        assert not iv.contains(("q", 2))
+
+    def test_overlap(self):
+        a = AwakeInterval("p", 0, 3)
+        assert a.overlaps(AwakeInterval("p", 3, 5))
+        assert not a.overlaps(AwakeInterval("p", 4, 5))
+        assert not a.overlaps(AwakeInterval("q", 0, 3))
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            AwakeInterval("p", -1, 2)
+        with pytest.raises(InvalidInstanceError):
+            AwakeInterval("p", 3, 2)
+
+    def test_hashable_and_ordered(self):
+        a, b = AwakeInterval("p", 0, 1), AwakeInterval("p", 0, 2)
+        assert len({a, b, a}) == 2
+        assert a < b
+
+
+class TestMergeIntervals:
+    def test_merges_overlapping(self):
+        merged = merge_intervals([AwakeInterval("p", 0, 3), AwakeInterval("p", 2, 5)])
+        assert merged == [AwakeInterval("p", 0, 5)]
+
+    def test_merges_adjacent(self):
+        merged = merge_intervals([AwakeInterval("p", 0, 2), AwakeInterval("p", 3, 4)])
+        assert merged == [AwakeInterval("p", 0, 4)]
+
+    def test_keeps_gaps(self):
+        merged = merge_intervals([AwakeInterval("p", 0, 1), AwakeInterval("p", 5, 6)])
+        assert len(merged) == 2
+
+    def test_processors_independent(self):
+        merged = merge_intervals(
+            [AwakeInterval("p", 0, 3), AwakeInterval("q", 2, 5)]
+        )
+        assert len(merged) == 2
+
+    def test_contained_interval_absorbed(self):
+        merged = merge_intervals([AwakeInterval("p", 0, 9), AwakeInterval("p", 3, 4)])
+        assert merged == [AwakeInterval("p", 0, 9)]
+
+
+class TestEnumeration:
+    def make_instance(self):
+        jobs = [
+            Job("a", {("p", 1), ("p", 5)}),
+            Job("b", {("p", 3)}),
+        ]
+        return ScheduleInstance(["p"], jobs, 8, AffineCost(1.0))
+
+    def test_event_points_only(self):
+        cands = enumerate_candidate_intervals(self.make_instance())
+        # Event times on p: 1, 3, 5 => 6 interval choices.
+        assert len(cands) == 6
+        assert AwakeInterval("p", 1, 5) in cands
+        assert AwakeInterval("p", 3, 3) in cands
+
+    def test_full_enumeration(self):
+        cands = enumerate_candidate_intervals(
+            self.make_instance(), event_points_only=False
+        )
+        assert len(cands) == 8 * 9 // 2  # all [s, e] pairs in an 8-slot horizon
+
+    def test_max_length_cap(self):
+        cands = enumerate_candidate_intervals(self.make_instance(), max_length=3)
+        assert all(iv.length <= 3 for iv in cands)
+        assert AwakeInterval("p", 1, 3) in cands
+        assert AwakeInterval("p", 1, 5) not in cands
+
+    def test_infinite_cost_intervals_dropped(self):
+        jobs = [Job("a", {("p", 1), ("p", 5)})]
+        model = UnavailabilityCost(AffineCost(1.0), blocked=[("p", 3)])
+        inst = ScheduleInstance(["p"], jobs, 8, model)
+        cands = enumerate_candidate_intervals(inst)
+        assert AwakeInterval("p", 1, 5) not in cands  # spans the blocked slot
+        assert AwakeInterval("p", 1, 1) in cands
+        assert all(not math.isinf(inst.cost_of(iv)) for iv in cands)
+
+    def test_multi_processor_events_separate(self):
+        jobs = [Job("a", {("p", 1), ("q", 6)})]
+        inst = ScheduleInstance(["p", "q"], jobs, 8, AffineCost(1.0))
+        cands = enumerate_candidate_intervals(inst)
+        assert cands == [AwakeInterval("p", 1, 1), AwakeInterval("q", 6, 6)]

@@ -1,0 +1,132 @@
+"""Theorems 2.3.1 / 2.3.3: prize-collecting guarantees."""
+
+import math
+
+import pytest
+
+from repro.errors import BudgetError, InfeasibleError
+from repro.scheduling.exact import optimal_prize_collecting_bruteforce
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.power import AffineCost
+from repro.scheduling.prize_collecting import (
+    prize_collecting_exact_value,
+    prize_collecting_schedule,
+)
+from repro.workloads.jobs import small_certifiable_instance
+
+
+def contested_instance():
+    """Three jobs contending for one slot each at different times; only
+    two can be scheduled within the two cheap candidate windows."""
+    jobs = [
+        Job("gold", {("p", 0)}, value=10.0),
+        Job("silver", {("p", 1)}, value=5.0),
+        Job("bronze", {("p", 5)}, value=1.0),
+    ]
+    return ScheduleInstance(["p"], jobs, 6, AffineCost(3.0))
+
+
+class TestBicriteria:
+    def test_reaches_fraction_of_target(self):
+        inst = contested_instance()
+        result = prize_collecting_schedule(inst, target_value=15.0, epsilon=0.25)
+        assert result.value >= 0.75 * 15.0 - 1e-9
+        result.schedule.validate(inst)
+
+    def test_prefers_valuable_jobs(self):
+        inst = contested_instance()
+        result = prize_collecting_schedule(inst, target_value=10.0, epsilon=0.1)
+        assert "gold" in result.schedule.assignment
+
+    def test_zero_target_returns_empty(self):
+        inst = contested_instance()
+        result = prize_collecting_schedule(inst, target_value=0.0, epsilon=0.5)
+        assert result.value == 0.0
+        assert result.cost == 0.0
+
+    def test_unachievable_target_raises(self):
+        inst = contested_instance()
+        with pytest.raises(InfeasibleError):
+            prize_collecting_schedule(inst, target_value=100.0, epsilon=0.25)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(BudgetError):
+            prize_collecting_schedule(contested_instance(), -1.0, 0.25)
+
+    def test_methods_agree(self):
+        inst = contested_instance()
+        lazy = prize_collecting_schedule(inst, 15.0, 0.25, method="lazy")
+        plain = prize_collecting_schedule(inst, 15.0, 0.25, method="plain")
+        assert lazy.value == pytest.approx(plain.value)
+        assert lazy.cost == pytest.approx(plain.cost)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_cost_bound_against_certified_optimum(self, seed):
+        inst = small_certifiable_instance(
+            n_jobs=6, n_processors=2, horizon=14, n_candidate_intervals=12,
+            value_spread=4.0, rng=seed,
+        )
+        target = 0.5 * inst.total_value()
+        epsilon = 0.25
+        exact = optimal_prize_collecting_bruteforce(inst, target)
+        result = prize_collecting_schedule(inst, target, epsilon)
+        assert result.value >= (1 - epsilon) * target - 1e-9
+        bound = 2.0 * max(1.0, math.log2(1.0 / epsilon))
+        assert result.cost <= bound * exact.cost + 1e-9
+
+
+class TestExactValue:
+    def test_meets_threshold_exactly(self):
+        inst = contested_instance()
+        result = prize_collecting_exact_value(inst, target_value=15.0)
+        assert result.value >= 15.0 - 1e-9
+        result.schedule.validate(inst)
+
+    def test_full_value_achievable(self):
+        inst = contested_instance()
+        result = prize_collecting_exact_value(inst, target_value=16.0)
+        assert result.value >= 16.0 - 1e-9
+        assert set(result.schedule.assignment) == {"gold", "silver", "bronze"}
+
+    def test_zero_or_negative_target(self):
+        inst = contested_instance()
+        result = prize_collecting_exact_value(inst, target_value=0.0)
+        assert result.value >= 0.0
+
+    def test_unachievable_raises(self):
+        with pytest.raises(InfeasibleError):
+            prize_collecting_exact_value(contested_instance(), 100.0)
+
+    def test_all_zero_values_with_positive_target_raises(self):
+        jobs = [Job("a", {("p", 0)}, value=0.0)]
+        inst = ScheduleInstance(["p"], jobs, 2, AffineCost(1.0))
+        with pytest.raises(InfeasibleError):
+            prize_collecting_exact_value(inst, 1.0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_threshold_met_on_random_instances(self, seed):
+        inst = small_certifiable_instance(
+            n_jobs=5, n_processors=2, horizon=12, n_candidate_intervals=10,
+            value_spread=3.0, rng=seed + 50,
+        )
+        target = 0.6 * inst.total_value()
+        result = prize_collecting_exact_value(inst, target)
+        assert result.value >= target - 1e-9
+        result.schedule.validate(inst)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cost_bound_log_n_log_delta(self, seed):
+        inst = small_certifiable_instance(
+            n_jobs=5, n_processors=2, horizon=12, n_candidate_intervals=10,
+            value_spread=4.0, rng=seed + 200,
+        )
+        target = 0.5 * inst.total_value()
+        exact = optimal_prize_collecting_bruteforce(inst, target)
+        result = prize_collecting_exact_value(inst, target)
+        values = [j.value for j in inst.jobs if j.value > 0]
+        delta = max(values) / min(values)
+        n = inst.n_jobs
+        # O((log n + log delta) B) with the lemma's constant 2, plus the
+        # single top-up interval whose cost is at most B.
+        bound = 2.0 * (math.log2(n * delta / min(1.0, 1.0)) + 1) + 1
+        assert result.cost <= bound * exact.cost * 2 + 1e-9  # generous constant

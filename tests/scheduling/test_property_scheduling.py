@@ -1,0 +1,122 @@
+"""Property-based tests over random scheduling instances (hypothesis).
+
+* solver output is always a feasible full schedule;
+* the exact reference never exceeds the greedy's cost;
+* the lower-bound module never exceeds the exact optimum;
+* merging bought intervals never increases the affine awake-slot count.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.analysis.bounds import schedule_cost_lower_bound
+from repro.scheduling.exact import optimal_schedule_bruteforce
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval, merge_intervals
+from repro.scheduling.power import AffineCost, TableCost
+from repro.scheduling.solver import schedule_all_jobs
+
+
+@st.composite
+def table_instances(draw, max_intervals=8, max_jobs=5, horizon=10):
+    """Instance with an explicit priced interval pool; jobs live inside it."""
+    n_ivs = draw(st.integers(min_value=1, max_value=max_intervals))
+    procs = ["p0", "p1"]
+    table = {}
+    for _ in range(n_ivs):
+        proc = draw(st.sampled_from(procs))
+        start = draw(st.integers(min_value=0, max_value=horizon - 2))
+        end = draw(st.integers(min_value=start, max_value=min(horizon - 1, start + 3)))
+        iv = AwakeInterval(proc, start, end)
+        table[iv] = float(draw(st.integers(min_value=1, max_value=9)))
+    slots = sorted({s for iv in table for s in iv.slots()}, key=repr)
+    n_jobs = draw(st.integers(min_value=1, max_value=min(max_jobs, len(slots))))
+    jobs = []
+    for j in range(n_jobs):
+        k = draw(st.integers(min_value=1, max_value=min(3, len(slots))))
+        idx = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(slots) - 1),
+                min_size=k, max_size=k, unique=True,
+            )
+        )
+        jobs.append(Job(f"j{j}", frozenset(slots[i] for i in idx)))
+    inst = ScheduleInstance(
+        procs, jobs, horizon, TableCost(table), candidate_intervals=list(table)
+    )
+    return inst
+
+
+def solvable(inst):
+    from repro.matching.hopcroft_karp import hopcroft_karp
+
+    return len(hopcroft_karp(inst.bipartite_graph())) == inst.n_jobs
+
+
+@given(table_instances())
+@settings(max_examples=80, deadline=None)
+def test_solver_output_always_feasible(inst):
+    if not solvable(inst):
+        return
+    result = schedule_all_jobs(inst)
+    result.schedule.validate(inst, require_all=True)
+
+
+@given(table_instances(max_intervals=7, max_jobs=4))
+@settings(max_examples=60, deadline=None)
+def test_exact_never_beaten_and_bound_valid(inst):
+    if not solvable(inst):
+        return
+    greedy = schedule_all_jobs(inst).cost
+    exact = optimal_schedule_bruteforce(inst).cost
+    assert exact <= greedy + 1e-9
+    assert schedule_cost_lower_bound(inst) <= exact + 1e-9
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=12),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_merge_intervals_never_grows_awake_time(spans):
+    intervals = [AwakeInterval("p", s, s + length) for s, length in spans]
+    merged = merge_intervals(intervals)
+    raw_slots = set()
+    for iv in intervals:
+        raw_slots |= iv.slots()
+    merged_slots = set()
+    for iv in merged:
+        merged_slots |= iv.slots()
+    # Merging preserves the awake set exactly...
+    assert merged_slots == raw_slots
+    # ...with disjoint runs.
+    for i, a in enumerate(merged):
+        for b in merged[i + 1 :]:
+            assert not a.overlaps(b)
+    # And under the affine model, paying per merged run is never worse.
+    model = AffineCost(restart_cost=2.0)
+    assert sum(model(iv) for iv in merged) <= sum(model(iv) for iv in intervals) + 1e-9
+
+
+@given(table_instances(max_intervals=7, max_jobs=4))
+@settings(max_examples=40, deadline=None)
+def test_all_methods_realise_the_guarantee(inst):
+    # Engines may diverge on exact ratio ties, but each must stay within
+    # the Lemma 2.1.2 bound of the certified optimum.
+    import math
+
+    if not solvable(inst):
+        return
+    exact = optimal_schedule_bruteforce(inst).cost
+    bound = 2.0 * math.log2(inst.n_jobs + 1) * exact + 1e-9
+    for m in ("incremental", "lazy", "plain"):
+        result = schedule_all_jobs(inst, method=m)
+        result.schedule.validate(inst, require_all=True)
+        assert result.cost <= bound

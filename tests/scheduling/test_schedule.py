@@ -1,0 +1,107 @@
+"""Schedule feasibility validation and accounting."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import AffineCost
+from repro.scheduling.schedule import Schedule
+
+
+def instance():
+    jobs = [
+        Job("a", {("p", 0), ("p", 2)}, value=3.0),
+        Job("b", {("p", 1)}, value=1.0),
+    ]
+    return ScheduleInstance(["p"], jobs, 4, AffineCost(2.0))
+
+
+def good_schedule():
+    return Schedule(
+        intervals=[AwakeInterval("p", 0, 2)],
+        assignment={"a": ("p", 0), "b": ("p", 1)},
+    )
+
+
+class TestAccounting:
+    def test_cost_sums_interval_costs(self):
+        inst = instance()
+        sched = Schedule(intervals=[AwakeInterval("p", 0, 1), AwakeInterval("p", 3, 3)])
+        assert sched.cost(inst) == (2 + 2) + (2 + 1)
+
+    def test_value_sums_scheduled_jobs(self):
+        inst = instance()
+        assert good_schedule().value(inst) == 4.0
+        partial = Schedule(
+            intervals=[AwakeInterval("p", 0, 0)], assignment={"a": ("p", 0)}
+        )
+        assert partial.value(inst) == 3.0
+
+    def test_awake_pattern_merges(self):
+        sched = Schedule(
+            intervals=[AwakeInterval("p", 0, 2), AwakeInterval("p", 1, 3)]
+        )
+        assert sched.awake_pattern() == [AwakeInterval("p", 0, 3)]
+        assert sched.awake_slot_count() == 4
+
+    def test_empty_schedule(self):
+        sched = Schedule()
+        assert sched.awake_pattern() == []
+        assert sched.cost(instance()) == 0.0
+
+    def test_scheduled_jobs_sorted(self):
+        assert good_schedule().scheduled_jobs() == ["a", "b"]
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self):
+        good_schedule().validate(instance(), require_all=True)
+
+    def test_interval_past_horizon_rejected(self):
+        sched = Schedule(intervals=[AwakeInterval("p", 0, 9)])
+        with pytest.raises(InvalidInstanceError):
+            sched.validate(instance())
+
+    def test_unknown_job_rejected(self):
+        sched = Schedule(
+            intervals=[AwakeInterval("p", 0, 2)], assignment={"zz": ("p", 0)}
+        )
+        with pytest.raises(InvalidInstanceError):
+            sched.validate(instance())
+
+    def test_invalid_slot_for_job_rejected(self):
+        sched = Schedule(
+            intervals=[AwakeInterval("p", 0, 2)], assignment={"a": ("p", 1)}
+        )  # ("p",1) not in a's T set
+        with pytest.raises(InvalidInstanceError):
+            sched.validate(instance())
+
+    def test_sleeping_slot_rejected(self):
+        sched = Schedule(
+            intervals=[AwakeInterval("p", 0, 0)], assignment={"a": ("p", 2)}
+        )
+        with pytest.raises(InvalidInstanceError):
+            sched.validate(instance())
+
+    def test_double_booking_rejected(self):
+        jobs = [Job("a", {("p", 0)}), Job("b", {("p", 0)})]
+        inst = ScheduleInstance(["p"], jobs, 2, AffineCost(1.0))
+        sched = Schedule(
+            intervals=[AwakeInterval("p", 0, 0)],
+            assignment={"a": ("p", 0), "b": ("p", 0)},
+        )
+        with pytest.raises(InvalidInstanceError):
+            sched.validate(inst)
+
+    def test_require_all_catches_missing_jobs(self):
+        sched = Schedule(
+            intervals=[AwakeInterval("p", 0, 2)], assignment={"a": ("p", 0)}
+        )
+        sched.validate(instance())  # partial is fine by default
+        with pytest.raises(InvalidInstanceError):
+            sched.validate(instance(), require_all=True)
+
+    def test_summary_contains_counts(self):
+        text = good_schedule().summary(instance())
+        assert "2/2 jobs" in text

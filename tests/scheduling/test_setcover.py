@@ -1,0 +1,146 @@
+"""Set Cover: greedy guarantee and the Appendix .1 reduction."""
+
+import pytest
+
+from repro.errors import InfeasibleError, InvalidInstanceError
+from repro.scheduling.setcover import (
+    SetCoverInstance,
+    greedy_set_cover,
+    harmonic_number,
+    random_set_cover_instance,
+    set_cover_to_scheduling,
+)
+from repro.scheduling.solver import schedule_all_jobs
+
+
+def tiny_instance():
+    return SetCoverInstance(
+        universe=frozenset({1, 2, 3, 4}),
+        subsets={"a": frozenset({1, 2}), "b": frozenset({3, 4}), "c": frozenset({1, 2, 3, 4})},
+        costs={"a": 1.0, "b": 1.0, "c": 3.0},
+    )
+
+
+class TestInstanceValidation:
+    def test_valid(self):
+        tiny_instance()
+
+    def test_mismatched_costs_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(
+                universe=frozenset({1}),
+                subsets={"a": frozenset({1})},
+                costs={"b": 1.0},
+            )
+
+    def test_uncoverable_universe_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(
+                universe=frozenset({1, 2}),
+                subsets={"a": frozenset({1})},
+                costs={"a": 1.0},
+            )
+
+    def test_stray_elements_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(
+                universe=frozenset({1}),
+                subsets={"a": frozenset({1, 99})},
+                costs={"a": 1.0},
+            )
+
+
+class TestGreedySetCover:
+    def test_covers_universe(self):
+        result = greedy_set_cover(tiny_instance())
+        covered = set()
+        for name in result.chosen:
+            covered |= tiny_instance().subsets[name]
+        assert covered == set(tiny_instance().universe)
+
+    def test_picks_cheap_pair(self):
+        result = greedy_set_cover(tiny_instance())
+        assert result.cost == 2.0
+
+    def test_methods_agree(self):
+        lazy = greedy_set_cover(tiny_instance(), method="lazy")
+        plain = greedy_set_cover(tiny_instance(), method="plain")
+        assert lazy.cost == plain.cost
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_harmonic_bound_on_planted_instances(self, seed):
+        sc = random_set_cover_instance(
+            40, 16, planted_cover_size=5, density=0.15, rng=seed
+        )
+        result = greedy_set_cover(sc)
+        # Planted optimum costs exactly 5 (5 unit-cost sets).
+        h = harmonic_number(40)
+        assert result.cost <= 5.0 * h + 1e-9
+
+
+class TestHarmonic:
+    def test_values(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+
+class TestReduction:
+    def test_reduction_preserves_optimal_cost(self):
+        sc = tiny_instance()
+        inst = set_cover_to_scheduling(sc)
+        result = schedule_all_jobs(inst)
+        # The scheduling greedy on the reduced instance is the set-cover
+        # greedy; its cost equals the greedy cover cost.
+        assert result.cost == greedy_set_cover(sc).cost
+
+    def test_reduced_instance_shape(self):
+        sc = tiny_instance()
+        inst = set_cover_to_scheduling(sc)
+        assert set(inst.processors) == {"a", "b", "c"}
+        assert inst.n_jobs == 4
+        assert inst.horizon == 4
+        # Exactly one candidate interval per processor.
+        assert len(inst.candidates()) == 3
+
+    def test_job_slots_follow_membership(self):
+        sc = tiny_instance()
+        inst = set_cover_to_scheduling(sc)
+        job = inst.job_by_id(("job", 1))
+        procs = {p for p, _ in job.slots}
+        assert procs == {"a", "c"}
+
+    def test_schedule_selects_a_cover(self):
+        sc = tiny_instance()
+        inst = set_cover_to_scheduling(sc)
+        result = schedule_all_jobs(inst)
+        chosen_sets = {iv.processor for iv in result.schedule.intervals}
+        covered = set()
+        for name in chosen_sets:
+            covered |= sc.subsets[name]
+        assert covered == set(sc.universe)
+
+
+class TestRandomGenerator:
+    def test_coverable(self):
+        sc = random_set_cover_instance(25, 10, rng=0)
+        union = set()
+        for s in sc.subsets.values():
+            union |= s
+        assert union == set(sc.universe)
+
+    def test_planted_cover_is_partition(self):
+        sc = random_set_cover_instance(30, 12, planted_cover_size=4, rng=1)
+        planted = [sc.subsets[f"S{i}"] for i in range(4)]
+        union = set()
+        total = 0
+        for p in planted:
+            union |= p
+            total += len(p)
+        assert union == set(sc.universe)
+        assert total == len(sc.universe)  # disjoint
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            random_set_cover_instance(0, 5)
+        with pytest.raises(InvalidInstanceError):
+            random_set_cover_instance(10, 3, planted_cover_size=5)

@@ -1,0 +1,84 @@
+"""Secretary baselines: legality and expected-value ordering."""
+
+import pytest
+
+from repro.errors import BudgetError
+from repro.rng import as_generator, spawn
+from repro.secretary.baselines import (
+    first_k_baseline,
+    greedy_no_observation_baseline,
+    random_k_baseline,
+)
+from repro.secretary.stream import SecretaryStream
+from repro.secretary.submodular_secretary import monotone_submodular_secretary
+from repro.workloads.secretary_streams import additive_values, coverage_utility
+
+
+class TestLegality:
+    def test_first_k(self):
+        fn = coverage_utility(30, 12, rng=0)
+        stream = SecretaryStream(fn, rng=1)
+        result = first_k_baseline(stream, 5)
+        assert result.selected == frozenset(stream.order[:5])
+
+    def test_random_k_size(self):
+        fn = coverage_utility(30, 12, rng=2)
+        stream = SecretaryStream(fn, rng=3)
+        result = random_k_baseline(stream, 5, rng=4)
+        assert len(result.selected) == 5
+
+    def test_random_k_larger_than_n(self):
+        fn, _ = additive_values(3, rng=5)
+        stream = SecretaryStream(fn, rng=6)
+        result = random_k_baseline(stream, 10, rng=7)
+        assert len(result.selected) == 3
+
+    def test_greedy_no_obs_at_most_k(self):
+        fn = coverage_utility(30, 12, rng=8)
+        stream = SecretaryStream(fn, rng=9)
+        result = greedy_no_observation_baseline(stream, 4)
+        assert result.hires <= 4
+
+    @pytest.mark.parametrize(
+        "baseline", [first_k_baseline, greedy_no_observation_baseline]
+    )
+    def test_bad_k(self, baseline):
+        fn, _ = additive_values(5, rng=10)
+        stream = SecretaryStream(fn, rng=11)
+        with pytest.raises(BudgetError):
+            baseline(stream, 0)
+
+    def test_no_peeking(self):
+        # All baselines run against the arrival oracle without error.
+        fn = coverage_utility(20, 10, rng=12)
+        greedy_no_observation_baseline(SecretaryStream(fn, rng=13), 3)
+
+
+class TestValueOrdering:
+    def test_algorithm1_beats_first_k_on_additive(self):
+        # First-k hires a uniform sample; Algorithm 1's per-segment
+        # thresholds must do better in expectation on skewed values.
+        trials = 80
+        master = as_generator(0)
+        alg_total, first_total = 0.0, 0.0
+        for child in spawn(master, trials):
+            fn, _ = additive_values(100, distribution="lognormal", rng=child)
+            s1 = SecretaryStream(fn, rng=child)
+            alg_total += fn.value(monotone_submodular_secretary(s1, 5).selected)
+            s2 = SecretaryStream(fn, rng=child)
+            first_total += fn.value(first_k_baseline(s2, 5).selected)
+        assert alg_total > first_total
+
+    def test_random_k_matches_lemma_3_2_3_scale(self):
+        # E[f(random k-subset)] >= (k/n) f(ground) for submodular f
+        # (Lemma 3.2.3's sampling bound); check the measured mean.
+        trials = 60
+        k, n = 6, 60
+        master = as_generator(1)
+        total, full_total = 0.0, 0.0
+        for child in spawn(master, trials):
+            fn = coverage_utility(n, 20, rng=child)
+            stream = SecretaryStream(fn, rng=child)
+            total += fn.value(random_k_baseline(stream, k, rng=child).selected)
+            full_total += fn.value(fn.ground_set)
+        assert total / trials >= (k / n) * (full_total / trials) - 1e-9

@@ -1,0 +1,92 @@
+"""Section 3.6 bottleneck rule."""
+
+import math
+
+import pytest
+
+from repro.core.functions import AdditiveFunction
+from repro.errors import BudgetError
+from repro.rng import as_generator, spawn
+from repro.secretary.bottleneck import bottleneck_secretary
+from repro.secretary.stream import SecretaryStream
+
+
+def make_stream(values, rng):
+    fn = AdditiveFunction(values)
+    return SecretaryStream(fn, rng=rng)
+
+
+class TestBasics:
+    def test_hires_at_most_k(self):
+        values = {f"s{i}": float(i) for i in range(30)}
+        stream = make_stream(values, rng=0)
+        result = bottleneck_secretary(stream, values, 3)
+        assert len(result.selected) <= 3
+
+    def test_bad_k_rejected(self):
+        values = {"a": 1.0}
+        stream = make_stream(values, rng=0)
+        with pytest.raises(BudgetError):
+            bottleneck_secretary(stream, values, 0)
+
+    def test_min_value_zero_when_under_hired(self):
+        # Tiny stream where the rule cannot fill the quota.
+        values = {"a": 3.0, "b": 2.0, "c": 1.0}
+        stream = make_stream(values, rng=1)
+        result = bottleneck_secretary(stream, values, 3)
+        if len(result.selected) < 3:
+            assert result.min_value == 0.0
+
+    def test_hired_top_k_flag_consistent(self):
+        values = {f"s{i}": float(i) for i in range(20)}
+        top2 = {"s19", "s18"}
+        for seed in range(10):
+            stream = make_stream(values, rng=seed)
+            result = bottleneck_secretary(stream, values, 2)
+            assert result.hired_top_k == (set(result.selected) == top2)
+
+    def test_threshold_from_observation_window(self):
+        # Explicit order: high value first means threshold blocks weaker
+        # later arrivals.
+        values = {"a": 10.0, "b": 1.0, "c": 2.0, "d": 3.0}
+        fn = AdditiveFunction(values)
+        stream = SecretaryStream(fn, order=["a", "b", "c", "d"])
+        result = bottleneck_secretary(stream, values, 2)
+        # Window = n//k = 2: observes a (10) and b; nothing later beats 10.
+        assert result.selected == frozenset()
+        assert result.threshold == 10.0
+
+
+class TestSuccessProbability:
+    def test_k1_success_rate_near_1_over_e(self):
+        values = {f"s{i}": float(i) for i in range(25)}
+        master = as_generator(0)
+        trials, hits = 800, 0
+        for child in spawn(master, trials):
+            stream = make_stream(values, rng=child)
+            result = bottleneck_secretary(stream, values, 1)
+            hits += result.hired_top_k
+        rate = hits / trials
+        assert abs(rate - 1 / math.e) < 0.06
+
+    def test_k2_success_rate_at_least_theorem_bound(self):
+        # Theorem 3.6.1: probability >= 1/e^{2k} = e^-4 ~ 0.018 for k=2.
+        values = {f"s{i}": float(i) for i in range(24)}
+        master = as_generator(1)
+        trials, hits = 600, 0
+        for child in spawn(master, trials):
+            stream = make_stream(values, rng=child)
+            result = bottleneck_secretary(stream, values, 2)
+            hits += result.hired_top_k
+        rate = hits / trials
+        assert rate >= math.exp(-4)
+
+    def test_k3_success_rate_at_least_theorem_bound(self):
+        values = {f"s{i}": float(i) for i in range(30)}
+        master = as_generator(2)
+        trials, hits = 600, 0
+        for child in spawn(master, trials):
+            stream = make_stream(values, rng=child)
+            result = bottleneck_secretary(stream, values, 3)
+            hits += result.hired_top_k
+        assert hits / trials >= math.exp(-6)

@@ -1,0 +1,143 @@
+"""Knapsack-constrained secretary: reduction lemma + online feasibility."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.rng import as_generator, spawn
+from repro.secretary.knapsack_secretary import (
+    knapsack_submodular_secretary,
+    offline_knapsack_estimate,
+    reduce_knapsacks_to_one,
+)
+from repro.secretary.stream import SecretaryStream
+from repro.workloads.secretary_streams import additive_values, coverage_utility
+
+
+class TestReduction:
+    def test_max_over_scaled_knapsacks(self):
+        weights = {"a": [2.0, 1.0], "b": [0.5, 3.0]}
+        reduced = reduce_knapsacks_to_one(weights, [4.0, 6.0])
+        assert reduced["a"] == pytest.approx(0.5)   # max(2/4, 1/6)
+        assert reduced["b"] == pytest.approx(0.5)   # max(.5/4, 3/6)
+
+    def test_single_knapsack_identity(self):
+        reduced = reduce_knapsacks_to_one({"a": [3.0]}, [3.0])
+        assert reduced["a"] == 1.0
+
+    def test_feasible_in_reduced_is_feasible_originally(self):
+        gen = as_generator(0)
+        items = {f"i{j}": [float(gen.random()), float(gen.random()) * 2] for j in range(20)}
+        caps = [1.0, 2.0]
+        reduced = reduce_knapsacks_to_one(items, caps)
+        # Any set with reduced weight <= 1 satisfies every knapsack.
+        chosen = []
+        load = 0.0
+        for j, w in sorted(reduced.items()):
+            if load + w <= 1.0:
+                chosen.append(j)
+                load += w
+        for i, c in enumerate(caps):
+            assert sum(items[j][i] for j in chosen) <= c + 1e-9
+
+    def test_bad_capacities_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            reduce_knapsacks_to_one({"a": [1.0]}, [0.0])
+        with pytest.raises(InvalidInstanceError):
+            reduce_knapsacks_to_one({"a": [1.0]}, [])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            reduce_knapsacks_to_one({"a": [1.0, 2.0]}, [1.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            reduce_knapsacks_to_one({"a": [-1.0]}, [1.0])
+
+
+class TestOfflineEstimate:
+    def test_exact_on_single_item(self):
+        fn, values = additive_values(1, rng=0)
+        item = next(iter(fn.ground_set))
+        est = offline_knapsack_estimate(fn, {item: 0.5}, [item])
+        assert est == pytest.approx(values[item])
+
+    def test_zero_when_nothing_fits(self):
+        fn, _ = additive_values(3, rng=1)
+        weights = {e: 2.0 for e in fn.ground_set}
+        assert offline_knapsack_estimate(fn, weights, sorted(fn.ground_set)) == 0.0
+
+    def test_at_least_best_singleton(self):
+        fn, values = additive_values(10, rng=2)
+        weights = {e: 0.9 for e in fn.ground_set}
+        est = offline_knapsack_estimate(fn, weights, sorted(fn.ground_set))
+        assert est >= max(values.values()) - 1e-9
+
+    def test_constant_factor_of_opt_additive(self):
+        # For additive f and unit weights the knapsack optimum is the sum
+        # of values of items fitting; the estimate must be >= OPT/3.
+        gen = as_generator(3)
+        fn, values = additive_values(12, rng=3)
+        weights = {e: float(0.2 + 0.3 * gen.random()) for e in fn.ground_set}
+        # Brute-force small knapsack optimum by DP-ish enumeration.
+        items = sorted(fn.ground_set)
+        best = 0.0
+        import itertools
+        for r in range(len(items) + 1):
+            for combo in itertools.combinations(items, r):
+                if sum(weights[e] for e in combo) <= 1.0:
+                    best = max(best, sum(values[e] for e in combo))
+        est = offline_knapsack_estimate(fn, weights, items)
+        assert est >= best / 3 - 1e-9
+
+
+class TestOnlineAlgorithm:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_selection_fits_single_knapsack(self, seed):
+        fn, _ = additive_values(60, rng=seed)
+        gen = as_generator(seed + 100)
+        weights = {e: float(0.05 + 0.4 * gen.random()) for e in fn.ground_set}
+        stream = SecretaryStream(fn, rng=seed + 200)
+        result = knapsack_submodular_secretary(stream, weights, 1.0, rng=seed + 300)
+        assert sum(weights[e] for e in result.selected) <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_selection_fits_all_knapsacks(self, seed):
+        fn = coverage_utility(40, 20, rng=seed)
+        gen = as_generator(seed + 1)
+        weights = {
+            e: [float(0.1 + 0.4 * gen.random()), float(0.1 + 0.8 * gen.random())]
+            for e in fn.ground_set
+        }
+        caps = [1.5, 2.0]
+        stream = SecretaryStream(fn, rng=seed + 2)
+        result = knapsack_submodular_secretary(stream, weights, caps, rng=seed + 3)
+        for i, c in enumerate(caps):
+            assert sum(weights[e][i] for e in result.selected) <= c + 1e-9
+
+    def test_missing_weights_rejected(self):
+        fn, _ = additive_values(5, rng=0)
+        stream = SecretaryStream(fn, rng=1)
+        with pytest.raises(InvalidInstanceError):
+            knapsack_submodular_secretary(stream, {"s0": 0.1}, 1.0, rng=2)
+
+    def test_both_strategies_occur(self):
+        fn, _ = additive_values(40, rng=5)
+        weights = {e: 0.2 for e in fn.ground_set}
+        strategies = set()
+        for seed in range(16):
+            stream = SecretaryStream(fn, rng=seed)
+            result = knapsack_submodular_secretary(stream, weights, 1.0, rng=seed)
+            strategies.add(result.strategy)
+        assert strategies == {"best-singleton", "density"}
+
+    def test_positive_expected_value(self):
+        master = as_generator(11)
+        total = 0.0
+        trials = 30
+        for child in spawn(master, trials):
+            fn, values = additive_values(60, rng=child)
+            weights = {e: 0.25 for e in fn.ground_set}
+            stream = SecretaryStream(fn, rng=child)
+            result = knapsack_submodular_secretary(stream, weights, 1.0, rng=child)
+            total += fn.value(result.selected)
+        assert total / trials > 0.0

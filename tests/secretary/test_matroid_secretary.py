@@ -1,0 +1,119 @@
+"""Algorithm 3: matroid feasibility invariants and guess-pool behaviour."""
+
+import pytest
+
+from repro.errors import BudgetError
+from repro.matroids import GraphicMatroid, PartitionMatroid, UniformMatroid
+from repro.rng import as_generator, spawn
+from repro.secretary.matroid_secretary import matroid_submodular_secretary
+from repro.secretary.stream import SecretaryStream
+from repro.workloads.secretary_streams import coverage_utility, cut_utility
+
+
+def partition_over(fn, blocks_count=4, capacity=2):
+    blocks = {e: hash(e) % blocks_count for e in fn.ground_set}
+    return PartitionMatroid(blocks, {b: capacity for b in range(blocks_count)})
+
+
+class TestFeasibilityInvariant:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_selection_always_independent_single_matroid(self, seed):
+        fn = coverage_utility(48, 20, rng=seed)
+        matroid = partition_over(fn)
+        stream = SecretaryStream(fn, rng=seed + 100)
+        result = matroid_submodular_secretary(stream, [matroid], rng=seed + 200)
+        assert matroid.is_independent(result.selected)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_selection_independent_in_all_matroids(self, seed):
+        fn = coverage_utility(48, 20, rng=seed)
+        m1 = partition_over(fn, blocks_count=4, capacity=2)
+        m2 = UniformMatroid(fn.ground_set, k=3)
+        stream = SecretaryStream(fn, rng=seed + 10)
+        result = matroid_submodular_secretary(stream, [m1, m2], rng=seed + 20)
+        assert m1.is_independent(result.selected)
+        assert m2.is_independent(result.selected)
+
+    def test_uniform_matroid_caps_hires(self):
+        fn = coverage_utility(40, 15, rng=0)
+        m = UniformMatroid(fn.ground_set, k=2)
+        for seed in range(8):
+            stream = SecretaryStream(fn, rng=seed)
+            result = matroid_submodular_secretary(stream, [m], rng=seed)
+            assert len(result.selected) <= 2
+
+
+class TestGuessPool:
+    def test_explicit_small_k_uses_singleton(self):
+        fn = coverage_utility(40, 15, rng=1)
+        m = UniformMatroid(fn.ground_set, k=8)
+        stream = SecretaryStream(fn, rng=2)
+        result = matroid_submodular_secretary(stream, [m], rng=3, k_estimate=1)
+        assert result.strategy == "best-singleton"
+        assert len(result.selected) <= 1
+
+    def test_explicit_large_k_uses_segments(self):
+        fn = coverage_utility(60, 25, rng=4)
+        m = UniformMatroid(fn.ground_set, k=16)
+        stream = SecretaryStream(fn, rng=5)
+        result = matroid_submodular_secretary(stream, [m], rng=6, k_estimate=8)
+        assert result.strategy.startswith("segments")
+
+    def test_invalid_k_estimate_rejected(self):
+        fn = coverage_utility(20, 10, rng=7)
+        m = UniformMatroid(fn.ground_set, k=4)
+        stream = SecretaryStream(fn, rng=8)
+        with pytest.raises(BudgetError):
+            matroid_submodular_secretary(stream, [m], k_estimate=0)
+
+    def test_no_matroids_rejected(self):
+        fn = coverage_utility(20, 10, rng=9)
+        stream = SecretaryStream(fn, rng=10)
+        with pytest.raises(BudgetError):
+            matroid_submodular_secretary(stream, [])
+
+    def test_random_guess_reproducible(self):
+        fn = coverage_utility(40, 15, rng=11)
+        m = UniformMatroid(fn.ground_set, k=8)
+        r1 = matroid_submodular_secretary(
+            SecretaryStream(fn, rng=12), [m], rng=13
+        )
+        r2 = matroid_submodular_secretary(
+            SecretaryStream(fn, rng=12), [m], rng=13
+        )
+        assert r1.selected == r2.selected
+
+
+class TestGraphicMatroidScenario:
+    def test_forest_selection_on_cut_function(self):
+        gen = as_generator(0)
+        # Utility over edges of a graph; matroid = forests of that graph.
+        n_vertices = 8
+        edges = {}
+        i = 0
+        for u in range(n_vertices):
+            for v in range(u + 1, n_vertices):
+                if gen.random() < 0.5:
+                    edges[f"s{i}"] = (u, v)
+                    i += 1
+        fn = coverage_utility(len(edges), 12, rng=1)
+        # Rename the coverage ground set to the edge ids (same size).
+        assert fn.ground_set == frozenset(edges)
+        matroid = GraphicMatroid(edges)
+        stream = SecretaryStream(fn, rng=2)
+        result = matroid_submodular_secretary(stream, [matroid], rng=3)
+        assert matroid.is_independent(result.selected)
+
+
+class TestPositiveValueAchieved:
+    def test_nonzero_expected_value(self):
+        # Over many seeds the algorithm should pick something valuable.
+        values = []
+        master = as_generator(99)
+        for child in spawn(master, 30):
+            fn = coverage_utility(48, 20, rng=child)
+            m = partition_over(fn)
+            stream = SecretaryStream(fn, rng=child)
+            result = matroid_submodular_secretary(stream, [m], rng=child)
+            values.append(fn.value(result.selected))
+        assert sum(values) / len(values) > 0.0

@@ -1,0 +1,91 @@
+"""Robust (gamma-oblivious) top-k secretary of Section 3.6."""
+
+import math
+
+import pytest
+
+from repro.core.functions import AdditiveFunction
+from repro.errors import BudgetError
+from repro.rng import as_generator, spawn
+from repro.secretary.robust import gamma_objective, robust_topk_secretary
+from repro.secretary.stream import SecretaryStream
+
+
+def make_stream(values, rng):
+    return SecretaryStream(AdditiveFunction(values), rng=rng)
+
+
+class TestGammaObjective:
+    def test_prefix_weighting(self):
+        values = {"a": 5.0, "b": 3.0, "c": 1.0}
+        sel = frozenset(values)
+        assert gamma_objective(values, sel, [1, 0, 0]) == 5.0
+        assert gamma_objective(values, sel, [1, 1, 1]) == 9.0
+        assert gamma_objective(values, sel, [2, 1, 0]) == 13.0
+
+    def test_short_selection(self):
+        values = {"a": 5.0, "b": 3.0}
+        assert gamma_objective(values, frozenset({"b"}), [1, 1, 1]) == 3.0
+
+    def test_increasing_gamma_rejected(self):
+        with pytest.raises(BudgetError):
+            gamma_objective({"a": 1.0}, frozenset({"a"}), [0, 1])
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(BudgetError):
+            gamma_objective({"a": 1.0}, frozenset({"a"}), [-1])
+
+
+class TestRobustSecretary:
+    def test_hires_at_most_k(self):
+        values = {f"s{i}": float(i) for i in range(40)}
+        result = robust_topk_secretary(make_stream(values, 0), values, 5)
+        assert result.hires <= 5
+        assert len(result.per_segment) == 5
+
+    def test_bad_k(self):
+        values = {"a": 1.0}
+        with pytest.raises(BudgetError):
+            robust_topk_secretary(make_stream(values, 0), values, 0)
+
+    def test_at_most_one_hire_per_segment(self):
+        values = {f"s{i}": float(i % 13) for i in range(60)}
+        result = robust_topk_secretary(make_stream(values, 1), values, 6)
+        hired = [h for h in result.per_segment if h is not None]
+        assert len(hired) == len(set(hired)) == result.hires
+
+    def test_oblivious_guarantee_across_gammas(self):
+        # One run must be simultaneously competitive for several gammas.
+        n, k, trials = 60, 4, 120
+        values = {f"s{i}": float(i + 1) for i in range(n)}
+        ranked = sorted(values.values(), reverse=True)
+        gammas = {
+            "max": [1, 0, 0, 0],
+            "sum": [1, 1, 1, 1],
+            "linear": [4, 3, 2, 1],
+        }
+        opts = {
+            name: sum(w * v for w, v in zip(g, ranked)) for name, g in gammas.items()
+        }
+        totals = {name: 0.0 for name in gammas}
+        master = as_generator(7)
+        for child in spawn(master, trials):
+            result = robust_topk_secretary(make_stream(values, child), values, k)
+            for name, g in gammas.items():
+                totals[name] += gamma_objective(values, result.selected, g)
+        for name in gammas:
+            ratio = totals[name] / (trials * opts[name])
+            # Constant-competitive simultaneously for all gammas.
+            assert ratio >= 0.15, f"gamma={name} ratio={ratio}"
+
+    def test_top1_rate_near_classical(self):
+        # k=1 degenerates to the classical rule.
+        n = 25
+        values = {f"s{i}": float(i) for i in range(n)}
+        hits = 0
+        trials = 800
+        master = as_generator(8)
+        for child in spawn(master, trials):
+            result = robust_topk_secretary(make_stream(values, child), values, 1)
+            hits += f"s{n-1}" in result.selected
+        assert abs(hits / trials - 1 / math.e) < 0.06

@@ -1,0 +1,138 @@
+"""Section 3.5: hidden-set hardness construction and the O(sqrt n) rule."""
+
+import math
+
+import pytest
+
+from repro.core.submodular import check_monotone
+from repro.errors import BudgetError
+from repro.rng import as_generator, spawn
+from repro.secretary.stream import SecretaryStream
+from repro.secretary.subadditive import HiddenSetFunction, subadditive_secretary
+
+
+def ground(n):
+    return [f"x{i}" for i in range(n)]
+
+
+class TestHiddenSetFunction:
+    def test_empty_set_value_is_one(self):
+        fn = HiddenSetFunction(ground(20), 5, 2.0, rng=0)
+        assert fn.value(frozenset()) == 1.0
+
+    def test_hidden_set_has_high_value(self):
+        fn = HiddenSetFunction(ground(50), 10, 2.0, rng=1)
+        assert fn.value(fn.hidden) == fn.optimum()
+        assert fn.optimum() >= len(fn.hidden) / 2.0
+
+    def test_disjoint_queries_leak_nothing(self):
+        fn = HiddenSetFunction(ground(50), 10, 2.0, rng=2)
+        outside = frozenset(fn.ground_set - fn.hidden)
+        assert fn.value(outside) == 1.0
+
+    def test_monotone(self):
+        fn = HiddenSetFunction(ground(8), 3, 1.5, rng=3)
+        assert check_monotone(fn)
+
+    def test_subadditive(self):
+        fn = HiddenSetFunction(ground(10), 4, 1.5, rng=4)
+        items = sorted(fn.ground_set)
+        import itertools
+        for a_size in range(4):
+            for b_size in range(4):
+                a = frozenset(items[:a_size])
+                b = frozenset(items[5 : 5 + b_size])
+                assert fn.value(a) + fn.value(b) >= fn.value(a | b) - 1e-9
+
+    def test_almost_submodular_proposition_3_5_3(self):
+        # f(A) + f(B) >= f(A|B) + f(A&B) - 2 for all A, B (small n sweep).
+        fn = HiddenSetFunction(ground(7), 3, 1.5, rng=5)
+        items = sorted(fn.ground_set)
+        import itertools
+        subsets = []
+        for r in range(len(items) + 1):
+            subsets.extend(frozenset(c) for c in itertools.combinations(items, r))
+        for a in subsets:
+            for b in subsets:
+                lhs = fn.value(a) + fn.value(b)
+                rhs = fn.value(a | b) + fn.value(a & b) - 2.0
+                assert lhs >= rhs - 1e-9
+
+    def test_query_counter(self):
+        fn = HiddenSetFunction(ground(10), 3, 1.0, rng=6)
+        before = fn.query_count
+        fn.value(frozenset())
+        assert fn.query_count == before + 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(BudgetError):
+            HiddenSetFunction([], 1, 1.0)
+        with pytest.raises(BudgetError):
+            HiddenSetFunction(ground(5), 0, 1.0)
+        with pytest.raises(BudgetError):
+            HiddenSetFunction(ground(5), 2, 0.0)
+
+    def test_hidden_set_never_empty(self):
+        # Even when the binomial sample is empty we force one element.
+        for seed in range(20):
+            fn = HiddenSetFunction(ground(30), 1, 1.0, rng=seed)
+            assert len(fn.hidden) >= 1
+
+
+class TestInformationHiding:
+    def test_blind_queries_cannot_find_hidden_set(self):
+        # A simulated "algorithm" making few random size-k queries sees
+        # value > 1 only rarely; its best guess stays near value 1 while
+        # OPT = k/r. This is the mechanism of Theorem 3.5.1.
+        n, k = 400, 20
+        r = 10.0
+        gen = as_generator(7)
+        fn = HiddenSetFunction(ground(n), k, r, rng=8)
+        informative = 0
+        queries = 50
+        elements = sorted(fn.ground_set)
+        for _ in range(queries):
+            idx = gen.choice(n, size=k, replace=False)
+            q = frozenset(elements[i] for i in idx)
+            if fn.value(q) > 1.0:
+                informative += 1
+        assert informative <= queries * 0.2  # almost all answers are 1
+        assert fn.optimum() >= 2.0           # yet OPT is large
+
+
+class TestSubadditiveSecretary:
+    def test_hires_at_most_k(self):
+        fn = HiddenSetFunction(ground(64), 8, 2.0, rng=0)
+        stream = SecretaryStream(fn, rng=1)
+        result = subadditive_secretary(stream, 8, rng=2)
+        assert len(result.selected) <= 8
+
+    def test_bad_k_rejected(self):
+        fn = HiddenSetFunction(ground(10), 2, 1.0, rng=3)
+        stream = SecretaryStream(fn, rng=4)
+        with pytest.raises(BudgetError):
+            subadditive_secretary(stream, 0)
+
+    def test_both_strategies_occur(self):
+        fn = HiddenSetFunction(ground(36), 6, 2.0, rng=5)
+        strategies = set()
+        for seed in range(16):
+            stream = SecretaryStream(fn, rng=seed)
+            result = subadditive_secretary(stream, 6, rng=seed)
+            strategies.add(result.strategy.split("-")[0])
+        assert strategies == {"best", "segment"}
+
+    def test_sqrt_n_competitiveness_empirical(self):
+        # With k = sqrt(n), expected value >= OPT / O(sqrt(n)).
+        n = 64
+        k = int(math.isqrt(n))
+        master = as_generator(42)
+        total_ratio = 0.0
+        trials = 60
+        for child in spawn(master, trials):
+            fn = HiddenSetFunction(ground(n), k, 1.0, rng=child)
+            stream = SecretaryStream(fn, rng=child)
+            result = subadditive_secretary(stream, k, rng=child)
+            total_ratio += fn.value(result.selected) / fn.optimum()
+        mean = total_ratio / trials
+        assert mean >= 1.0 / (4.0 * math.sqrt(n))

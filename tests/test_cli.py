@@ -1,0 +1,91 @@
+"""CLI: end-to-end subcommand behaviour (in-process, no subprocess)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import dump_instance
+from repro.workloads.jobs import random_multi_interval_instance
+
+
+@pytest.fixture()
+def instance_file(tmp_path):
+    inst = random_multi_interval_instance(6, 2, 12, value_spread=3.0, rng=4)
+    path = tmp_path / "inst.json"
+    dump_instance(inst, str(path))
+    return str(path), inst
+
+
+class TestSolve:
+    def test_outputs_schedule_json(self, instance_file, capsys):
+        path, inst = instance_file
+        assert main(["solve", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cost"] > 0
+        assert payload["schedule"]["format"] == "repro-schedule/1"
+        assert len(payload["schedule"]["assignment"]) == inst.n_jobs
+
+    def test_methods(self, instance_file, capsys):
+        path, _ = instance_file
+        costs = {}
+        for m in ("incremental", "lazy", "plain"):
+            assert main(["solve", path, "--method", m]) == 0
+            costs[m] = json.loads(capsys.readouterr().out)["cost"]
+        assert max(costs.values()) == pytest.approx(min(costs.values()))
+
+    def test_render_goes_to_stderr(self, instance_file, capsys):
+        path, _ = instance_file
+        assert main(["solve", path, "--render"]) == 0
+        captured = capsys.readouterr()
+        assert "legend:" in captured.err
+        json.loads(captured.out)  # stdout stays pure JSON
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["solve", "/nonexistent.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestPrize:
+    def test_bicriteria(self, instance_file, capsys):
+        path, inst = instance_file
+        target = 0.5 * inst.total_value()
+        assert main(["prize", path, "--target", str(target)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["value"] >= 0.75 * target - 1e-9
+
+    def test_exact(self, instance_file, capsys):
+        path, inst = instance_file
+        target = 0.5 * inst.total_value()
+        assert main(["prize", path, "--target", str(target), "--exact"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["value"] >= target - 1e-9
+
+    def test_unreachable_target_is_error(self, instance_file, capsys):
+        path, inst = instance_file
+        assert main(["prize", path, "--target", "999999"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDemoAndCheck:
+    def test_demo(self, capsys):
+        assert main(["demo", "--seed", "7", "--jobs", "5"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["instance"]["format"] == "repro-instance/1"
+        assert "cost" in payload
+        assert "legend:" in captured.err
+
+    def test_check(self, instance_file, capsys):
+        path, inst = instance_file
+        assert main(["check", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["n_jobs"] == inst.n_jobs
+
+    def test_demo_reproducible(self, capsys):
+        main(["demo", "--seed", "3"])
+        first = json.loads(capsys.readouterr().out)
+        main(["demo", "--seed", "3"])
+        second = json.loads(capsys.readouterr().out)
+        assert first == second

@@ -1,0 +1,123 @@
+"""JSON interchange: round-trips for every cost model, errors on junk."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.io import (
+    dump_instance,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.scheduling.instance import Job, ScheduleInstance
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import (
+    AffineCost,
+    PerProcessorRateCost,
+    SuperlinearCost,
+    TableCost,
+    TimeOfUseCost,
+    UnavailabilityCost,
+)
+from repro.scheduling.solver import schedule_all_jobs
+from repro.workloads.jobs import random_multi_interval_instance
+
+
+def roundtrip(instance):
+    return instance_from_dict(json.loads(json.dumps(instance_to_dict(instance))))
+
+
+def sample_jobs():
+    return [
+        Job("a", {("p0", 0), ("p1", 2)}, value=2.0),
+        Job("b", {("p0", 3)}),
+    ]
+
+
+COST_MODELS = [
+    AffineCost(2.0, rate=1.5),
+    PerProcessorRateCost({"p0": 1.0, "p1": 2.0}, {"p0": 0.5, "p1": 3.0}),
+    TimeOfUseCost([1, 2, 3, 4], restart_cost=0.5, per_processor_prices={"p1": [4, 3, 2, 1]}),
+    SuperlinearCost(1.0, 2.0, scale=0.5),
+    TableCost({AwakeInterval("p0", 0, 3): 5.0}, default=9.0),
+    UnavailabilityCost(AffineCost(1.0), [("p0", 1), ("p1", 2)]),
+]
+
+
+class TestInstanceRoundTrip:
+    @pytest.mark.parametrize("model", COST_MODELS, ids=lambda m: type(m).__name__)
+    def test_cost_model_roundtrip(self, model):
+        inst = ScheduleInstance(["p0", "p1"], sample_jobs(), 4, model)
+        back = roundtrip(inst)
+        # Cost oracles agree on every candidate interval.
+        for proc in ("p0", "p1"):
+            for s in range(4):
+                for e in range(s, 4):
+                    iv = AwakeInterval(proc, s, e)
+                    a, b = inst.cost_of(iv), back.cost_of(iv)
+                    assert (math.isinf(a) and math.isinf(b)) or a == pytest.approx(b)
+
+    def test_jobs_preserved(self):
+        inst = ScheduleInstance(["p0", "p1"], sample_jobs(), 4, AffineCost(1.0))
+        back = roundtrip(inst)
+        assert {j.id for j in back.jobs} == {"a", "b"}
+        assert back.job_by_id("a").value == 2.0
+        assert back.job_by_id("a").slots == frozenset({("p0", 0), ("p1", 2)})
+
+    def test_candidates_preserved(self):
+        pool = [AwakeInterval("p0", 0, 1), AwakeInterval("p1", 2, 3)]
+        inst = ScheduleInstance(
+            ["p0", "p1"], sample_jobs(), 4, AffineCost(1.0), candidate_intervals=pool
+        )
+        back = roundtrip(inst)
+        assert sorted(back.candidates()) == sorted(pool)
+
+    def test_solutions_agree_after_roundtrip(self):
+        inst = random_multi_interval_instance(8, 2, 12, rng=3)
+        back = roundtrip(inst)
+        assert schedule_all_jobs(inst).cost == pytest.approx(
+            schedule_all_jobs(back).cost
+        )
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict({"format": "bogus/9"})
+
+    def test_unknown_cost_kind_rejected(self):
+        data = instance_to_dict(
+            ScheduleInstance(["p0"], [], 2, AffineCost(1.0))
+        )
+        data["cost_model"] = {"kind": "quantum"}
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict(data)
+
+
+class TestScheduleRoundTrip:
+    def test_roundtrip(self):
+        inst = random_multi_interval_instance(6, 2, 10, rng=1)
+        sched = schedule_all_jobs(inst).schedule
+        back = schedule_from_dict(json.loads(json.dumps(schedule_to_dict(sched))))
+        assert sorted(back.intervals) == sorted(sched.intervals)
+        assert back.assignment == {str(k): v for k, v in sched.assignment.items()}
+        back.validate(inst, require_all=True)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            schedule_from_dict({"format": "nope"})
+
+
+class TestFileHelpers:
+    def test_dump_and_load(self, tmp_path):
+        inst = random_multi_interval_instance(5, 2, 8, rng=2)
+        path = tmp_path / "inst.json"
+        dump_instance(inst, str(path))
+        back = load_instance(str(path))
+        assert back.n_jobs == 5
+        assert schedule_all_jobs(back).cost == pytest.approx(
+            schedule_all_jobs(inst).cost
+        )

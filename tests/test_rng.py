@@ -1,0 +1,96 @@
+"""Deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import as_generator, random_permutation, spawn
+
+
+class TestAsGenerator:
+    def test_int_seed_deterministic(self):
+        a, b = as_generator(42), as_generator(42)
+        assert a.random() == b.random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_fresh_stream(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent_and_deterministic(self):
+        kids_a = spawn(as_generator(7), 5)
+        kids_b = spawn(as_generator(7), 5)
+        draws_a = [k.random() for k in kids_a]
+        draws_b = [k.random() for k in kids_b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) == 5
+
+    def test_spawn_zero(self):
+        assert spawn(as_generator(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)
+
+    def test_children_differ_from_parent(self):
+        parent = as_generator(3)
+        children = spawn(parent, 2)
+        assert children[0].random() != children[1].random()
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        items = list(range(20))
+        out = random_permutation(items, as_generator(0))
+        assert sorted(out) == items
+
+    def test_nondestructive(self):
+        items = [3, 1, 2]
+        random_permutation(items, as_generator(0))
+        assert items == [3, 1, 2]
+
+    def test_accepts_iterables(self):
+        out = random_permutation(iter("abc"), as_generator(0))
+        assert sorted(out) == ["a", "b", "c"]
+
+    def test_deterministic(self):
+        a = random_permutation(range(10), as_generator(9))
+        b = random_permutation(range(10), as_generator(9))
+        assert a == b
+
+
+class TestPublicApiSurface:
+    def test_top_level_all_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_importable(self):
+        import repro.analysis
+        import repro.core
+        import repro.matching
+        import repro.matroids
+        import repro.scheduling
+        import repro.secretary
+        import repro.workloads
+
+        for module in (
+            repro.core,
+            repro.matching,
+            repro.scheduling,
+            repro.matroids,
+            repro.secretary,
+            repro.workloads,
+            repro.analysis,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

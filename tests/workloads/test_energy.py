@@ -1,0 +1,65 @@
+"""Energy price trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.scheduling.intervals import AwakeInterval
+from repro.scheduling.power import TimeOfUseCost
+from repro.workloads.energy import spot_market_trace, tou_price_trace
+
+
+class TestTouTrace:
+    def test_shape_and_bounds(self):
+        prices = tou_price_trace(48, base=1.0, peak_multiplier=3.0)
+        assert prices.shape == (48,)
+        assert prices.min() >= 1.0 - 1e-9
+        assert prices.max() <= 3.0 + 1e-9
+
+    def test_trough_at_start(self):
+        prices = tou_price_trace(48, base=1.0, peak_multiplier=3.0)
+        assert prices[0] == pytest.approx(1.0)
+        assert prices[24] == pytest.approx(3.0)
+
+    def test_noise_keeps_nonnegative(self):
+        prices = tou_price_trace(48, noise=0.9, rng=0)
+        assert (prices >= 0).all()
+
+    def test_noise_determinism(self):
+        a = tou_price_trace(24, noise=0.2, rng=5)
+        b = tou_price_trace(24, noise=0.2, rng=5)
+        assert np.allclose(a, b)
+
+    def test_bad_parameters(self):
+        with pytest.raises(InvalidInstanceError):
+            tou_price_trace(0)
+        with pytest.raises(InvalidInstanceError):
+            tou_price_trace(10, peak_multiplier=0.5)
+
+    def test_feeds_time_of_use_cost(self):
+        prices = tou_price_trace(24)
+        model = TimeOfUseCost(prices, restart_cost=1.0)
+        peak = model(AwakeInterval("p", 11, 13))
+        trough = model(AwakeInterval("p", 0, 2))
+        assert peak > trough
+
+
+class TestSpotTrace:
+    def test_base_price(self):
+        prices = spot_market_trace(50, base=2.0, spike_probability=0.0)
+        assert np.allclose(prices, 2.0)
+
+    def test_spikes_present(self):
+        prices = spot_market_trace(400, spike_probability=0.2, spike_multiplier=10.0, rng=1)
+        assert (prices > 5.0).any()
+        assert (prices == 1.0).any()
+
+    def test_all_spike(self):
+        prices = spot_market_trace(20, spike_probability=1.0, spike_multiplier=3.0, rng=2)
+        assert np.allclose(prices, 3.0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(InvalidInstanceError):
+            spot_market_trace(0)
+        with pytest.raises(InvalidInstanceError):
+            spot_market_trace(10, spike_probability=1.5)

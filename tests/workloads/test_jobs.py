@@ -1,0 +1,110 @@
+"""Workload generators: feasibility guarantees and parameter validation."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.scheduling.power import SuperlinearCost
+from repro.workloads.jobs import (
+    bursty_instance,
+    random_multi_interval_instance,
+    small_certifiable_instance,
+)
+
+
+def feasible(instance):
+    return len(hopcroft_karp(instance.bipartite_graph())) == instance.n_jobs
+
+
+class TestRandomMultiInterval:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_always_feasible(self, seed):
+        inst = random_multi_interval_instance(12, 3, 20, rng=seed)
+        assert feasible(inst)
+
+    def test_shape(self):
+        inst = random_multi_interval_instance(8, 2, 15, rng=0)
+        assert inst.n_jobs == 8
+        assert len(inst.processors) == 2
+        assert inst.horizon == 15
+
+    def test_value_spread(self):
+        inst = random_multi_interval_instance(30, 2, 20, value_spread=5.0, rng=1)
+        values = [j.value for j in inst.jobs]
+        assert min(values) >= 1.0
+        assert max(values) <= 5.0
+        assert max(values) > min(values)
+
+    def test_unit_values_by_default(self):
+        inst = random_multi_interval_instance(5, 2, 10, rng=2)
+        assert all(j.value == 1.0 for j in inst.jobs)
+
+    def test_custom_cost_model(self):
+        inst = random_multi_interval_instance(
+            5, 2, 10, cost_model=SuperlinearCost(1.0, 2.0), rng=3
+        )
+        assert isinstance(inst.cost_model, SuperlinearCost)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            random_multi_interval_instance(0, 1, 10)
+        with pytest.raises(InvalidInstanceError):
+            random_multi_interval_instance(3, 1, 5, window_length=9)
+
+    def test_determinism(self):
+        a = random_multi_interval_instance(6, 2, 12, rng=7)
+        b = random_multi_interval_instance(6, 2, 12, rng=7)
+        assert [j.slots for j in a.jobs] == [j.slots for j in b.jobs]
+
+
+class TestBursty:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_feasible(self, seed):
+        inst = bursty_instance(9, 3, 30, rng=seed)
+        assert feasible(inst)
+
+    def test_jobs_confined_to_bursts(self):
+        inst = bursty_instance(6, 2, 40, n_bursts=2, burst_width=3, rng=0)
+        for job in inst.jobs:
+            times = sorted({t for _, t in job.slots})
+            assert times[-1] - times[0] < 3
+
+    def test_capacity_check(self):
+        with pytest.raises(InvalidInstanceError):
+            bursty_instance(50, 1, 30, n_bursts=1, burst_width=3)
+
+    def test_bad_parameters(self):
+        with pytest.raises(InvalidInstanceError):
+            bursty_instance(4, 2, 10, burst_width=0)
+        with pytest.raises(InvalidInstanceError):
+            bursty_instance(4, 2, 10, burst_width=20)
+
+
+class TestSmallCertifiable:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_feasible_within_candidates(self, seed):
+        inst = small_certifiable_instance(6, 2, 14, 12, rng=seed)
+        assert feasible(inst)
+        # All job slots lie inside the candidate pool.
+        pool_slots = set()
+        for iv in inst.candidates():
+            pool_slots |= iv.slots()
+        for job in inst.jobs:
+            assert set(job.slots) <= pool_slots
+
+    def test_pool_size(self):
+        inst = small_certifiable_instance(5, 2, 12, 9, rng=0)
+        assert len(inst.candidates()) == 9
+
+    def test_too_many_jobs_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            small_certifiable_instance(100, 1, 10, 3, rng=0)
+
+    def test_bad_length_range_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            small_certifiable_instance(3, 1, 10, 5, interval_length_range=(4, 2))
+
+    def test_value_spread_applied(self):
+        inst = small_certifiable_instance(6, 2, 14, 12, value_spread=3.0, rng=1)
+        values = [j.value for j in inst.jobs]
+        assert max(values) > min(values)

@@ -1,0 +1,84 @@
+"""Secretary utility generators."""
+
+import pytest
+
+from repro.core.submodular import check_monotone, check_submodular
+from repro.errors import InvalidInstanceError
+from repro.workloads.secretary_streams import (
+    additive_values,
+    coverage_utility,
+    cut_utility,
+    facility_utility,
+)
+
+
+class TestAdditive:
+    def test_size_and_values_match(self):
+        fn, values = additive_values(30, rng=0)
+        assert len(fn.ground_set) == 30
+        for e, v in values.items():
+            assert fn({e}) == pytest.approx(v)
+
+    def test_lognormal_heavy_tail(self):
+        _, values = additive_values(500, distribution="lognormal", rng=1)
+        vals = sorted(values.values())
+        assert vals[-1] > 4 * (sum(vals) / len(vals))  # heavy tail present
+
+    def test_unknown_distribution(self):
+        with pytest.raises(InvalidInstanceError):
+            additive_values(5, distribution="cauchy")
+
+    def test_determinism(self):
+        _, a = additive_values(10, rng=3)
+        _, b = additive_values(10, rng=3)
+        assert a == b
+
+
+class TestCoverage:
+    def test_ground_size(self):
+        fn = coverage_utility(25, 10, rng=0)
+        assert len(fn.ground_set) == 25
+
+    def test_every_secretary_covers_something(self):
+        fn = coverage_utility(25, 10, rng=1)
+        for e in fn.ground_set:
+            assert fn({e}) >= 1.0
+
+    def test_submodular(self):
+        fn = coverage_utility(7, 6, rng=2)
+        assert check_submodular(fn)
+        assert check_monotone(fn)
+
+    def test_bad_parameters(self):
+        with pytest.raises(InvalidInstanceError):
+            coverage_utility(0, 5)
+
+
+class TestFacility:
+    def test_submodular(self):
+        fn = facility_utility(6, 5, rng=0)
+        assert check_submodular(fn)
+
+    def test_bad_parameters(self):
+        with pytest.raises(InvalidInstanceError):
+            facility_utility(3, 0)
+
+
+class TestCut:
+    def test_submodular_nonmonotone(self):
+        fn = cut_utility(7, rng=0)
+        assert check_submodular(fn)
+
+    def test_full_set_cut_is_zero(self):
+        fn = cut_utility(10, rng=1)
+        assert fn(fn.ground_set) == 0.0
+
+    def test_edge_probability_extremes(self):
+        empty = cut_utility(8, edge_probability=0.0, rng=2)
+        assert empty({"s0"}) == 0.0
+        dense = cut_utility(8, edge_probability=1.0, rng=3)
+        assert dense({"s0"}) > 0.0
+
+    def test_bad_parameters(self):
+        with pytest.raises(InvalidInstanceError):
+            cut_utility(5, edge_probability=2.0)
