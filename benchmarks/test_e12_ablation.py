@@ -4,10 +4,9 @@ from-scratch matching oracles.
 Not a paper claim — the design-choice audit DESIGN.md calls for.
 Measured: oracle calls (plain vs. lazy on identical instances) and
 wall-clock (incremental vs. plain solver engines), plus agreement of the
-produced costs (all engines realise the same guarantee).
+produced costs (all engines realise the same guarantee).  The solver
+sweep runs through the batched experiment engine (:mod:`repro.engine`).
 """
-
-import time
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
@@ -15,6 +14,7 @@ from repro.core.budgeted import BudgetedInstance, budgeted_greedy
 from repro.core.functions import CoverageFunction
 from repro.core.lazy import lazy_budgeted_greedy
 from repro.core.oracle import CountingOracle
+from repro.engine import SweepSpec, run_sweep
 from repro.rng import as_generator, spawn
 from repro.scheduling.power import AffineCost
 from repro.scheduling.solver import schedule_all_jobs
@@ -79,33 +79,25 @@ def test_e12_lazy_oracle_savings(benchmark, master_seed):
 
 
 def test_e12_solver_engines(benchmark, master_seed):
-    master = as_generator(master_seed + 1)
+    """Engine-run sweep over the three solvers; identical schedules required."""
+    sweep = SweepSpec(
+        families=("multi",),
+        grid=((15, 3, 24), (30, 4, 40), (50, 4, 60)),
+        methods=("plain", "lazy", "incremental"),
+        trials=3,
+        master_seed=master_seed + 1,
+    )
+    result = run_sweep(sweep)
+    # All engines produce equally good schedules on every instance.
+    assert result.methods_agree(), "engines disagree on some instance"
+
     rows = []
-    for n_jobs, procs, horizon in [(15, 3, 24), (30, 4, 40), (50, 4, 60)]:
-        times = {m: [] for m in ("incremental", "lazy", "plain")}
-        costs = {m: [] for m in ("incremental", "lazy", "plain")}
-        for child in spawn(master, 3):
-            inst = random_multi_interval_instance(
-                n_jobs, procs, horizon, cost_model=AffineCost(2.0), rng=child
-            )
-            for m in times:
-                t0 = time.perf_counter()
-                result = schedule_all_jobs(inst, method=m)
-                times[m].append(time.perf_counter() - t0)
-                costs[m].append(result.cost)
-        # All engines produce equally good schedules.
-        for i in range(3):
-            trio = {round(costs[m][i], 6) for m in costs}
-            assert len(trio) == 1, f"engines disagree: {costs}"
-        rows.append(
-            [
-                f"n={n_jobs} p={procs}",
-                summarize(times["plain"]).mean,
-                summarize(times["lazy"]).mean,
-                summarize(times["incremental"]).mean,
-                summarize(times["plain"]).mean / summarize(times["incremental"]).mean,
-            ]
-        )
+    agg = {(r["n_jobs"], r["method"]): r for r in result.aggregate()}
+    for n_jobs, procs, horizon in sweep.grid:
+        plain = agg[(n_jobs, "plain")]["mean_time"]
+        lazy = agg[(n_jobs, "lazy")]["mean_time"]
+        incr = agg[(n_jobs, "incremental")]["mean_time"]
+        rows.append([f"n={n_jobs} p={procs}", plain, lazy, incr, plain / incr])
     emit(
         format_table(
             ["instance", "plain s", "lazy s", "incremental s", "incr speedup"],

@@ -4,16 +4,24 @@ Paper claim: cost <= O(log n) * OPT.
 Measured: cost/OPT across n and processor counts, with OPT certified by
 branch and bound on small-candidate-pool instances; the proof bound
 2*log2(n+1) is printed next to the measured worst case.
+
+The greedy side runs through the batched experiment engine
+(:mod:`repro.engine`); the exact reference rebuilds each record's
+instance from its spec (deterministic by construction) and certifies it
+locally.
 """
 
 import math
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
-from repro.rng import as_generator, spawn
+from repro.engine import SweepSpec, build_instance, run_sweep
+from repro.rng import as_generator
+from repro.scheduling.baselines import sequential_cheapest_interval
 from repro.scheduling.exact import optimal_schedule_bruteforce
 from repro.scheduling.solver import schedule_all_jobs
-from repro.workloads.jobs import small_certifiable_instance
+from repro.workloads.jobs import bursty_instance, small_certifiable_instance
+from repro.scheduling.power import AffineCost
 
 from conftest import emit
 
@@ -29,16 +37,21 @@ TRIALS = 8
 
 def test_e2_ratio_vs_n(benchmark, master_seed):
     rows = []
-    master = as_generator(master_seed)
     for n_jobs, n_procs, horizon, n_ivs in SWEEP:
+        sweep = SweepSpec(
+            families=("certifiable",),
+            grid=((n_jobs, n_procs, horizon),),
+            methods=("incremental",),
+            trials=TRIALS,
+            master_seed=master_seed,
+            params=(("n_candidate_intervals", n_ivs),),
+        )
+        specs = sweep.expand()
+        result = run_sweep(specs)
         ratios = []
-        for child in spawn(master, TRIALS):
-            inst = small_certifiable_instance(
-                n_jobs, n_procs, horizon, n_ivs, rng=child
-            )
-            opt = optimal_schedule_bruteforce(inst).cost
-            got = schedule_all_jobs(inst).cost
-            ratios.append(got / opt)
+        for spec, record in zip(specs, result.records):
+            opt = optimal_schedule_bruteforce(build_instance(spec)).cost
+            ratios.append(record.cost / opt)
         stats = summarize(ratios)
         bound = 2.0 * math.log2(n_jobs + 1)
         rows.append([n_jobs, n_procs, stats.mean, stats.maximum, bound])
@@ -58,24 +71,26 @@ def test_e2_ratio_vs_n(benchmark, master_seed):
 
 def test_e2_baseline_gap(benchmark, master_seed):
     """Greedy vs. the always-on and per-job baselines on the same pool."""
-    from repro.scheduling.baselines import sequential_cheapest_interval
-    from repro.workloads.jobs import bursty_instance
-    from repro.scheduling.power import AffineCost
-
-    master = as_generator(master_seed + 2)
-    rows = []
-    for n_jobs in (6, 12, 18):
-        greedy_costs, seq_costs = [], []
-        for child in spawn(master, TRIALS):
-            inst = bursty_instance(
-                n_jobs, 3, 40, n_bursts=3, burst_width=4,
-                cost_model=AffineCost(4.0), rng=child,
-            )
-            greedy_costs.append(schedule_all_jobs(inst).cost)
-            seq_costs.append(sequential_cheapest_interval(inst).cost(inst))
-        rows.append(
-            [n_jobs, summarize(greedy_costs).mean, summarize(seq_costs).mean]
-        )
+    sweep = SweepSpec(
+        families=("bursty",),
+        grid=((6, 3, 40), (12, 3, 40), (18, 3, 40)),
+        methods=("incremental",),
+        trials=TRIALS,
+        master_seed=master_seed + 2,
+    )
+    specs = sweep.expand()
+    result = run_sweep(specs)
+    by_n = {}
+    for spec, record in zip(specs, result.records):
+        inst = build_instance(spec)
+        seq = sequential_cheapest_interval(inst).cost(inst)
+        greedy_list, seq_list = by_n.setdefault(record.n_jobs, ([], []))
+        greedy_list.append(record.cost)
+        seq_list.append(seq)
+    rows = [
+        [n, summarize(greedy).mean, summarize(seq).mean]
+        for n, (greedy, seq) in sorted(by_n.items())
+    ]
     emit(
         format_table(
             ["n jobs", "greedy cost", "per-job baseline cost"],

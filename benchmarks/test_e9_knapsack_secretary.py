@@ -24,9 +24,11 @@ N = 80
 
 
 def make_weights(fn, l, gen):
+    # Sorted iteration: the RNG draws must land on the same elements in
+    # every process, not in (hash-randomised) set order.
     return {
         e: [float(0.05 + 0.45 * gen.random()) for _ in range(l)]
-        for e in fn.ground_set
+        for e in sorted(fn.ground_set, key=repr)
     }
 
 

@@ -1,7 +1,10 @@
 """Setuptools shim.
 
-The execution environment has no `wheel` package (offline), so PEP 660
-editable installs fail; this file enables the legacy develop-mode path:
+All package metadata lives in ``pyproject.toml`` (name/version,
+``src/``-layout package discovery, the ``repro`` console script); this
+file exists only because the execution environment has no ``wheel``
+package (offline), so PEP 660 editable installs fail and the legacy
+develop-mode path is the fallback:
 
     pip install -e . --no-use-pep517 --no-build-isolation
 

@@ -14,6 +14,8 @@ A from-scratch reproduction of Zadimoghaddam (SPAA 2010 / MIT thesis):
 * :mod:`repro.secretary` — the submodular secretary algorithms
   (Theorems 3.1.1–3.1.4) and the subadditive hardness construction;
 * :mod:`repro.workloads` — synthetic instance/stream generators;
+* :mod:`repro.engine` — the batched experiment engine (parameter
+  sweeps, instance-hash result caching, multiprocessing workers);
 * :mod:`repro.analysis` — optimum certification and ratio statistics.
 
 Quickstart::
@@ -72,7 +74,7 @@ from repro.secretary import (
     nonmonotone_submodular_secretary,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

@@ -1,14 +1,19 @@
 """Command-line interface.
 
-Four subcommands mirroring the library's main entry points::
+Five subcommands mirroring the library's main entry points::
 
     python -m repro solve INSTANCE.json [--method M] [--render]
     python -m repro prize INSTANCE.json --target Z [--epsilon E] [--exact]
     python -m repro demo  [--seed S]                # random instance, solved
     python -m repro check INSTANCE.json             # validate + stats only
+    python -m repro sweep --families multi --grid 20x3x40 [--workers W] ...
 
 All output is JSON on stdout (render/diagnostics on stderr), so the CLI
-composes with jq-style pipelines.
+composes with jq-style pipelines.  ``sweep`` drives the batched
+experiment engine (:mod:`repro.engine`): a parameter grid over workload
+families, solver methods, and seeded trials, optionally across
+``multiprocessing`` workers and a disk-backed result cache; the
+aggregate table prints on stderr and the full record set on stdout.
 """
 
 from __future__ import annotations
@@ -67,6 +72,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="validate an instance file")
     check.add_argument("instance", help="instance JSON file")
+
+    sweep = sub.add_parser(
+        "sweep", help="batched parameter sweep via the experiment engine"
+    )
+    sweep.add_argument(
+        "--families", default="multi",
+        help="comma-separated workload families (e.g. multi,bursty_arrivals)",
+    )
+    sweep.add_argument(
+        "--grid", default="20x3x40",
+        help="comma-separated JOBSxPROCSxHORIZON cells (e.g. 15x3x24,30x4x40)",
+    )
+    sweep.add_argument(
+        "--methods", default="incremental",
+        help="comma-separated solver engines (incremental,lazy,plain)",
+    )
+    sweep.add_argument("--trials", type=int, default=3, help="instances per cell")
+    sweep.add_argument("--seed", type=int, default=20100612, help="master seed")
+    sweep.add_argument(
+        "--workers", type=int, default=0,
+        help="multiprocessing workers (0/1 = inline)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None, help="disk-backed result cache directory"
+    )
+    sweep.add_argument(
+        "--records", action="store_true",
+        help="include per-run records in the JSON output (aggregate only otherwise)",
+    )
     return parser
 
 
@@ -145,11 +179,50 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _parse_grid(text: str):
+    cells = []
+    for chunk in text.split(","):
+        parts = chunk.strip().lower().split("x")
+        if len(parts) != 3 or not all(p.isdigit() for p in parts):
+            raise ReproError(
+                f"bad grid cell {chunk!r}: expected JOBSxPROCSxHORIZON (e.g. 30x4x40)"
+            )
+        cells.append(tuple(int(x) for x in parts))
+    return tuple(cells)
+
+
+def _cmd_sweep(args) -> int:
+    from repro.engine import ResultCache, SweepSpec, run_sweep
+
+    sweep = SweepSpec(
+        families=tuple(f.strip() for f in args.families.split(",") if f.strip()),
+        grid=_parse_grid(args.grid),
+        methods=tuple(m.strip() for m in args.methods.split(",") if m.strip()),
+        trials=args.trials,
+        master_seed=args.seed,
+    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    result = run_sweep(sweep, workers=args.workers, cache=cache)
+    print(result.to_table(title="repro sweep"), file=sys.stderr)
+    payload = result.to_dict()
+    if not args.records:
+        del payload["records"]
+    payload["methods_agree"] = result.methods_agree()
+    if cache is not None:
+        # Count from the records, not the parent cache's counters — with
+        # --workers the lookups happen in worker-process caches.
+        hits = sum(1 for r in result.records if r.cache_hit)
+        payload["cache"] = {"hits": hits, "misses": len(result.records) - hits}
+    _emit(payload)
+    return 0
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "prize": _cmd_prize,
     "demo": _cmd_demo,
     "check": _cmd_check,
+    "sweep": _cmd_sweep,
 }
 
 

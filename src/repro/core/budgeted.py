@@ -124,6 +124,9 @@ def budgeted_greedy(
     _validate_parameters(target, epsilon)
     goal = (1.0 - epsilon) * target
     cap = float(target)
+    # Oracles exposing marginal_gain (CachedOracle) score unions as
+    # utility + gain, memoised by (selection, items) fingerprint pair.
+    probe = getattr(instance.utility, "marginal_gain", None)
 
     selection: set = set()
     utility = instance.utility.value(frozenset())
@@ -143,10 +146,15 @@ def budgeted_greedy(
         best_key = None
         best_ratio = 0.0
         best_gain = 0.0
+        frozen_sel = frozenset(selection) if probe is not None else None
         for key, items in remaining.items():
             if items <= selection:
                 continue
-            truncated = min(cap, instance.utility.value(frozenset(selection | items)))
+            if probe is not None:
+                union_value = utility + probe(frozen_sel, items)
+            else:
+                union_value = instance.utility.value(frozenset(selection | items))
+            truncated = min(cap, union_value)
             gain = truncated - min(cap, utility)
             if gain <= 1e-12:
                 continue

@@ -13,6 +13,7 @@ note ``min`` is *not* submodular, which the tests assert.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Tuple
 
 import numpy as np
@@ -89,7 +90,9 @@ class WeightedCoverageFunction(CoverageFunction):
             raise ValueError(f"negative item weights not allowed: {bad[:3]}")
 
     def value(self, subset: FrozenSet[Element]) -> float:
-        return float(sum(self._weights.get(i, 1.0) for i in self.covered(subset)))
+        # fsum: exactly-rounded, so the value cannot depend on the set's
+        # (hash-randomised) iteration order — oracles must be deterministic.
+        return math.fsum(self._weights.get(i, 1.0) for i in self.covered(subset))
 
 
 class AdditiveFunction(SetFunction):
@@ -108,7 +111,8 @@ class AdditiveFunction(SetFunction):
         return self._ground
 
     def value(self, subset: FrozenSet[Element]) -> float:
-        return float(sum(self._values[e] for e in subset))
+        # fsum: exactly-rounded => independent of set iteration order.
+        return math.fsum(self._values[e] for e in subset)
 
 
 class BudgetAdditiveFunction(AdditiveFunction):

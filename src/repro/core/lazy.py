@@ -44,7 +44,19 @@ def lazy_budgeted_greedy(
     _validate_parameters(target, epsilon)
     goal = (1.0 - epsilon) * target
     cap = float(target)
+    # See budgeted_greedy: CachedOracle-style utilities expose a
+    # fingerprint-memoised marginal_gain; score unions through it.
+    probe = getattr(instance.utility, "marginal_gain", None)
     utility = instance.utility.value(frozenset())
+
+    frozen_sel = frozenset()
+
+    def union_value(selection_set: set, items: FrozenSet[Hashable]) -> float:
+        # frozen_sel is refreshed once per pick round; per-candidate
+        # re-freezing of the selection would dominate the probe cost.
+        if probe is not None:
+            return utility + probe(frozen_sel, items)
+        return instance.utility.value(frozenset(selection_set | items))
     selection: set = set()
     chosen: List[Hashable] = []
     steps: List[GreedyStep] = []
@@ -60,11 +72,12 @@ def lazy_budgeted_greedy(
     order: Dict[Hashable, int] = {}
     for i, (key, items) in enumerate(instance.subsets.items()):
         order[key] = i
-        gain = min(cap, instance.utility.value(frozenset(items))) - min(cap, utility)
+        gain = min(cap, union_value(selection, items)) - min(cap, utility)
         heapq.heappush(heap, (-ratio_of(gain, instance.costs[key]), -gain, i, key, 0))
 
     round_no = 0
     while utility < goal - 1e-12:
+        frozen_sel = frozenset(selection)
         if len(steps) >= limit:
             raise InfeasibleError(
                 f"lazy greedy exceeded {limit} steps without reaching utility {goal:.6g}"
@@ -83,7 +96,7 @@ def lazy_budgeted_greedy(
             if scored == round_no:
                 picked = (key, -neg_gain)
                 break
-            truncated = min(cap, instance.utility.value(frozenset(selection | items)))
+            truncated = min(cap, union_value(selection, items))
             gain = truncated - min(cap, utility)
             heapq.heappush(
                 heap,

@@ -50,6 +50,7 @@ class CachedOracle(SetFunction):
     def __init__(self, base: SetFunction, max_entries: int | None = None):
         self.base = base
         self._cache: Dict[FrozenSet[Element], float] = {}
+        self._marginal_cache: Dict[tuple, float] = {}
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
@@ -69,7 +70,33 @@ class CachedOracle(SetFunction):
             self._cache[key] = result
         return result
 
+    def marginal_gain(
+        self, selection: FrozenSet[Element], items: FrozenSet[Element]
+    ) -> float:
+        """``F(selection | items) - F(selection)``, memoised per selection.
+
+        The cache key is the ``(selection, items)`` fingerprint pair —
+        frozensets memoise their own hash after the first computation, so
+        repeat probes of the same pair (a lazy greedy re-scoring a popped
+        candidate, or a sweep replaying a cached instance) cost two dict
+        lookups instead of two oracle evaluations.  Routed through the
+        value cache, so a gain probe also warms plain :meth:`value` calls
+        for the same union.
+        """
+        selection = selection if isinstance(selection, frozenset) else frozenset(selection)
+        items = items if isinstance(items, frozenset) else frozenset(items)
+        key = (selection, items)
+        cached = self._marginal_cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        gain = self.value(selection | items) - self.value(selection)
+        if self.max_entries is None or len(self._marginal_cache) < self.max_entries:
+            self._marginal_cache[key] = gain
+        return gain
+
     def clear(self) -> None:
         self._cache.clear()
+        self._marginal_cache.clear()
         self.hits = 0
         self.misses = 0

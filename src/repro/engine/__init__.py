@@ -1,0 +1,46 @@
+"""Batched experiment engine.
+
+The benchmarks and EXPERIMENTS.md tables all follow one shape — sweep a
+parameter grid (jobs, processors, horizon, workload family, solver
+engine) over several seeded trials, solve each instance, and aggregate
+cost / oracle-work / wall-time per grid cell.  This package turns that
+shape into a subsystem instead of per-file loops:
+
+:mod:`repro.engine.spec`
+    :class:`SweepSpec` (the grid) expanding to picklable
+    :class:`RunSpec` cells, plus the workload-family registry that turns
+    a spec into a concrete :class:`~repro.scheduling.instance.ScheduleInstance`
+    deterministically.
+:mod:`repro.engine.hashing`
+    Stable fingerprints for instances and run specs (cache keys,
+    provenance in result records).
+:mod:`repro.engine.cache`
+    Per-instance result cache (in-memory, optionally disk-backed) keyed
+    by ``instance fingerprint × solver method``.
+:mod:`repro.engine.runner`
+    :func:`run_sweep` — executes the cells inline or with chunked
+    ``multiprocessing`` workers, merges cached results, and aggregates
+    records into the :mod:`repro.analysis.tables` format.
+
+The CLI's ``repro sweep`` subcommand and the E2/E12 benchmarks are thin
+wrappers over :func:`run_sweep`.
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.hashing import instance_fingerprint, spec_fingerprint
+from repro.engine.runner import RunRecord, SweepResult, run_one, run_sweep
+from repro.engine.spec import FAMILIES, RunSpec, SweepSpec, build_instance
+
+__all__ = [
+    "FAMILIES",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "SweepResult",
+    "SweepSpec",
+    "build_instance",
+    "instance_fingerprint",
+    "run_one",
+    "run_sweep",
+    "spec_fingerprint",
+]

@@ -1,0 +1,78 @@
+"""Per-instance result caching for the sweep runner.
+
+Records are keyed by ``instance fingerprint × solver method`` — the
+coordinates that determine a solve's outcome — so re-running a sweep
+after editing an aggregation, adding a method, or widening a grid only
+pays for the cells that actually changed.  The cache is a plain dict,
+optionally mirrored to one JSON file per key under a directory (safe to
+commit, diff, or rsync between machines; no pickle).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+__all__ = ["ResultCache"]
+
+_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.")
+
+
+def _filename(key: str) -> str:
+    cleaned = "".join(c if c in _SAFE else "_" for c in key)
+    return cleaned + ".json"
+
+
+class ResultCache:
+    """In-memory result cache with an optional JSON directory mirror.
+
+    ``hits`` / ``misses`` counters make cache behaviour observable in
+    tests and sweep summaries.  Disk entries are loaded lazily on first
+    :meth:`get` miss, so pointing the cache at a populated directory is
+    enough to resume a sweep.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._store: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        if path:
+            os.makedirs(path, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @staticmethod
+    def key_for(fingerprint: str, method: str) -> str:
+        return f"{fingerprint}.{method}"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        record = self._store.get(key)
+        if record is None and self.path:
+            file_path = os.path.join(self.path, _filename(key))
+            if os.path.exists(file_path):
+                with open(file_path, "r", encoding="utf-8") as fh:
+                    record = json.load(fh)
+                self._store[key] = record
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        self._store[key] = record
+        if self.path:
+            file_path = os.path.join(self.path, _filename(key))
+            tmp_path = file_path + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, sort_keys=True)
+            os.replace(tmp_path, file_path)  # atomic: readers never see partial JSON
+
+    def clear(self) -> None:
+        """Drop the in-memory store and counters (disk files are kept)."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,54 @@
+"""Stable fingerprints for instances and run specs.
+
+Cache keys must survive process boundaries, hash randomisation, and
+dict-ordering accidents, so everything is hashed through a canonical
+JSON encoding (sorted keys, no whitespace) of the library's versioned
+interchange format (:mod:`repro.io`).  Two structurally identical
+instances — regardless of how their job/slot containers were built —
+produce the same fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.io import instance_to_dict
+from repro.scheduling.instance import ScheduleInstance
+
+__all__ = ["canonical_json", "instance_fingerprint", "spec_fingerprint", "derive_seed"]
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, minimal separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def instance_fingerprint(instance: ScheduleInstance) -> str:
+    """SHA-256 over the canonical interchange form of *instance*.
+
+    Jobs are serialised with sorted slot lists and the cost model with
+    its full parameterisation, so the fingerprint identifies the
+    mathematical problem, not the Python objects holding it.
+    """
+    payload = instance_to_dict(instance)
+    payload["jobs"] = sorted(payload["jobs"], key=lambda j: j["id"])
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def spec_fingerprint(payload: Any) -> str:
+    """SHA-256 of any JSON-able spec payload (sweep provenance ids)."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def derive_seed(master_seed: int, *parts: Any) -> int:
+    """Stable 63-bit child seed for one grid cell.
+
+    Hash-derived (not sequentially drawn), so a cell's seed depends only
+    on the master seed and the cell's own coordinates — reordering,
+    filtering, or chunking the sweep never changes which instance a cell
+    solves.
+    """
+    digest = hashlib.sha256(repr((master_seed,) + parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

@@ -1,0 +1,233 @@
+"""The batched sweep runner.
+
+:func:`run_one` solves a single :class:`~repro.engine.spec.RunSpec`
+cell — rebuild the instance from its spec, fingerprint it, consult the
+cache, otherwise time a :func:`~repro.scheduling.solver.schedule_all_jobs`
+call and digest its :class:`~repro.core.trace.GreedyResult` into a flat,
+JSON-able :class:`RunRecord`.
+
+:func:`run_sweep` executes many cells:
+
+* ``workers <= 1`` — inline, in deterministic grid order (what the
+  benchmarks use: no process noise in timings);
+* ``workers > 1`` — chunked ``multiprocessing`` pool.  Workers rebuild
+  instances from their specs (specs pickle, instances never cross the
+  pipe) and share any *disk-backed* cache through the filesystem; the
+  parent folds returned records into its in-memory cache afterwards, so
+  a re-run in the same process is pure cache hits either way.
+
+Aggregation groups records per grid cell and summarises cost, oracle
+work, and wall time with :func:`repro.analysis.stats.summarize`,
+rendering through :func:`repro.analysis.tables.format_table` — the same
+row/series structure EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.engine.cache import ResultCache
+from repro.engine.hashing import instance_fingerprint
+from repro.engine.spec import RunSpec, SweepSpec, build_instance
+from repro.scheduling.solver import schedule_all_jobs
+
+__all__ = ["RunRecord", "SweepResult", "run_one", "run_sweep"]
+
+
+@dataclass
+class RunRecord:
+    """Flat digest of one solved cell (JSON-able, pickle-friendly)."""
+
+    family: str
+    n_jobs: int
+    n_processors: int
+    horizon: int
+    method: str
+    trial: int
+    seed: int
+    fingerprint: str
+    cost: float
+    utility: float
+    oracle_work: int
+    n_chosen: int
+    wall_time: float
+    cache_hit: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def cell(self) -> tuple:
+        """Aggregation key: the grid cell this record belongs to."""
+        return (self.family, self.n_jobs, self.n_processors, self.horizon, self.method)
+
+    def instance_cell(self) -> tuple:
+        """Identity of the underlying instance (method-agnostic)."""
+        return (self.family, self.n_jobs, self.n_processors, self.horizon,
+                self.trial, self.fingerprint)
+
+
+_PAYLOAD_FIELDS = ("cost", "utility", "oracle_work", "n_chosen", "wall_time")
+
+
+def run_one(spec: RunSpec, cache: Optional[ResultCache] = None) -> RunRecord:
+    """Solve one cell, consulting *cache* by instance hash × method."""
+    instance = build_instance(spec)
+    fingerprint = instance_fingerprint(instance)
+    base = dict(
+        family=spec.family, n_jobs=spec.n_jobs, n_processors=spec.n_processors,
+        horizon=spec.horizon, method=spec.method, trial=spec.trial, seed=spec.seed,
+        fingerprint=fingerprint,
+    )
+    key = ResultCache.key_for(fingerprint, spec.method)
+    if cache is not None:
+        payload = cache.get(key)
+        if payload is not None:
+            return RunRecord(
+                **base, **{f: payload[f] for f in _PAYLOAD_FIELDS}, cache_hit=True
+            )
+    t0 = time.perf_counter()
+    result = schedule_all_jobs(instance, method=spec.method)
+    wall_time = time.perf_counter() - t0
+    payload = dict(
+        cost=float(result.cost),
+        utility=float(result.greedy.utility),
+        oracle_work=int(result.oracle_work),
+        n_chosen=len(result.greedy.chosen),
+        wall_time=wall_time,
+    )
+    if cache is not None:
+        cache.put(key, payload)
+    return RunRecord(**base, **payload)
+
+
+# -- multiprocessing plumbing ----------------------------------------------
+
+_worker_cache: Optional[ResultCache] = None
+
+
+def _init_worker(cache_path: Optional[str]) -> None:
+    global _worker_cache
+    _worker_cache = ResultCache(cache_path) if cache_path else None
+
+
+def _run_one_worker(spec: RunSpec) -> RunRecord:
+    return run_one(spec, _worker_cache)
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep plus aggregation/rendering helpers."""
+
+    records: List[RunRecord]
+    sweep: Optional[SweepSpec] = None
+
+    def aggregate(self) -> List[Dict[str, Any]]:
+        """Per-cell summary rows in first-seen (grid) order."""
+        groups: Dict[tuple, List[RunRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.cell(), []).append(record)
+        rows = []
+        for (family, n, p, h, method), cell_records in groups.items():
+            costs = summarize([r.cost for r in cell_records])
+            work = summarize([float(r.oracle_work) for r in cell_records])
+            times = summarize([r.wall_time for r in cell_records])
+            rows.append(
+                {
+                    "family": family, "n_jobs": n, "n_processors": p,
+                    "horizon": h, "method": method, "trials": costs.count,
+                    "mean_cost": costs.mean, "max_cost": costs.maximum,
+                    "mean_oracle_work": work.mean, "mean_time": times.mean,
+                    "cache_hits": sum(1 for r in cell_records if r.cache_hit),
+                }
+            )
+        return rows
+
+    def to_table(self, title: Optional[str] = None) -> str:
+        rows = self.aggregate()
+        return format_table(
+            ["family", "n", "p", "h", "method", "trials", "mean cost",
+             "mean oracle work", "mean time s", "cached"],
+            [
+                [r["family"], r["n_jobs"], r["n_processors"], r["horizon"],
+                 r["method"], r["trials"], r["mean_cost"],
+                 r["mean_oracle_work"], r["mean_time"], r["cache_hits"]]
+                for r in rows
+            ],
+            title=title,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "records": [r.to_dict() for r in self.records],
+            "aggregate": self.aggregate(),
+        }
+        if self.sweep is not None:
+            out["sweep"] = self.sweep.to_dict()
+        return out
+
+    def methods_agree(self, tolerance: float = 1e-6) -> bool:
+        """True iff every instance got the same cost from every method.
+
+        The Theorem 2.2.1 engines are interchangeable; a disagreement
+        means an engine bug, so sweeps over several methods should
+        assert this (E12 does).
+        """
+        by_instance: Dict[tuple, set] = {}
+        for record in self.records:
+            by_instance.setdefault(record.instance_cell(), set()).add(
+                round(record.cost / tolerance) * tolerance
+            )
+        return all(len(costs) == 1 for costs in by_instance.values())
+
+
+def run_sweep(
+    sweep: Union[SweepSpec, Sequence[RunSpec]],
+    *,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+    chunk_size: Optional[int] = None,
+) -> SweepResult:
+    """Execute a sweep; returns records in deterministic grid order.
+
+    Parameters
+    ----------
+    sweep:
+        A :class:`SweepSpec` (expanded here) or an explicit cell list.
+    workers:
+        ``<= 1`` runs inline; otherwise a ``multiprocessing`` pool of
+        that size.  Results are identical either way — instances are
+        rebuilt deterministically from specs in both paths.
+    cache:
+        Optional :class:`ResultCache`.  Inline runs consult it per cell;
+        pool runs share its *disk* mirror (if any) and fold fresh
+        records back into it.
+    chunk_size:
+        Pool chunking override; defaults to an even split, ~4 chunks per
+        worker to smooth out cell-size skew.
+    """
+    spec_obj = sweep if isinstance(sweep, SweepSpec) else None
+    specs = sweep.expand() if isinstance(sweep, SweepSpec) else list(sweep)
+    if workers <= 1 or len(specs) <= 1:
+        records = [run_one(spec, cache) for spec in specs]
+        return SweepResult(records=records, sweep=spec_obj)
+
+    if chunk_size is None:
+        chunk_size = max(1, len(specs) // (workers * 4))
+    cache_path = cache.path if cache is not None else None
+    with multiprocessing.Pool(
+        processes=workers, initializer=_init_worker, initargs=(cache_path,)
+    ) as pool:
+        records = pool.map(_run_one_worker, specs, chunksize=chunk_size)
+    if cache is not None:
+        for record in records:
+            if not record.cache_hit:
+                cache.put(
+                    ResultCache.key_for(record.fingerprint, record.method),
+                    {f: getattr(record, f) for f in _PAYLOAD_FIELDS},
+                )
+    return SweepResult(records=records, sweep=spec_obj)

@@ -12,8 +12,14 @@ implements the graph type, Hopcroft–Karp maximum-cardinality matching,
 maximum vertex-weighted matching (matroid greedy over the transversal
 matroid with augmenting-path feasibility tests), and the incremental
 oracle that makes the budgeted greedy's marginal-gain probes cheap.
+
+All matchers run on a shared int-indexed view of the graph
+(:mod:`repro.matching.fastgraph`): contiguous int adjacency, flat array
+matchings, byte-mask subset restrictions.  The hashable-vertex API here
+is a thin translation layer over those kernels.
 """
 
+from repro.matching.fastgraph import IndexedView, indexed_view
 from repro.matching.graph import BipartiteGraph, Matching
 from repro.matching.hopcroft_karp import hopcroft_karp, max_matching_size
 from repro.matching.weighted import max_weight_matching, weighted_matching_value
@@ -21,7 +27,9 @@ from repro.matching.incremental import IncrementalMatchingOracle, MatchingUtilit
 
 __all__ = [
     "BipartiteGraph",
+    "IndexedView",
     "Matching",
+    "indexed_view",
     "hopcroft_karp",
     "max_matching_size",
     "max_weight_matching",

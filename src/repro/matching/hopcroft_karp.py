@@ -9,19 +9,20 @@ matching that saturates only vertices of S in part X".
 The algorithm alternates BFS phases (building a layered graph of
 shortest alternating paths from free left vertices) with DFS phases
 (extracting a maximal set of vertex-disjoint shortest augmenting
-paths); O(E sqrt(V)) overall.
+paths); O(E sqrt(V)) overall.  The actual search runs on the graph's
+int-indexed view (:mod:`repro.matching.fastgraph`); this module
+translates between hashable vertices and dense indices at the API
+boundary only.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, FrozenSet, Iterable, Optional, Set
 
+from repro.matching.fastgraph import hk_solve, indexed_view, kuhn_augment
 from repro.matching.graph import BipartiteGraph, Matching, Vertex
 
 __all__ = ["hopcroft_karp", "max_matching_size"]
-
-_INF = float("inf")
 
 
 def hopcroft_karp(
@@ -45,64 +46,24 @@ def hopcroft_karp(
         set is both correct and the source of the incremental oracle's
         speed.
     """
-    allowed: FrozenSet[Vertex] = (
-        graph.left if allowed_left is None else frozenset(allowed_left) & graph.left
-    )
-    adj = graph.adj_left()
-
-    matching = seed_matching.copy() if seed_matching is not None else Matching()
-    match_l = matching.left_to_right
-    match_r = matching.right_to_left
-
-    dist: Dict[Vertex, float] = {}
-
-    def bfs() -> bool:
-        """Layer free allowed-left vertices; True if some free right is reachable."""
-        queue: deque = deque()
-        for u in allowed:
-            if u not in match_l:
-                dist[u] = 0.0
-                queue.append(u)
-            else:
-                dist[u] = _INF
-        found = False
-        while queue:
-            u = queue.popleft()
-            for v in adj[u]:
-                w = match_r.get(v)
-                if w is None:
-                    found = True
-                elif w in allowed and dist.get(w, _INF) == _INF:
-                    dist[w] = dist[u] + 1.0
-                    queue.append(w)
-        return found
-
-    def dfs(u: Vertex) -> bool:
-        for v in adj[u]:
-            w = match_r.get(v)
-            if w is None or (
-                w in allowed and dist.get(w, _INF) == dist[u] + 1.0 and dfs(w)
-            ):
-                match_l[u] = v
-                match_r[v] = u
-                return True
-        dist[u] = _INF
-        return False
-
-    while bfs():
-        for u in list(allowed):
-            if u not in match_l and dist.get(u) == 0.0:
-                dfs(u)
-        dist.clear()
-
-    return matching
+    view = indexed_view(graph)
+    mask = None if allowed_left is None else view.mask_of(allowed_left)
+    if seed_matching is not None:
+        match_l, match_r, _ = view.matching_to_arrays(seed_matching)
+    else:
+        match_l = match_r = None
+    match_l, match_r, _ = hk_solve(view, mask, match_l, match_r)
+    return view.arrays_to_matching(match_l)
 
 
 def max_matching_size(
     graph: BipartiteGraph, allowed_left: Optional[Iterable[Vertex]] = None
 ) -> int:
     """``F(S)`` of Lemma 2.2.2: maximum matching cardinality using slots S."""
-    return len(hopcroft_karp(graph, allowed_left))
+    view = indexed_view(graph)
+    mask = None if allowed_left is None else view.mask_of(allowed_left)
+    _, _, size = hk_solve(view, mask)
+    return size
 
 
 def augment_from_left(
@@ -116,48 +77,21 @@ def augment_from_left(
     Iterative alternating-path DFS (explicit stack, so deep paths cannot
     hit the recursion limit).  All intermediate left vertices on the path
     are matched already and therefore inside *allowed*; *start* itself
-    must be in *allowed*, which the caller guarantees.
+    must be in *allowed*, which this wrapper checks.
 
     Returns ``True`` and applies the augmentation if a path to a free
     right vertex exists; otherwise leaves *matching* untouched.
     """
-    adj = graph.adj_left()
-    match_l = matching.left_to_right
-    match_r = matching.right_to_left
-
-    if start in match_l or start not in allowed:
+    if start in matching.left_to_right or start not in allowed:
         return False
-
-    # parent[y] = the left vertex from which we reached right vertex y.
-    parent: Dict[Vertex, Vertex] = {}
-    visited_right: Set[Vertex] = set()
-    stack = [start]
-    free_right: Optional[Vertex] = None
-
-    while stack and free_right is None:
-        u = stack.pop()
-        for v in adj[u]:
-            if v in visited_right:
-                continue
-            visited_right.add(v)
-            parent[v] = u
-            w = match_r.get(v)
-            if w is None:
-                free_right = v
-                break
-            stack.append(w)
-
-    if free_right is None:
+    view = indexed_view(graph)
+    start_idx = view.left_index.get(start)
+    if start_idx is None:
         return False
-
-    # Walk back flipping matched/unmatched edges along the path.
-    v = free_right
-    while True:
-        u = parent[v]
-        prev_v = match_l.get(u)
-        match_l[u] = v
-        match_r[v] = u
-        if prev_v is None:
-            break
-        v = prev_v
+    match_l, match_r, _ = view.matching_to_arrays(matching)
+    visited = [0] * view.n_right
+    parent = [-1] * view.n_right
+    if not kuhn_augment(view, match_l, match_r, start_idx, visited, 1, parent):
+        return False
+    view.arrays_to_matching(match_l, out=matching)
     return True

@@ -17,15 +17,22 @@ Two layers:
   to a maximum matching of ``S ∪ I`` through augmenting paths (the
   matroid-rank update rule), which is also the engine of the paper's
   Lemma 2.1.1 accounting.
+
+All state lives on the graph's int-indexed view
+(:mod:`repro.matching.fastgraph`): the matching is a pair of flat int
+arrays, the committed set a byte mask, and a probe costs two
+``list.copy()`` calls plus one stamped DFS per new slot — no dict or
+frozenset churn on the hot path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.submodular import SetFunction
+from repro.matching.fastgraph import hk_solve, indexed_view, kuhn_augment
 from repro.matching.graph import BipartiteGraph, Matching, Vertex
-from repro.matching.hopcroft_karp import augment_from_left, hopcroft_karp
+from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.matching.weighted import max_weight_matching, weighted_matching_value
 
 __all__ = ["MatchingUtility", "WeightedMatchingUtility", "IncrementalMatchingOracle"]
@@ -47,7 +54,9 @@ class MatchingUtility(SetFunction):
         return self.graph.left
 
     def value(self, subset: FrozenSet[Vertex]) -> float:
-        return float(len(hopcroft_karp(self.graph, subset)))
+        view = indexed_view(self.graph)
+        _, _, size = hk_solve(view, view.mask_of(subset))
+        return float(size)
 
 
 class WeightedMatchingUtility(SetFunction):
@@ -84,14 +93,27 @@ class IncrementalMatchingOracle(SetFunction):
     ``gain(extra)``   marginal cardinality of ``committed | extra``
     ``commit(extra)`` grow the committed set, reusing the matching
 
-    Both run augmentations only from the new slots.
+    Both run augmentations only from the new slots.  ``commit_version``
+    counts commits — it is the selection fingerprint solvers use to
+    memoise gains (a gain probed at version ``k`` is stale the moment
+    the version changes, and by submodularity only an *upper bound*
+    afterwards).
     """
 
     def __init__(self, graph: BipartiteGraph, committed: Iterable[Vertex] = ()):  # noqa: D401
         self.graph = graph
-        self._committed: set = set()
-        self._matching = Matching()
+        self._view = indexed_view(graph)
+        self._committed_mask = bytearray(self._view.n_left)
+        self._match_l: List[int] = [-1] * self._view.n_left
+        self._match_r: List[int] = [-1] * self._view.n_right
+        self._size = 0
+        # Right-side scratch buffers shared by every probe: stamped
+        # visited array + parent trail (see fastgraph.kuhn_augment).
+        self._visited = [0] * self._view.n_right
+        self._parent = [-1] * self._view.n_right
+        self._stamp = 0
         self.probe_augmentations = 0  # instrumentation for E12
+        self.commit_version = 0
         if committed:
             self.commit(committed)
 
@@ -102,49 +124,124 @@ class IncrementalMatchingOracle(SetFunction):
         return self.graph.left
 
     def value(self, subset: FrozenSet[Vertex]) -> float:
-        subset = frozenset(subset)
-        if subset >= self._committed:
-            return float(len(self._matching) + self._gain_over(subset - self._committed, subset))
+        index = self._view.left_index
+        mask = self._committed_mask
+        ids = {i for i in (index.get(v) for v in subset) if i is not None}
+        covered = sum(1 for i in ids if mask[i])
+        if covered == sum(mask):  # subset ⊇ committed: reuse the matching
+            return float(self._size + self._gain_indices([i for i in ids if not mask[i]]))
         return float(len(hopcroft_karp(self.graph, subset)))
 
     # -- incremental API ----------------------------------------------
 
     @property
     def committed(self) -> FrozenSet[Vertex]:
-        return frozenset(self._committed)
+        ids = self._view.left_ids
+        mask = self._committed_mask
+        return frozenset(ids[i] for i in range(len(mask)) if mask[i])
 
     @property
     def matching(self) -> Matching:
-        return self._matching
+        """The committed maximum matching, materialised on demand."""
+        return self._view.arrays_to_matching(self._match_l)
 
-    def _gain_over(self, new_slots: Iterable[Vertex], allowed: FrozenSet[Vertex]) -> int:
+    @property
+    def matching_size(self) -> int:
+        """``F(committed)`` without materialising the matching."""
+        return self._size
+
+    def _gain_indices(self, new_ids: List[int]) -> int:
         """Gain from augmenting a scratch copy of the matching (no commit)."""
-        probe = self._matching.copy()
+        if not new_ids:
+            return 0
+        match_l = self._match_l.copy()
+        match_r = self._match_r.copy()
+        view = self._view
+        visited, parent = self._visited, self._parent
         gained = 0
-        for slot in sorted(new_slots, key=repr):
+        for i in new_ids:
             self.probe_augmentations += 1
-            if augment_from_left(self.graph, probe, slot, allowed):
+            if match_l[i] >= 0:
+                continue
+            self._stamp += 1
+            if kuhn_augment(view, match_l, match_r, i, visited, self._stamp, parent):
                 gained += 1
         return gained
+
+    def gain_indices(self, new_ids: List[int]) -> int:
+        """Fast-path probe for solvers that pre-translated slots to indices.
+
+        *new_ids* must be disjoint from the committed set (callers filter
+        against :meth:`committed_mask` first).
+        """
+        return self._gain_indices(new_ids)
+
+    @property
+    def committed_mask(self) -> bytearray:
+        """Read-only byte mask of committed left indices (do not mutate)."""
+        return self._committed_mask
+
+    @property
+    def view(self):
+        """The shared :class:`~repro.matching.fastgraph.IndexedView`."""
+        return self._view
 
     def gain(self, extra: Iterable[Vertex]) -> int:
         """``F(committed | extra) - F(committed)`` without committing."""
-        extra_set = frozenset(extra) - self._committed
-        allowed = frozenset(self._committed) | extra_set
-        return self._gain_over(extra_set, allowed)
+        index = self._view.left_index
+        mask = self._committed_mask
+        new_ids = []
+        seen = set()
+        for v in extra:
+            i = index.get(v)
+            if i is not None and not mask[i] and i not in seen:
+                seen.add(i)
+                new_ids.append(i)
+        # Index order == sorted-repr order (the view sorts left_ids), so
+        # probes stay independent of the caller's set-iteration order.
+        new_ids.sort()
+        return self._gain_indices(new_ids)
 
     def commit(self, extra: Iterable[Vertex]) -> int:
         """Grow the committed slot set; returns the cardinality gained."""
-        extra_set = frozenset(extra) - self._committed
-        self._committed |= extra_set
-        allowed = frozenset(self._committed)
+        index = self._view.left_index
+        new_ids = []
+        mask = self._committed_mask
+        for v in extra:
+            i = index.get(v)
+            if i is not None and not mask[i]:
+                mask[i] = 1
+                new_ids.append(i)
+        # Sorted (== sorted-repr) order keeps the committed matching
+        # assignment identical across processes for set-typed callers.
+        new_ids.sort()
+        return self.commit_indices(new_ids, already_masked=True)
+
+    def commit_indices(self, new_ids: List[int], *, already_masked: bool = False) -> int:
+        """Index-level :meth:`commit`; *new_ids* must be fresh indices."""
+        mask = self._committed_mask
+        if not already_masked:
+            new_ids = [i for i in new_ids if not mask[i]]
+            for i in new_ids:
+                mask[i] = 1
+        view = self._view
+        match_l, match_r = self._match_l, self._match_r
+        visited, parent = self._visited, self._parent
         gained = 0
-        for slot in sorted(extra_set, key=repr):
-            if augment_from_left(self.graph, self._matching, slot, allowed):
+        for i in new_ids:
+            if match_l[i] >= 0:
+                continue
+            self._stamp += 1
+            if kuhn_augment(view, match_l, match_r, i, visited, self._stamp, parent):
                 gained += 1
+        self._size += gained
+        self.commit_version += 1
         return gained
 
     def reset(self) -> None:
-        self._committed.clear()
-        self._matching = Matching()
+        self._committed_mask = bytearray(self._view.n_left)
+        self._match_l = [-1] * self._view.n_left
+        self._match_r = [-1] * self._view.n_right
+        self._size = 0
         self.probe_augmentations = 0
+        self.commit_version = 0

@@ -80,7 +80,10 @@ def offline_knapsack_estimate(
     chosen: set = set()
     load = 0.0
     value = utility.value(frozenset())
-    remaining = set(feasible)
+    # Scan in the given item order: density ties then break by arrival
+    # position, not by set-iteration (hash) order, keeping the estimate
+    # reproducible across processes.
+    remaining = list(feasible)
     while remaining:
         best_j, best_density = None, 0.0
         for j in remaining:
@@ -96,7 +99,7 @@ def offline_knapsack_estimate(
         chosen.add(best_j)
         load += weights[best_j]
         value = utility.value(frozenset(chosen))
-        remaining.discard(best_j)
+        remaining.remove(best_j)
     return max(best_single, value)
 
 

@@ -20,7 +20,7 @@ import numpy as np
 from repro.errors import InvalidInstanceError
 from repro.rng import as_generator
 
-__all__ = ["tou_price_trace", "spot_market_trace"]
+__all__ = ["tou_price_trace", "spot_market_trace", "heterogeneous_fleet_rates"]
 
 
 def tou_price_trace(
@@ -71,3 +71,38 @@ def spot_market_trace(
     spikes = gen.random(horizon) < spike_probability
     prices[spikes] *= float(spike_multiplier)
     return prices
+
+
+def heterogeneous_fleet_rates(
+    processors,
+    *,
+    efficiency_spread: float = 4.0,
+    restart_range: tuple = (1.0, 4.0),
+    rng=None,
+):
+    """Per-processor energy profiles for a heterogeneous fleet.
+
+    Motivation 1 of the paper's introduction: "different processors do
+    not necessarily consume energy at the same rate, so we cannot
+    scale".  Draws a log-uniform running rate in ``[1, efficiency_spread]``
+    (big.LITTLE-style efficiency vs. performance cores) and a uniform
+    restart cost in *restart_range* for every processor; feed the result
+    to :class:`repro.scheduling.power.PerProcessorRateCost`.
+
+    Returns ``(rates, restart_costs)`` dicts keyed by processor.
+    """
+    if efficiency_spread < 1.0:
+        raise InvalidInstanceError("efficiency_spread must be >= 1")
+    lo, hi = restart_range
+    if lo < 0 or hi < lo:
+        raise InvalidInstanceError(f"bad restart_range {restart_range}")
+    gen = as_generator(rng)
+    procs = list(processors)
+    rates = {
+        p: float(np.exp(gen.uniform(0.0, np.log(efficiency_spread))))
+        if efficiency_spread > 1.0
+        else 1.0
+        for p in procs
+    }
+    restart_costs = {p: float(gen.uniform(lo, hi)) for p in procs}
+    return rates, restart_costs

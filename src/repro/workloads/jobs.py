@@ -35,6 +35,8 @@ from repro.scheduling.power import AffineCost, CostModel
 __all__ = [
     "random_multi_interval_instance",
     "bursty_instance",
+    "bursty_arrival_instance",
+    "heterogeneous_energy_instance",
     "small_certifiable_instance",
 ]
 
@@ -49,6 +51,43 @@ def _random_values(n: int, spread: float, gen: np.random.Generator) -> List[floa
 def _is_feasible(instance: ScheduleInstance) -> bool:
     graph = instance.bipartite_graph()
     return len(hopcroft_karp(graph)) == instance.n_jobs
+
+
+def _private_slot_repair(
+    jobs: List[Job],
+    processors: List[Hashable],
+    horizon: int,
+    matching,
+) -> List[Job]:
+    """Deterministic last-resort repair for infeasible generator draws.
+
+    Every job a maximum *matching* left out gets one private slot that
+    is distinct and unused by the matching — so the repaired instance is
+    feasible in a single pass.  Enumerates all ``P * horizon`` slots in
+    ``divmod`` order (picking ``cursor % P`` with ``cursor % horizon``
+    instead would only reach ``lcm(P, horizon)`` of them, and a slot
+    already carrying a matched job would silently waste the repair).
+    """
+    matched = set(matching.right_to_left)
+    used = set(matching.left_to_right)
+    free = (
+        (processors[q % len(processors)], t)
+        for q, t in (divmod(c, horizon) for c in range(len(processors) * horizon))
+    )
+    free_iter = (slot for slot in free if slot not in used)
+    repaired: List[Job] = []
+    for job in jobs:
+        if job.id in matched:
+            repaired.append(job)
+            continue
+        slot = next(free_iter, None)
+        if slot is None:
+            raise InvalidInstanceError(
+                f"cannot repair instance: {len(jobs)} jobs exceed the "
+                f"{len(processors) * horizon}-slot capacity"
+            )
+        repaired.append(Job(job.id, job.slots | {slot}, job.value))
+    return repaired
 
 
 def random_multi_interval_instance(
@@ -108,20 +147,10 @@ def random_multi_interval_instance(
             repaired.append(Job(job.id, job.slots | {(proc, t)}, job.value))
         instance = ScheduleInstance(processors, repaired, horizon, model)
         if not _is_feasible(instance):
-            # Deterministic fallback: round-robin private slots.
+            # Deterministic fallback: private slots unused by the matching.
             graph = instance.bipartite_graph()
             matching = hopcroft_karp(graph)
-            matched = set(matching.right_to_left)
-            final: List[Job] = []
-            slot_cursor = 0
-            for job in repaired:
-                if job.id in matched:
-                    final.append(job)
-                else:
-                    proc = processors[slot_cursor % n_processors]
-                    t = slot_cursor % horizon
-                    slot_cursor += 1
-                    final.append(Job(job.id, job.slots | {(proc, t)}, job.value))
+            final = _private_slot_repair(repaired, processors, horizon, matching)
             instance = ScheduleInstance(processors, final, horizon, model)
             if not _is_feasible(instance):
                 raise InvalidInstanceError(
@@ -178,6 +207,120 @@ def bursty_instance(
     if not _is_feasible(instance):
         raise InvalidInstanceError("bursty instance infeasible despite capacity check")
     return instance
+
+
+def bursty_arrival_instance(
+    n_jobs: int,
+    n_processors: int,
+    horizon: int,
+    *,
+    n_bursts: int = 4,
+    burst_jitter: float = 1.5,
+    service_window: int = 4,
+    processors_per_job: int = 2,
+    value_spread: float = 1.0,
+    cost_model: Optional[CostModel] = None,
+    rng=None,
+) -> ScheduleInstance:
+    """Jobs whose *release times* cluster in arrival bursts.
+
+    Models a request queue under bursty traffic: burst epochs are drawn
+    uniformly over the horizon, each job's arrival is its burst epoch
+    plus geometric-tailed jitter of scale *burst_jitter*, and the job
+    must run within ``[arrival, arrival + service_window - 1]`` on one of
+    *processors_per_job* uniformly drawn processors.  Unlike
+    :func:`bursty_instance` (whole-fleet burst windows), jobs here keep
+    private processor subsets and staggered deadlines — the regime where
+    the greedy must trade a shared awake interval against per-burst
+    restarts.
+
+    Feasibility is guaranteed by post-check + repair: jobs a maximum
+    matching leaves out get deterministic round-robin private slots.
+    """
+    gen = as_generator(rng)
+    if n_jobs <= 0 or n_processors <= 0 or horizon <= 0:
+        raise InvalidInstanceError("n_jobs, n_processors, horizon must be positive")
+    if n_bursts <= 0 or service_window <= 0:
+        raise InvalidInstanceError("n_bursts and service_window must be positive")
+    if service_window > horizon:
+        raise InvalidInstanceError("service_window cannot exceed the horizon")
+    processors = [f"P{i}" for i in range(n_processors)]
+    k = max(1, min(processors_per_job, n_processors))
+    epochs = [int(gen.integers(horizon)) for _ in range(n_bursts)]
+    values = _random_values(n_jobs, value_spread, gen)
+
+    jobs: List[Job] = []
+    for j in range(n_jobs):
+        epoch = epochs[int(gen.integers(n_bursts))]
+        jitter = int(gen.geometric(1.0 / (1.0 + burst_jitter))) - 1
+        arrival = min(horizon - 1, epoch + jitter)
+        end = min(horizon, arrival + service_window)
+        procs_idx = gen.choice(n_processors, size=k, replace=False)
+        slots = frozenset(
+            (processors[p], t) for p in procs_idx for t in range(arrival, end)
+        )
+        jobs.append(Job(id=f"j{j}", slots=slots, value=values[j]))
+
+    model = cost_model if cost_model is not None else AffineCost(restart_cost=2.0)
+    instance = ScheduleInstance(processors, jobs, horizon, model)
+    if _is_feasible(instance):
+        return instance
+
+    # Deterministic repair: private slots distinct from the matching's.
+    graph = instance.bipartite_graph()
+    matching = hopcroft_karp(graph)
+    repaired = _private_slot_repair(jobs, processors, horizon, matching)
+    instance = ScheduleInstance(processors, repaired, horizon, model)
+    if not _is_feasible(instance):
+        raise InvalidInstanceError(
+            "could not repair bursty-arrival instance to feasibility; relax the "
+            f"parameters (n_jobs={n_jobs} vs. capacity {n_processors * horizon})"
+        )
+    return instance
+
+
+def heterogeneous_energy_instance(
+    n_jobs: int,
+    n_processors: int,
+    horizon: int,
+    *,
+    efficiency_spread: float = 4.0,
+    restart_range: Tuple[float, float] = (1.0, 4.0),
+    windows_per_job: int = 2,
+    window_length: int = 3,
+    value_spread: float = 1.0,
+    rng=None,
+) -> ScheduleInstance:
+    """Multi-interval jobs on a fleet with per-processor energy profiles.
+
+    Pairs :func:`random_multi_interval_instance` job structure with a
+    :class:`~repro.scheduling.power.PerProcessorRateCost` drawn by
+    :func:`repro.workloads.energy.heterogeneous_fleet_rates` — efficiency
+    cores are cheap to keep awake but contended, performance cores burn
+    energy fast.  The cost draw and the job draw share *rng*, so one seed
+    reproduces the whole scenario.
+    """
+    from repro.scheduling.power import PerProcessorRateCost
+    from repro.workloads.energy import heterogeneous_fleet_rates
+
+    gen = as_generator(rng)
+    processors = [f"P{i}" for i in range(n_processors)]
+    rates, restarts = heterogeneous_fleet_rates(
+        processors,
+        efficiency_spread=efficiency_spread,
+        restart_range=restart_range,
+        rng=gen,
+    )
+    return random_multi_interval_instance(
+        n_jobs,
+        n_processors,
+        horizon,
+        windows_per_job=windows_per_job,
+        window_length=window_length,
+        value_spread=value_spread,
+        cost_model=PerProcessorRateCost(rates, restarts),
+        rng=gen,
+    )
 
 
 def small_certifiable_instance(

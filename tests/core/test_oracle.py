@@ -67,3 +67,34 @@ class TestCachedOracle:
         oracle({"a"})
         assert oracle.misses == 1
         assert oracle.hits == 0
+
+
+class TestMarginalGainFastPath:
+    def test_gain_matches_value_difference(self):
+        oracle = CachedOracle(fn())
+        sel, items = frozenset({"a"}), frozenset({"b"})
+        expected = oracle.value(sel | items) - oracle.value(sel)
+        assert oracle.marginal_gain(sel, items) == expected
+
+    def test_repeat_probe_hits_fingerprint_cache(self):
+        oracle = CachedOracle(fn())
+        sel, items = frozenset({"a"}), frozenset({"b"})
+        oracle.marginal_gain(sel, items)
+        hits = oracle.hits
+        oracle.marginal_gain(sel, items)
+        assert oracle.hits == hits + 1
+        assert oracle.misses == 2  # only the two values of the first probe
+
+    def test_distinct_selections_do_not_collide(self):
+        oracle = CachedOracle(fn())
+        items = frozenset({"b"})
+        g1 = oracle.marginal_gain(frozenset(), items)  # |{2, 3}| = 2
+        g2 = oracle.marginal_gain(frozenset({"a"}), items)  # adds only {3}
+        assert (g1, g2) == (2.0, 1.0)
+
+    def test_clear_drops_marginal_cache(self):
+        oracle = CachedOracle(fn())
+        oracle.marginal_gain(frozenset({"a"}), frozenset({"b"}))
+        oracle.clear()
+        oracle.marginal_gain(frozenset({"a"}), frozenset({"b"}))
+        assert oracle.misses == 2

@@ -1,0 +1,38 @@
+"""Result cache: hit/miss accounting and the disk mirror."""
+
+from repro.engine.cache import ResultCache
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        key = ResultCache.key_for("abc123", "incremental")
+        assert cache.get(key) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put(key, {"cost": 5.0})
+        assert cache.get(key) == {"cost": 5.0}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_methods_do_not_collide(self):
+        cache = ResultCache()
+        cache.put(ResultCache.key_for("fp", "plain"), {"cost": 1.0})
+        assert cache.get(ResultCache.key_for("fp", "lazy")) is None
+
+    def test_disk_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache")
+        first = ResultCache(path)
+        key = ResultCache.key_for("deadbeef", "lazy")
+        first.put(key, {"cost": 2.5, "oracle_work": 7})
+        # A brand-new cache over the same directory resumes from disk.
+        second = ResultCache(path)
+        assert second.get(key) == {"cost": 2.5, "oracle_work": 7}
+        assert second.hits == 1
+
+    def test_clear_keeps_disk(self, tmp_path):
+        path = str(tmp_path / "cache")
+        cache = ResultCache(path)
+        key = ResultCache.key_for("fp", "plain")
+        cache.put(key, {"cost": 1.0})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(key) == {"cost": 1.0}  # reloaded from the mirror

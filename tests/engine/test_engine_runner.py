@@ -1,0 +1,142 @@
+"""Sweep runner: determinism, caching, engine parity, multiprocessing."""
+
+import pytest
+
+from repro.engine import (
+    FAMILIES,
+    ResultCache,
+    RunSpec,
+    SweepSpec,
+    build_instance,
+    run_one,
+    run_sweep,
+)
+from repro.errors import InvalidInstanceError
+from repro.scheduling.solver import schedule_all_jobs
+
+MASTER = 20100612
+
+SMALL = SweepSpec(
+    families=("multi", "bursty_arrivals", "hetero_energy"),
+    grid=((8, 2, 16),),
+    methods=("incremental",),
+    trials=2,
+    master_seed=MASTER,
+)
+
+E12_LIKE = SweepSpec(
+    families=("multi",),
+    grid=((10, 3, 20),),
+    methods=("plain", "lazy", "incremental"),
+    trials=2,
+    master_seed=MASTER + 1,
+)
+
+
+class TestSweepSpec:
+    def test_expand_is_deterministic(self):
+        assert SMALL.expand() == SMALL.expand()
+
+    def test_methods_share_instance_seed(self):
+        by_cell = {}
+        for spec in E12_LIKE.expand():
+            by_cell.setdefault((spec.family, spec.trial), set()).add(spec.seed)
+        assert all(len(seeds) == 1 for seeds in by_cell.values())
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SweepSpec(families=("nope",), grid=((4, 2, 8),))
+
+    def test_all_registered_families_build(self):
+        for family in FAMILIES:
+            spec = RunSpec(
+                family=family, n_jobs=5, n_processors=2, horizon=12,
+                method="incremental", trial=0, seed=99,
+            )
+            instance = build_instance(spec)
+            assert instance.n_jobs == 5
+
+
+class TestRunSweepDeterminism:
+    def test_same_spec_same_records(self):
+        a = run_sweep(SMALL)
+        b = run_sweep(SMALL)
+        assert [r.to_dict() for r in a.records] == [
+            {**r.to_dict(), "wall_time": a.records[i].wall_time}
+            for i, r in enumerate(b.records)
+        ]
+
+    def test_fingerprints_stable_under_master_seed(self):
+        fps = [r.fingerprint for r in run_sweep(SMALL).records]
+        assert fps == [r.fingerprint for r in run_sweep(SMALL).records]
+        shifted = SweepSpec(**{**SMALL.__dict__, "master_seed": MASTER + 5})
+        assert fps != [r.fingerprint for r in run_sweep(shifted).records]
+
+
+class TestEngineParity:
+    """Engine-run results must equal direct schedule_all_jobs calls."""
+
+    @pytest.mark.parametrize("method", ["plain", "lazy", "incremental"])
+    def test_matches_direct_solve(self, method):
+        for spec in SweepSpec(
+            families=("multi",), grid=((10, 3, 20),), methods=(method,),
+            trials=2, master_seed=MASTER + 1,
+        ).expand():
+            record = run_one(spec)
+            direct = schedule_all_jobs(build_instance(spec), method=method)
+            assert record.cost == pytest.approx(direct.cost)
+            assert record.utility == pytest.approx(direct.greedy.utility)
+            assert record.oracle_work == direct.oracle_work
+            assert record.n_chosen == len(direct.greedy.chosen)
+
+    def test_methods_agree_across_engines(self):
+        assert run_sweep(E12_LIKE).methods_agree()
+
+
+class TestCaching:
+    def test_second_run_is_all_hits(self):
+        cache = ResultCache()
+        first = run_sweep(SMALL, cache=cache)
+        assert not any(r.cache_hit for r in first.records)
+        misses = cache.misses
+        second = run_sweep(SMALL, cache=cache)
+        assert all(r.cache_hit for r in second.records)
+        assert cache.misses == misses  # no new solves
+        assert [r.cost for r in first.records] == [r.cost for r in second.records]
+
+    def test_cache_is_method_sensitive(self):
+        cache = ResultCache()
+        run_sweep(E12_LIKE, cache=cache)
+        keys = {ResultCache.key_for(r.fingerprint, r.method)
+                for r in run_sweep(E12_LIKE, cache=cache).records}
+        assert len(keys) == len(E12_LIKE.expand())
+
+
+class TestMultiprocessing:
+    def test_parallel_matches_inline(self):
+        inline = run_sweep(SMALL)
+        parallel = run_sweep(SMALL, workers=2)
+        assert [(r.fingerprint, r.cost, r.oracle_work) for r in inline.records] == [
+            (r.fingerprint, r.cost, r.oracle_work) for r in parallel.records
+        ]
+
+    def test_parallel_disk_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_sweep(SMALL, workers=2, cache=cache)
+        rerun = run_sweep(SMALL, cache=cache)
+        assert all(r.cache_hit for r in rerun.records)
+
+
+class TestAggregation:
+    def test_table_renders_every_cell(self):
+        result = run_sweep(E12_LIKE)
+        table = result.to_table(title="t")
+        for method in E12_LIKE.methods:
+            assert method in table
+        assert len(result.aggregate()) == len(E12_LIKE.methods)
+
+    def test_to_dict_is_jsonable(self):
+        import json
+
+        payload = run_sweep(SMALL).to_dict()
+        assert json.loads(json.dumps(payload)) == payload

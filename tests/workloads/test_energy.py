@@ -63,3 +63,30 @@ class TestSpotTrace:
             spot_market_trace(0)
         with pytest.raises(InvalidInstanceError):
             spot_market_trace(10, spike_probability=1.5)
+
+
+class TestHeterogeneousFleetRates:
+    def test_shapes_and_ranges(self):
+        from repro.workloads.energy import heterogeneous_fleet_rates
+
+        procs = [f"P{i}" for i in range(6)]
+        rates, restarts = heterogeneous_fleet_rates(
+            procs, efficiency_spread=4.0, restart_range=(1.0, 4.0), rng=0
+        )
+        assert set(rates) == set(procs) == set(restarts)
+        assert all(1.0 <= r <= 4.0 for r in rates.values())
+        assert all(1.0 <= c <= 4.0 for c in restarts.values())
+
+    def test_spread_one_is_homogeneous(self):
+        from repro.workloads.energy import heterogeneous_fleet_rates
+
+        rates, _ = heterogeneous_fleet_rates(["a", "b"], efficiency_spread=1.0, rng=0)
+        assert set(rates.values()) == {1.0}
+
+    def test_bad_parameters(self):
+        from repro.workloads.energy import heterogeneous_fleet_rates
+
+        with pytest.raises(InvalidInstanceError):
+            heterogeneous_fleet_rates(["a"], efficiency_spread=0.5)
+        with pytest.raises(InvalidInstanceError):
+            heterogeneous_fleet_rates(["a"], restart_range=(3.0, 1.0))

@@ -6,7 +6,9 @@ from repro.errors import InvalidInstanceError
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.scheduling.power import SuperlinearCost
 from repro.workloads.jobs import (
+    bursty_arrival_instance,
     bursty_instance,
+    heterogeneous_energy_instance,
     random_multi_interval_instance,
     small_certifiable_instance,
 )
@@ -108,3 +110,64 @@ class TestSmallCertifiable:
         inst = small_certifiable_instance(6, 2, 14, 12, value_spread=3.0, rng=1)
         values = [j.value for j in inst.jobs]
         assert max(values) > min(values)
+
+
+class TestBurstyArrival:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_feasible(self, seed):
+        inst = bursty_arrival_instance(14, 3, 30, rng=seed)
+        assert feasible(inst)
+
+    def test_windows_are_contiguous_per_processor(self):
+        inst = bursty_arrival_instance(10, 3, 24, service_window=4, rng=0)
+        # Repair may add one private slot; every job still has some
+        # processor with a contiguous run of valid times.
+        for job in inst.jobs:
+            runs = []
+            for proc in job.processors():
+                times = job.times_on(proc)
+                runs.append(all(b - a == 1 for a, b in zip(times, times[1:])))
+            assert any(runs)
+
+    def test_processors_per_job_respected(self):
+        inst = bursty_arrival_instance(
+            12, 4, 30, processors_per_job=2, rng=3
+        )
+        # At most 2 drawn processors plus possibly one repair processor.
+        for job in inst.jobs:
+            assert len(job.processors()) <= 3
+
+    def test_deterministic_under_seed(self):
+        a = bursty_arrival_instance(10, 3, 24, rng=7)
+        b = bursty_arrival_instance(10, 3, 24, rng=7)
+        assert [(j.id, j.slots) for j in a.jobs] == [(j.id, j.slots) for j in b.jobs]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            bursty_arrival_instance(0, 2, 10)
+        with pytest.raises(InvalidInstanceError):
+            bursty_arrival_instance(4, 2, 10, service_window=0)
+        with pytest.raises(InvalidInstanceError):
+            bursty_arrival_instance(4, 2, 10, service_window=11)
+
+
+class TestHeterogeneousEnergy:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_feasible(self, seed):
+        inst = heterogeneous_energy_instance(10, 3, 20, rng=seed)
+        assert feasible(inst)
+
+    def test_cost_model_is_per_processor(self):
+        from repro.scheduling.intervals import AwakeInterval
+        from repro.scheduling.power import PerProcessorRateCost
+
+        inst = heterogeneous_energy_instance(8, 3, 20, efficiency_spread=8.0, rng=1)
+        assert isinstance(inst.cost_model, PerProcessorRateCost)
+        costs = {p: inst.cost_of(AwakeInterval(p, 0, 4)) for p in inst.processors}
+        assert len(set(costs.values())) > 1  # the fleet is actually heterogeneous
+
+    def test_deterministic_under_seed(self):
+        a = heterogeneous_energy_instance(8, 3, 20, rng=5)
+        b = heterogeneous_energy_instance(8, 3, 20, rng=5)
+        assert a.cost_model.rates == b.cost_model.rates
+        assert [(j.id, j.slots) for j in a.jobs] == [(j.id, j.slots) for j in b.jobs]
