@@ -3,13 +3,19 @@
 Paper claim: value >= (1 - eps) Z at cost O(log(1/eps)) * OPT(Z).
 Measured: value fraction and cost/OPT(Z) over an eps sweep with OPT
 certified exactly.
+
+The greedy side runs through the batched experiment engine's
+``prize_collecting`` task adapter (:mod:`repro.engine.tasks`); the
+exact reference rebuilds each record's instance from its spec
+(deterministic by construction) and certifies it locally — the same
+split E2 uses for Theorem 2.2.1.
 """
 
 import math
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
-from repro.rng import as_generator, spawn
+from repro.engine import SweepSpec, build_instance, run_sweep
 from repro.scheduling.exact import optimal_prize_collecting_bruteforce
 from repro.scheduling.prize_collecting import prize_collecting_schedule
 from repro.workloads.jobs import small_certifiable_instance
@@ -18,22 +24,35 @@ from conftest import emit
 
 EPS_SWEEP = [0.5, 0.25, 0.1]
 TRIALS = 8
+TARGET_FRACTION = 0.6
 
 
 def test_e3_eps_sweep(benchmark, master_seed):
     rows = []
-    master = as_generator(master_seed)
     for eps in EPS_SWEEP:
+        sweep = SweepSpec(
+            task="prize_collecting",
+            families=("certifiable",),
+            grid=((7, 2, 16),),
+            methods=("lazy",),
+            trials=TRIALS,
+            master_seed=master_seed,
+            params=(
+                ("epsilon", eps),
+                ("n_candidate_intervals", 12),
+                ("target_fraction", TARGET_FRACTION),
+                ("value_spread", 4.0),
+            ),
+        )
+        specs = sweep.expand()
+        result = run_sweep(specs)
         fractions, ratios = [], []
-        for child in spawn(master, TRIALS):
-            inst = small_certifiable_instance(
-                7, 2, 16, 12, value_spread=4.0, rng=child
-            )
-            target = 0.6 * inst.total_value()
+        for spec, record in zip(specs, result.records):
+            inst = build_instance(spec)
+            target = TARGET_FRACTION * inst.total_value()
             opt = optimal_prize_collecting_bruteforce(inst, target).cost
-            result = prize_collecting_schedule(inst, target, eps)
-            fractions.append(result.value / target)
-            ratios.append(result.cost / opt if opt > 0 else 1.0)
+            fractions.append(record.utility / target)
+            ratios.append(record.cost / opt if opt > 0 else 1.0)
         bound = 2.0 * math.log2(1.0 / eps) + 2.0
         rows.append(
             [eps, 1 - eps, summarize(fractions).mean, summarize(ratios).maximum, bound]
@@ -50,5 +69,5 @@ def test_e3_eps_sweep(benchmark, master_seed):
         assert worst <= bound + 1e-9
 
     inst = small_certifiable_instance(7, 2, 16, 12, value_spread=4.0, rng=0)
-    target = 0.6 * inst.total_value()
+    target = TARGET_FRACTION * inst.total_value()
     benchmark(lambda: prize_collecting_schedule(inst, target, 0.25))

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from itertools import combinations
 from math import comb
-from typing import Callable, Hashable, Iterable, Tuple
+from typing import Callable, Tuple
 
 from repro.core.submodular import SetFunction
 from repro.analysis.stats import TrialStats, summarize
@@ -40,9 +40,14 @@ def offline_greedy_cardinality(fn: SetFunction, k: int) -> Tuple[frozenset, floa
     """
     chosen: set = set()
     value = fn.value(frozenset())
+    # Sorted scan: greedy tie-breaks must not depend on (hash-randomised)
+    # set iteration order, or the benchmark drifts across processes.
+    ground = sorted(fn.ground_set, key=repr)
     for _ in range(max(0, k)):
         best_e, best_gain = None, 0.0
-        for e in fn.ground_set - chosen:
+        for e in ground:
+            if e in chosen:
+                continue
             gain = fn.value(frozenset(chosen | {e})) - value
             if gain > best_gain:
                 best_e, best_gain = e, gain

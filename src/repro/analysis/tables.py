@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "format_delta"]
 
 
 def format_table(
@@ -39,6 +39,17 @@ def format_table(
     lines.append("-+-".join("-" * w for w in widths))
     lines.extend(fmt_row(r) for r in str_rows)
     return "\n".join(lines)
+
+
+def format_delta(measured: float, baseline: float) -> str:
+    """Render a measured-vs-baseline change as a signed percentage.
+
+    Used by the bench comparison tables; a zero/absent baseline renders
+    as ``n/a`` rather than dividing by zero.
+    """
+    if baseline == 0:
+        return "n/a" if measured == 0 else "+inf%"
+    return f"{100.0 * (measured - baseline) / abs(baseline):+.1f}%"
 
 
 def _cell(value: object) -> str:

@@ -1,19 +1,24 @@
 """Command-line interface.
 
-Five subcommands mirroring the library's main entry points::
+Six subcommands mirroring the library's main entry points::
 
     python -m repro solve INSTANCE.json [--method M] [--render]
     python -m repro prize INSTANCE.json --target Z [--epsilon E] [--exact]
     python -m repro demo  [--seed S]                # random instance, solved
     python -m repro check INSTANCE.json             # validate + stats only
-    python -m repro sweep --families multi --grid 20x3x40 [--workers W] ...
+    python -m repro sweep --task secretary --families additive ...
+    python -m repro bench --profile quick           # perf-regression gate
 
 All output is JSON on stdout (render/diagnostics on stderr), so the CLI
 composes with jq-style pipelines.  ``sweep`` drives the batched
-experiment engine (:mod:`repro.engine`): a parameter grid over workload
-families, solver methods, and seeded trials, optionally across
-``multiprocessing`` workers and a disk-backed result cache; the
+experiment engine (:mod:`repro.engine`): a parameter grid over one
+task's workload families, solver methods, and seeded trials, optionally
+across ``multiprocessing`` workers and a disk-backed result cache; the
 aggregate table prints on stderr and the full record set on stdout.
+``bench`` runs the curated multi-task suite of a profile, writes a
+machine-readable ``BENCH_<profile>.json``, and compares it against the
+committed baseline under ``benchmarks/baselines/`` — exiting 1 on any
+regression beyond tolerance (the CI perf gate).
 """
 
 from __future__ import annotations
@@ -77,16 +82,22 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="batched parameter sweep via the experiment engine"
     )
     sweep.add_argument(
+        "--task", default="schedule_all",
+        help="task adapter to sweep (schedule_all, prize_collecting, "
+             "secretary, knapsack_secretary)",
+    )
+    sweep.add_argument(
         "--families", default="multi",
         help="comma-separated workload families (e.g. multi,bursty_arrivals)",
     )
     sweep.add_argument(
         "--grid", default="20x3x40",
-        help="comma-separated JOBSxPROCSxHORIZON cells (e.g. 15x3x24,30x4x40)",
+        help="comma-separated NxPxH cells (e.g. 15x3x24,30x4x40); the "
+             "triple's meaning is task-defined",
     )
     sweep.add_argument(
         "--methods", default="incremental",
-        help="comma-separated solver engines (incremental,lazy,plain)",
+        help="comma-separated solver methods for the task",
     )
     sweep.add_argument("--trials", type=int, default=3, help="instances per cell")
     sweep.add_argument("--seed", type=int, default=20100612, help="master seed")
@@ -100,6 +111,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--records", action="store_true",
         help="include per-run records in the JSON output (aggregate only otherwise)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="curated multi-task suite + perf-regression gate"
+    )
+    bench.add_argument(
+        "--profile", default="quick",
+        help="suite profile (smoke, quick, full)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=0,
+        help="multiprocessing workers (0/1 = inline; inline gives the "
+             "least-noisy timings)",
+    )
+    bench.add_argument(
+        "--output", default=None,
+        help="where to write the measured report (default BENCH_<profile>.json)",
+    )
+    bench.add_argument(
+        "--baseline", default=None,
+        help="baseline report to compare against "
+             "(default benchmarks/baselines/BENCH_<profile>.json)",
+    )
+    bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the measured report to the baseline path and skip the gate",
     )
     return parser
 
@@ -195,6 +232,7 @@ def _cmd_sweep(args) -> int:
     from repro.engine import ResultCache, SweepSpec, run_sweep
 
     sweep = SweepSpec(
+        task=args.task,
         families=tuple(f.strip() for f in args.families.split(",") if f.strip()),
         grid=_parse_grid(args.grid),
         methods=tuple(m.strip() for m in args.methods.split(",") if m.strip()),
@@ -207,7 +245,13 @@ def _cmd_sweep(args) -> int:
     payload = result.to_dict()
     if not args.records:
         del payload["records"]
-    payload["methods_agree"] = result.methods_agree()
+    from repro.engine import get_task
+
+    # Only meaningful when the task's methods realise the same
+    # objective (for e.g. secretary sweeps, different methods are
+    # different algorithms with different benchmarks, not engines).
+    if get_task(args.task).methods_interchangeable:
+        payload["methods_agree"] = result.methods_agree()
     if cache is not None:
         # Count from the records, not the parent cache's counters — with
         # --workers the lookups happen in worker-process caches.
@@ -217,12 +261,70 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.engine.baseline import (
+        compare_reports,
+        default_baseline_path,
+        has_failures,
+        load_report,
+        regression_table,
+        run_bench,
+        write_report,
+    )
+
+    # No result cache here on purpose: cached cells would replay
+    # pre-change metrics and defeat the regression gate.
+    report = run_bench(args.profile, workers=args.workers)
+    output_path = args.output or f"BENCH_{args.profile}.json"
+    baseline_path = args.baseline or default_baseline_path(args.profile)
+
+    write_report(report, output_path)
+    print(f"bench report written to {output_path}", file=sys.stderr)
+
+    if args.update_baseline:
+        write_report(report, baseline_path)
+        print(f"baseline updated at {baseline_path}", file=sys.stderr)
+        _emit({"profile": args.profile, "output": output_path,
+               "baseline": baseline_path, "updated": True,
+               "cells": len(report["cells"])})
+        return 0
+
+    try:
+        baseline = load_report(baseline_path)
+    except FileNotFoundError:
+        print(
+            f"error: no baseline at {baseline_path}; generate one with "
+            f"repro bench --profile {args.profile} --update-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    findings = compare_reports(report, baseline)
+    table = regression_table(findings)
+    if table:
+        print(table, file=sys.stderr)
+    failed = has_failures(findings)
+    _emit({
+        "profile": args.profile,
+        "output": output_path,
+        "baseline": baseline_path,
+        "cells": len(report["cells"]),
+        "findings": [f.to_dict() for f in findings],
+        "passed": not failed,
+    })
+    if failed:
+        print("bench gate: FAIL (regressions above tolerance)", file=sys.stderr)
+        return 1
+    print("bench gate: ok", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "prize": _cmd_prize,
     "demo": _cmd_demo,
     "check": _cmd_check,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
 }
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping
 
 from repro.core.submodular import Element, SetFunction
 from repro.core.trace import GreedyResult, GreedyStep

@@ -53,6 +53,13 @@ class CoverageFunction(SetFunction):
     def ground_set(self) -> FrozenSet[Element]:
         return self._ground
 
+    def canonical_payload(self) -> Dict[str, object]:
+        """JSON-able content description (engine fingerprints hash this)."""
+        return {
+            "kind": "coverage",
+            "covers": {repr(k): sorted(map(repr, v)) for k, v in self._covers.items()},
+        }
+
     @property
     def universe(self) -> FrozenSet[Hashable]:
         """All items coverable by the full ground set."""
@@ -114,6 +121,13 @@ class AdditiveFunction(SetFunction):
         # fsum: exactly-rounded => independent of set iteration order.
         return math.fsum(self._values[e] for e in subset)
 
+    def canonical_payload(self) -> Dict[str, object]:
+        """JSON-able content description (engine fingerprints hash this)."""
+        return {
+            "kind": "additive",
+            "values": {repr(k): v for k, v in self._values.items()},
+        }
+
 
 class BudgetAdditiveFunction(AdditiveFunction):
     """``F(S) = min(cap, sum of values)`` — monotone submodular.
@@ -158,6 +172,13 @@ class CutFunction(SetFunction):
     def value(self, subset: FrozenSet[Element]) -> float:
         return float(sum(w for u, v, w in self._edges if (u in subset) != (v in subset)))
 
+    def canonical_payload(self) -> Dict[str, object]:
+        """JSON-able content description (engine fingerprints hash this)."""
+        edges = sorted(
+            sorted([repr(u), repr(v)]) + [w] for u, v, w in self._edges
+        )
+        return {"kind": "cut", "vertices": sorted(map(repr, self._ground)), "edges": edges}
+
 
 class FacilityLocationFunction(SetFunction):
     """``F(S) = sum over clients of max benefit from an open facility in S``.
@@ -191,6 +212,14 @@ class FacilityLocationFunction(SetFunction):
         # Vectorised best-facility-per-client reduction; this is the hot
         # call in secretary sweeps, hence numpy instead of a python loop.
         return float(self._benefit[:, cols].max(axis=1).sum())
+
+    def canonical_payload(self) -> Dict[str, object]:
+        """JSON-able content description (engine fingerprints hash this)."""
+        return {
+            "kind": "facility",
+            "facilities": [repr(f) for f in self._facilities],
+            "benefit": self._benefit.tolist(),
+        }
 
 
 class MatroidRankFunction(SetFunction):

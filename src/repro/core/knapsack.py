@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Mapping, Sequence, Tuple
+from typing import FrozenSet, Hashable, Mapping, Sequence
 
 from repro.core.submodular import SetFunction
 from repro.errors import BudgetError, InvalidInstanceError

@@ -1,46 +1,76 @@
 """Batched experiment engine.
 
 The benchmarks and EXPERIMENTS.md tables all follow one shape — sweep a
-parameter grid (jobs, processors, horizon, workload family, solver
-engine) over several seeded trials, solve each instance, and aggregate
-cost / oracle-work / wall-time per grid cell.  This package turns that
-shape into a subsystem instead of per-file loops:
+parameter grid over workload families, solver methods, and seeded
+trials, solve each instance, and aggregate cost / oracle-work /
+wall-time per grid cell.  This package turns that shape into a
+subsystem instead of per-file loops:
 
+:mod:`repro.engine.tasks`
+    The pluggable :class:`TaskAdapter` registry — one adapter per solver
+    family (``schedule_all``, ``prize_collecting``, ``secretary``,
+    ``knapsack_secretary``), each knowing how to build, fingerprint, and
+    solve one grid cell.
 :mod:`repro.engine.spec`
     :class:`SweepSpec` (the grid) expanding to picklable
-    :class:`RunSpec` cells, plus the workload-family registry that turns
-    a spec into a concrete :class:`~repro.scheduling.instance.ScheduleInstance`
-    deterministically.
+    :class:`RunSpec` cells, validated against the cell task's adapter.
 :mod:`repro.engine.hashing`
     Stable fingerprints for instances and run specs (cache keys,
-    provenance in result records).
+    provenance in result records and bench baselines).
 :mod:`repro.engine.cache`
     Per-instance result cache (in-memory, optionally disk-backed) keyed
-    by ``instance fingerprint × solver method``.
+    by ``task × instance fingerprint × solver method``.
 :mod:`repro.engine.runner`
     :func:`run_sweep` — executes the cells inline or with chunked
-    ``multiprocessing`` workers, merges cached results, and aggregates
+    spawn-context workers, merges cached results, and aggregates
     records into the :mod:`repro.analysis.tables` format.
+:mod:`repro.engine.baseline`
+    The ``repro bench`` machinery: curated per-task suites
+    (``quick``/``full`` profiles), machine-readable ``BENCH_*.json``
+    reports, and tolerance-based comparison against the committed
+    baselines under ``benchmarks/baselines/`` (the CI perf gate).
 
-The CLI's ``repro sweep`` subcommand and the E2/E12 benchmarks are thin
-wrappers over :func:`run_sweep`.
+The CLI's ``repro sweep`` / ``repro bench`` subcommands and the
+E2/E3/E6/E9/E12 benchmarks are thin wrappers over this package.
 """
 
 from repro.engine.cache import ResultCache
 from repro.engine.hashing import instance_fingerprint, spec_fingerprint
-from repro.engine.runner import RunRecord, SweepResult, run_one, run_sweep
 from repro.engine.spec import FAMILIES, RunSpec, SweepSpec, build_instance
+from repro.engine.runner import RunRecord, SweepResult, run_one, run_sweep
+from repro.engine.tasks import TASKS, TaskAdapter, get_task, register_task, task_names
+from repro.engine.baseline import (
+    PROFILES,
+    Tolerances,
+    compare_reports,
+    default_baseline_path,
+    load_report,
+    run_bench,
+    write_report,
+)
 
 __all__ = [
     "FAMILIES",
+    "PROFILES",
     "ResultCache",
     "RunRecord",
     "RunSpec",
     "SweepResult",
     "SweepSpec",
+    "TASKS",
+    "TaskAdapter",
+    "Tolerances",
     "build_instance",
+    "compare_reports",
+    "default_baseline_path",
+    "get_task",
     "instance_fingerprint",
+    "load_report",
+    "register_task",
+    "run_bench",
     "run_one",
     "run_sweep",
     "spec_fingerprint",
+    "task_names",
+    "write_report",
 ]

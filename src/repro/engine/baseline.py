@@ -1,0 +1,334 @@
+"""``repro bench`` — curated suites, reports, and the perf-regression gate.
+
+Every registered task contributes cells to a curated suite per profile:
+
+``smoke``
+    Seconds; what the test suite exercises end to end.
+``quick``
+    Tens of seconds inline; what CI's ``bench-gate`` job runs on every
+    push against the committed baseline.
+``full``
+    Minutes; the number EXPERIMENTS.md-scale regressions are judged by.
+
+A bench run produces a machine-readable report (``BENCH_<profile>.json``)
+keyed by cell id ``task/family/NxPxH/method`` with per-cell mean cost,
+utility, oracle work, and wall time plus the sorted instance
+fingerprints — enough to distinguish "the solver got slower" from "the
+workload generator changed" at comparison time.
+
+:func:`compare_reports` checks a measured report against a committed
+baseline with per-metric tolerances:
+
+* **fingerprints** and the **suite fingerprint** must match exactly
+  (instance-generation / suite-definition drift fails loudly);
+* **cost** and **utility** are deterministic, so any relative drift
+  beyond ``1e-6`` fails in *either* direction — a solver change that
+  alters solutions must be accompanied by a baseline regeneration;
+* **oracle work** may improve freely but may not grow more than 10 %;
+* **wall time** may not exceed ``1.8 x max(baseline, 0.1 s)`` — the
+  absolute floor keeps millisecond cells from flapping on noisy or
+  slower CI runners (those cells are still gated by the deterministic
+  metrics above) while catching the 2x regressions the gate exists for
+  on any cell whose baseline is at least the floor.
+
+Baselines live in ``benchmarks/baselines/`` and are regenerated with
+``repro bench --profile <p> --update-baseline`` (see README).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.analysis.tables import format_delta, format_table
+from repro.engine.hashing import spec_fingerprint
+from repro.engine.runner import run_sweep
+from repro.engine.spec import SweepSpec
+from repro.errors import InvalidInstanceError
+
+__all__ = [
+    "BENCH_FORMAT",
+    "PROFILES",
+    "Regression",
+    "Tolerances",
+    "compare_reports",
+    "default_baseline_path",
+    "load_report",
+    "regression_table",
+    "run_bench",
+    "write_report",
+]
+
+BENCH_FORMAT = "repro-bench/1"
+
+_PRIZE_PARAMS = (
+    ("epsilon", 0.25),
+    ("n_candidate_intervals", 12),
+    ("target_fraction", 0.6),
+    ("value_spread", 4.0),
+)
+
+PROFILES: Dict[str, Tuple[SweepSpec, ...]] = {
+    "smoke": (
+        SweepSpec(task="schedule_all", families=("multi",), grid=((8, 2, 16),),
+                  methods=("incremental",), trials=1),
+        SweepSpec(task="prize_collecting", families=("certifiable",), grid=((6, 2, 12),),
+                  methods=("lazy",), trials=1, params=(("n_candidate_intervals", 10),)),
+        SweepSpec(task="secretary", families=("additive",), grid=((30, 3, 0),),
+                  methods=("monotone",), trials=1),
+        SweepSpec(task="knapsack_secretary", families=("additive",), grid=((20, 2, 0),),
+                  methods=("online",), trials=1),
+    ),
+    "quick": (
+        SweepSpec(task="schedule_all", families=("multi", "bursty"),
+                  grid=((12, 3, 24), (20, 3, 32)), methods=("incremental",), trials=2),
+        SweepSpec(task="schedule_all", families=("multi",), grid=((15, 3, 24),),
+                  methods=("plain", "lazy", "incremental"), trials=2),
+        SweepSpec(task="prize_collecting", families=("certifiable",), grid=((7, 2, 16),),
+                  methods=("lazy", "exact"), trials=2, params=_PRIZE_PARAMS),
+        SweepSpec(task="secretary", families=("additive", "coverage"),
+                  grid=((60, 4, 0),), methods=("monotone", "classical"), trials=2),
+        SweepSpec(task="secretary", families=("cut",), grid=((40, 4, 0),),
+                  methods=("nonmonotone", "robust"), trials=2),
+        SweepSpec(task="knapsack_secretary", families=("additive",),
+                  grid=((40, 2, 0), (40, 4, 0)), methods=("online",), trials=2),
+    ),
+    "full": (
+        SweepSpec(task="schedule_all",
+                  families=("multi", "bursty", "bursty_arrivals", "hetero_energy"),
+                  grid=((20, 3, 32), (40, 4, 48)),
+                  methods=("incremental",), trials=3),
+        SweepSpec(task="schedule_all", families=("multi", "hetero_energy"),
+                  grid=((60, 5, 80),), methods=("incremental",), trials=3),
+        SweepSpec(task="schedule_all", families=("multi",), grid=((50, 4, 60),),
+                  methods=("plain", "lazy", "incremental"), trials=3),
+        SweepSpec(task="prize_collecting", families=("certifiable",),
+                  grid=((7, 2, 16), (8, 2, 18)), methods=("lazy", "plain", "exact"),
+                  trials=5, params=_PRIZE_PARAMS),
+        SweepSpec(task="secretary", families=("additive", "coverage", "facility"),
+                  grid=((150, 6, 0), (400, 8, 0)),
+                  methods=("monotone", "classical", "robust"), trials=3),
+        SweepSpec(task="secretary", families=("cut",), grid=((150, 8, 0),),
+                  methods=("nonmonotone",), trials=3),
+        SweepSpec(task="knapsack_secretary", families=("additive",),
+                  grid=((120, 1, 0), (120, 2, 0), (120, 4, 0)), methods=("online",),
+                  trials=5),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Per-metric regression tolerances (see module docstring)."""
+
+    cost_rtol: float = 1e-6
+    utility_rtol: float = 1e-6
+    oracle_factor: float = 1.10
+    wall_factor: float = 1.8
+    wall_floor: float = 0.1
+
+
+DEFAULT_TOLERANCES = Tolerances()
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One comparison finding; only ``severity == "fail"`` gates CI."""
+
+    cell: str
+    metric: str
+    baseline: float
+    measured: float
+    limit: float
+    severity: str = "fail"
+    note: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell, "metric": self.metric, "baseline": self.baseline,
+            "measured": self.measured, "limit": self.limit,
+            "severity": self.severity, "note": self.note,
+        }
+
+
+def _cell_id(record) -> str:
+    return (
+        f"{record.task}/{record.family}/"
+        f"{record.n_jobs}x{record.n_processors}x{record.horizon}/{record.method}"
+    )
+
+
+def suite_for(profile: str) -> Tuple[SweepSpec, ...]:
+    """The curated sweep list for *profile* (raises on unknown names)."""
+    suite = PROFILES.get(profile)
+    if suite is None:
+        raise InvalidInstanceError(
+            f"unknown bench profile {profile!r}; known: {sorted(PROFILES)}"
+        )
+    return suite
+
+
+def run_bench(profile: str, *, workers: int = 0) -> Dict[str, Any]:
+    """Run the profile's suite across all tasks; return the report dict.
+
+    Deliberately cache-free: a result cache would replay pre-change
+    metrics on cache hits and silently defeat the regression gate.
+    """
+    suite = suite_for(profile)
+    groups: Dict[str, List] = {}
+    for sweep in suite:
+        result = run_sweep(sweep, workers=workers)
+        for record in result.records:
+            groups.setdefault(_cell_id(record), []).append(record)
+    cells: Dict[str, Any] = {}
+    for cid in sorted(groups):
+        records = groups[cid]
+        n = len(records)
+        cells[cid] = {
+            "trials": n,
+            "mean_cost": sum(r.cost for r in records) / n,
+            "mean_utility": sum(r.utility for r in records) / n,
+            "mean_oracle_work": sum(r.oracle_work for r in records) / n,
+            "mean_wall_time": sum(r.wall_time for r in records) / n,
+            "fingerprints": sorted({r.fingerprint for r in records}),
+        }
+    return {
+        "format": BENCH_FORMAT,
+        "profile": profile,
+        "suite_fingerprint": spec_fingerprint([s.to_dict() for s in suite]),
+        "cells": cells,
+    }
+
+
+def compare_reports(
+    measured: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerances: Tolerances = DEFAULT_TOLERANCES,
+) -> List[Regression]:
+    """All findings from checking *measured* against *baseline*.
+
+    CI gates on the ``fail`` findings (:func:`has_failures`); ``info``
+    findings (new cells not yet in the baseline) are surfaced so a
+    forgotten baseline regeneration is visible without blocking.
+    """
+    findings: List[Regression] = []
+    if measured.get("profile") != baseline.get("profile"):
+        findings.append(Regression(
+            cell="<report>", metric="profile", baseline=0.0, measured=0.0,
+            note=f"profile mismatch: measured {measured.get('profile')!r} "
+                 f"vs baseline {baseline.get('profile')!r}", limit=0.0,
+        ))
+        return findings
+    if measured.get("suite_fingerprint") != baseline.get("suite_fingerprint"):
+        findings.append(Regression(
+            cell="<report>", metric="suite_fingerprint", baseline=0.0,
+            measured=0.0, limit=0.0,
+            note="bench suite definition changed; regenerate the baseline "
+                 "with repro bench --update-baseline",
+        ))
+
+    m_cells = measured.get("cells", {})
+    b_cells = baseline.get("cells", {})
+    for cid, b in b_cells.items():
+        m = m_cells.get(cid)
+        if m is None:
+            findings.append(Regression(
+                cell=cid, metric="presence", baseline=1.0, measured=0.0,
+                limit=1.0, note="cell missing from measured report",
+            ))
+            continue
+        if m.get("fingerprints") != b.get("fingerprints"):
+            findings.append(Regression(
+                cell=cid, metric="fingerprints", baseline=0.0, measured=0.0,
+                limit=0.0, note="instance fingerprints changed "
+                                "(workload generation drift)",
+            ))
+        for metric, rtol in (("mean_cost", tolerances.cost_rtol),
+                             ("mean_utility", tolerances.utility_rtol)):
+            bv, mv = float(b[metric]), float(m[metric])
+            limit = rtol * max(abs(bv), 1e-12)
+            if abs(mv - bv) > limit:
+                findings.append(Regression(
+                    cell=cid, metric=metric, baseline=bv, measured=mv,
+                    limit=limit, note="deterministic metric drifted",
+                ))
+        bv, mv = float(b["mean_oracle_work"]), float(m["mean_oracle_work"])
+        limit = tolerances.oracle_factor * bv + 1e-9
+        if mv > limit:
+            findings.append(Regression(
+                cell=cid, metric="mean_oracle_work", baseline=bv, measured=mv,
+                limit=limit, note="oracle-call count regressed",
+            ))
+        bv, mv = float(b["mean_wall_time"]), float(m["mean_wall_time"])
+        limit = tolerances.wall_factor * max(bv, tolerances.wall_floor)
+        if mv > limit:
+            findings.append(Regression(
+                cell=cid, metric="mean_wall_time", baseline=bv, measured=mv,
+                limit=limit, note="wall time regressed",
+            ))
+    for cid in m_cells:
+        if cid not in b_cells:
+            findings.append(Regression(
+                cell=cid, metric="presence", baseline=0.0, measured=1.0,
+                limit=0.0, severity="info",
+                note="new cell not in baseline (regenerate to pin it)",
+            ))
+    return findings
+
+
+def has_failures(findings: List[Regression]) -> bool:
+    """True when any finding should gate (non-info severity)."""
+    return any(f.severity == "fail" for f in findings)
+
+
+def regression_table(findings: List[Regression]) -> str:
+    """Human-readable findings table (empty string when clean)."""
+    if not findings:
+        return ""
+    rows = [
+        [f.severity, f.cell, f.metric, f.baseline, f.measured,
+         format_delta(f.measured, f.baseline), f.note]
+        for f in findings
+    ]
+    return format_table(
+        ["severity", "cell", "metric", "baseline", "measured", "delta", "note"],
+        rows,
+        title="bench comparison findings",
+    )
+
+
+def default_baseline_path(profile: str, root: str = ".") -> str:
+    """Committed baseline location for *profile* under repo *root*."""
+    return os.path.join(root, "benchmarks", "baselines", f"BENCH_{profile}.json")
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a report as stable, diff-friendly JSON (atomic replace)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp_path, path)
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load a report, validating the format marker.
+
+    Corrupt/garbled JSON raises :class:`InvalidInstanceError` (a
+    :class:`~repro.errors.ReproError`), so the CLI reports a clean usage
+    error instead of a traceback-as-regression.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            report = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise InvalidInstanceError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(report, dict) or report.get("format") != BENCH_FORMAT:
+        raise InvalidInstanceError(
+            f"{path} is not a {BENCH_FORMAT} report"
+        )
+    return report

@@ -45,17 +45,25 @@ class ResultCache:
         return len(self._store)
 
     @staticmethod
-    def key_for(fingerprint: str, method: str) -> str:
-        return f"{fingerprint}.{method}"
+    def key_for(fingerprint: str, method: str, task: str = "schedule_all") -> str:
+        return f"{task}.{fingerprint}.{method}"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         record = self._store.get(key)
         if record is None and self.path:
             file_path = os.path.join(self.path, _filename(key))
             if os.path.exists(file_path):
-                with open(file_path, "r", encoding="utf-8") as fh:
-                    record = json.load(fh)
-                self._store[key] = record
+                # A corrupt/partial mirror entry (killed worker, torn
+                # copy) is a miss, never a crash: the cell just re-runs.
+                try:
+                    with open(file_path, "r", encoding="utf-8") as fh:
+                        record = json.load(fh)
+                except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                    record = None
+                if not isinstance(record, dict):
+                    record = None
+                else:
+                    self._store[key] = record
         if record is None:
             self.misses += 1
             return None

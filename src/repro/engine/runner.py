@@ -1,20 +1,24 @@
 """The batched sweep runner.
 
 :func:`run_one` solves a single :class:`~repro.engine.spec.RunSpec`
-cell — rebuild the instance from its spec, fingerprint it, consult the
-cache, otherwise time a :func:`~repro.scheduling.solver.schedule_all_jobs`
-call and digest its :class:`~repro.core.trace.GreedyResult` into a flat,
-JSON-able :class:`RunRecord`.
+cell — look up the cell's :class:`~repro.engine.tasks.base.TaskAdapter`,
+rebuild the instance from its spec, fingerprint it, consult the cache,
+otherwise time the adapter's ``solve`` and wrap its metric payload in a
+flat, JSON-able :class:`RunRecord`.
 
 :func:`run_sweep` executes many cells:
 
 * ``workers <= 1`` — inline, in deterministic grid order (what the
   benchmarks use: no process noise in timings);
-* ``workers > 1`` — chunked ``multiprocessing`` pool.  Workers rebuild
-  instances from their specs (specs pickle, instances never cross the
-  pipe) and share any *disk-backed* cache through the filesystem; the
-  parent folds returned records into its in-memory cache afterwards, so
-  a re-run in the same process is pure cache hits either way.
+* ``workers > 1`` — chunked pool on an explicit *spawn* context
+  (fork-safety: workers never inherit parent heap state, so the same
+  sweep behaves identically on Linux and macOS).  The pool is capped at
+  the number of cells — a sweep smaller than ``--workers`` never spawns
+  idle processes.  Workers rebuild instances from their specs (specs
+  pickle, instances never cross the pipe) and share any *disk-backed*
+  cache through the filesystem; the parent folds returned records into
+  its in-memory cache afterwards, so a re-run in the same process is
+  pure cache hits either way.
 
 Aggregation groups records per grid cell and summarises cost, oracle
 work, and wall time with :func:`repro.analysis.stats.summarize`,
@@ -32,9 +36,8 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
 from repro.engine.cache import ResultCache
-from repro.engine.hashing import instance_fingerprint
-from repro.engine.spec import RunSpec, SweepSpec, build_instance
-from repro.scheduling.solver import schedule_all_jobs
+from repro.engine.spec import RunSpec, SweepSpec
+from repro.engine.tasks import get_task
 
 __all__ = ["RunRecord", "SweepResult", "run_one", "run_sweep"]
 
@@ -57,47 +60,51 @@ class RunRecord:
     n_chosen: int
     wall_time: float
     cache_hit: bool = False
+    task: str = "schedule_all"
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
     def cell(self) -> tuple:
         """Aggregation key: the grid cell this record belongs to."""
-        return (self.family, self.n_jobs, self.n_processors, self.horizon, self.method)
+        return (self.task, self.family, self.n_jobs, self.n_processors,
+                self.horizon, self.method)
 
     def instance_cell(self) -> tuple:
         """Identity of the underlying instance (method-agnostic)."""
-        return (self.family, self.n_jobs, self.n_processors, self.horizon,
-                self.trial, self.fingerprint)
+        return (self.task, self.family, self.n_jobs, self.n_processors,
+                self.horizon, self.trial, self.fingerprint)
 
 
 _PAYLOAD_FIELDS = ("cost", "utility", "oracle_work", "n_chosen", "wall_time")
 
 
 def run_one(spec: RunSpec, cache: Optional[ResultCache] = None) -> RunRecord:
-    """Solve one cell, consulting *cache* by instance hash × method."""
-    instance = build_instance(spec)
-    fingerprint = instance_fingerprint(instance)
+    """Solve one cell, consulting *cache* by task × instance hash × method."""
+    adapter = get_task(spec.task)
+    instance = adapter.build(spec)
+    fingerprint = adapter.fingerprint(instance)
     base = dict(
         family=spec.family, n_jobs=spec.n_jobs, n_processors=spec.n_processors,
         horizon=spec.horizon, method=spec.method, trial=spec.trial, seed=spec.seed,
-        fingerprint=fingerprint,
+        fingerprint=fingerprint, task=spec.task,
     )
-    key = ResultCache.key_for(fingerprint, spec.method)
+    key = ResultCache.key_for(fingerprint, spec.method, spec.task)
     if cache is not None:
         payload = cache.get(key)
-        if payload is not None:
+        # Stale/foreign mirror entries missing fields are misses too.
+        if payload is not None and all(f in payload for f in _PAYLOAD_FIELDS):
             return RunRecord(
                 **base, **{f: payload[f] for f in _PAYLOAD_FIELDS}, cache_hit=True
             )
     t0 = time.perf_counter()
-    result = schedule_all_jobs(instance, method=spec.method)
+    solved = adapter.solve(instance, spec)
     wall_time = time.perf_counter() - t0
     payload = dict(
-        cost=float(result.cost),
-        utility=float(result.greedy.utility),
-        oracle_work=int(result.oracle_work),
-        n_chosen=len(result.greedy.chosen),
+        cost=float(solved["cost"]),
+        utility=float(solved["utility"]),
+        oracle_work=int(solved["oracle_work"]),
+        n_chosen=int(solved["n_chosen"]),
         wall_time=wall_time,
     )
     if cache is not None:
@@ -132,14 +139,15 @@ class SweepResult:
         for record in self.records:
             groups.setdefault(record.cell(), []).append(record)
         rows = []
-        for (family, n, p, h, method), cell_records in groups.items():
+        for (task, family, n, p, h, method), cell_records in groups.items():
             costs = summarize([r.cost for r in cell_records])
             work = summarize([float(r.oracle_work) for r in cell_records])
             times = summarize([r.wall_time for r in cell_records])
             rows.append(
                 {
-                    "family": family, "n_jobs": n, "n_processors": p,
-                    "horizon": h, "method": method, "trials": costs.count,
+                    "task": task, "family": family, "n_jobs": n,
+                    "n_processors": p, "horizon": h, "method": method,
+                    "trials": costs.count,
                     "mean_cost": costs.mean, "max_cost": costs.maximum,
                     "mean_oracle_work": work.mean, "mean_time": times.mean,
                     "cache_hits": sum(1 for r in cell_records if r.cache_hit),
@@ -150,11 +158,11 @@ class SweepResult:
     def to_table(self, title: Optional[str] = None) -> str:
         rows = self.aggregate()
         return format_table(
-            ["family", "n", "p", "h", "method", "trials", "mean cost",
+            ["task", "family", "n", "p", "h", "method", "trials", "mean cost",
              "mean oracle work", "mean time s", "cached"],
             [
-                [r["family"], r["n_jobs"], r["n_processors"], r["horizon"],
-                 r["method"], r["trials"], r["mean_cost"],
+                [r["task"], r["family"], r["n_jobs"], r["n_processors"],
+                 r["horizon"], r["method"], r["trials"], r["mean_cost"],
                  r["mean_oracle_work"], r["mean_time"], r["cache_hits"]]
                 for r in rows
             ],
@@ -199,9 +207,10 @@ def run_sweep(
     sweep:
         A :class:`SweepSpec` (expanded here) or an explicit cell list.
     workers:
-        ``<= 1`` runs inline; otherwise a ``multiprocessing`` pool of
-        that size.  Results are identical either way — instances are
-        rebuilt deterministically from specs in both paths.
+        ``<= 1`` runs inline; otherwise a pool of ``min(workers,
+        len(cells))`` processes on an explicit spawn context.  Results
+        are identical either way — instances are rebuilt
+        deterministically from specs in both paths.
     cache:
         Optional :class:`ResultCache`.  Inline runs consult it per cell;
         pool runs share its *disk* mirror (if any) and fold fresh
@@ -216,18 +225,20 @@ def run_sweep(
         records = [run_one(spec, cache) for spec in specs]
         return SweepResult(records=records, sweep=spec_obj)
 
+    n_workers = min(workers, len(specs))
     if chunk_size is None:
-        chunk_size = max(1, len(specs) // (workers * 4))
+        chunk_size = max(1, len(specs) // (n_workers * 4))
     cache_path = cache.path if cache is not None else None
-    with multiprocessing.Pool(
-        processes=workers, initializer=_init_worker, initargs=(cache_path,)
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(
+        processes=n_workers, initializer=_init_worker, initargs=(cache_path,)
     ) as pool:
         records = pool.map(_run_one_worker, specs, chunksize=chunk_size)
     if cache is not None:
         for record in records:
             if not record.cache_hit:
                 cache.put(
-                    ResultCache.key_for(record.fingerprint, record.method),
+                    ResultCache.key_for(record.fingerprint, record.method, record.task),
                     {f: getattr(record, f) for f in _PAYLOAD_FIELDS},
                 )
     return SweepResult(records=records, sweep=spec_obj)

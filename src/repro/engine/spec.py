@@ -1,126 +1,35 @@
-"""Sweep specifications and the workload-family registry.
+"""Sweep specifications over the pluggable task registry.
 
 A :class:`SweepSpec` is the declarative grid; :meth:`SweepSpec.expand`
 turns it into :class:`RunSpec` cells — small frozen dataclasses that
 pickle cleanly across ``multiprocessing`` workers.  A cell's instance is
-rebuilt from the cell alone (:func:`build_instance`): the family name
-selects a generator from :data:`FAMILIES` and the hash-derived seed
-makes the draw deterministic, so workers never ship instances over
-pipes and a cache hit never needs the original process.
+rebuilt from the cell alone (:func:`build_instance`): the cell's
+``task`` selects a :class:`~repro.engine.tasks.base.TaskAdapter`, the
+family selects one of the adapter's workload generators, and the
+hash-derived seed makes the draw deterministic, so workers never ship
+instances over pipes and a cache hit never needs the original process.
 
-All methods of one ``(family, n_jobs, n_processors, horizon, trial)``
-cell share a seed, hence solve the *same* instance — that is what makes
-engine-level engine-agreement checks (E12) meaningful.
+All methods of one ``(task, family, n_jobs, n_processors, horizon,
+trial)`` cell share a seed, hence solve the *same* instance — that is
+what makes engine-level agreement checks (E12) meaningful.  The grid
+triple's meaning is task-defined; the scheduling tasks read it as
+``(jobs, processors, horizon)``, the secretary tasks as ``(stream
+length, hires/knapsacks, aux size)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import product
-from typing import Any, Callable, Dict, List, Tuple
-
-import numpy as np
+from typing import Any, Dict, List, Tuple
 
 from repro.engine.hashing import derive_seed
+from repro.engine.tasks import FAMILIES, get_task
 from repro.errors import InvalidInstanceError
-from repro.scheduling.instance import ScheduleInstance
-from repro.scheduling.power import AffineCost
-from repro.workloads.jobs import (
-    bursty_arrival_instance,
-    bursty_instance,
-    heterogeneous_energy_instance,
-    random_multi_interval_instance,
-    small_certifiable_instance,
-)
 
 __all__ = ["FAMILIES", "RunSpec", "SweepSpec", "build_instance"]
 
-_METHODS = ("incremental", "lazy", "plain")
-
 Params = Tuple[Tuple[str, Any], ...]
-
-
-def _params_dict(params: Params) -> Dict[str, Any]:
-    return dict(params)
-
-
-def _build_multi(spec: "RunSpec", gen: np.random.Generator) -> ScheduleInstance:
-    p = _params_dict(spec.params)
-    return random_multi_interval_instance(
-        spec.n_jobs,
-        spec.n_processors,
-        spec.horizon,
-        windows_per_job=int(p.get("windows_per_job", 2)),
-        window_length=int(p.get("window_length", 3)),
-        value_spread=float(p.get("value_spread", 1.0)),
-        cost_model=AffineCost(float(p.get("restart_cost", 2.0))),
-        rng=gen,
-    )
-
-
-def _build_bursty(spec: "RunSpec", gen: np.random.Generator) -> ScheduleInstance:
-    p = _params_dict(spec.params)
-    return bursty_instance(
-        spec.n_jobs,
-        spec.n_processors,
-        spec.horizon,
-        n_bursts=int(p.get("n_bursts", 3)),
-        burst_width=int(p.get("burst_width", 4)),
-        value_spread=float(p.get("value_spread", 1.0)),
-        cost_model=AffineCost(float(p.get("restart_cost", 4.0))),
-        rng=gen,
-    )
-
-
-def _build_bursty_arrivals(spec: "RunSpec", gen: np.random.Generator) -> ScheduleInstance:
-    p = _params_dict(spec.params)
-    return bursty_arrival_instance(
-        spec.n_jobs,
-        spec.n_processors,
-        spec.horizon,
-        n_bursts=int(p.get("n_bursts", 4)),
-        burst_jitter=float(p.get("burst_jitter", 1.5)),
-        service_window=int(p.get("service_window", 4)),
-        processors_per_job=int(p.get("processors_per_job", 2)),
-        value_spread=float(p.get("value_spread", 1.0)),
-        cost_model=AffineCost(float(p.get("restart_cost", 2.0))),
-        rng=gen,
-    )
-
-
-def _build_hetero_energy(spec: "RunSpec", gen: np.random.Generator) -> ScheduleInstance:
-    p = _params_dict(spec.params)
-    return heterogeneous_energy_instance(
-        spec.n_jobs,
-        spec.n_processors,
-        spec.horizon,
-        efficiency_spread=float(p.get("efficiency_spread", 4.0)),
-        windows_per_job=int(p.get("windows_per_job", 2)),
-        window_length=int(p.get("window_length", 3)),
-        value_spread=float(p.get("value_spread", 1.0)),
-        rng=gen,
-    )
-
-
-def _build_certifiable(spec: "RunSpec", gen: np.random.Generator) -> ScheduleInstance:
-    p = _params_dict(spec.params)
-    return small_certifiable_instance(
-        spec.n_jobs,
-        spec.n_processors,
-        spec.horizon,
-        int(p.get("n_candidate_intervals", 12)),
-        value_spread=float(p.get("value_spread", 1.0)),
-        rng=gen,
-    )
-
-
-FAMILIES: Dict[str, Callable[["RunSpec", np.random.Generator], ScheduleInstance]] = {
-    "multi": _build_multi,
-    "bursty": _build_bursty,
-    "bursty_arrivals": _build_bursty_arrivals,
-    "hetero_energy": _build_hetero_energy,
-    "certifiable": _build_certifiable,
-}
 
 
 @dataclass(frozen=True)
@@ -135,27 +44,31 @@ class RunSpec:
     trial: int
     seed: int
     params: Params = ()
+    task: str = "schedule_all"
 
     def instance_key(self) -> tuple:
         """Coordinates identifying the instance (method excluded)."""
-        return (self.family, self.n_jobs, self.n_processors, self.horizon,
-                self.trial, self.seed, self.params)
+        return (self.task, self.family, self.n_jobs, self.n_processors,
+                self.horizon, self.trial, self.seed, self.params)
 
     def label(self) -> str:
+        prefix = "" if self.task == "schedule_all" else f"{self.task}: "
         return (
-            f"{self.family} n={self.n_jobs} p={self.n_processors} "
+            f"{prefix}{self.family} n={self.n_jobs} p={self.n_processors} "
             f"h={self.horizon} t{self.trial} [{self.method}]"
         )
 
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A declarative parameter sweep over workload families and engines.
+    """A declarative parameter sweep over one task's families and methods.
 
     ``grid`` entries are ``(n_jobs, n_processors, horizon)`` triples —
     explicit triples rather than a cross product, because feasible
-    processor counts scale with job counts.  ``trials`` instances are
+    second coordinates scale with the first.  ``trials`` instances are
     drawn per cell with hash-derived child seeds of ``master_seed``.
+    Families and methods are validated against the task's adapter at
+    construction time, so a bad sweep fails before any cell runs.
     """
 
     families: Tuple[str, ...]
@@ -164,25 +77,23 @@ class SweepSpec:
     trials: int = 3
     master_seed: int = 20100612
     params: Params = ()
+    task: str = "schedule_all"
 
     def __post_init__(self) -> None:
         if not self.families or not self.grid or not self.methods:
             raise InvalidInstanceError("families, grid, and methods must be non-empty")
-        unknown = [f for f in self.families if f not in FAMILIES]
-        if unknown:
-            raise InvalidInstanceError(
-                f"unknown workload families {unknown}; known: {sorted(FAMILIES)}"
-            )
-        bad_methods = [m for m in self.methods if m not in _METHODS]
-        if bad_methods:
-            raise InvalidInstanceError(
-                f"unknown solver methods {bad_methods}; known: {sorted(_METHODS)}"
-            )
         if self.trials <= 0:
             raise InvalidInstanceError("trials must be positive")
+        adapter = get_task(self.task)  # raises on unknown task
+        adapter.validate(self)
 
     def expand(self) -> List[RunSpec]:
-        """All run cells, in deterministic grid order."""
+        """All run cells, in deterministic grid order.
+
+        Seeds hash only the cell coordinates (not the task name), so the
+        ``schedule_all`` cells of pre-task sweeps rebuild bit-identical
+        instances — committed baselines and E2/E12 records stay stable.
+        """
         runs: List[RunSpec] = []
         for family, (n, p, h), trial in product(self.families, self.grid, range(self.trials)):
             seed = derive_seed(self.master_seed, family, n, p, h, trial, self.params)
@@ -191,12 +102,14 @@ class SweepSpec:
                     RunSpec(
                         family=family, n_jobs=n, n_processors=p, horizon=h,
                         method=method, trial=trial, seed=seed, params=self.params,
+                        task=self.task,
                     )
                 )
         return runs
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "task": self.task,
             "families": list(self.families),
             "grid": [list(g) for g in self.grid],
             "methods": list(self.methods),
@@ -206,11 +119,6 @@ class SweepSpec:
         }
 
 
-def build_instance(spec: RunSpec) -> ScheduleInstance:
-    """Deterministically rebuild the cell's instance from its spec."""
-    builder = FAMILIES.get(spec.family)
-    if builder is None:
-        raise InvalidInstanceError(
-            f"unknown workload family {spec.family!r}; known: {sorted(FAMILIES)}"
-        )
-    return builder(spec, np.random.default_rng(spec.seed))
+def build_instance(spec: RunSpec):
+    """Deterministically rebuild the cell's instance via its task adapter."""
+    return get_task(spec.task).build(spec)

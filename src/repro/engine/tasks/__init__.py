@@ -1,0 +1,35 @@
+"""Task-adapter registry: the engine's pluggable solver families.
+
+Importing this package registers every built-in adapter:
+
+========================  ====================================================
+task                      solves
+========================  ====================================================
+``schedule_all``          Theorem 2.2.1 — schedule every job (E2/E12)
+``prize_collecting``      Theorems 2.3.1/2.3.3 — value threshold Z (E3/E4)
+``secretary``             Section 3 — online hiring streams (E6/E7)
+``knapsack_secretary``    Section 3.4 — knapsack-constrained hiring (E9)
+========================  ====================================================
+
+See :mod:`repro.engine.tasks.base` for the adapter contract and
+:data:`TASKS` for the live registry.
+"""
+
+from repro.engine.tasks.base import TASKS, TaskAdapter, get_task, register_task, task_names
+from repro.engine.tasks.knapsack_secretary import KnapsackSecretaryAdapter
+from repro.engine.tasks.prize_collecting import PrizeCollectingAdapter
+from repro.engine.tasks.schedule_all import FAMILIES, ScheduleAllAdapter
+from repro.engine.tasks.secretary import SecretaryAdapter
+
+__all__ = [
+    "FAMILIES",
+    "TASKS",
+    "TaskAdapter",
+    "ScheduleAllAdapter",
+    "PrizeCollectingAdapter",
+    "SecretaryAdapter",
+    "KnapsackSecretaryAdapter",
+    "get_task",
+    "register_task",
+    "task_names",
+]

@@ -1,0 +1,117 @@
+"""Task adapters: how the engine learns to run a solver family.
+
+The sweep machinery (:mod:`repro.engine.spec`, :mod:`repro.engine.runner`)
+knows nothing about scheduling, secretaries, or knapsacks — it expands
+grids, derives seeds, consults the cache, and aggregates records.  What
+it *means* to build and solve one grid cell is delegated to a
+:class:`TaskAdapter` looked up by :attr:`RunSpec.task`:
+
+``build``
+    Rebuild the cell's problem instance deterministically from the spec
+    alone (specs pickle across workers; instances never do).
+``fingerprint``
+    A stable content hash of the built instance — the cache key and the
+    provenance anchor the bench baselines pin instance generation with.
+``solve``
+    Run the cell's solver method and digest the outcome into the flat
+    metric payload (``cost``/``utility``/``oracle_work``/``n_chosen``)
+    every :class:`~repro.engine.runner.RunRecord` carries.  Metric
+    semantics are task-defined; each adapter documents its mapping.
+
+Adapters register themselves in :data:`TASKS` at import time (the
+package ``__init__`` imports every adapter module), so
+``SweepSpec(task="secretary", ...)`` works anywhere the engine does.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Dict, Tuple
+
+from repro.errors import InvalidInstanceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.engine.spec import RunSpec, SweepSpec
+
+__all__ = ["TaskAdapter", "TASKS", "register_task", "get_task", "task_names"]
+
+
+class TaskAdapter(abc.ABC):
+    """One solver family the engine can sweep over.
+
+    Subclasses set :attr:`name` (the ``task=`` key), :attr:`methods`
+    (valid ``RunSpec.method`` values), and implement the build /
+    fingerprint / solve triple.  ``families()`` enumerates the workload
+    generators the adapter accepts; the grid triple ``(n_jobs,
+    n_processors, horizon)`` is reinterpreted per task (e.g. the
+    secretary tasks read it as ``(stream length, hires k, unused)``).
+    """
+
+    name: str = ""
+    methods: Tuple[str, ...] = ()
+    #: True when every method realises the same objective on the same
+    #: instance (cost disagreement = engine bug).  Only then is
+    #: :meth:`SweepResult.methods_agree` meaningful for this task.
+    methods_interchangeable: bool = False
+
+    @abc.abstractmethod
+    def families(self) -> Tuple[str, ...]:
+        """Workload family names this task accepts in a sweep."""
+
+    @abc.abstractmethod
+    def build(self, spec: "RunSpec") -> Any:
+        """Deterministically rebuild the cell's instance from its spec."""
+
+    @abc.abstractmethod
+    def fingerprint(self, instance: Any) -> str:
+        """Stable content hash of a built instance."""
+
+    @abc.abstractmethod
+    def solve(self, instance: Any, spec: "RunSpec") -> Dict[str, Any]:
+        """Solve one cell; return the flat metric payload.
+
+        Must contain ``cost``, ``utility``, ``oracle_work`` and
+        ``n_chosen``.  The runner adds ``wall_time`` around this call.
+        """
+
+    def validate(self, sweep: "SweepSpec") -> None:
+        """Reject sweeps naming unknown families/methods for this task."""
+        known = self.families()
+        unknown = [f for f in sweep.families if f not in known]
+        if unknown:
+            raise InvalidInstanceError(
+                f"unknown {self.name} workload families {unknown}; "
+                f"known: {sorted(known)}"
+            )
+        bad = [m for m in sweep.methods if m not in self.methods]
+        if bad:
+            raise InvalidInstanceError(
+                f"unknown {self.name} solver methods {bad}; "
+                f"known: {sorted(self.methods)}"
+            )
+
+
+TASKS: Dict[str, TaskAdapter] = {}
+
+
+def register_task(adapter: TaskAdapter) -> TaskAdapter:
+    """Add *adapter* to the registry (last registration wins)."""
+    if not adapter.name:
+        raise InvalidInstanceError("task adapter must have a non-empty name")
+    TASKS[adapter.name] = adapter
+    return adapter
+
+
+def get_task(name: str) -> TaskAdapter:
+    """Look up a registered adapter or fail with the known names."""
+    adapter = TASKS.get(name)
+    if adapter is None:
+        raise InvalidInstanceError(
+            f"unknown task {name!r}; known tasks: {sorted(TASKS)}"
+        )
+    return adapter
+
+
+def task_names() -> Tuple[str, ...]:
+    """Registered task names, sorted (stable CLI/docs order)."""
+    return tuple(sorted(TASKS))

@@ -1,0 +1,192 @@
+"""The ``secretary`` task — Section 3's online algorithms through the engine.
+
+A cell's grid triple is read as ``(n, k, aux)``: ``n`` stream elements,
+``k`` hires, and ``aux`` an optional family-specific size (coverage
+universe / facility clients; 0 picks the family default).  Families are
+the stream generators of :mod:`repro.workloads.secretary_streams`
+(``additive``/``coverage``/``facility``/``cut``); methods are the
+algorithms:
+
+``monotone``
+    Algorithm 1, :func:`monotone_submodular_secretary` (1/(7e)).
+``nonmonotone``
+    Algorithm 2, :func:`nonmonotone_submodular_secretary` (8e^2).
+``classical``
+    Dynkin's single-hire rule on singleton oracle values (k ignored).
+``robust``
+    The oblivious top-k rule of Section 3.6 on singleton values.
+
+Metric mapping: ``utility`` is the hired set's value under the *base*
+(offline) utility; ``cost`` records the offline benchmark the
+competitive ratio divides by — exact top-k for additive streams, the
+(1 - 1/e) offline greedy otherwise — so ``utility / cost`` is the
+per-record competitive ratio.  ``oracle_work`` counts only the online
+algorithm's value queries (the benchmark is computed on the unwrapped
+function); ``n_chosen`` is the number of hires.
+
+Stream order and coin flips draw from child seeds hash-derived from the
+cell seed, so build and solve are deterministic and independent: two
+methods on the same cell interview the same arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Tuple
+
+import numpy as np
+
+from repro.analysis.ratio import offline_greedy_cardinality
+from repro.core.functions import AdditiveFunction
+from repro.core.oracle import CountingOracle
+from repro.core.submodular import SetFunction
+from repro.engine.hashing import derive_seed, spec_fingerprint
+from repro.engine.tasks.base import TaskAdapter, register_task
+from repro.errors import InvalidInstanceError
+from repro.secretary.classical import best_among_stream
+from repro.secretary.robust import robust_topk_secretary
+from repro.secretary.stream import SecretaryStream
+from repro.secretary.submodular_secretary import (
+    monotone_submodular_secretary,
+    nonmonotone_submodular_secretary,
+)
+from repro.workloads.secretary_streams import (
+    additive_values,
+    coverage_utility,
+    cut_utility,
+    facility_utility,
+)
+
+__all__ = ["SecretaryInstance", "SecretaryAdapter"]
+
+
+@dataclass
+class SecretaryInstance:
+    """A built secretary cell: the utility plus its provenance and seeds.
+
+    ``benchmarks`` maps hire budgets to the precomputed offline value —
+    filled at build time for both ``k`` and 1 (the ``classical`` method's
+    budget) so ``solve`` wall times measure only the online algorithm.
+    """
+
+    fn: SetFunction
+    singleton_values: Dict[Hashable, float]
+    k: int
+    stream_seed: int
+    algo_seed: int
+    family: str
+    benchmarks: Dict[int, float]
+
+    def fingerprint_payload(self) -> Dict[str, Any]:
+        return {"task": "secretary", "family": self.family,
+                "utility": self.fn.canonical_payload()}
+
+
+def _offline_benchmark(fn: SetFunction, k: int) -> float:
+    """Offline value the competitive ratio is measured against.
+
+    Additive utilities admit the exact optimum (top-k singletons); other
+    families use the offline greedy, whose (1 - 1/e) guarantee keeps the
+    measured ratio conservative for monotone utilities.
+    """
+    if type(fn) is AdditiveFunction:  # subclasses truncate; greedy path
+        ranked = sorted((fn.value(frozenset({e})) for e in fn.ground_set), reverse=True)
+        return float(sum(ranked[:k]))
+    _, value = offline_greedy_cardinality(fn, k)
+    return float(value)
+
+
+class SecretaryAdapter(TaskAdapter):
+    """Online secretary algorithms over the stream-utility families."""
+
+    name = "secretary"
+    methods = ("monotone", "nonmonotone", "classical", "robust")
+
+    def families(self) -> Tuple[str, ...]:
+        return ("additive", "coverage", "facility", "cut")
+
+    def build(self, spec) -> SecretaryInstance:
+        params = dict(spec.params)
+        n = spec.n_jobs
+        aux = spec.horizon
+        gen = np.random.default_rng(spec.seed)
+        if spec.family == "additive":
+            fn, _ = additive_values(
+                n, distribution=str(params.get("distribution", "uniform")), rng=gen
+            )
+        elif spec.family == "coverage":
+            universe = aux if aux > 0 else max(1, n // 3)
+            fn = coverage_utility(
+                n, universe,
+                skills_per_secretary=int(params.get("skills_per_secretary", 4)),
+                rng=gen,
+            )
+        elif spec.family == "facility":
+            clients = aux if aux > 0 else max(2, n // 4)
+            fn = facility_utility(n, clients, rng=gen)
+        elif spec.family == "cut":
+            fn = cut_utility(
+                n, edge_probability=float(params.get("edge_probability", 0.3)), rng=gen
+            )
+        else:
+            raise InvalidInstanceError(
+                f"unknown secretary family {spec.family!r}; known: {self.families()}"
+            )
+        k = max(1, spec.n_processors)
+        # Only pay for the offline work this cell's method actually
+        # reads: the benchmark for its hire budget, and singleton values
+        # only for the raw-value rules.
+        budget = 1 if spec.method == "classical" else k
+        singles = (
+            {e: fn.value(frozenset({e})) for e in sorted(fn.ground_set, key=repr)}
+            if spec.method == "robust"
+            else {}
+        )
+        return SecretaryInstance(
+            fn=fn,
+            singleton_values=singles,
+            k=k,
+            stream_seed=derive_seed(spec.seed, "secretary-stream"),
+            algo_seed=derive_seed(spec.seed, "secretary-algo"),
+            family=spec.family,
+            benchmarks={budget: _offline_benchmark(fn, budget)},
+        )
+
+    def fingerprint(self, instance: SecretaryInstance) -> str:
+        return spec_fingerprint(instance.fingerprint_payload())
+
+    def solve(self, instance: SecretaryInstance, spec) -> Dict[str, Any]:
+        counting = CountingOracle(instance.fn)
+        stream = SecretaryStream(counting, rng=np.random.default_rng(instance.stream_seed))
+        k = instance.k
+        if spec.method == "monotone":
+            selected = monotone_submodular_secretary(stream, k).selected
+        elif spec.method == "nonmonotone":
+            selected = nonmonotone_submodular_secretary(
+                stream, k, rng=np.random.default_rng(instance.algo_seed)
+            ).selected
+        elif spec.method == "classical":
+            k = 1
+            hired = best_among_stream(
+                iter(stream),
+                lambda e: stream.oracle.value(frozenset({e})),
+                n_hint=stream.n,
+            )
+            selected = frozenset() if hired is None else frozenset({hired})
+        elif spec.method == "robust":
+            selected = robust_topk_secretary(
+                stream, instance.singleton_values, k
+            ).selected
+        else:
+            raise InvalidInstanceError(
+                f"unknown secretary method {spec.method!r}; known: {self.methods}"
+            )
+        return {
+            "cost": instance.benchmarks[k],
+            "utility": float(instance.fn.value(frozenset(selected))),
+            "oracle_work": int(counting.calls),
+            "n_chosen": len(selected),
+        }
+
+
+register_task(SecretaryAdapter())

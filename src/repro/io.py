@@ -28,7 +28,7 @@ be); loading preserves them as given.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from repro.errors import InvalidInstanceError
 from repro.scheduling.instance import Job, ScheduleInstance

@@ -27,7 +27,7 @@ frozenset churn on the hot path.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import FrozenSet, Iterable, List, Mapping
 
 from repro.core.submodular import SetFunction
 from repro.matching.fastgraph import hk_solve, indexed_view, kuhn_augment

@@ -16,7 +16,7 @@ matroid fact the property tests verify against brute force.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set
 
 from repro.matching.graph import BipartiteGraph, Matching, Vertex
 

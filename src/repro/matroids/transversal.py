@@ -8,7 +8,7 @@ matching substrate's augmenting-path machinery.  Independence of a set
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Mapping
+from typing import FrozenSet, Hashable, Iterable, Mapping
 
 from repro.matching.graph import BipartiteGraph, Matching
 from repro.matching.weighted import _augment_from_right

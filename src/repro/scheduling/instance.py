@@ -8,7 +8,7 @@ for the prize-collecting variants; the schedule-all solver ignores them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidInstanceError

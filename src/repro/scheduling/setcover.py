@@ -17,7 +17,6 @@ lemma), so the E5 experiment validates the framework against the known
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set
 

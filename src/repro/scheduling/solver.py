@@ -28,13 +28,13 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.budgeted import BudgetedInstance, budgeted_greedy
 from repro.core.lazy import lazy_budgeted_greedy
 from repro.core.oracle import CachedOracle, CountingOracle
 from repro.core.trace import GreedyResult, GreedyStep
-from repro.errors import InfeasibleError, InvalidInstanceError
+from repro.errors import InfeasibleError
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.matching.incremental import IncrementalMatchingOracle, MatchingUtility
 from repro.scheduling.instance import ScheduleInstance

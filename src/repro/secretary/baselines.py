@@ -14,7 +14,6 @@ from below and give the E6 table its "who wins" comparison:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable
 
 from repro.errors import BudgetError
 from repro.rng import as_generator

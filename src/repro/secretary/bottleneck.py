@@ -18,7 +18,6 @@ from dataclasses import dataclass
 from typing import FrozenSet, Hashable, List, Mapping
 
 from repro.errors import BudgetError
-from repro.rng import as_generator
 from repro.secretary.stream import SecretaryStream
 
 __all__ = ["BottleneckResult", "bottleneck_secretary"]

@@ -20,7 +20,7 @@ Two pieces, mirroring the paper exactly:
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Mapping, Optional, Sequence
+from typing import Dict, Hashable, Mapping, Sequence
 
 from repro.core.submodular import SetFunction
 from repro.errors import BudgetError, InvalidInstanceError

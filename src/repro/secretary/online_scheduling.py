@@ -22,7 +22,7 @@ the hired processors and the schedule they support.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, Mapping, Optional, Sequence, Tuple
 
 from repro.core.submodular import SetFunction
 from repro.errors import InvalidInstanceError

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Mapping, Sequence
+from typing import FrozenSet, Hashable, List, Mapping, Sequence
 
 from repro.errors import BudgetError
 from repro.secretary.classical import dynkin_threshold

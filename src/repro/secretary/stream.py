@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import FrozenSet, Hashable, Iterator, List, Sequence
 
-import numpy as np
 
 from repro.core.submodular import SetFunction
 from repro.errors import OracleError

@@ -22,7 +22,7 @@ Two halves of Theorem 3.1.4:
 from __future__ import annotations
 
 import math
-from typing import FrozenSet, Hashable, Iterable, Optional
+from typing import FrozenSet, Hashable, Iterable
 
 from repro.core.submodular import SetFunction
 from repro.errors import BudgetError

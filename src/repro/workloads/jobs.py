@@ -21,7 +21,7 @@ by post-check + repair, and state which.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, Optional, Tuple
 
 import numpy as np
 

@@ -25,7 +25,13 @@ from repro.core.functions import (
 from repro.errors import InvalidInstanceError
 from repro.rng import as_generator
 
-__all__ = ["additive_values", "coverage_utility", "facility_utility", "cut_utility"]
+__all__ = [
+    "additive_values",
+    "coverage_utility",
+    "facility_utility",
+    "cut_utility",
+    "knapsack_weights",
+]
 
 
 def additive_values(
@@ -46,6 +52,34 @@ def additive_values(
         raise InvalidInstanceError(f"unknown distribution {distribution!r}")
     values = {f"s{i}": float(v) for i, v in enumerate(raw)}
     return AdditiveFunction(values), values
+
+
+def knapsack_weights(
+    elements,
+    n_knapsacks: int,
+    *,
+    low: float = 0.05,
+    high: float = 0.5,
+    rng=None,
+) -> Dict:
+    """Heterogeneous per-element weight vectors for ``l`` unit knapsacks.
+
+    Weights are i.i.d. uniform on ``[low, high)``.  Elements are visited
+    in sorted-by-repr order so the draws land on the same elements in
+    every process (set iteration order is hash-randomised).
+    """
+    gen = as_generator(rng)
+    if n_knapsacks <= 0:
+        raise InvalidInstanceError(
+            f"n_knapsacks must be positive, got {n_knapsacks}"
+        )
+    if not (0.0 <= low < high):
+        raise InvalidInstanceError(f"need 0 <= low < high, got [{low}, {high})")
+    span = high - low
+    return {
+        e: [float(low + span * gen.random()) for _ in range(n_knapsacks)]
+        for e in sorted(elements, key=repr)
+    }
 
 
 def coverage_utility(

@@ -1,0 +1,181 @@
+"""`repro bench`: suites, reports, the regression gate, and its CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine.baseline import (
+    BENCH_FORMAT,
+    PROFILES,
+    Tolerances,
+    compare_reports,
+    default_baseline_path,
+    has_failures,
+    load_report,
+    regression_table,
+    run_bench,
+    suite_for,
+    write_report,
+)
+from repro.errors import InvalidInstanceError
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    """One real smoke-profile run shared by the comparison tests."""
+    return run_bench("smoke")
+
+
+class TestProfiles:
+    def test_profiles_cover_every_task(self):
+        from repro.engine import TASKS
+
+        for profile, suite in PROFILES.items():
+            assert {s.task for s in suite} == set(TASKS), profile
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            suite_for("nope")
+
+
+class TestRunBench:
+    def test_report_structure(self, smoke_report):
+        assert smoke_report["format"] == BENCH_FORMAT
+        assert smoke_report["profile"] == "smoke"
+        assert smoke_report["suite_fingerprint"]
+        assert smoke_report["cells"]
+        for cid, cell in smoke_report["cells"].items():
+            task = cid.split("/")[0]
+            assert task in {s.task for s in PROFILES["smoke"]}
+            for metric in ("trials", "mean_cost", "mean_utility",
+                           "mean_oracle_work", "mean_wall_time", "fingerprints"):
+                assert metric in cell, (cid, metric)
+
+    def test_report_roundtrips_through_disk(self, smoke_report, tmp_path):
+        path = str(tmp_path / "BENCH_smoke.json")
+        write_report(smoke_report, path)
+        assert load_report(path) == json.loads(json.dumps(smoke_report))
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(InvalidInstanceError):
+            load_report(str(path))
+
+
+class TestCompareReports:
+    def test_report_passes_against_itself(self, smoke_report):
+        findings = compare_reports(smoke_report, smoke_report)
+        assert not has_failures(findings)
+        assert findings == []
+
+    def test_wall_time_noise_below_floor_is_tolerated(self, smoke_report):
+        measured = copy.deepcopy(smoke_report)
+        for cell in measured["cells"].values():
+            cell["mean_wall_time"] *= 1.5  # ms-scale cells: under the floor
+        assert not has_failures(compare_reports(measured, smoke_report))
+
+    def test_2x_wall_time_regression_fails(self, smoke_report):
+        # Put the baseline above the noise floor so the ratio applies,
+        # then regress the measurement by 2x (the injected scenario the
+        # CI gate exists for).
+        baseline = copy.deepcopy(smoke_report)
+        cid = next(iter(baseline["cells"]))
+        baseline["cells"][cid]["mean_wall_time"] = 0.5
+        measured = copy.deepcopy(baseline)
+        measured["cells"][cid]["mean_wall_time"] = 1.0
+        findings = compare_reports(measured, baseline)
+        assert has_failures(findings)
+        assert any(f.metric == "mean_wall_time" and f.cell == cid for f in findings)
+        assert "mean_wall_time" in regression_table(findings)
+
+    def test_2x_cost_regression_fails(self, smoke_report):
+        measured = copy.deepcopy(smoke_report)
+        cid = next(iter(measured["cells"]))
+        measured["cells"][cid]["mean_cost"] *= 2.0
+        findings = compare_reports(measured, smoke_report)
+        assert has_failures(findings)
+        assert any(f.metric == "mean_cost" for f in findings)
+
+    def test_cost_improvement_also_fails(self, smoke_report):
+        # Deterministic metrics gate drift in both directions: a solver
+        # change that alters solutions must regenerate the baseline.
+        measured = copy.deepcopy(smoke_report)
+        cid = next(iter(measured["cells"]))
+        measured["cells"][cid]["mean_cost"] *= 0.5
+        assert has_failures(compare_reports(measured, smoke_report))
+
+    def test_oracle_work_regression_fails_but_improvement_passes(self, smoke_report):
+        cid = next(iter(smoke_report["cells"]))
+        worse = copy.deepcopy(smoke_report)
+        worse["cells"][cid]["mean_oracle_work"] *= 1.5
+        assert has_failures(compare_reports(worse, smoke_report))
+        better = copy.deepcopy(smoke_report)
+        better["cells"][cid]["mean_oracle_work"] *= 0.5
+        assert not has_failures(compare_reports(better, smoke_report))
+
+    def test_fingerprint_drift_fails(self, smoke_report):
+        measured = copy.deepcopy(smoke_report)
+        cid = next(iter(measured["cells"]))
+        measured["cells"][cid]["fingerprints"] = ["0" * 64]
+        findings = compare_reports(measured, smoke_report)
+        assert any(f.metric == "fingerprints" for f in findings)
+
+    def test_missing_cell_fails_new_cell_informs(self, smoke_report):
+        measured = copy.deepcopy(smoke_report)
+        cid = next(iter(measured["cells"]))
+        cell = measured["cells"].pop(cid)
+        measured["cells"]["secretary/new/1x1x1/monotone"] = cell
+        findings = compare_reports(measured, smoke_report)
+        fails = [f for f in findings if f.severity == "fail"]
+        infos = [f for f in findings if f.severity == "info"]
+        assert any(f.cell == cid and f.metric == "presence" for f in fails)
+        assert any("new cell" in f.note for f in infos)
+        # info findings never gate on their own
+        assert has_failures(infos) is False
+
+    def test_custom_tolerances(self, smoke_report):
+        measured = copy.deepcopy(smoke_report)
+        for cell in measured["cells"].values():
+            cell["mean_oracle_work"] *= 1.3
+        loose = Tolerances(oracle_factor=1.5)
+        assert has_failures(compare_reports(measured, smoke_report))
+        assert not has_failures(compare_reports(measured, smoke_report, loose))
+
+
+class TestBenchCli:
+    def test_update_then_gate_passes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--profile", "smoke", "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--profile", "smoke"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert (tmp_path / "BENCH_smoke.json").exists()
+        assert (tmp_path / default_baseline_path("smoke")).exists()
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--profile", "smoke", "--update-baseline"]) == 0
+        capsys.readouterr()
+        # Inject a synthetic 2x cost regression by halving the
+        # baseline's recorded cost for one cell (the measured run is
+        # then 2x the baseline; the wall-time variant is covered in
+        # TestCompareReports).
+        path = default_baseline_path("smoke")
+        baseline = json.load(open(path))
+        cid = next(iter(baseline["cells"]))
+        baseline["cells"][cid]["mean_cost"] /= 2.0
+        with open(path, "w") as fh:
+            json.dump(baseline, fh)
+        assert main(["bench", "--profile", "smoke"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is False
+        assert any(f["metric"] == "mean_cost" for f in payload["findings"])
+
+    def test_missing_baseline_is_a_clean_error(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--profile", "smoke"]) == 2
+        assert "no baseline" in capsys.readouterr().err

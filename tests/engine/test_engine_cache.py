@@ -1,6 +1,16 @@
-"""Result cache: hit/miss accounting and the disk mirror."""
+"""Result cache: hit/miss accounting, the disk mirror, and robustness."""
 
-from repro.engine.cache import ResultCache
+import json
+import os
+
+from repro.engine.cache import ResultCache, _filename
+from repro.engine.runner import run_sweep
+from repro.engine.spec import SweepSpec
+
+SMALL = SweepSpec(
+    families=("multi",), grid=((8, 2, 16),), methods=("incremental",),
+    trials=2, master_seed=20100612,
+)
 
 
 class TestResultCache:
@@ -36,3 +46,92 @@ class TestResultCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.get(key) == {"cost": 1.0}  # reloaded from the mirror
+
+    def test_tasks_do_not_collide(self):
+        cache = ResultCache()
+        cache.put(ResultCache.key_for("fp", "m", "schedule_all"), {"cost": 1.0})
+        assert cache.get(ResultCache.key_for("fp", "m", "secretary")) is None
+
+
+class TestCorruptMirror:
+    """Corrupt/partial disk entries are misses, never crashes."""
+
+    def _poison(self, path, key, content):
+        with open(os.path.join(path, _filename(key)), "w") as fh:
+            fh.write(content)
+
+    def test_truncated_json_is_a_miss(self, tmp_path):
+        path = str(tmp_path / "cache")
+        cache = ResultCache(path)
+        key = ResultCache.key_for("fp", "lazy")
+        self._poison(path, key, '{"cost": 2.')  # torn write
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        # and the cell can be re-cached over the corpse
+        cache.put(key, {"cost": 2.5})
+        assert cache.get(key) == {"cost": 2.5}
+
+    def test_non_dict_json_is_a_miss(self, tmp_path):
+        path = str(tmp_path / "cache")
+        cache = ResultCache(path)
+        key = ResultCache.key_for("fp", "plain")
+        self._poison(path, key, "[1, 2, 3]")
+        assert cache.get(key) is None
+
+    def test_binary_garbage_is_a_miss(self, tmp_path):
+        path = str(tmp_path / "cache")
+        cache = ResultCache(path)
+        key = ResultCache.key_for("fp", "plain")
+        with open(os.path.join(path, _filename(key)), "wb") as fh:
+            fh.write(b"\x80\x81\xfe\xff")
+        assert cache.get(key) is None
+
+    def test_corrupt_entry_under_sweep_recovers(self, tmp_path):
+        path = str(tmp_path / "cache")
+        cache = ResultCache(path)
+        first = run_sweep(SMALL, cache=cache)
+        # Corrupt every mirror file; the sweep must simply re-solve.
+        for name in os.listdir(path):
+            with open(os.path.join(path, name), "w") as fh:
+                fh.write("not json")
+        fresh = ResultCache(path)
+        rerun = run_sweep(SMALL, cache=fresh)
+        assert not any(r.cache_hit for r in rerun.records)
+        assert [r.cost for r in rerun.records] == [r.cost for r in first.records]
+
+    def test_stale_payload_missing_fields_is_resolved(self, tmp_path):
+        path = str(tmp_path / "cache")
+        cache = ResultCache(path)
+        record = run_sweep(SMALL, cache=cache).records[0]
+        key = ResultCache.key_for(record.fingerprint, record.method, record.task)
+        # A payload from an older schema without all metric fields must
+        # not satisfy run_one.
+        self._poison(path, key, json.dumps({"cost": record.cost}))
+        fresh = ResultCache(path)
+        rerun = run_sweep(SMALL, cache=fresh)
+        assert rerun.records[0].cache_hit is False
+        assert rerun.records[0].cost == record.cost
+
+
+class TestMultiprocessingRoundTrip:
+    """Disk-backed cache behaviour across spawn-context workers."""
+
+    def test_hits_survive_worker_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = run_sweep(SMALL, workers=2, cache=cache)
+        assert not any(r.cache_hit for r in first.records)
+        # Second parallel run: workers re-open the mirror and hit.
+        second = run_sweep(SMALL, workers=2, cache=ResultCache(cache.path))
+        assert all(r.cache_hit for r in second.records)
+        assert [r.cost for r in second.records] == [r.cost for r in first.records]
+
+    def test_workers_tolerate_poisoned_mirror(self, tmp_path):
+        path = str(tmp_path / "cache")
+        cache = ResultCache(path)
+        first = run_sweep(SMALL, workers=2, cache=cache)
+        for name in os.listdir(path):
+            with open(os.path.join(path, name), "w") as fh:
+                fh.write("{torn")
+        rerun = run_sweep(SMALL, workers=2, cache=ResultCache(path))
+        assert not any(r.cache_hit for r in rerun.records)
+        assert [r.cost for r in rerun.records] == [r.cost for r in first.records]

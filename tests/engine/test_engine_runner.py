@@ -126,6 +126,35 @@ class TestMultiprocessing:
         rerun = run_sweep(SMALL, cache=cache)
         assert all(r.cache_hit for r in rerun.records)
 
+    def test_more_workers_than_cells(self):
+        # The pool is capped at the cell count: asking for 32 workers on
+        # a 2-cell sweep must neither hang nor change results.
+        specs = SweepSpec(
+            families=("multi",), grid=((6, 2, 12),), methods=("incremental",),
+            trials=2, master_seed=MASTER,
+        ).expand()
+        inline = run_sweep(specs)
+        parallel = run_sweep(specs, workers=32)
+        assert [(r.fingerprint, r.cost) for r in inline.records] == [
+            (r.fingerprint, r.cost) for r in parallel.records
+        ]
+
+    def test_spawn_context_is_used(self, monkeypatch):
+        import multiprocessing
+
+        import repro.engine.runner as runner_mod
+
+        seen = {}
+        real_get_context = multiprocessing.get_context
+
+        def spy(method=None):
+            seen["method"] = method
+            return real_get_context(method)
+
+        monkeypatch.setattr(runner_mod.multiprocessing, "get_context", spy)
+        run_sweep(SMALL, workers=2)
+        assert seen["method"] == "spawn"
+
 
 class TestAggregation:
     def test_table_renders_every_cell(self):

@@ -89,3 +89,34 @@ class TestDemoAndCheck:
         main(["demo", "--seed", "3"])
         second = json.loads(capsys.readouterr().out)
         assert first == second
+
+
+class TestSweep:
+    def test_sweep_runs_a_task(self, capsys):
+        assert main([
+            "sweep", "--task", "secretary", "--families", "additive",
+            "--grid", "20x2x0", "--methods", "monotone", "--trials", "1",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["aggregate"][0]["task"] == "secretary"
+
+    def test_unknown_family_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--families", "no-such-family"]) == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "no-such-family" in err
+
+    def test_unknown_task_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--task", "no-such-task"]) == 2
+        assert "no-such-task" in capsys.readouterr().err
+
+    def test_unknown_method_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--methods", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_malformed_grid_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--grid", "20x3"]) == 2
+        assert "bad grid cell" in capsys.readouterr().err
+
+    def test_zero_trials_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--trials", "0"]) == 2
+        assert "trials" in capsys.readouterr().err
