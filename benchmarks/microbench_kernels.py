@@ -1,0 +1,132 @@
+"""Oracle-kernel microbenchmark: naive vs vectorized batch marginals.
+
+Times ``batch_marginals`` (the one-shot batched-marginal API) for every
+kernel-backed utility family, once through the family's vectorized
+kernel and once through the generic naive fallback (the same function
+hidden behind a ``LambdaSetFunction``, which advertises no kernel).
+This is the before/after pair for the PR-3 oracle-kernel layer: the
+naive column is what every greedy round cost per candidate before, the
+kernel column what it costs now.
+
+Run standalone (CI's bench-gate job uploads the JSON as an artifact):
+
+    PYTHONPATH=src python benchmarks/microbench_kernels.py \
+        --output kernel_microbench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.core.functions import (
+    AdditiveFunction,
+    BudgetAdditiveFunction,
+    CoverageFunction,
+    CutFunction,
+    FacilityLocationFunction,
+    WeightedCoverageFunction,
+)
+from repro.core.submodular import LambdaSetFunction
+
+
+def _build(family: str, n: int, rng: np.random.Generator):
+    els = [f"e{i}" for i in range(n)]
+    if family == "additive":
+        return AdditiveFunction({e: float(rng.random()) for e in els})
+    if family == "budget_additive":
+        return BudgetAdditiveFunction(
+            {e: float(rng.random()) for e in els}, cap=n / 8.0
+        )
+    covers = {
+        e: {f"u{j}" for j in rng.choice(max(4, n // 2), size=4, replace=False)}
+        for e in els
+    }
+    if family == "coverage":
+        return CoverageFunction(covers)
+    if family == "weighted_coverage":
+        return WeightedCoverageFunction(
+            covers, {f"u{j}": float(rng.random()) for j in range(max(4, n // 2))}
+        )
+    if family == "cut":
+        edges = [
+            (els[i], els[j], float(rng.random()))
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < 0.1
+        ]
+        return CutFunction(els, edges)
+    if family == "facility":
+        return FacilityLocationFunction(els, rng.random((max(2, n // 4), n)))
+    raise ValueError(family)
+
+
+FAMILIES = (
+    "additive",
+    "budget_additive",
+    "coverage",
+    "weighted_coverage",
+    "cut",
+    "facility",
+)
+
+
+def _time_batches(fn, selection, candidates, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn.batch_marginals(selection, candidates)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(n: int, rounds: int, seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    report: dict = {"n": n, "rounds": rounds, "families": {}}
+    for family in FAMILIES:
+        fn = _build(family, n, rng)
+        ground = sorted(fn.ground_set, key=repr)
+        selection = set(ground[: n // 4])
+        candidates = ground
+        naive = LambdaSetFunction(fn.ground_set, fn.value)
+        # Verify agreement before trusting the timing comparison.
+        fast_g = fn.batch_marginals(selection, candidates)
+        naive_g = naive.batch_marginals(selection, candidates)
+        if not np.allclose(fast_g, naive_g, rtol=1e-12, atol=1e-12):
+            raise AssertionError(f"kernel/naive disagreement for {family}")
+        t_kernel = _time_batches(fn, selection, candidates, rounds)
+        t_naive = _time_batches(naive, selection, candidates, rounds)
+        report["families"][family] = {
+            "kernel_s": t_kernel,
+            "naive_s": t_naive,
+            "speedup": t_naive / t_kernel if t_kernel > 0 else float("inf"),
+        }
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=400, help="ground-set size")
+    parser.add_argument("--rounds", type=int, default=5, help="timing repeats (best-of)")
+    parser.add_argument("--seed", type=int, default=20100612)
+    parser.add_argument("--output", default="kernel_microbench.json")
+    args = parser.parse_args()
+    report = run(args.n, args.rounds, args.seed)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    width = max(len(f) for f in report["families"])
+    print(f"oracle-kernel microbench (n={args.n}, best of {args.rounds})")
+    for family, row in report["families"].items():
+        print(
+            f"  {family:<{width}}  naive {row['naive_s'] * 1e3:8.2f} ms"
+            f"  kernel {row['kernel_s'] * 1e3:8.2f} ms"
+            f"  speedup x{row['speedup']:.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

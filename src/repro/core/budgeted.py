@@ -24,6 +24,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping
 
+import numpy as np
+
 from repro.core.submodular import Element, SetFunction
 from repro.core.trace import GreedyResult, GreedyStep
 from repro.errors import BudgetError, InfeasibleError, InvalidInstanceError
@@ -100,6 +102,27 @@ def _validate_parameters(target: float, epsilon: float) -> None:
         raise BudgetError(f"epsilon must lie in (0, 1), got {epsilon}")
 
 
+def _pick_best(gains: np.ndarray, costs: np.ndarray):
+    """Vectorized twin of the scan's selection rule.
+
+    Returns ``(local_index, gain, cost)`` of the first candidate
+    maximising ``(gain/cost, gain)`` lexicographically among candidates
+    with positive gain, or ``None`` — the same strict-inequality
+    tie-breaking as the per-key python scan (first strictly better
+    wins, so the earliest index among exact ties is kept).
+    """
+    live = np.flatnonzero(gains > 1e-12)
+    if not len(live):
+        return None
+    g = gains[live]
+    c = costs[live]
+    with np.errstate(divide="ignore"):
+        ratio = np.where(c == 0.0, math.inf, g / np.where(c == 0.0, 1.0, c))
+    ties = np.flatnonzero(ratio == ratio.max())
+    local = int(live[ties[int(np.argmax(g[ties]))]])
+    return local, float(gains[local]), float(costs[local])
+
+
 def budgeted_greedy(
     instance: BudgetedInstance,
     target: float,
@@ -115,21 +138,27 @@ def budgeted_greedy(
 
     Notes
     -----
-    This is the straightforward implementation that re-scans all ``m``
-    subsets every round (``O(m)`` oracle calls per pick).  The
-    lazy-evaluation variant in :mod:`repro.core.lazy` is observably
-    cheaper in oracle calls while keeping the same guarantee (selections
-    can differ only on exact ratio ties); E12 quantifies the gap.
+    This is the exhaustive implementation that re-scores all ``m``
+    subsets every round.  When the utility exposes a vectorized kernel
+    (:mod:`repro.core.kernels`), each round is one batched marginal pass
+    over the surviving candidates; otherwise it is the original ``O(m)``
+    oracle-calls-per-pick python scan.  The lazy-evaluation variant in
+    :mod:`repro.core.lazy` is observably cheaper in oracle calls while
+    keeping the same guarantee (selections can differ only on exact
+    ratio ties); E12 quantifies the gap.
     """
     _validate_parameters(target, epsilon)
     goal = (1.0 - epsilon) * target
     cap = float(target)
+    evaluator = instance.utility.incremental_evaluator()
     # Oracles exposing marginal_gain (CachedOracle) score unions as
     # utility + gain, memoised by (selection, items) fingerprint pair.
     probe = getattr(instance.utility, "marginal_gain", None)
 
     selection: set = set()
-    utility = instance.utility.value(frozenset())
+    # The evaluator's construction already evaluated F(empty) (counted
+    # once on the naive path, exactly like the old explicit call).
+    utility = evaluator.current_value
     if utility < 0:
         raise InvalidInstanceError("utility of the empty set must be non-negative")
     chosen: List[Hashable] = []
@@ -138,36 +167,60 @@ def budgeted_greedy(
     remaining: Dict[Hashable, FrozenSet[Element]] = dict(instance.subsets)
     limit = max_steps if max_steps is not None else len(instance.subsets) * 64
 
+    # Kernel fast path: digest the candidate pool once, then score all
+    # survivors per round in a single vectorized pass.
+    pool_keys: List[Hashable] = []
+    batch = None
+    alive: List[int] = []
+    pool_costs = None
+    if evaluator.fast:
+        pool_keys = list(instance.subsets)
+        batch = evaluator.prepare([instance.subsets[k] for k in pool_keys])
+        pool_costs = np.array([float(instance.costs[k]) for k in pool_keys])
+        alive = list(range(len(pool_keys)))
+
     while utility < goal - 1e-12:
         if len(steps) >= limit:
             raise InfeasibleError(
                 f"greedy exceeded {limit} steps without reaching utility {goal:.6g}"
             )
         best_key = None
-        best_ratio = 0.0
         best_gain = 0.0
-        frozen_sel = frozenset(selection) if probe is not None else None
-        for key, items in remaining.items():
-            if items <= selection:
-                continue
-            if probe is not None:
-                union_value = utility + probe(frozen_sel, items)
-            else:
-                union_value = instance.utility.value(frozenset(selection | items))
-            truncated = min(cap, union_value)
-            gain = truncated - min(cap, utility)
-            if gain <= 1e-12:
-                continue
-            cost = instance.costs[key]
-            ratio = math.inf if cost == 0 else gain / cost
-            if ratio > best_ratio or (ratio == best_ratio and gain > best_gain):
-                best_key, best_ratio, best_gain = key, ratio, gain
+        if batch is not None:
+            raw = batch.gains(alive)
+            trunc = np.minimum(cap, utility + raw) - min(cap, utility)
+            picked = _pick_best(trunc, pool_costs[alive])
+            if picked is not None:
+                local, best_gain, _ = picked
+                best_key = pool_keys[alive[local]]
+                del alive[local]
+        else:
+            best_ratio = 0.0
+            frozen_sel = frozenset(selection) if probe is not None else None
+            for key, items in remaining.items():
+                if items <= selection:
+                    continue
+                if probe is not None:
+                    union_value = utility + probe(frozen_sel, items)
+                else:
+                    union_value = instance.utility.value(frozenset(selection | items))
+                truncated = min(cap, union_value)
+                gain = truncated - min(cap, utility)
+                if gain <= 1e-12:
+                    continue
+                cost = instance.costs[key]
+                ratio = math.inf if cost == 0 else gain / cost
+                if ratio > best_ratio or (ratio == best_ratio and gain > best_gain):
+                    best_key, best_ratio, best_gain = key, ratio, gain
         if best_key is None:
             raise InfeasibleError(
                 f"no subset improves utility beyond {utility:.6g}; "
                 f"target {target:.6g} is unreachable"
             )
-        selection |= remaining.pop(best_key)
+        items = remaining.pop(best_key)
+        selection |= items
+        if batch is not None:
+            evaluator.add_set(items)
         utility = instance.utility.value(frozenset(selection))
         total_cost += instance.costs[best_key]
         chosen.append(best_key)

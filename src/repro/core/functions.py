@@ -48,6 +48,8 @@ class CoverageFunction(SetFunction):
             k: frozenset(v) for k, v in covers.items()
         }
         self._ground = frozenset(self._covers)
+        self._universe: FrozenSet[Hashable] | None = None
+        self._kernel = None
 
     @property
     def ground_set(self) -> FrozenSet[Element]:
@@ -62,11 +64,31 @@ class CoverageFunction(SetFunction):
 
     @property
     def universe(self) -> FrozenSet[Hashable]:
-        """All items coverable by the full ground set."""
-        out: set = set()
-        for s in self._covers.values():
-            out |= s
-        return frozenset(out)
+        """All items coverable by the full ground set (computed once).
+
+        The union is cached — Set-Cover style consumers read this on
+        every greedy round, and ``_covers`` is immutable after
+        construction, so re-unioning per access was pure waste.
+        """
+        if self._universe is None:
+            out: set = set()
+            for s in self._covers.values():
+                out |= s
+            self._universe = frozenset(out)
+        return self._universe
+
+    def _coverage_kernel(self):
+        from repro.core.kernels import _CoverageKernel
+
+        if self._kernel is None:
+            self._kernel = _CoverageKernel(self._covers)
+        return self._kernel
+
+    def fast_evaluator(self):
+        """Packed-bitset popcount kernel (see :mod:`repro.core.kernels`)."""
+        from repro.core.kernels import CoverageEvaluator
+
+        return CoverageEvaluator(self, self._coverage_kernel())
 
     def covered(self, subset: FrozenSet[Element]) -> FrozenSet[Hashable]:
         out: set = set()
@@ -101,6 +123,19 @@ class WeightedCoverageFunction(CoverageFunction):
         # (hash-randomised) iteration order — oracles must be deterministic.
         return math.fsum(self._weights.get(i, 1.0) for i in self.covered(subset))
 
+    def _coverage_kernel(self):
+        from repro.core.kernels import _CoverageKernel
+
+        if self._kernel is None:
+            self._kernel = _CoverageKernel(self._covers, self._weights)
+        return self._kernel
+
+    def fast_evaluator(self):
+        """Float incidence-matrix kernel against the uncovered weights."""
+        from repro.core.kernels import WeightedCoverageEvaluator
+
+        return WeightedCoverageEvaluator(self, self._coverage_kernel())
+
 
 class AdditiveFunction(SetFunction):
     """Modular utility ``F(S) = sum of per-element values``.
@@ -112,6 +147,7 @@ class AdditiveFunction(SetFunction):
     def __init__(self, values: Mapping[Element, float]):
         self._values = {k: float(v) for k, v in values.items()}
         self._ground = frozenset(self._values)
+        self._kernel = None
 
     @property
     def ground_set(self) -> FrozenSet[Element]:
@@ -127,6 +163,22 @@ class AdditiveFunction(SetFunction):
             "kind": "additive",
             "values": {repr(k): v for k, v in self._values.items()},
         }
+
+    def _additive_kernel(self):
+        # Built once per function: the sorted element order and the
+        # aligned value vector are selection-independent.
+        if self._kernel is None:
+            elements = sorted(self._values, key=repr)
+            values = np.array([self._values[e] for e in elements], dtype=float)
+            self._kernel = (elements, values)
+        return self._kernel
+
+    def fast_evaluator(self):
+        """Value-vector kernel: a fresh element's marginal is its value."""
+        from repro.core.kernels import AdditiveEvaluator
+
+        elements, values = self._additive_kernel()
+        return AdditiveEvaluator(self, elements, values)
 
 
 class BudgetAdditiveFunction(AdditiveFunction):
@@ -145,6 +197,13 @@ class BudgetAdditiveFunction(AdditiveFunction):
     def value(self, subset: FrozenSet[Element]) -> float:
         return min(self.cap, super().value(subset))
 
+    def fast_evaluator(self):
+        """Additive kernel truncated at ``cap`` (still one fancy-index)."""
+        from repro.core.kernels import AdditiveEvaluator
+
+        elements, values = self._additive_kernel()
+        return AdditiveEvaluator(self, elements, values, cap=self.cap)
+
 
 class CutFunction(SetFunction):
     """Undirected weighted cut ``F(S) = total weight of edges leaving S``.
@@ -156,6 +215,7 @@ class CutFunction(SetFunction):
 
     def __init__(self, vertices: Iterable[Element], edges: Iterable[Tuple[Element, Element, float]]):
         self._ground = frozenset(vertices)
+        self._kernel = None
         self._edges: list[Tuple[Element, Element, float]] = []
         for u, v, w in edges:
             if u not in self._ground or v not in self._ground:
@@ -178,6 +238,24 @@ class CutFunction(SetFunction):
             sorted([repr(u), repr(v)]) + [w] for u, v, w in self._edges
         )
         return {"kind": "cut", "vertices": sorted(map(repr, self._ground)), "edges": edges}
+
+    def fast_evaluator(self):
+        """Dense-adjacency kernel with a maintained ``W @ x`` product."""
+        from repro.core.kernels import CutEvaluator
+
+        if self._kernel is None:
+            # The O(V^2) adjacency build is selection-independent; pay
+            # it once per function, not once per evaluator.
+            vertices = sorted(self._ground, key=repr)
+            index = {v: i for i, v in enumerate(vertices)}
+            W = np.zeros((len(vertices), len(vertices)))
+            for u, v, w in self._edges:
+                i, j = index[u], index[v]
+                W[i, j] += w
+                W[j, i] += w
+            self._kernel = (vertices, W)
+        vertices, W = self._kernel
+        return CutEvaluator(self, vertices, W)
 
 
 class FacilityLocationFunction(SetFunction):
@@ -220,6 +298,12 @@ class FacilityLocationFunction(SetFunction):
             "facilities": [repr(f) for f in self._facilities],
             "benefit": self._benefit.tolist(),
         }
+
+    def fast_evaluator(self):
+        """Running per-client best-benefit kernel."""
+        from repro.core.kernels import FacilityLocationEvaluator
+
+        return FacilityLocationEvaluator(self, self._facilities, self._benefit)
 
 
 class MatroidRankFunction(SetFunction):

@@ -19,6 +19,8 @@ import heapq
 import math
 from typing import Dict, FrozenSet, Hashable, List
 
+import numpy as np
+
 from repro.core.budgeted import BudgetedInstance, _validate_parameters
 from repro.core.trace import GreedyResult, GreedyStep
 from repro.errors import InfeasibleError
@@ -44,10 +46,17 @@ def lazy_budgeted_greedy(
     _validate_parameters(target, epsilon)
     goal = (1.0 - epsilon) * target
     cap = float(target)
+    evaluator = instance.utility.incremental_evaluator()
     # See budgeted_greedy: CachedOracle-style utilities expose a
     # fingerprint-memoised marginal_gain; score unions through it.
+    # With a vectorized kernel (evaluator.fast) probes go through the
+    # prepared candidate pool instead: same heap, same pick sequence,
+    # each re-score O(candidate) instead of O(selection x instance).
     probe = getattr(instance.utility, "marginal_gain", None)
-    utility = instance.utility.value(frozenset())
+    utility = evaluator.current_value
+
+    pool_keys: List[Hashable] = list(instance.subsets)
+    batch = evaluator.prepare([instance.subsets[k] for k in pool_keys]) if evaluator.fast else None
 
     frozen_sel = frozenset()
 
@@ -70,10 +79,19 @@ def lazy_budgeted_greedy(
     # tiebreak keeps heap comparisons away from arbitrary key types.
     heap: list = []
     order: Dict[Hashable, int] = {}
-    for i, (key, items) in enumerate(instance.subsets.items()):
-        order[key] = i
-        gain = min(cap, union_value(selection, items)) - min(cap, utility)
-        heapq.heappush(heap, (-ratio_of(gain, instance.costs[key]), -gain, i, key, 0))
+    if batch is not None:
+        # One vectorized pass scores the whole pool for the initial heap.
+        initial = np.minimum(cap, utility + batch.gains(range(len(pool_keys)))) - min(cap, utility)
+        for i, key in enumerate(pool_keys):
+            order[key] = i
+            gain = float(initial[i])
+            heap.append((-ratio_of(gain, instance.costs[key]), -gain, i, key, 0))
+        heapq.heapify(heap)
+    else:
+        for i, (key, items) in enumerate(instance.subsets.items()):
+            order[key] = i
+            gain = min(cap, union_value(selection, items)) - min(cap, utility)
+            heapq.heappush(heap, (-ratio_of(gain, instance.costs[key]), -gain, i, key, 0))
 
     round_no = 0
     while utility < goal - 1e-12:
@@ -96,8 +114,12 @@ def lazy_budgeted_greedy(
             if scored == round_no:
                 picked = (key, -neg_gain)
                 break
-            truncated = min(cap, union_value(selection, items))
-            gain = truncated - min(cap, utility)
+            if batch is not None:
+                raw = float(batch.gains([tiebreak])[0])
+                gain = min(cap, utility + raw) - min(cap, utility)
+            else:
+                truncated = min(cap, union_value(selection, items))
+                gain = truncated - min(cap, utility)
             heapq.heappush(
                 heap,
                 (-ratio_of(gain, instance.costs[key]), -gain, tiebreak, key, round_no),
@@ -114,6 +136,8 @@ def lazy_budgeted_greedy(
                 f"target {target:.6g} is unreachable"
             )
         selection |= instance.subsets[key]
+        if batch is not None:
+            evaluator.add_set(instance.subsets[key])
         utility = instance.utility.value(frozenset(selection))
         total_cost += instance.costs[key]
         chosen.append(key)

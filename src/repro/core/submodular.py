@@ -77,6 +77,45 @@ class SetFunction(ABC):
         base = _as_frozen(subset)
         return self.value(base | {element}) - self.value(base)
 
+    def fast_evaluator(self):
+        """A vectorized kernel evaluator, or ``None`` when there is none.
+
+        Concrete families in :mod:`repro.core.functions` override this;
+        oracle wrappers forward it (adding accounting / arrival checks).
+        Kept separate from :meth:`incremental_evaluator` so probing for
+        a kernel never constructs — or queries through — a throwaway
+        naive evaluator.
+        """
+        return None
+
+    def incremental_evaluator(self) -> "IncrementalEvaluator":
+        """A stateful incremental view of this function (see kernels).
+
+        Returns the family's vectorized kernel when one exists
+        (``fast = True``), else the generic (naive) fallback, which
+        answers every query through :meth:`value` — correct for any
+        oracle, including user-supplied :class:`LambdaSetFunction`
+        wrappers.  Consumer loops check ``fast`` before switching to
+        batched scoring.
+        """
+        from repro.core.kernels import IncrementalEvaluator
+
+        fast = self.fast_evaluator()
+        return fast if fast is not None else IncrementalEvaluator(self)
+
+    def batch_marginals(self, subset: Iterable[Element], candidates) -> "np.ndarray":
+        """``F(subset + c) - F(subset)`` for every single-element candidate.
+
+        One-shot form of the incremental API: builds an evaluator at
+        *subset* and scores all *candidates* in one pass (vectorized for
+        the kernel-backed families, a python loop otherwise).  Greedy
+        loops that score the same pool repeatedly should hold on to an
+        evaluator instead of calling this per round.
+        """
+        ev = self.incremental_evaluator()
+        ev.reset(subset)
+        return ev.gains(list(candidates))
+
     def is_normalized(self, tol: float = 1e-12) -> bool:
         """True when ``F(empty) == 0`` (all paper utilities are)."""
         return abs(self.value(frozenset())) <= tol

@@ -115,6 +115,17 @@ PROFILES: Dict[str, Tuple[SweepSpec, ...]] = {
         SweepSpec(task="knapsack_secretary", families=("additive",),
                   grid=((120, 1, 0), (120, 2, 0), (120, 4, 0)), methods=("online",),
                   trials=5),
+        # Production-scale cells, tractable only with the vectorized
+        # incremental oracle kernels (PR 3): a 200-job/8-processor
+        # scheduling floor, multi-thousand-arrival secretary streams,
+        # and a knapsack stream whose offline estimate alone is ~n^2
+        # oracle evaluations naively.
+        SweepSpec(task="schedule_all", families=("hetero_energy", "bursty_arrivals"),
+                  grid=((200, 8, 96),), methods=("incremental",), trials=2),
+        SweepSpec(task="secretary", families=("coverage", "facility"),
+                  grid=((2000, 8, 400),), methods=("monotone",), trials=2),
+        SweepSpec(task="knapsack_secretary", families=("additive",),
+                  grid=((1500, 2, 0),), methods=("online",), trials=3),
     ),
 }
 
@@ -170,13 +181,26 @@ def suite_for(profile: str) -> Tuple[SweepSpec, ...]:
     return suite
 
 
-def run_bench(profile: str, *, workers: int = 0) -> Dict[str, Any]:
+def run_bench(profile: str, *, workers: int = 0, warmup: bool = True) -> Dict[str, Any]:
     """Run the profile's suite across all tasks; return the report dict.
 
     Deliberately cache-free: a result cache would replay pre-change
     metrics on cache hits and silently defeat the regression gate.
+
+    *warmup* first runs each task's smoke cell untimed, so the first
+    timed cell does not absorb one-off interpreter costs (numpy/BLAS
+    initialisation, lazily built kernel machinery) — on millisecond
+    cells that cold-start hit used to dominate the mean.  The warmup
+    runs inline, so it covers the ``workers=0`` mode baselines and CI
+    use; pool workers (``workers>1``) are fresh processes and still pay
+    their own first-cell cost.
     """
     suite = suite_for(profile)
+    if warmup:
+        tasks = {sweep.task for sweep in suite}
+        for sweep in PROFILES["smoke"]:
+            if sweep.task in tasks:
+                run_sweep(sweep, workers=0)
     groups: Dict[str, List] = {}
     for sweep in suite:
         result = run_sweep(sweep, workers=workers)

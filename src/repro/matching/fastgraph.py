@@ -27,7 +27,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.matching.graph import BipartiteGraph, Matching, Vertex
 
-__all__ = ["IndexedView", "indexed_view", "hk_solve", "kuhn_augment"]
+__all__ = [
+    "IndexedView",
+    "indexed_view",
+    "hk_solve",
+    "kuhn_augment",
+    "kuhn_search",
+    "apply_augmenting_path",
+]
 
 _INF = float("inf")
 
@@ -179,6 +186,77 @@ def hk_solve(
     return match_l, match_r, size
 
 
+def kuhn_search(
+    view: IndexedView,
+    match_r: List[int],
+    start: int,
+    visited: List[int],
+    stamp: int,
+    parent: List[int],
+    dead: Optional[List[int]] = None,
+    dead_version: int = -1,
+    trail: Optional[List[int]] = None,
+) -> int:
+    """Find an augmenting path from free left vertex *start* (no mutation).
+
+    Returns the free right endpoint's index (with ``parent`` holding the
+    back-trail for :func:`apply_augmenting_path`) or ``-1``.  ``visited``
+    is a right-side int buffer stamped with *stamp*.
+
+    The split from the apply step buys two probe-level optimizations in
+    :class:`~repro.matching.incremental.IncrementalMatchingOracle`:
+
+    * a *failed* search leaves the matching untouched, so its stamped
+      vertices remain valid dead ends for every later start under the
+      same matching — callers reuse the stamp across consecutive
+      failures instead of re-exploring the same alternating component
+      per start (the classical Kuhn phase trick);
+    * probes only pay for matching copies when a search actually
+      succeeds (copy-on-success), so gain-0 probes are allocation-free.
+
+    ``dead`` (stamped with ``dead_version``) extends the same argument
+    *across* probes: a right vertex inside a fully-failed exploration
+    cannot reach a free job until the committed matching changes, and
+    augmenting paths can never pass through such a region (it is closed
+    under the alternating step and free-job-free), so skipping it is
+    exact for every probe of the same commit version.  ``trail``, when
+    given, collects the vertices stamped by this search so the caller
+    can promote a failed exploration to the dead set in O(visited)
+    instead of rescanning the whole right side.
+    """
+    adj = view.adj
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for v in adj[u]:
+            if visited[v] == stamp or (dead is not None and dead[v] == dead_version):
+                continue
+            visited[v] = stamp
+            if trail is not None:
+                trail.append(v)
+            parent[v] = u
+            w = match_r[v]
+            if w < 0:
+                return v
+            stack.append(w)
+    return -1
+
+
+def apply_augmenting_path(
+    match_l: List[int], match_r: List[int], free_right: int, parent: List[int]
+) -> None:
+    """Flip the alternating path ending at *free_right* into the matching."""
+    v = free_right
+    while True:
+        u = parent[v]
+        prev_v = match_l[u]
+        match_l[u] = v
+        match_r[v] = u
+        if prev_v < 0:
+            break
+        v = prev_v
+
+
 def kuhn_augment(
     view: IndexedView,
     match_l: List[int],
@@ -200,33 +278,8 @@ def kuhn_augment(
     Returns ``True`` and applies the augmentation in place if a path to a
     free right vertex exists; otherwise leaves the matching untouched.
     """
-    adj = view.adj
-    stack = [start]
-    free_right = -1
-    while stack:
-        u = stack.pop()
-        for v in adj[u]:
-            if visited[v] == stamp:
-                continue
-            visited[v] = stamp
-            parent[v] = u
-            w = match_r[v]
-            if w < 0:
-                free_right = v
-                stack.clear()
-                break
-            stack.append(w)
-
+    free_right = kuhn_search(view, match_r, start, visited, stamp, parent)
     if free_right < 0:
         return False
-
-    v = free_right
-    while True:
-        u = parent[v]
-        prev_v = match_l[u]
-        match_l[u] = v
-        match_r[v] = u
-        if prev_v < 0:
-            break
-        v = prev_v
+    apply_augmenting_path(match_l, match_r, free_right, parent)
     return True

@@ -30,7 +30,12 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, List, Mapping
 
 from repro.core.submodular import SetFunction
-from repro.matching.fastgraph import hk_solve, indexed_view, kuhn_augment
+from repro.matching.fastgraph import (
+    apply_augmenting_path,
+    hk_solve,
+    indexed_view,
+    kuhn_search,
+)
 from repro.matching.graph import BipartiteGraph, Matching, Vertex
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.matching.weighted import max_weight_matching, weighted_matching_value
@@ -108,9 +113,13 @@ class IncrementalMatchingOracle(SetFunction):
         self._match_r: List[int] = [-1] * self._view.n_right
         self._size = 0
         # Right-side scratch buffers shared by every probe: stamped
-        # visited array + parent trail (see fastgraph.kuhn_augment).
+        # visited array + parent trail (see fastgraph.kuhn_augment),
+        # plus the per-commit-version dead-region memo (a job marked
+        # dead cannot reach a free job until the next commit — see
+        # kuhn_search).
         self._visited = [0] * self._view.n_right
         self._parent = [-1] * self._view.n_right
+        self._dead = [-1] * self._view.n_right
         self._stamp = 0
         self.probe_augmentations = 0  # instrumentation for E12
         self.commit_version = 0
@@ -151,21 +160,60 @@ class IncrementalMatchingOracle(SetFunction):
         return self._size
 
     def _gain_indices(self, new_ids: List[int]) -> int:
-        """Gain from augmenting a scratch copy of the matching (no commit)."""
+        """Gain from augmenting a scratch copy of the matching (no commit).
+
+        Three probe-level optimizations, all result-preserving:
+
+        * *copy-on-success* — the scratch matching copies are made only
+          when the first augmentation succeeds, so gain-0 probes (the
+          bulk of end-game CELF re-probes) are allocation-free;
+        * *shared failure stamps* — a failed search leaves the matching
+          unchanged, so its visited marks stay valid for the next start
+          (if a vertex could not reach a free job, it still cannot); the
+          stamp is bumped only after a successful augmentation mutates
+          the matching.  This caps a k-slot probe's failure cost at one
+          exploration of the alternating component instead of k;
+        * *free-job early exit* — the gain can never exceed the number
+          of unmatched jobs, so the slot loop stops once they are all
+          saturated (every later search is a guaranteed failure).
+        """
         if not new_ids:
             return 0
-        match_l = self._match_l.copy()
-        match_r = self._match_r.copy()
+        match_l = self._match_l
+        match_r = self._match_r
         view = self._view
-        visited, parent = self._visited, self._parent
+        visited, parent, dead = self._visited, self._parent, self._dead
+        version = self.commit_version
+        free_jobs = view.n_right - self._size
         gained = 0
+        copied = False
+        trail: List[int] = []
+        self._stamp += 1
         for i in new_ids:
+            if gained >= free_jobs:
+                break
             self.probe_augmentations += 1
             if match_l[i] >= 0:
                 continue
+            free_right = kuhn_search(
+                view, match_r, i, visited, self._stamp, parent, dead, version, trail
+            )
+            if free_right < 0:
+                continue
+            if not copied:
+                match_l = match_l.copy()
+                match_r = match_r.copy()
+                copied = True
+            apply_augmenting_path(match_l, match_r, free_right, parent)
+            gained += 1
             self._stamp += 1
-            if kuhn_augment(view, match_l, match_r, i, visited, self._stamp, parent):
-                gained += 1
+            trail.clear()  # marks now belong to a post-success epoch
+        if gained == 0:
+            # Every search failed against the *committed* matching, so
+            # the explored region is dead for the rest of this commit
+            # version — future probes skip it (O(visited) promotion).
+            for v in trail:
+                dead[v] = version
         return gained
 
     def gain_indices(self, new_ids: List[int]) -> int:
@@ -175,6 +223,58 @@ class IncrementalMatchingOracle(SetFunction):
         against :meth:`committed_mask` first).
         """
         return self._gain_indices(new_ids)
+
+    def extension_gains(self, steps: List[List[int]]) -> List[int]:
+        """Cumulative gains along a *nested* chain of slot sets.
+
+        ``steps[j]`` holds the fresh slot indices added at extension
+        ``j`` (disjoint from the committed set and from earlier steps);
+        the return value's ``j``-th entry is
+        ``F(committed ∪ steps[0..j]) - F(committed)``.
+
+        This is the batched scoring path for candidate pools with
+        prefix structure — all awake intervals sharing a processor and
+        a start time are nested, so one scratch matching (and one
+        shared failure stamp) sweeps the entire row with one
+        augmentation attempt per slot, instead of re-augmenting every
+        interval from scratch (``O(T)`` attempts per row instead of
+        ``O(T)`` per *interval*).  The reported numbers are identical
+        to per-interval :meth:`gain_indices` probes: augmenting from
+        each new free slot in any order reaches a maximum matching of
+        the union (the Lemma 2.1.1 matroid-rank update), so the
+        cumulative count is order-independent.
+        """
+        view = self._view
+        visited, parent, dead = self._visited, self._parent, self._dead
+        version = self.commit_version
+        match_l = self._match_l
+        match_r = self._match_r
+        free_jobs = view.n_right - self._size
+        gained = 0
+        copied = False
+        out: List[int] = []
+        self._stamp += 1
+        for ids in steps:
+            for i in ids:
+                if gained >= free_jobs:
+                    break
+                self.probe_augmentations += 1
+                if match_l[i] >= 0:
+                    continue
+                free_right = kuhn_search(
+                    view, match_r, i, visited, self._stamp, parent, dead, version
+                )
+                if free_right < 0:
+                    continue
+                if not copied:
+                    match_l = match_l.copy()
+                    match_r = match_r.copy()
+                    copied = True
+                apply_augmenting_path(match_l, match_r, free_right, parent)
+                gained += 1
+                self._stamp += 1
+            out.append(gained)
+        return out
 
     @property
     def committed_mask(self) -> bytearray:
@@ -218,7 +318,12 @@ class IncrementalMatchingOracle(SetFunction):
         return self.commit_indices(new_ids, already_masked=True)
 
     def commit_indices(self, new_ids: List[int], *, already_masked: bool = False) -> int:
-        """Index-level :meth:`commit`; *new_ids* must be fresh indices."""
+        """Index-level :meth:`commit`; *new_ids* must be fresh indices.
+
+        Uses the same shared-failure-stamp and free-job-exhaustion
+        shortcuts as the probes (see :meth:`_gain_indices`); the
+        committed matching stays maximum on the committed slot set.
+        """
         mask = self._committed_mask
         if not already_masked:
             new_ids = [i for i in new_ids if not mask[i]]
@@ -226,14 +331,24 @@ class IncrementalMatchingOracle(SetFunction):
                 mask[i] = 1
         view = self._view
         match_l, match_r = self._match_l, self._match_r
-        visited, parent = self._visited, self._parent
+        visited, parent, dead = self._visited, self._parent, self._dead
+        version = self.commit_version
+        free_jobs = view.n_right - self._size
         gained = 0
+        self._stamp += 1
         for i in new_ids:
+            if gained >= free_jobs:
+                break
             if match_l[i] >= 0:
                 continue
+            free_right = kuhn_search(
+                view, match_r, i, visited, self._stamp, parent, dead, version
+            )
+            if free_right < 0:
+                continue
+            apply_augmenting_path(match_l, match_r, free_right, parent)
+            gained += 1
             self._stamp += 1
-            if kuhn_augment(view, match_l, match_r, i, visited, self._stamp, parent):
-                gained += 1
         self._size += gained
         self.commit_version += 1
         return gained
@@ -242,6 +357,7 @@ class IncrementalMatchingOracle(SetFunction):
         self._committed_mask = bytearray(self._view.n_left)
         self._match_l = [-1] * self._view.n_left
         self._match_r = [-1] * self._view.n_right
+        self._dead = [-1] * self._view.n_right
         self._size = 0
         self.probe_augmentations = 0
         self.commit_version = 0

@@ -112,9 +112,12 @@ def enumerate_candidate_intervals(
         limits; also a useful knob for stress tests).
 
     Intervals whose cost is infinite (processor unavailable) are dropped
-    immediately — the greedy could never pick them.
+    immediately — the greedy could never pick them.  (The incremental
+    solver never calls this: it enumerates the same event-point pool
+    directly at index level, see ``solver._build_pool_event_points``.)
     """
     candidates: List[AwakeInterval] = []
+    inf = float("inf")
     for proc in instance.processors:
         if event_points_only:
             times = sorted({t for job in instance.jobs for (p, t) in job.slots if p == proc})
@@ -125,6 +128,6 @@ def enumerate_candidate_intervals(
                 if max_length is not None and e - s + 1 > max_length:
                     break
                 iv = AwakeInterval(proc, s, e)
-                if instance.cost_of(iv) != float("inf"):
+                if instance.cost_of(iv) != inf:
                     candidates.append(iv)
     return candidates

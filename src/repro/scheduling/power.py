@@ -63,6 +63,18 @@ class CostModel(ABC):
             )
         return value
 
+    def length_cost_table(self, processor: Processor, max_length: int):
+        """Vectorized pricing when cost depends only on interval length.
+
+        Returns ``costs`` with ``costs[L-1]`` the price of any length-L
+        interval on *processor*, or ``None`` when this model's prices
+        depend on the interval's position (time-of-use, outages,
+        explicit tables) — callers then fall back to per-interval
+        :meth:`cost` queries.  Solvers use this to price a whole
+        candidate pool in one array expression.
+        """
+        return None
+
 
 class AffineCost(CostModel):
     """Classical model: ``restart_cost + rate * length``.
@@ -77,6 +89,10 @@ class AffineCost(CostModel):
             raise InvalidInstanceError("restart cost and rate must be non-negative")
         self.restart_cost = float(restart_cost)
         self.rate = float(rate)
+
+    def length_cost_table(self, processor: Processor, max_length: int):
+        lengths = np.arange(1, max_length + 1, dtype=float)
+        return self.restart_cost + self.rate * lengths
 
     def cost(self, interval: "AwakeInterval") -> float:
         return self.restart_cost + self.rate * interval.length
@@ -107,6 +123,12 @@ class PerProcessorRateCost(CostModel):
         if proc not in self.rates or proc not in self.restart_costs:
             raise InvalidInstanceError(f"no rate configured for processor {proc!r}")
         return self.restart_costs[proc] + self.rates[proc] * interval.length
+
+    def length_cost_table(self, processor: Processor, max_length: int):
+        if processor not in self.rates or processor not in self.restart_costs:
+            raise InvalidInstanceError(f"no rate configured for processor {processor!r}")
+        lengths = np.arange(1, max_length + 1, dtype=float)
+        return self.restart_costs[processor] + self.rates[processor] * lengths
 
 
 class TimeOfUseCost(CostModel):

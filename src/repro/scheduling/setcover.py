@@ -60,10 +60,12 @@ class SetCoverInstance:
         object.__setattr__(self, "costs", dict(self.costs))
         if set(self.subsets) != set(self.costs):
             raise InvalidInstanceError("subsets and costs must share keys")
-        stray = set().union(*self.subsets.values(), frozenset()) - self.universe
+        # One union pass serves both checks (strays and coverability);
+        # re-unioning per check was quadratic waste on dense pools.
+        covered = set().union(*self.subsets.values(), frozenset())
+        stray = covered - self.universe
         if stray:
             raise InvalidInstanceError(f"subsets mention non-universe items: {sorted(map(repr, stray))[:5]}")
-        covered = set().union(*self.subsets.values(), frozenset())
         if covered != set(self.universe):
             raise InvalidInstanceError(
                 f"universe not coverable; missing {sorted(map(repr, set(self.universe) - covered))[:5]}"
@@ -157,6 +159,7 @@ def random_set_cover_instance(
     subsets: Dict[Hashable, Set[Hashable]] = {}
     costs: Dict[Hashable, float] = {}
 
+    covered: Set[Hashable] = set()  # maintained as sets are drawn (no final re-union)
     start = 0
     if planted_cover_size:
         if planted_cover_size > n_sets:
@@ -174,6 +177,7 @@ def random_set_cover_instance(
             prev = b
         for i, piece in enumerate(pieces):
             subsets[f"S{i}"] = set(piece)
+            covered.update(piece)
             costs[f"S{i}"] = 1.0
         start = len(pieces)
 
@@ -183,9 +187,9 @@ def random_set_cover_instance(
         if not chosen:
             chosen = {universe[int(gen.integers(n_elements))]}
         subsets[f"S{i}"] = chosen
+        covered |= chosen
         costs[f"S{i}"] = float(1.0 + cost_spread * gen.random())
 
-    covered = set().union(*subsets.values())
     missing = set(universe) - covered
     if missing:
         # Guarantee coverability by topping up the last set.

@@ -30,11 +30,14 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.budgeted import BudgetedInstance, budgeted_greedy
 from repro.core.lazy import lazy_budgeted_greedy
 from repro.core.oracle import CachedOracle, CountingOracle
 from repro.core.trace import GreedyResult, GreedyStep
 from repro.errors import InfeasibleError
+from repro.matching.fastgraph import hk_solve, indexed_view
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.matching.incremental import IncrementalMatchingOracle, MatchingUtility
 from repro.scheduling.instance import ScheduleInstance
@@ -103,7 +106,194 @@ def _extract_schedule(graph, chosen: List[AwakeInterval], selection) -> Schedule
     return Schedule(intervals=list(chosen), assignment=assignment)
 
 
-def _incremental_greedy(instance, graph, slot_map, costs) -> tuple[GreedyResult, int]:
+class _CandidatePool:
+    """Index-level candidate pool for the incremental engine.
+
+    Everything is parallel flat lists keyed by a dense candidate index —
+    no :class:`AwakeInterval` objects (they are materialised only for
+    the handful of *picked* intervals), no dict-of-frozenset churn, no
+    per-probe interval hashing.  Candidates sharing a processor and a
+    start time form a *row*: ``row_pid[r]`` holds the row's job-usable
+    slot ids in time order, and candidate ``c`` of that row owns the
+    prefix ``row_pid[cand_row[c]][:cand_hi[c]]`` — the nesting the
+    chain-probe scoring exploits.
+    """
+
+    __slots__ = ("metas", "costs", "row_pid", "cand_row", "cand_hi", "rows")
+
+    def __init__(self):
+        self.metas: List[tuple] = []      # candidate -> (processor, start, end)
+        self.costs: List[float] = []      # candidate -> price
+        self.row_pid: List[List[int]] = []  # row -> slot ids, time order
+        self.cand_row: List[int] = []     # candidate -> row
+        self.cand_hi: List[int] = []      # candidate -> prefix length in its row
+        self.rows: List[List[int]] = []   # row -> candidate indices (nested order)
+
+    def slots_of(self, c: int) -> List[int]:
+        return self.row_pid[self.cand_row[c]][: self.cand_hi[c]]
+
+
+def _proc_time_ids(view) -> Dict:
+    """Per processor: job-usable (time, left-index) pairs, time-sorted."""
+    per_proc: Dict = {}
+    for (proc, t), idx in view.left_index.items():
+        per_proc.setdefault(proc, []).append((t, idx))
+    for entries in per_proc.values():
+        entries.sort()
+    return per_proc
+
+
+def _build_pool_event_points(instance: ScheduleInstance, view) -> _CandidatePool:
+    """Event-point candidate pool, enumerated directly at index level.
+
+    Mirrors :func:`~repro.scheduling.intervals.enumerate_candidate_intervals`
+    (same processor-major, start-major, end-minor order, same event-time
+    endpoints, same infinite-cost filtering) without constructing any
+    interval objects: a processor with ``k`` event times contributes
+    ``k`` rows of nested candidates, priced through the cost model's
+    vectorized length table when it has one.
+    """
+    pool = _CandidatePool()
+    per_proc = _proc_time_ids(view)
+    horizon = instance.horizon
+    for proc in instance.processors:
+        entries = per_proc.get(proc)
+        if not entries:
+            continue
+        times = [t for t, _ in entries]
+        pid = [idx for _, idx in entries]
+        k = len(times)
+        table = instance.cost_model.length_cost_table(proc, horizon)
+        times_arr = np.array(times)
+        for i in range(k):
+            row_no = len(pool.row_pid)
+            pool.row_pid.append(pid[i:])
+            row_cands: List[int] = []
+            if table is not None:
+                row_costs = table[times_arr[i:] - times[i]]
+            else:
+                row_costs = [
+                    instance.cost_of(AwakeInterval(proc, times[i], times[j]))
+                    for j in range(i, k)
+                ]
+            for rel in range(k - i):
+                cost = float(row_costs[rel])
+                if math.isinf(cost):
+                    continue
+                row_cands.append(len(pool.metas))
+                pool.metas.append((proc, times[i], times[i + rel]))
+                pool.costs.append(cost)
+                pool.cand_row.append(row_no)
+                pool.cand_hi.append(rel + 1)
+            pool.rows.append(row_cands)
+    return pool
+
+
+def _build_pool_explicit(
+    instance: ScheduleInstance, view, candidates: Sequence[AwakeInterval]
+) -> _CandidatePool:
+    """Pool for an explicitly given interval list (pool order preserved).
+
+    Each candidate becomes its own single-candidate row — explicit pools
+    are small and need no nesting structure to score quickly.
+    """
+    pool = _CandidatePool()
+    by_proc: Dict = {}
+    for (proc, t), idx in view.left_index.items():
+        arr = by_proc.get(proc)
+        if arr is None:
+            arr = by_proc[proc] = np.full(instance.horizon, -1, dtype=np.int64)
+        arr[t] = idx
+    for iv in candidates:
+        arr = by_proc.get(iv.processor)
+        if arr is None:
+            continue
+        ids = arr[iv.start : iv.end + 1]
+        ids = ids[ids >= 0]
+        if not len(ids):
+            continue
+        cost = instance.cost_of(iv)
+        if math.isinf(cost):
+            continue
+        row_no = len(pool.row_pid)
+        pool.row_pid.append(ids.tolist())
+        pool.rows.append([len(pool.metas)])
+        pool.metas.append((iv.processor, iv.start, iv.end))
+        pool.costs.append(cost)
+        pool.cand_row.append(row_no)
+        pool.cand_hi.append(len(ids))
+    return pool
+
+
+def _prepare_indexed(
+    instance: ScheduleInstance,
+    candidates: Optional[Sequence[AwakeInterval]],
+):
+    """Index-level front half for the incremental engine.
+
+    Skips the frozenset slot-map churn of :func:`_prepare` entirely:
+    the candidate pool lives in flat index arrays
+    (:class:`_CandidatePool`), and the feasibility check runs directly
+    on the indexed view.  Pool order equals the legacy slot-map order,
+    so heap tie-breaking (and hence the pick sequence) is unchanged.
+    """
+    graph = instance.bipartite_graph()
+    view = indexed_view(graph)
+    explicit = list(candidates) if candidates is not None else instance._candidates
+    if explicit is not None:
+        if not explicit:
+            raise InfeasibleError("no candidate awake intervals available")
+        pool = _build_pool_explicit(instance, view, explicit)
+    else:
+        pool = _build_pool_event_points(instance, view)
+    if not pool.metas:
+        raise InfeasibleError("no candidate interval covers any job-usable slot")
+
+    useful_mask = bytearray(view.n_left)
+    for row_cands in pool.rows:
+        if row_cands:
+            row = pool.row_pid[pool.cand_row[row_cands[0]]]
+            for i in row[: pool.cand_hi[row_cands[-1]]]:
+                useful_mask[i] = 1
+    n = instance.n_jobs
+    _, _, reachable = hk_solve(view, useful_mask)
+    if reachable < n:
+        raise InfeasibleError(
+            "no feasible schedule: even with every candidate interval awake, "
+            f"only {reachable} of {n} jobs fit"
+        )
+    return graph, pool
+
+
+def _initial_gains(oracle, pool: _CandidatePool) -> List[int]:
+    """Score the whole candidate pool against the committed matching.
+
+    Candidates of one row are nested, so each row is swept with one
+    :meth:`~repro.matching.incremental.IncrementalMatchingOracle.extension_gains`
+    chain — one augmentation attempt per slot per *row* instead of one
+    per slot per *interval* (an ``O(T)``-per-row versus
+    ``O(T)``-per-candidate cost class).  Gains equal per-candidate
+    probes exactly: matroid-rank updates are augmentation-order
+    independent.
+    """
+    gains: List[int] = [0] * len(pool.metas)
+    for row_cands in pool.rows:
+        if not row_cands:
+            continue
+        row = pool.row_pid[pool.cand_row[row_cands[0]]]
+        steps: List[List[int]] = []
+        prev_hi = 0
+        for c in row_cands:
+            hi = pool.cand_hi[c]
+            steps.append(row[prev_hi:hi])
+            prev_hi = hi
+        cums = oracle.extension_gains(steps)
+        for c, g in zip(row_cands, cums):
+            gains[c] = g
+    return gains
+
+
+def _incremental_greedy(instance, graph, pool: _CandidatePool) -> tuple[GreedyResult, int, "IncrementalMatchingOracle"]:
     """The specialised greedy: marginal gains via matching augmentation.
 
     Candidate scoring is *lazy* (Minoux/CELF): because ``F`` is
@@ -113,68 +303,65 @@ def _incremental_greedy(instance, graph, slot_map, costs) -> tuple[GreedyResult,
     pick sequence is identical to the exhaustive re-scan (the heap's
     ``(-ratio, -gain, insertion index)`` ordering reproduces the scan's
     first-strictly-better tie-breaking) at a fraction of the probes.
-    Probes themselves run on the oracle's int-index fast path — each
-    interval's slots are translated to dense indices exactly once.
+    The initial all-candidates pass runs on the oracle's chain-probe
+    batch API (:func:`_initial_gains`); CELF re-scores are single
+    copy-on-success probes with dead-region memoisation.
     """
     n = instance.n_jobs
     oracle = IncrementalMatchingOracle(graph)
-    view = oracle.view
     mask = oracle.committed_mask
     chosen: List[AwakeInterval] = []
     steps: List[GreedyStep] = []
     total_cost = 0.0
+    costs = pool.costs
 
-    slot_ids: Dict[AwakeInterval, List[int]] = {
-        iv: sorted(view.left_index[s] for s in slots if s in view.left_index)
-        for iv, slots in slot_map.items()
-    }
-
-    # Heap entries: (-ratio, -gain, insertion index, interval, version).
+    # Heap entries: (-ratio, -gain, candidate index, version).  The
+    # candidate index doubles as the insertion-order tie-breaker (pool
+    # order equals the legacy enumeration order).
+    initial_gains = _initial_gains(oracle, pool)
     heap: List[tuple] = []
-    for order, (iv, ids) in enumerate(slot_ids.items()):
-        gain = oracle.gain_indices(ids)
+    for c, gain in enumerate(initial_gains):
         if gain <= 0:
             continue
-        cost = costs[iv]
+        cost = costs[c]
         ratio = math.inf if cost == 0 else gain / cost
         if math.isnan(ratio):  # NaN never beats a real ratio in the scan
             continue
-        heap.append((-ratio, -float(gain), order, iv, oracle.commit_version))
+        heap.append((-ratio, -float(gain), c, oracle.commit_version))
     heapq.heapify(heap)
 
     while oracle.matching_size < n:
         picked = None
         while heap:
-            neg_ratio, neg_gain, order, iv, version = heapq.heappop(heap)
-            extra = [i for i in slot_ids[iv] if not mask[i]]
+            neg_ratio, neg_gain, c, version = heapq.heappop(heap)
+            extra = [i for i in pool.slots_of(c) if not mask[i]]
             if not extra:
                 continue
             if version == oracle.commit_version:
-                picked = (iv, int(-neg_gain), extra)
+                picked = (c, int(-neg_gain), extra)
                 break
             gain = oracle.gain_indices(extra)
             if gain <= 0:
                 continue  # submodularity: can never become positive again
-            cost = costs[iv]
+            cost = costs[c]
             ratio = math.inf if cost == 0 else gain / cost
             if math.isnan(ratio):
                 continue
-            heapq.heappush(
-                heap, (-ratio, -float(gain), order, iv, oracle.commit_version)
-            )
+            heapq.heappush(heap, (-ratio, -float(gain), c, oracle.commit_version))
         if picked is None:
             raise InfeasibleError(
                 f"greedy stalled at {oracle.matching_size}/{n} jobs schedulable"
             )
-        best_iv, best_gain, extra = picked
+        best_c, best_gain, extra = picked
         oracle.commit_indices(extra, already_masked=False)
         utility = float(oracle.matching_size)
-        total_cost += costs[best_iv]
-        chosen.append(best_iv)
+        total_cost += costs[best_c]
+        proc, start, end = pool.metas[best_c]
+        chosen.append(AwakeInterval(proc, start, end))
         steps.append(
             GreedyStep(
-                index=best_iv,
-                cost=costs[best_iv],
+                index=chosen[-1],
+                cost=costs[best_c],
                 gain=float(best_gain),
                 utility_after=utility,
                 cost_after=total_cost,
@@ -190,7 +377,7 @@ def _incremental_greedy(instance, graph, slot_map, costs) -> tuple[GreedyResult,
         epsilon=1.0 / (n + 1),
         steps=steps,
     )
-    return result, oracle.probe_augmentations
+    return result, oracle.probe_augmentations, oracle
 
 
 def schedule_all_jobs(
@@ -225,12 +412,28 @@ def schedule_all_jobs(
             method=method,
         )
 
-    graph, slot_map, costs = _prepare(instance, candidates)
     n = instance.n_jobs
 
     if method == "incremental":
-        greedy_result, work = _incremental_greedy(instance, graph, slot_map, costs)
-    elif method in ("plain", "lazy"):
+        graph, pool = _prepare_indexed(instance, candidates)
+        greedy_result, work, m_oracle = _incremental_greedy(instance, graph, pool)
+        if greedy_result.utility < n - 1e-9:
+            raise InfeasibleError(
+                f"greedy terminated with utility {greedy_result.utility} < n = {n}"
+            )
+        # The oracle's committed matching IS a maximum matching of the
+        # selection — reuse it instead of a from-scratch Hopcroft–Karp.
+        matching = m_oracle.matching
+        assignment = {job: slot for slot, job in matching.left_to_right.items()}
+        schedule = Schedule(intervals=list(greedy_result.chosen), assignment=assignment)
+        schedule.validate(instance, require_all=True)
+        return ScheduleAllResult(
+            schedule=schedule, greedy=greedy_result, oracle_work=work, method=method
+        )
+
+    graph, slot_map, costs = _prepare(instance, candidates)
+
+    if method in ("plain", "lazy"):
         # CachedOracle outermost: the greedys probe its fingerprint-
         # memoised marginal_gain, and only cache *misses* reach the
         # counting layer — work counts actual Hopcroft–Karp solves.

@@ -22,6 +22,9 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, Mapping, Sequence
 
+import numpy as np
+
+from repro.core.kernels import evaluator_for
 from repro.core.submodular import SetFunction
 from repro.errors import BudgetError, InvalidInstanceError
 from repro.rng import as_generator
@@ -46,9 +49,25 @@ def reduce_knapsacks_to_one(
     caps = [float(c) for c in capacities]
     if not caps or any(c <= 0 for c in caps):
         raise InvalidInstanceError(f"capacities must be positive, got {caps}")
+    items = list(weights)
+    if not items:
+        return {}
+    try:
+        # One vectorized pass for the common well-formed case; a ragged
+        # weight matrix falls back to the per-item loop below for its
+        # precise error report.
+        matrix = np.array([weights[j] for j in items], dtype=float)
+    except ValueError:
+        matrix = None
+    if matrix is not None and matrix.ndim == 2 and matrix.shape[1] == len(caps):
+        if (matrix < 0).any():
+            j = items[int(np.argmax((matrix < 0).any(axis=1)))]
+            raise InvalidInstanceError(f"item {j!r} has negative weight")
+        reduced_arr = (matrix / np.array(caps)).max(axis=1)
+        return dict(zip(items, reduced_arr.tolist()))
     reduced: Dict[Hashable, float] = {}
-    for j, ws in weights.items():
-        ws = [float(w) for w in ws]
+    for j in items:
+        ws = [float(w) for w in weights[j]]
         if len(ws) != len(caps):
             raise InvalidInstanceError(
                 f"item {j!r} has {len(ws)} weights for {len(caps)} knapsacks"
@@ -75,30 +94,68 @@ def offline_knapsack_estimate(
     feasible = [j for j in items if weights.get(j, math.inf) <= capacity]
     if not feasible:
         return 0.0
-    best_single = max(utility.value(frozenset({j})) for j in feasible)
+    # One batched pass for the singleton values, one per greedy round for
+    # the density scan: with a kernel-backed utility each round is a
+    # vectorized marginal pass; the naive fallback evaluates (and
+    # counts) one oracle call per still-loadable candidate, exactly as
+    # the original per-item loop did.
+    evaluator = evaluator_for(utility)
+    singles = evaluator.union_values(feasible)
+    best_single = float(singles.max())
 
     chosen: set = set()
     load = 0.0
-    value = utility.value(frozenset())
+    value = evaluator.current_value
+
+    if getattr(evaluator, "modular", False):
+        # Modular (plain additive) utility: marginals never change, so
+        # the per-round argmax is equivalent to one pass over items in
+        # (density desc, arrival order) — an item that does not fit now
+        # never fits later (the load only grows).  Densities reuse the
+        # singleton values already queried above, so the query count
+        # only shrinks.
+        w_arr = np.array([float(weights[j]) for j in feasible])
+        gains0 = singles - value
+        with np.errstate(divide="ignore", invalid="ignore"):
+            density = np.where(
+                w_arr > 0, gains0 / np.where(w_arr > 0, w_arr, 1.0),
+                np.where(gains0 > 0, math.inf, 0.0),
+            )
+        for i in np.argsort(-density, kind="stable"):
+            if not density[i] > 0.0:
+                break
+            if load + w_arr[i] > capacity:
+                continue
+            chosen.add(feasible[i])
+            load += float(w_arr[i])
+        value = utility.value(frozenset(chosen)) if chosen else value
+        return max(best_single, value)
+
     # Scan in the given item order: density ties then break by arrival
     # position, not by set-iteration (hash) order, keeping the estimate
     # reproducible across processes.
     remaining = list(feasible)
     while remaining:
-        best_j, best_density = None, 0.0
-        for j in remaining:
-            w = weights[j]
-            if load + w > capacity:
-                continue
-            gain = utility.value(frozenset(chosen | {j})) - value
-            density = gain / w if w > 0 else (math.inf if gain > 0 else 0.0)
-            if density > best_density:
-                best_j, best_density = j, density
-        if best_j is None:
+        w_arr = np.array([weights[j] for j in remaining])
+        loadable = np.flatnonzero(load + w_arr <= capacity)
+        if not len(loadable):
             break
+        cand = [remaining[i] for i in loadable]
+        gains = evaluator.gains(cand)
+        w = w_arr[loadable]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            density = np.where(
+                w > 0, gains / np.where(w > 0, w, 1.0),
+                np.where(gains > 0, math.inf, 0.0),
+            )
+        best_local = int(np.argmax(density))
+        if not density[best_local] > 0.0:
+            break
+        best_j = cand[best_local]
         chosen.add(best_j)
         load += weights[best_j]
         value = utility.value(frozenset(chosen))
+        evaluator.advance(best_j, value)
         remaining.remove(best_j)
     return max(best_single, value)
 
@@ -170,17 +227,22 @@ def knapsack_submodular_secretary(
 
     selected: set = set()
     load = 0.0
-    value = stream.oracle.value(frozenset())
+    # Incremental marginals against the growing hired set (one counted
+    # query per arrival, kernel-fast when the utility supports it).
+    evaluator = evaluator_for(stream.oracle)
+    value = evaluator.current_value
     for a in it:
         w = w1[a]
         if load + w > 1.0:
             continue
-        gain = stream.oracle.value(frozenset(selected | {a})) - value
+        gain = evaluator.gain1(a)
         if w > 0 and gain / w >= bar and gain > 0:
             selected.add(a)
             load += w
             value = stream.oracle.value(frozenset(selected))
+            evaluator.advance(a, value)
         elif w == 0 and gain > 0:
             selected.add(a)
             value = stream.oracle.value(frozenset(selected))
+            evaluator.advance(a, value)
     return SecretaryResult(selected=frozenset(selected), traces=[], strategy="density")

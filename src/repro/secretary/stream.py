@@ -11,14 +11,91 @@ function to compute optima.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable, Iterator, List, Sequence
+from typing import FrozenSet, Hashable, Iterable, Iterator, List, Sequence
 
+import numpy as np
 
+from repro.core.kernels import IncrementalEvaluator
 from repro.core.submodular import SetFunction
 from repro.errors import OracleError
 from repro.rng import as_generator, random_permutation
 
 __all__ = ["SecretaryStream", "ArrivalOracle"]
+
+
+class _ArrivalEvaluator(IncrementalEvaluator):
+    """Kernel evaluator view that enforces the no-peeking contract.
+
+    Every batched query is checked against the owning oracle's arrived
+    set before it reaches the kernel, so online algorithms written
+    against the incremental API keep the Section 3.2.1 guarantee: a
+    query about a not-yet-interviewed secretary raises
+    :class:`~repro.errors.OracleError` exactly as a ``value`` call
+    would.
+    """
+
+    fast = True
+
+    def __init__(self, inner: IncrementalEvaluator, owner: "ArrivalOracle"):
+        self._inner = inner
+        self._owner = owner
+        self.fn = owner
+        self.modular = inner.modular
+
+    def _check(self, elements: Iterable[Hashable]) -> None:
+        hidden = [e for e in elements if e not in self._owner._arrived]
+        if hidden:
+            raise OracleError(
+                f"oracle queried about elements that have not arrived: "
+                f"{sorted(map(repr, hidden))[:5]}"
+            )
+
+    @property
+    def selection(self) -> FrozenSet[Hashable]:
+        return self._inner.selection
+
+    @property
+    def current_value(self) -> float:
+        return self._inner.current_value
+
+    def reset(self, selection: Iterable[Hashable] = ()) -> None:
+        selection = list(selection)
+        self._check(selection)
+        self._inner.reset(selection)
+
+    def add(self, element: Hashable) -> float:
+        self._check([element])
+        return self._inner.add(element)
+
+    def add_set(self, items: Iterable[Hashable]) -> float:
+        items = list(items)
+        self._check(items)
+        return self._inner.add_set(items)
+
+    def advance(self, element: Hashable, new_value: float) -> None:
+        self._check([element])
+        self._inner.advance(element, new_value)
+
+    def gains(self, candidates: Sequence[Hashable]) -> np.ndarray:
+        self._check(candidates)
+        return self._inner.gains(candidates)
+
+    def gain1(self, element: Hashable) -> float:
+        self._check([element])
+        return self._inner.gain1(element)
+
+    def union_value1(self, element: Hashable) -> float:
+        self._check([element])
+        return self._inner.union_value1(element)
+
+    def union_values(self, candidates: Sequence[Hashable]) -> np.ndarray:
+        self._check(candidates)
+        return self._inner.union_values(candidates)
+
+    def set_gains(self, candidate_sets) -> np.ndarray:
+        for a in candidate_sets:
+            self._check(a)
+        return self._inner.set_gains(candidate_sets)
 
 
 class ArrivalOracle(SetFunction):
@@ -49,6 +126,16 @@ class ArrivalOracle(SetFunction):
                 f"{sorted(map(repr, hidden))[:5]}"
             )
         return self.base.value(subset)
+
+    def fast_evaluator(self):
+        # A kernel below gets the arrival-checked view; otherwise
+        # ``None`` so the generic fallback routes through self.value,
+        # which enforces the arrival restriction (and any wrapped
+        # counting) per query.
+        inner = getattr(self.base, "fast_evaluator", lambda: None)()
+        if inner is not None:
+            return _ArrivalEvaluator(inner, self)
+        return None
 
 
 class SecretaryStream:

@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
+from repro.core.kernels import evaluator_for
 from repro.errors import BudgetError
 from repro.rng import as_generator
 from repro.secretary.stream import SecretaryStream
@@ -122,7 +123,15 @@ def segmented_submodular_pick(
 
     selected: set = set()
     traces: List[SegmentTrace] = []
-    current_value = oracle.value(frozenset())
+    # All per-arrival queries F(T_{i-1} + a) go through an incremental
+    # evaluator pinned at the hired set: for the kernel-backed families
+    # each query is O(candidate) state work instead of a from-scratch
+    # union evaluation, and for everything else the naive fallback
+    # evaluates (and counts) exactly the oracle calls the original
+    # one-query-per-arrival scan made.  The evaluator enforces the
+    # Section 3.2.1 no-peeking contract when the oracle does.
+    evaluator = evaluator_for(oracle)
+    current_value = evaluator.current_value
     base = frozenset()
 
     seg = 0
@@ -160,7 +169,7 @@ def segmented_submodular_pick(
         start, end = bounds[seg]
         in_window = pos - start < observe_len[seg]
         if in_window:
-            threshold = max(threshold, oracle.value(base | {a}))
+            threshold = max(threshold, evaluator.union_value1(a))
             continue
         if picked_this_segment is not None:
             continue  # one hire per segment
@@ -169,11 +178,12 @@ def segmented_submodular_pick(
             effective = current_value
         if can_take is not None and not can_take(base, a):
             continue
-        candidate = oracle.value(base | {a})
+        candidate = evaluator.union_value1(a)
         if candidate >= effective:
             picked_this_segment = a
             best_gain = candidate - current_value
             selected.add(a)
+            evaluator.advance(a, candidate)
             current_value = candidate
 
     while seg < k:
