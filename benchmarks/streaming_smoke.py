@@ -1,0 +1,83 @@
+"""Streaming smoke: every policy × every arrival process, tiny streams.
+
+CI's ``streaming-smoke`` job runs this script on each push.  For each
+(policy, process) pair it starts a session on a tiny workload, suspends
+it mid-stream, JSON round-trips the checkpoint, resumes in-process, and
+checks the resumed hires equal an uninterrupted run's — the end-to-end
+contract of the online runtime, at smoke cost (a few seconds total).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/streaming_smoke.py [--output smoke.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.online.arrivals import arrival_process_names
+from repro.online.session import SESSION_POLICIES, resume_session, start_session
+
+N, K, SEED = 16, 3, 20100612
+
+
+def run_pair(policy: str, process: str) -> dict:
+    kwargs = dict(policy=policy, family="additive", n=N, k=K, seed=SEED,
+                  process=process)
+    t0 = time.perf_counter()
+    oneshot = start_session(**kwargs).advance()
+    selected = sorted(map(str, oneshot.run.result().selected))
+
+    suspended = start_session(**kwargs).advance(N // 2)
+    checkpoint = json.loads(json.dumps(suspended.checkpoint(), allow_nan=False))
+    resumed = resume_session(checkpoint).advance()
+    resumed_selected = sorted(map(str, resumed.run.result().selected))
+
+    ok = resumed.finished and resumed_selected == selected
+    return {
+        "policy": policy,
+        "process": process,
+        "ok": ok,
+        "selected": selected,
+        "resumed_selected": resumed_selected,
+        "oracle_calls": oneshot.summary()["oracle_calls"],
+        "wall_time": time.perf_counter() - t0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None, help="write results JSON here")
+    args = parser.parse_args(argv)
+
+    results = [
+        run_pair(policy, process)
+        for policy in SESSION_POLICIES
+        for process in arrival_process_names()
+    ]
+    failures = [r for r in results if not r["ok"]]
+    for r in results:
+        status = "ok " if r["ok"] else "FAIL"
+        print(f"{status} {r['policy']:<12} {r['process']:<15} "
+              f"hired={len(r['selected'])} calls={r['oracle_calls']}")
+    payload = {
+        "pairs": len(results),
+        "failures": len(failures),
+        "results": results,
+    }
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if failures:
+        print(f"streaming smoke: {len(failures)} failing pairs", file=sys.stderr)
+        return 1
+    print(f"streaming smoke: all {len(results)} policy x process pairs ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

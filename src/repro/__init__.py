@@ -13,6 +13,8 @@ A from-scratch reproduction of Zadimoghaddam (SPAA 2010 / MIT thesis):
 * :mod:`repro.matroids` — independence-oracle matroids (§3.3);
 * :mod:`repro.secretary` — the submodular secretary algorithms
   (Theorems 3.1.1–3.1.4) and the subadditive hardness construction;
+* :mod:`repro.online` — the unified online arrival runtime (pluggable
+  arrival processes, step-based policies, checkpoint/resume drivers);
 * :mod:`repro.workloads` — synthetic instance/stream generators;
 * :mod:`repro.engine` — the batched experiment engine (parameter
   sweeps, instance-hash result caching, multiprocessing workers);

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands mirroring the library's main entry points::
+Seven subcommands mirroring the library's main entry points::
 
     python -m repro solve INSTANCE.json [--method M] [--render]
     python -m repro prize INSTANCE.json --target Z [--epsilon E] [--exact]
@@ -8,6 +8,8 @@ Six subcommands mirroring the library's main entry points::
     python -m repro check INSTANCE.json             # validate + stats only
     python -m repro sweep --task secretary --families additive ...
     python -m repro bench --profile quick           # perf-regression gate
+    python -m repro online run --policy monotone --process bursty ...
+    python -m repro online resume CHECKPOINT.json
 
 All output is JSON on stdout (render/diagnostics on stderr), so the CLI
 composes with jq-style pipelines.  ``sweep`` drives the batched
@@ -18,7 +20,12 @@ aggregate table prints on stderr and the full record set on stdout.
 ``bench`` runs the curated multi-task suite of a profile, writes a
 machine-readable ``BENCH_<profile>.json``, and compares it against the
 committed baseline under ``benchmarks/baselines/`` — exiting 1 on any
-regression beyond tolerance (the CI perf gate).
+regression beyond tolerance (the CI perf gate).  ``online`` serves the
+unified arrival runtime (:mod:`repro.online`): ``run`` starts a policy
+on a seeded workload under any registered arrival process, optionally
+stopping after ``--max-arrivals`` and writing a self-contained JSON
+checkpoint; ``resume`` picks such a checkpoint up mid-stream — in a
+fresh process — and continues where the suspended run stopped.
 """
 
 from __future__ import annotations
@@ -112,6 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--records", action="store_true",
         help="include per-run records in the JSON output (aggregate only otherwise)",
     )
+    sweep.add_argument(
+        "--verbose", action="store_true",
+        help="print one progress line per finished cell on stderr "
+             "(long grids are otherwise silent until the final table)",
+    )
 
     bench = sub.add_parser(
         "bench", help="curated multi-task suite + perf-regression gate"
@@ -137,6 +149,76 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--update-baseline", action="store_true",
         help="write the measured report to the baseline path and skip the gate",
+    )
+
+    online = sub.add_parser(
+        "online", help="run/resume a policy on the unified arrival runtime"
+    )
+    online_sub = online.add_subparsers(dest="online_command", required=True)
+
+    online_run = online_sub.add_parser(
+        "run", help="start a (suspendable) online run from a workload recipe"
+    )
+    online_run.add_argument(
+        "--policy", default="monotone",
+        help="online policy (monotone, nonmonotone, classical, robust, "
+             "bottleneck, knapsack, subadditive)",
+    )
+    online_run.add_argument(
+        "--family", default="additive",
+        help="workload family (additive, coverage, facility, cut)",
+    )
+    online_run.add_argument("--n", type=int, default=60, help="stream length")
+    online_run.add_argument(
+        "--k", type=int, default=4,
+        help="hire budget (classical always hires one; knapsack's budget "
+             "is the capacity, not a count — both ignore this flag)",
+    )
+    online_run.add_argument("--seed", type=int, default=0, help="session seed")
+    online_run.add_argument(
+        "--aux", type=int, default=0,
+        help="family-specific auxiliary size (coverage universe / facility "
+             "clients; 0 = family default)",
+    )
+    online_run.add_argument(
+        "--n-knapsacks", type=int, default=2,
+        help="knapsack count for --policy knapsack (reduced to one "
+             "via Lemma 3.4.1)",
+    )
+    online_run.add_argument(
+        "--distribution", default="uniform",
+        help="additive value distribution (uniform, lognormal)",
+    )
+    online_run.add_argument(
+        "--process", default="uniform",
+        help="arrival process (see repro.online.arrival_process_names())",
+    )
+    online_run.add_argument(
+        "--process-params", default=None,
+        help='JSON object of process parameters (e.g. \'{"mean_batch": 6}\')',
+    )
+    online_run.add_argument(
+        "--max-arrivals", type=int, default=None,
+        help="suspend after this many arrivals (default: run to completion)",
+    )
+    online_run.add_argument(
+        "--checkpoint", default=None,
+        help="where to write the checkpoint when suspended "
+             "(default online_checkpoint.json; ignored for finished runs)",
+    )
+
+    online_resume = online_sub.add_parser(
+        "resume", help="continue a suspended run from its checkpoint file"
+    )
+    online_resume.add_argument("checkpoint_file", help="checkpoint JSON file")
+    online_resume.add_argument(
+        "--max-arrivals", type=int, default=None,
+        help="suspend again after this many further arrivals",
+    )
+    online_resume.add_argument(
+        "--checkpoint", default=None,
+        help="where to write the next checkpoint when still suspended "
+             "(default: overwrite the input file)",
     )
     return parser
 
@@ -240,7 +322,9 @@ def _cmd_sweep(args) -> int:
         master_seed=args.seed,
     )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    result = run_sweep(sweep, workers=args.workers, cache=cache)
+    result = run_sweep(
+        sweep, workers=args.workers, cache=cache, verbose=args.verbose
+    )
     print(result.to_table(title="repro sweep"), file=sys.stderr)
     payload = result.to_dict()
     if not args.records:
@@ -318,6 +402,62 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _finish_online(session, args) -> int:
+    """Shared tail of ``online run``/``online resume``.
+
+    Emits the session summary; a still-suspended run additionally writes
+    its checkpoint and reports where.
+    """
+    payload = session.summary()
+    if not session.finished:
+        default = getattr(args, "checkpoint_file", None) or "online_checkpoint.json"
+        path = args.checkpoint or default
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(session.checkpoint(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        payload["checkpoint"] = path
+        print(
+            f"suspended at arrival {session.run.cursor}/{session.run.n}; "
+            f"checkpoint written to {path}",
+            file=sys.stderr,
+        )
+    _emit(payload)
+    return 0
+
+
+def _cmd_online(args) -> int:
+    from repro.online.session import resume_session, start_session
+
+    if args.online_command == "run":
+        params = None
+        if args.process_params:
+            try:
+                params = json.loads(args.process_params)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"--process-params is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(params, dict):
+                raise ReproError("--process-params must be a JSON object")
+        session = start_session(
+            policy=args.policy,
+            family=args.family,
+            n=args.n,
+            k=args.k,
+            seed=args.seed,
+            process=args.process,
+            aux=args.aux,
+            n_knapsacks=args.n_knapsacks,
+            distribution=args.distribution,
+            process_params=params,
+        )
+    else:
+        with open(args.checkpoint_file, "r", encoding="utf-8") as fh:
+            session = resume_session(json.load(fh))
+    session.advance(args.max_arrivals)
+    return _finish_online(session, args)
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "prize": _cmd_prize,
@@ -325,6 +465,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
+    "online": _cmd_online,
 }
 
 

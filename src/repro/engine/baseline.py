@@ -94,6 +94,14 @@ PROFILES: Dict[str, Tuple[SweepSpec, ...]] = {
                   methods=("nonmonotone", "robust"), trials=2),
         SweepSpec(task="knapsack_secretary", families=("additive",),
                   grid=((40, 2, 0), (40, 4, 0)), methods=("online",), trials=2),
+        # Non-uniform arrival orders through the online runtime: an
+        # adversarial deterministic order, bursty minibatch delivery
+        # (exercising the vectorized batch driver), and the
+        # nearly-sorted sliding-window replay.
+        SweepSpec(task="secretary", families=("additive@sorted_desc", "coverage@bursty"),
+                  grid=((60, 4, 0),), methods=("monotone",), trials=2),
+        SweepSpec(task="knapsack_secretary", families=("additive@sliding_window",),
+                  grid=((40, 2, 0),), methods=("online",), trials=2),
     ),
     "full": (
         SweepSpec(task="schedule_all",
@@ -115,6 +123,20 @@ PROFILES: Dict[str, Tuple[SweepSpec, ...]] = {
         SweepSpec(task="knapsack_secretary", families=("additive",),
                   grid=((120, 1, 0), (120, 2, 0), (120, 4, 0)), methods=("online",),
                   trials=5),
+        # Arrival-process sweep at experiment scale: every non-uniform
+        # process on one coverage cell (monotone hires under adversarial,
+        # bursty, Poisson-tick, and nearly-sorted orders), plus the
+        # bursty batch-driver path on a large facility stream.
+        SweepSpec(task="secretary",
+                  families=("coverage@sorted_desc", "coverage@sorted_asc",
+                            "coverage@bursty", "coverage@poisson",
+                            "coverage@sliding_window"),
+                  grid=((150, 6, 0),), methods=("monotone",), trials=3),
+        SweepSpec(task="secretary", families=("facility@bursty",),
+                  grid=((400, 8, 0),), methods=("monotone",), trials=2),
+        SweepSpec(task="knapsack_secretary",
+                  families=("additive@bursty", "additive@sorted_desc"),
+                  grid=((120, 2, 0),), methods=("online",), trials=3),
         # Production-scale cells, tractable only with the vectorized
         # incremental oracle kernels (PR 3): a 200-job/8-processor
         # scheduling floor, multi-thousand-arrival secretary streams,

@@ -29,9 +29,10 @@ row/series structure EXPERIMENTS.md records.
 from __future__ import annotations
 
 import multiprocessing
+import sys
 import time
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
@@ -110,6 +111,19 @@ def run_one(spec: RunSpec, cache: Optional[ResultCache] = None) -> RunRecord:
     if cache is not None:
         cache.put(key, payload)
     return RunRecord(**base, **payload)
+
+
+def _progress_line(done: int, total: int, record: RunRecord) -> str:
+    """One per-cell progress row (``repro sweep --verbose``)."""
+    outcome = (
+        "cache hit" if record.cache_hit else f"{record.wall_time:.3f}s"
+    )
+    return (
+        f"[{done}/{total}] {record.task}/{record.family} "
+        f"{record.n_jobs}x{record.n_processors}x{record.horizon} "
+        f"{record.method} t{record.trial}: cost={record.cost:.6g} "
+        f"oracle={record.oracle_work} ({outcome})"
+    )
 
 
 # -- multiprocessing plumbing ----------------------------------------------
@@ -199,6 +213,8 @@ def run_sweep(
     workers: int = 0,
     cache: Optional[ResultCache] = None,
     chunk_size: Optional[int] = None,
+    verbose: bool = False,
+    progress_stream: Optional[TextIO] = None,
 ) -> SweepResult:
     """Execute a sweep; returns records in deterministic grid order.
 
@@ -218,11 +234,28 @@ def run_sweep(
     chunk_size:
         Pool chunking override; defaults to an even split, ~4 chunks per
         worker to smooth out cell-size skew.
+    verbose:
+        Emit one progress line per finished cell (``repro sweep
+        --verbose``) to *progress_stream* (default stderr), so long
+        grids show where they are instead of going silent.  Pool runs
+        stream results in grid order, so the counter is monotone there
+        too.
+    progress_stream:
+        Where verbose lines go; ``None`` means ``sys.stderr``.
     """
     spec_obj = sweep if isinstance(sweep, SweepSpec) else None
     specs = sweep.expand() if isinstance(sweep, SweepSpec) else list(sweep)
+    out = progress_stream if progress_stream is not None else sys.stderr
+
+    def note(done: int, record: RunRecord) -> None:
+        if verbose:
+            print(_progress_line(done, len(specs), record), file=out, flush=True)
+
     if workers <= 1 or len(specs) <= 1:
-        records = [run_one(spec, cache) for spec in specs]
+        records = []
+        for spec in specs:
+            records.append(run_one(spec, cache))
+            note(len(records), records[-1])
         return SweepResult(records=records, sweep=spec_obj)
 
     n_workers = min(workers, len(specs))
@@ -233,7 +266,10 @@ def run_sweep(
     with ctx.Pool(
         processes=n_workers, initializer=_init_worker, initargs=(cache_path,)
     ) as pool:
-        records = pool.map(_run_one_worker, specs, chunksize=chunk_size)
+        records = []
+        for record in pool.imap(_run_one_worker, specs, chunksize=chunk_size):
+            records.append(record)
+            note(len(records), record)
     if cache is not None:
         for record in records:
             if not record.cache_hit:

@@ -4,7 +4,12 @@ A cell's grid triple is read as ``(n, l, unused)``: ``n`` stream
 elements and ``l`` unit-capacity knapsacks, with heterogeneous weight
 vectors drawn by :func:`repro.workloads.secretary_streams.knapsack_weights`.
 The single method ``online`` runs Theorem 3.1.3's coin-flip rule
-(:func:`knapsack_submodular_secretary`) after Lemma 3.4.1's reduction.
+(:class:`repro.online.policies.KnapsackSecretaryPolicy`) after Lemma
+3.4.1's reduction, driven by the unified online runtime.  The family
+may be qualified with an arrival process — ``additive@sorted_desc``
+replays the same weights under the adversarial sorted order (plain
+``additive`` means ``uniform``, the paper's model, bit-identical to the
+pre-runtime stream loop).
 
 Metric mapping: ``utility`` is the hired set's value, ``cost`` the
 hindsight density-greedy estimate of the single-knapsack optimum on the
@@ -26,13 +31,13 @@ from repro.core.oracle import CountingOracle
 from repro.core.submodular import SetFunction
 from repro.engine.hashing import derive_seed, spec_fingerprint
 from repro.engine.tasks.base import TaskAdapter, register_task
+from repro.engine.tasks.secretary import split_family
 from repro.errors import InfeasibleError, InvalidInstanceError
-from repro.secretary.knapsack_secretary import (
-    knapsack_submodular_secretary,
-    offline_knapsack_estimate,
-    reduce_knapsacks_to_one,
-)
-from repro.secretary.stream import SecretaryStream
+from repro.online.arrivals import arrival_process_names, build_arrival_schedule
+from repro.online.driver import OnlineRun
+from repro.online.policies import KnapsackSecretaryPolicy
+from repro.online.runtime import offline_knapsack_estimate
+from repro.secretary.knapsack_secretary import reduce_knapsacks_to_one
 from repro.workloads.secretary_streams import additive_values, knapsack_weights
 
 __all__ = ["KnapsackSecretaryInstance", "KnapsackSecretaryAdapter"]
@@ -48,6 +53,7 @@ class KnapsackSecretaryInstance:
     stream_seed: int
     algo_seed: int
     family: str
+    arrival: str = "uniform"
 
     def fingerprint_payload(self) -> Dict[str, Any]:
         return {
@@ -64,15 +70,20 @@ class KnapsackSecretaryAdapter(TaskAdapter):
 
     name = "knapsack_secretary"
     methods = ("online",)
+    base_families = ("additive",)
 
     def families(self) -> Tuple[str, ...]:
-        return ("additive",)
+        extra = tuple(p for p in arrival_process_names() if p != "uniform")
+        return self.base_families + tuple(
+            f"{b}@{p}" for b in self.base_families for p in extra
+        )
 
     def build(self, spec) -> KnapsackSecretaryInstance:
         params = dict(spec.params)
         n, n_knapsacks = spec.n_jobs, max(1, spec.n_processors)
+        base, arrival = split_family(spec.family)
         gen = np.random.default_rng(spec.seed)
-        if spec.family != "additive":
+        if base != "additive":
             raise InvalidInstanceError(
                 f"unknown knapsack_secretary family {spec.family!r}; "
                 f"known: {self.families()}"
@@ -88,6 +99,7 @@ class KnapsackSecretaryAdapter(TaskAdapter):
             stream_seed=derive_seed(spec.seed, "knapsack-stream"),
             algo_seed=derive_seed(spec.seed, "knapsack-algo"),
             family=spec.family,
+            arrival=arrival,
         )
 
     def fingerprint(self, instance: KnapsackSecretaryInstance) -> str:
@@ -100,10 +112,15 @@ class KnapsackSecretaryAdapter(TaskAdapter):
             fn, reduced, sorted(fn.ground_set, key=repr), capacity=1.0
         )
         counting = CountingOracle(fn)
-        stream = SecretaryStream(counting, rng=np.random.default_rng(instance.stream_seed))
-        result = knapsack_submodular_secretary(
-            stream, weights, caps, rng=np.random.default_rng(instance.algo_seed)
+        # Schedule built over the unwrapped function: sorted-order
+        # processes query singleton values to rank arrivals, and that
+        # ranking is instance data, not online oracle work.
+        schedule = build_arrival_schedule(
+            instance.arrival, fn, np.random.default_rng(instance.stream_seed)
         )
+        heads = bool(np.random.default_rng(instance.algo_seed).random() < 0.5)
+        policy = KnapsackSecretaryPolicy(reduced, heads=heads)
+        result = OnlineRun(counting, schedule, policy).run().result()
         for i, cap in enumerate(caps):
             load = sum(weights[e][i] for e in result.selected)
             if load > cap + 1e-9:

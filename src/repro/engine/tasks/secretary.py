@@ -4,13 +4,16 @@ A cell's grid triple is read as ``(n, k, aux)``: ``n`` stream elements,
 ``k`` hires, and ``aux`` an optional family-specific size (coverage
 universe / facility clients; 0 picks the family default).  Families are
 the stream generators of :mod:`repro.workloads.secretary_streams`
-(``additive``/``coverage``/``facility``/``cut``); methods are the
-algorithms:
+(``additive``/``coverage``/``facility``/``cut``), optionally qualified
+with an arrival process from the online runtime's registry —
+``coverage@bursty`` runs the coverage workload under bursty minibatch
+arrivals (plain family names mean ``uniform``, the paper's model).
+Methods are the policies of :mod:`repro.online.policies`:
 
 ``monotone``
-    Algorithm 1, :func:`monotone_submodular_secretary` (1/(7e)).
+    Algorithm 1, :class:`SegmentedSubmodularPolicy` (1/(7e)).
 ``nonmonotone``
-    Algorithm 2, :func:`nonmonotone_submodular_secretary` (8e^2).
+    Algorithm 2, the random-half configuration of Algorithm 1 (8e^2).
 ``classical``
     Dynkin's single-hire rule on singleton oracle values (k ignored).
 ``robust``
@@ -26,7 +29,10 @@ function); ``n_chosen`` is the number of hires.
 
 Stream order and coin flips draw from child seeds hash-derived from the
 cell seed, so build and solve are deterministic and independent: two
-methods on the same cell interview the same arrival order.
+methods on the same cell interview the same arrival order.  Under the
+default uniform process the runtime drives arrivals one at a time and
+reproduces the legacy per-algorithm loops bit-identically (hired sets
+*and* oracle-call counts — the golden suite pins this).
 """
 
 from __future__ import annotations
@@ -43,21 +49,23 @@ from repro.core.submodular import SetFunction
 from repro.engine.hashing import derive_seed, spec_fingerprint
 from repro.engine.tasks.base import TaskAdapter, register_task
 from repro.errors import InvalidInstanceError
-from repro.secretary.classical import best_among_stream
-from repro.secretary.robust import robust_topk_secretary
-from repro.secretary.stream import SecretaryStream
-from repro.secretary.submodular_secretary import (
-    monotone_submodular_secretary,
-    nonmonotone_submodular_secretary,
+from repro.online.arrivals import arrival_process_names, build_arrival_schedule
+from repro.online.driver import OnlineRun
+from repro.online.policies import (
+    BestSingletonPolicy,
+    RobustTopKPolicy,
+    SegmentedSubmodularPolicy,
+    nonmonotone_half_policy,
 )
-from repro.workloads.secretary_streams import (
-    additive_values,
-    coverage_utility,
-    cut_utility,
-    facility_utility,
-)
+from repro.workloads.secretary_streams import STREAM_FAMILIES, stream_utility
 
-__all__ = ["SecretaryInstance", "SecretaryAdapter"]
+__all__ = ["SecretaryInstance", "SecretaryAdapter", "split_family"]
+
+
+def split_family(family: str) -> Tuple[str, str]:
+    """``"coverage@bursty" -> ("coverage", "bursty")``; plain = uniform."""
+    base, _, process = family.partition("@")
+    return base, (process or "uniform")
 
 
 @dataclass
@@ -67,6 +75,9 @@ class SecretaryInstance:
     ``benchmarks`` maps hire budgets to the precomputed offline value —
     filled at build time for both ``k`` and 1 (the ``classical`` method's
     budget) so ``solve`` wall times measure only the online algorithm.
+    ``family`` keeps the full (possibly process-qualified) spec family,
+    so fingerprints distinguish ``coverage`` from ``coverage@bursty``;
+    ``arrival`` is the parsed process name.
     """
 
     fn: SetFunction
@@ -76,6 +87,7 @@ class SecretaryInstance:
     algo_seed: int
     family: str
     benchmarks: Dict[int, float]
+    arrival: str = "uniform"
 
     def fingerprint_payload(self) -> Dict[str, Any]:
         return {"task": "secretary", "family": self.family,
@@ -97,41 +109,30 @@ def _offline_benchmark(fn: SetFunction, k: int) -> float:
 
 
 class SecretaryAdapter(TaskAdapter):
-    """Online secretary algorithms over the stream-utility families."""
+    """Online secretary policies over the stream-utility families."""
 
     name = "secretary"
     methods = ("monotone", "nonmonotone", "classical", "robust")
+    base_families = STREAM_FAMILIES
 
     def families(self) -> Tuple[str, ...]:
-        return ("additive", "coverage", "facility", "cut")
+        extra = tuple(p for p in arrival_process_names() if p != "uniform")
+        return self.base_families + tuple(
+            f"{b}@{p}" for b in self.base_families for p in extra
+        )
 
     def build(self, spec) -> SecretaryInstance:
         params = dict(spec.params)
         n = spec.n_jobs
         aux = spec.horizon
-        gen = np.random.default_rng(spec.seed)
-        if spec.family == "additive":
-            fn, _ = additive_values(
-                n, distribution=str(params.get("distribution", "uniform")), rng=gen
-            )
-        elif spec.family == "coverage":
-            universe = aux if aux > 0 else max(1, n // 3)
-            fn = coverage_utility(
-                n, universe,
-                skills_per_secretary=int(params.get("skills_per_secretary", 4)),
-                rng=gen,
-            )
-        elif spec.family == "facility":
-            clients = aux if aux > 0 else max(2, n // 4)
-            fn = facility_utility(n, clients, rng=gen)
-        elif spec.family == "cut":
-            fn = cut_utility(
-                n, edge_probability=float(params.get("edge_probability", 0.3)), rng=gen
-            )
-        else:
+        base, arrival = split_family(spec.family)
+        if base not in self.base_families:
             raise InvalidInstanceError(
                 f"unknown secretary family {spec.family!r}; known: {self.families()}"
             )
+        fn = stream_utility(
+            base, n, aux=aux, rng=np.random.default_rng(spec.seed), **params
+        )
         k = max(1, spec.n_processors)
         # Only pay for the offline work this cell's method actually
         # reads: the benchmark for its hire budget, and singleton values
@@ -150,39 +151,37 @@ class SecretaryAdapter(TaskAdapter):
             algo_seed=derive_seed(spec.seed, "secretary-algo"),
             family=spec.family,
             benchmarks={budget: _offline_benchmark(fn, budget)},
+            arrival=arrival,
         )
 
     def fingerprint(self, instance: SecretaryInstance) -> str:
         return spec_fingerprint(instance.fingerprint_payload())
 
-    def solve(self, instance: SecretaryInstance, spec) -> Dict[str, Any]:
-        counting = CountingOracle(instance.fn)
-        stream = SecretaryStream(counting, rng=np.random.default_rng(instance.stream_seed))
+    def _policy(self, instance: SecretaryInstance, spec, n: int):
         k = instance.k
         if spec.method == "monotone":
-            selected = monotone_submodular_secretary(stream, k).selected
-        elif spec.method == "nonmonotone":
-            selected = nonmonotone_submodular_secretary(
-                stream, k, rng=np.random.default_rng(instance.algo_seed)
-            ).selected
-        elif spec.method == "classical":
-            k = 1
-            hired = best_among_stream(
-                iter(stream),
-                lambda e: stream.oracle.value(frozenset({e})),
-                n_hint=stream.n,
-            )
-            selected = frozenset() if hired is None else frozenset({hired})
-        elif spec.method == "robust":
-            selected = robust_topk_secretary(
-                stream, instance.singleton_values, k
-            ).selected
-        else:
-            raise InvalidInstanceError(
-                f"unknown secretary method {spec.method!r}; known: {self.methods}"
-            )
+            return SegmentedSubmodularPolicy(k), k
+        if spec.method == "nonmonotone":
+            coin = bool(np.random.default_rng(instance.algo_seed).random() < 0.5)
+            return nonmonotone_half_policy(n, k, coin), k
+        if spec.method == "classical":
+            return BestSingletonPolicy(strict=True), 1
+        if spec.method == "robust":
+            return RobustTopKPolicy(instance.singleton_values, k), k
+        raise InvalidInstanceError(
+            f"unknown secretary method {spec.method!r}; known: {self.methods}"
+        )
+
+    def solve(self, instance: SecretaryInstance, spec) -> Dict[str, Any]:
+        counting = CountingOracle(instance.fn)
+        schedule = build_arrival_schedule(
+            instance.arrival, instance.fn, instance.stream_seed
+        )
+        policy, budget = self._policy(instance, spec, schedule.n)
+        result = OnlineRun(counting, schedule, policy).run().result()
+        selected = result.selected
         return {
-            "cost": instance.benchmarks[k],
+            "cost": instance.benchmarks[budget],
             "utility": float(instance.fn.value(frozenset(selected))),
             "oracle_work": int(counting.calls),
             "n_chosen": len(selected),

@@ -1,0 +1,88 @@
+"""The unified online arrival runtime.
+
+Three layers turn the per-algorithm arrival loops of the secretary
+stack into one subsystem:
+
+:mod:`repro.online.arrivals`
+    Pluggable *arrival processes* — a registry of seed-derived stream
+    generators (``uniform`` exactly reproduces the paper's random
+    permutation; ``sorted_desc``/``sorted_asc``, ``bursty``,
+    ``poisson``, and ``sliding_window`` add adversarial, minibatch,
+    timestamped, and nearly-sorted replays).
+:mod:`repro.online.policies`
+    Every online algorithm as an ``observe(pos, element)`` state
+    machine with JSON-serializable state, sharing the segment/threshold
+    machinery in :mod:`repro.online.runtime`.
+:mod:`repro.online.driver` / :mod:`repro.online.checkpoint`
+    The single-pass driver (vectorized: one kernel call per revealed
+    minibatch) plus the checkpoint/resume codec; together they make a
+    long stream suspendable at any arrival.
+
+:mod:`repro.online.session` packages workload + policy + process into
+the self-contained resumable unit behind ``repro online run/resume``.
+"""
+
+from repro.online.arrivals import (
+    ARRIVAL_PROCESSES,
+    ArrivalSchedule,
+    arrival_process_names,
+    build_arrival_schedule,
+    register_arrival_process,
+)
+from repro.online.checkpoint import CHECKPOINT_FORMAT, make_checkpoint, resume_run
+from repro.online.driver import OnlineRun, drive_stream, run_online
+from repro.online.policies import (
+    POLICIES,
+    BestSingletonPolicy,
+    BottleneckPolicy,
+    KnapsackSecretaryPolicy,
+    MatroidSecretaryPolicy,
+    OnlinePolicy,
+    RobustTopKPolicy,
+    SegmentedSubmodularPolicy,
+    SubadditiveSegmentPolicy,
+    make_policy,
+    nonmonotone_half_policy,
+    policy_names,
+    register_policy,
+)
+from repro.online.results import (
+    BottleneckResult,
+    RobustResult,
+    SecretaryResult,
+    SegmentTrace,
+)
+from repro.online.runtime import observation_lengths, segment_bounds
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalSchedule",
+    "BestSingletonPolicy",
+    "BottleneckPolicy",
+    "BottleneckResult",
+    "CHECKPOINT_FORMAT",
+    "KnapsackSecretaryPolicy",
+    "MatroidSecretaryPolicy",
+    "OnlinePolicy",
+    "OnlineRun",
+    "POLICIES",
+    "RobustResult",
+    "RobustTopKPolicy",
+    "SecretaryResult",
+    "SegmentTrace",
+    "SegmentedSubmodularPolicy",
+    "SubadditiveSegmentPolicy",
+    "arrival_process_names",
+    "build_arrival_schedule",
+    "drive_stream",
+    "make_checkpoint",
+    "make_policy",
+    "nonmonotone_half_policy",
+    "observation_lengths",
+    "policy_names",
+    "register_policy",
+    "register_arrival_process",
+    "resume_run",
+    "run_online",
+    "segment_bounds",
+]

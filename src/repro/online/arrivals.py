@@ -1,0 +1,347 @@
+"""Pluggable arrival processes — how elements reach an online policy.
+
+The paper's model is a single uniform-random permutation; the runtime
+generalises that into a registry of *arrival processes*, each a builder
+``(utility, seed, **params) -> ArrivalSchedule``:
+
+``uniform``
+    The paper's model.  Bit-identical to the order
+    :class:`~repro.secretary.stream.SecretaryStream` draws for the same
+    seed, so every legacy experiment replays exactly.
+``sorted_desc`` / ``sorted_asc``
+    Adversarial deterministic orders by singleton value (descending
+    defeats observation windows: the best element arrives first).
+``bursty``
+    The uniform permutation delivered in random minibatches (geometric
+    sizes) — arrivals within a burst are interviewed together, which is
+    what lets the driver score a whole burst in one kernel call.
+``poisson``
+    The uniform permutation with exponential interarrival timestamps;
+    arrivals sharing an integer tick form one minibatch (a service-style
+    "drain the queue once per tick" pattern).
+``sliding_window``
+    Replay of the sorted-descending order through a bounded shuffle
+    buffer of size ``window`` — locally shuffled, globally sorted, the
+    classic "almost sorted" replay trace.  An element can arrive at most
+    ``window - 1`` positions earlier than its sorted position.
+
+All randomness is seed-derived (child seeds via
+:func:`repro.engine.hashing.derive_seed`), so a schedule is a pure
+function of ``(utility, process, seed, params)`` and its
+:meth:`ArrivalSchedule.fingerprint` pins instance provenance the same
+way the engine's instance fingerprints do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.core.submodular import SetFunction
+from repro.errors import InvalidInstanceError
+from repro.rng import as_generator, random_permutation
+
+__all__ = [
+    "ArrivalSchedule",
+    "ARRIVAL_PROCESSES",
+    "register_arrival_process",
+    "build_arrival_schedule",
+    "arrival_process_names",
+]
+
+SCHEDULE_FORMAT = "repro-arrival-schedule/1"
+
+
+@dataclass
+class ArrivalSchedule:
+    """A fully materialised arrival plan over a ground set.
+
+    ``order`` enumerates the arrivals; ``batch_sizes`` partitions it
+    into the minibatches the driver reveals together (all 1 for
+    per-arrival processes); ``timestamps`` optionally attaches arrival
+    times (Poisson process).  The schedule is plain data — JSON-able
+    whenever the elements are — which is what makes checkpoints
+    self-contained.
+    """
+
+    process: str
+    seed: Optional[int]
+    order: List[Hashable]
+    batch_sizes: List[int]
+    timestamps: Optional[List[float]] = None
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if sum(self.batch_sizes) != len(self.order):
+            raise InvalidInstanceError(
+                f"batch sizes sum to {sum(self.batch_sizes)}, "
+                f"order has {len(self.order)} arrivals"
+            )
+        if any(b <= 0 for b in self.batch_sizes):
+            raise InvalidInstanceError("batch sizes must be positive")
+        if self.timestamps is not None and len(self.timestamps) != len(self.order):
+            raise InvalidInstanceError("one timestamp per arrival required")
+
+    @property
+    def n(self) -> int:
+        return len(self.order)
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def batches(self, start: int = 0) -> Iterator[Tuple[int, List[Hashable]]]:
+        """Yield ``(first_position, elements)`` minibatches from *start*.
+
+        A *start* inside a batch yields the batch's unconsumed tail
+        first — how a run resumed mid-burst continues without replaying
+        decided arrivals.
+        """
+        pos = 0
+        for size in self.batch_sizes:
+            end = pos + size
+            if end > start:
+                lo = max(pos, start)
+                yield lo, self.order[lo:end]
+            pos = end
+
+    def payload(self) -> Dict[str, object]:
+        """JSON-able round-trippable form (checkpoints embed this)."""
+        for e in self.order:
+            if not isinstance(e, (str, int)):
+                raise InvalidInstanceError(
+                    f"schedule with element {e!r} is not JSON round-trippable; "
+                    "checkpointable streams need str/int elements"
+                )
+        return {
+            "format": SCHEDULE_FORMAT,
+            "process": self.process,
+            "seed": self.seed,
+            "order": list(self.order),
+            "batch_sizes": list(self.batch_sizes),
+            "timestamps": None if self.timestamps is None else list(self.timestamps),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ArrivalSchedule":
+        if payload.get("format") != SCHEDULE_FORMAT:
+            raise InvalidInstanceError(
+                f"not a {SCHEDULE_FORMAT} payload: {payload.get('format')!r}"
+            )
+        return cls(
+            process=str(payload["process"]),
+            seed=payload["seed"],  # type: ignore[arg-type]
+            order=list(payload["order"]),  # type: ignore[arg-type]
+            batch_sizes=[int(b) for b in payload["batch_sizes"]],  # type: ignore[union-attr]
+            timestamps=(
+                None if payload.get("timestamps") is None
+                else [float(t) for t in payload["timestamps"]]  # type: ignore[union-attr]
+            ),
+            params=dict(payload.get("params") or {}),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the schedule (provenance anchor)."""
+        # Imported lazily: engine.hashing pulls in the task adapters,
+        # which import the secretary stack, which imports this module.
+        from repro.engine.hashing import spec_fingerprint
+
+        payload = self.payload()
+        payload["order"] = [repr(e) for e in self.order]
+        return spec_fingerprint(payload)
+
+
+ProcessBuilder = Callable[..., ArrivalSchedule]
+
+ARRIVAL_PROCESSES: Dict[str, ProcessBuilder] = {}
+
+
+def register_arrival_process(name: str, builder: ProcessBuilder) -> ProcessBuilder:
+    """Register *builder* under *name* (last registration wins)."""
+    if not name:
+        raise InvalidInstanceError("arrival process needs a non-empty name")
+    ARRIVAL_PROCESSES[name] = builder
+    return builder
+
+
+def arrival_process_names() -> Tuple[str, ...]:
+    """Registered process names, sorted (stable CLI/docs order)."""
+    return tuple(sorted(ARRIVAL_PROCESSES))
+
+
+def build_arrival_schedule(
+    process: str, utility: SetFunction, seed, **params
+) -> ArrivalSchedule:
+    """Build *process*'s schedule over *utility*'s ground set."""
+    builder = ARRIVAL_PROCESSES.get(process)
+    if builder is None:
+        raise InvalidInstanceError(
+            f"unknown arrival process {process!r}; known: {arrival_process_names()}"
+        )
+    try:
+        return builder(utility, seed, **params)
+    except TypeError as exc:
+        # An unexpected keyword (user-supplied --process-params) is a
+        # usage error, not an internal failure.
+        raise InvalidInstanceError(
+            f"bad parameters for arrival process {process!r}: {exc}"
+        ) from exc
+
+
+# -- builders ---------------------------------------------------------------
+#
+# ``seed`` may be an int (the reproducible path: child streams derive
+# through engine hashing), ``None`` (OS entropy), or a live
+# ``numpy.random.Generator`` — the latter draws order and batching
+# sequentially from the caller's stream, which is how the legacy
+# ``rng=Generator`` entry points stay bit-identical.
+
+
+def _sorted_ground(utility: SetFunction) -> List[Hashable]:
+    return sorted(utility.ground_set, key=repr)
+
+
+def _seed_field(seed) -> Optional[int]:
+    """What the schedule records as provenance (Generators are opaque)."""
+    return int(seed) if isinstance(seed, (int,)) else None
+
+
+def _child_gen(seed, label: str):
+    """A generator for one independent aspect (batching, timestamps)."""
+    from repro.engine.hashing import derive_seed  # lazy: avoids import cycle
+
+    if seed is None or isinstance(seed, int):
+        return as_generator(None if seed is None else derive_seed(int(seed), label))
+    return as_generator(seed)  # live Generator: draw sequentially
+
+
+def _uniform_order(utility: SetFunction, seed) -> List[Hashable]:
+    """The exact permutation ``SecretaryStream`` draws for this seed."""
+    return random_permutation(_sorted_ground(utility), as_generator(seed))
+
+
+def _by_singleton_value(
+    utility: SetFunction, descending: bool
+) -> List[Hashable]:
+    ground = _sorted_ground(utility)
+    scored = [(utility.value(frozenset({e})), e) for e in ground]
+    scored.sort(key=lambda t: ((-t[0] if descending else t[0]), repr(t[1])))
+    return [e for _, e in scored]
+
+
+def uniform_process(utility: SetFunction, seed) -> ArrivalSchedule:
+    order = _uniform_order(utility, seed)
+    return ArrivalSchedule(
+        process="uniform", seed=_seed_field(seed), order=order,
+        batch_sizes=[1] * len(order),
+    )
+
+
+def sorted_desc_process(utility: SetFunction, seed) -> ArrivalSchedule:
+    order = _by_singleton_value(utility, descending=True)
+    return ArrivalSchedule(
+        process="sorted_desc", seed=_seed_field(seed), order=order,
+        batch_sizes=[1] * len(order),
+    )
+
+
+def sorted_asc_process(utility: SetFunction, seed) -> ArrivalSchedule:
+    order = _by_singleton_value(utility, descending=False)
+    return ArrivalSchedule(
+        process="sorted_asc", seed=_seed_field(seed), order=order,
+        batch_sizes=[1] * len(order),
+    )
+
+
+def bursty_process(
+    utility: SetFunction, seed, *, mean_batch: float = 4.0
+) -> ArrivalSchedule:
+    """Uniform order delivered in geometric-size minibatches.
+
+    The arrival *order* reuses the uniform process's permutation for the
+    same seed (only the batching differs), so switching a cell from
+    ``uniform`` to ``bursty`` isolates the effect of burst delivery.
+    """
+    if mean_batch < 1.0:
+        raise InvalidInstanceError(f"mean_batch must be >= 1, got {mean_batch}")
+    order = _uniform_order(utility, seed)
+    gen = _child_gen(seed, "bursty-batches")
+    sizes: List[int] = []
+    remaining = len(order)
+    while remaining > 0:
+        size = min(remaining, int(gen.geometric(1.0 / mean_batch)))
+        sizes.append(max(1, size))
+        remaining -= sizes[-1]
+    return ArrivalSchedule(
+        process="bursty", seed=_seed_field(seed), order=order, batch_sizes=sizes,
+        params={"mean_batch": mean_batch},
+    )
+
+
+def poisson_process(
+    utility: SetFunction, seed, *, rate: float = 2.0
+) -> ArrivalSchedule:
+    """Uniform order with Poisson-process timestamps, batched per tick.
+
+    Interarrival gaps are Exponential(rate); arrivals whose timestamps
+    share an integer tick are delivered as one minibatch (the service
+    pattern of draining a queue once per unit of time).
+    """
+    if rate <= 0:
+        raise InvalidInstanceError(f"rate must be positive, got {rate}")
+    order = _uniform_order(utility, seed)
+    gen = _child_gen(seed, "poisson-times")
+    gaps = gen.exponential(scale=1.0 / rate, size=len(order))
+    times = [float(t) for t in gaps.cumsum()]
+    # Group consecutive arrivals by tick.
+    sizes: List[int] = []
+    current_tick: Optional[int] = None
+    for t in times:
+        tick = math.floor(t)
+        if tick == current_tick:
+            sizes[-1] += 1
+        else:
+            sizes.append(1)
+            current_tick = tick
+    return ArrivalSchedule(
+        process="poisson", seed=_seed_field(seed), order=order, batch_sizes=sizes,
+        timestamps=times, params={"rate": rate},
+    )
+
+
+def sliding_window_process(
+    utility: SetFunction, seed, *, window: int = 5
+) -> ArrivalSchedule:
+    """Sorted-descending replay through a size-*window* shuffle buffer.
+
+    Fill a buffer with the next ``window`` elements of the sorted order,
+    repeatedly emit a uniformly random buffer member and refill — the
+    standard model of a nearly-sorted trace (each element arrives at
+    most ``window - 1`` positions before its sorted position).
+    """
+    if window < 1:
+        raise InvalidInstanceError(f"window must be >= 1, got {window}")
+    source = _by_singleton_value(utility, descending=True)
+    gen = _child_gen(seed, "sliding-window")
+    buffer: List[Hashable] = []
+    order: List[Hashable] = []
+    i = 0
+    while i < len(source) or buffer:
+        while i < len(source) and len(buffer) < window:
+            buffer.append(source[i])
+            i += 1
+        j = int(gen.integers(len(buffer)))
+        order.append(buffer.pop(j))
+    return ArrivalSchedule(
+        process="sliding_window", seed=_seed_field(seed), order=order,
+        batch_sizes=[1] * len(order), params={"window": window},
+    )
+
+
+register_arrival_process("uniform", uniform_process)
+register_arrival_process("sorted_desc", sorted_desc_process)
+register_arrival_process("sorted_asc", sorted_asc_process)
+register_arrival_process("bursty", bursty_process)
+register_arrival_process("poisson", poisson_process)
+register_arrival_process("sliding_window", sliding_window_process)

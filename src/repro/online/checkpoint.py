@@ -1,0 +1,91 @@
+"""Checkpoint/resume codec: JSON round-trip of a suspended online run.
+
+A checkpoint is a plain dict (safe for ``json.dumps``) holding the
+arrival schedule, the stream cursor, and the policy's config + mutable
+state.  Resuming rebuilds the arrival oracle by replaying *reveals*
+(never decisions) for the consumed prefix, reconstructs the policy from
+its config, and restores its state — so suspend-at-any-arrival followed
+by resume reproduces the uninterrupted run's hired set exactly (the
+property suite asserts this for every policy × arrival process).
+
+The utility itself is not serialised — values can be arbitrarily large
+objects and are already reproducible from workload seeds — so
+:func:`resume_run` takes the rebuilt utility (and any non-serializable
+policy dependencies such as matroids) from the caller; the CLI layer
+(:mod:`repro.online.session`) stores the workload recipe alongside the
+checkpoint to make that rebuild automatic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.submodular import SetFunction
+from repro.errors import InvalidInstanceError
+from repro.online.arrivals import ArrivalSchedule
+from repro.online.driver import OnlineRun
+from repro.online.policies import OnlinePolicy, make_policy
+
+__all__ = ["CHECKPOINT_FORMAT", "make_checkpoint", "resume_run"]
+
+CHECKPOINT_FORMAT = "repro-online-checkpoint/1"
+
+
+def make_checkpoint(
+    run: OnlineRun, extra: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """Serialise *run* (policy + schedule + cursor) to a JSON-able dict.
+
+    *extra* is attached verbatim under ``"instance"`` — callers use it
+    to record how to rebuild the utility (workload family, seed, ...).
+    """
+    payload: Dict[str, object] = {
+        "format": CHECKPOINT_FORMAT,
+        "cursor": run.cursor,
+        "schedule": run.schedule.payload(),
+        "policy": {
+            "name": run.policy.name,
+            "config": run.policy.config_dict(),
+            "state": run.policy.state_dict(),
+        },
+    }
+    if extra is not None:
+        payload["instance"] = dict(extra)
+    return payload
+
+
+def resume_run(
+    checkpoint: Mapping[str, object],
+    utility: SetFunction,
+    *,
+    policy: Optional[OnlinePolicy] = None,
+    deps: Optional[Mapping[str, object]] = None,
+) -> OnlineRun:
+    """Rebuild a suspended :class:`OnlineRun` from *checkpoint*.
+
+    The consumed prefix of the schedule is re-revealed to a fresh
+    arrival oracle (restoring the no-peeking frontier), then the
+    policy — rebuilt from the checkpoint's config unless an explicit
+    *policy* instance is given (required when the policy carries
+    non-serializable dependencies not coverable by *deps*) — is bound
+    and its mutable state restored.
+    """
+    if checkpoint.get("format") != CHECKPOINT_FORMAT:
+        raise InvalidInstanceError(
+            f"not a {CHECKPOINT_FORMAT} payload: {checkpoint.get('format')!r}"
+        )
+    schedule = ArrivalSchedule.from_payload(checkpoint["schedule"])  # type: ignore[arg-type]
+    spec = checkpoint["policy"]
+    if policy is None:
+        policy = make_policy(
+            str(spec["name"]), spec["config"], **dict(deps or {})  # type: ignore[index]
+        )
+    cursor = int(checkpoint["cursor"])  # type: ignore[arg-type]
+    if not (0 <= cursor <= schedule.n):
+        raise InvalidInstanceError(f"cursor {cursor} outside stream of {schedule.n}")
+    run = OnlineRun(utility, schedule, policy)
+    for element in schedule.order[:cursor]:
+        run.oracle.reveal(element)
+    run.cursor = cursor
+    policy.load_state(spec["state"])  # type: ignore[index]
+    return run

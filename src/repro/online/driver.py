@@ -1,0 +1,125 @@
+"""Drivers: feed an arrival schedule (or legacy stream) to a policy.
+
+:class:`OnlineRun` owns one online execution — utility, arrival
+schedule, arrival-restricted oracle, policy, cursor — and supports
+incremental consumption (``run(max_arrivals=...)``), which is what makes
+long streams suspendable: a run that stops mid-stream serialises to a
+self-contained JSON checkpoint (see :mod:`repro.online.checkpoint`) and
+resumes in another process.
+
+Minibatch schedules are revealed a whole batch at a time (the
+Section 3.2.1 no-peeking contract holds *per batch*: everything in a
+burst has been interviewed before any of it is queried) and handed to
+``policy.observe_batch`` — one kernel call per batch for the vectorized
+policies.  Single-arrival batches take the exact legacy per-arrival
+path, so default uniform runs are bit-identical to the pre-runtime
+loops.
+
+:func:`drive_stream` is the thin adapter the legacy wrappers use: it
+walks a :class:`~repro.secretary.stream.SecretaryStream` (which reveals
+on iteration) and stops as soon as the policy is done, exactly like the
+loops it replaced broke out of their streams.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+from repro.core.submodular import SetFunction
+from repro.errors import InvalidInstanceError
+from repro.online.arrivals import ArrivalSchedule
+from repro.online.policies import OnlinePolicy
+from repro.secretary.stream import ArrivalOracle
+
+__all__ = ["OnlineRun", "drive_stream", "run_online"]
+
+
+class OnlineRun:
+    """One (suspendable) execution of a policy over an arrival schedule."""
+
+    def __init__(
+        self,
+        utility: SetFunction,
+        schedule: ArrivalSchedule,
+        policy: OnlinePolicy,
+    ) -> None:
+        if frozenset(schedule.order) != utility.ground_set:
+            raise InvalidInstanceError(
+                "arrival schedule must enumerate the utility's ground set exactly"
+            )
+        self.utility = utility
+        self.schedule = schedule
+        self.policy = policy
+        self.oracle = ArrivalOracle(utility)
+        self.cursor = 0
+        self._result = None
+        policy.bind(self.oracle, schedule.n)
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.schedule.n
+
+    @property
+    def finished(self) -> bool:
+        """No further arrival will be consumed."""
+        return self.cursor >= self.n or self.policy.done
+
+    # -- execution -------------------------------------------------------
+
+    def _consume(self, pos0: int, batch: Sequence[Hashable]) -> None:
+        for a in batch:
+            self.oracle.reveal(a)
+        if len(batch) == 1:
+            self.policy.observe(pos0, batch[0])
+        else:
+            self.policy.observe_batch(pos0, list(batch))
+        self.cursor = pos0 + len(batch)
+
+    def run(self, max_arrivals: Optional[int] = None) -> "OnlineRun":
+        """Consume up to *max_arrivals* more arrivals (all, when ``None``).
+
+        Stops early once the policy reports ``done`` — later arrivals
+        are then never revealed, matching the legacy algorithms that
+        return mid-stream.
+        """
+        budget = self.n if max_arrivals is None else int(max_arrivals)
+        for pos0, batch in self.schedule.batches(self.cursor):
+            if budget <= 0 or self.finished:
+                break
+            if len(batch) > budget:
+                batch = batch[:budget]
+            self._consume(pos0, batch)
+            budget -= len(batch)
+        return self
+
+    def result(self):
+        """Finish the policy and return its result (cached)."""
+        if self._result is None:
+            self._result = self.policy.finish()
+        return self._result
+
+
+def drive_stream(stream, policy: OnlinePolicy, *, finish: bool = True):
+    """Drive *policy* over a legacy :class:`SecretaryStream`, one arrival
+    at a time, stopping as soon as the policy is done.
+
+    Returns the policy's finished result (or the policy itself with
+    ``finish=False``, for wrappers that post-process).
+    """
+    policy.bind(stream.oracle, stream.n)
+    for pos, element in enumerate(stream):
+        policy.observe(pos, element)
+        if policy.done:
+            break
+    return policy.finish() if finish else policy
+
+
+def run_online(
+    utility: SetFunction,
+    schedule: ArrivalSchedule,
+    policy: OnlinePolicy,
+):
+    """One-shot convenience: run *policy* over *schedule* to completion."""
+    return OnlineRun(utility, schedule, policy).run().result()

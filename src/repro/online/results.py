@@ -1,0 +1,64 @@
+"""Result containers shared by every online policy.
+
+These dataclasses used to live in the per-algorithm modules
+(``secretary/submodular_secretary.py``, ``secretary/robust.py``,
+``secretary/bottleneck.py``); the unified runtime moves them here so
+policies can construct them without importing the algorithm wrappers
+(which import the policies — the other direction).  The legacy modules
+re-export them, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, List, Optional
+
+__all__ = ["SegmentTrace", "SecretaryResult", "RobustResult", "BottleneckResult"]
+
+
+@dataclass(frozen=True)
+class SegmentTrace:
+    """What happened inside one segment (for diagnostics/tests)."""
+
+    segment: int
+    start: int
+    observe_until: int
+    end: int
+    threshold: float
+    picked: Optional[Hashable]
+    gain: float
+
+
+@dataclass
+class SecretaryResult:
+    """Outcome of an online run: the hired set plus per-segment traces."""
+
+    selected: FrozenSet[Hashable]
+    traces: List[SegmentTrace] = field(default_factory=list)
+    strategy: str = "segments"
+
+    @property
+    def hires(self) -> int:
+        return len(self.selected)
+
+
+@dataclass
+class RobustResult:
+    """Hired set with per-segment provenance."""
+
+    selected: FrozenSet[Hashable]
+    per_segment: List[Optional[Hashable]]
+
+    @property
+    def hires(self) -> int:
+        return len(self.selected)
+
+
+@dataclass
+class BottleneckResult:
+    """Hired set plus whether it is exactly the top-k set."""
+
+    selected: FrozenSet[Hashable]
+    threshold: float
+    hired_top_k: bool
+    min_value: float

@@ -1,0 +1,241 @@
+"""Self-contained online sessions: the backend of ``repro online``.
+
+A *session* bundles a workload recipe (family, sizes, seed), the policy
+it drives, and the arrival process into one resumable unit.  The recipe
+travels inside the checkpoint, so ``repro online resume CHECKPOINT``
+needs nothing but the file: the utility is rebuilt deterministically
+from the recorded seed, the schedule is replayed from the serialized
+order, and the policy state machine picks up mid-stream.
+
+Seeds derive through :func:`repro.engine.hashing.derive_seed` — the
+stream order and the algorithm's coin flips draw from independent child
+seeds of the session seed, mirroring the engine adapters, and the coin
+*outcomes* are baked into the policy config so resuming never replays
+RNG state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.oracle import CountingOracle
+from repro.core.submodular import SetFunction
+from repro.engine.hashing import derive_seed
+from repro.errors import InvalidInstanceError
+from repro.online.arrivals import build_arrival_schedule
+from repro.online.checkpoint import make_checkpoint, resume_run
+from repro.online.driver import OnlineRun
+from repro.online.policies import (
+    BestSingletonPolicy,
+    BottleneckPolicy,
+    KnapsackSecretaryPolicy,
+    OnlinePolicy,
+    RobustTopKPolicy,
+    SegmentedSubmodularPolicy,
+    SubadditiveSegmentPolicy,
+    nonmonotone_half_policy,
+)
+from repro.secretary.knapsack_secretary import reduce_knapsacks_to_one
+from repro.workloads.secretary_streams import (
+    STREAM_FAMILIES,
+    knapsack_weights,
+    stream_utility,
+)
+
+__all__ = [
+    "SESSION_POLICIES",
+    "SESSION_FAMILIES",
+    "OnlineSession",
+    "start_session",
+    "resume_session",
+]
+
+SESSION_POLICIES = (
+    "monotone",
+    "nonmonotone",
+    "classical",
+    "robust",
+    "bottleneck",
+    "knapsack",
+    "subadditive",
+)
+SESSION_FAMILIES = STREAM_FAMILIES
+
+
+def _build_workload(recipe: Mapping[str, object]) -> Tuple[SetFunction, Dict]:
+    """Rebuild (utility, per-item knapsack weights) from a recipe.
+
+    Construction goes through the same
+    :func:`~repro.workloads.secretary_streams.stream_utility` dispatch
+    the engine adapters use, so a recipe names the same instance a
+    sweep cell with the same (family, n, aux, seed) would build.
+    """
+    family = str(recipe["family"])
+    n = int(recipe["n"])  # type: ignore[arg-type]
+    aux = int(recipe.get("aux", 0))  # type: ignore[arg-type]
+    seed = int(recipe["seed"])  # type: ignore[arg-type]
+    if family not in SESSION_FAMILIES:
+        raise InvalidInstanceError(
+            f"unknown online workload family {family!r}; known: {SESSION_FAMILIES}"
+        )
+    gen = np.random.default_rng(seed)
+    fn = stream_utility(
+        family, n, aux=aux, rng=gen,
+        distribution=str(recipe.get("distribution", "uniform")),
+    )
+    weights = {}
+    if recipe.get("policy") == "knapsack":
+        vectors = knapsack_weights(
+            fn.ground_set, int(recipe.get("n_knapsacks", 2)), rng=gen  # type: ignore[arg-type]
+        )
+        weights = reduce_knapsacks_to_one(
+            vectors, [1.0] * int(recipe.get("n_knapsacks", 2))  # type: ignore[arg-type]
+        )
+    return fn, weights
+
+
+def _singleton_values(fn: SetFunction) -> Dict:
+    return {e: fn.value(frozenset({e})) for e in sorted(fn.ground_set, key=repr)}
+
+
+def _build_policy(
+    recipe: Mapping[str, object], fn: SetFunction, weights: Mapping
+) -> OnlinePolicy:
+    name = str(recipe["policy"])
+    n = int(recipe["n"])  # type: ignore[arg-type]
+    k = int(recipe["k"])  # type: ignore[arg-type]
+    algo_seed = derive_seed(int(recipe["seed"]), "online-algo")  # type: ignore[arg-type]
+    gen = np.random.default_rng(algo_seed)
+    if name == "monotone":
+        return SegmentedSubmodularPolicy(k)
+    if name == "nonmonotone":
+        return nonmonotone_half_policy(n, k, bool(gen.random() < 0.5))
+    if name == "classical":
+        return BestSingletonPolicy(strict=True)
+    if name == "robust":
+        return RobustTopKPolicy(_singleton_values(fn), k)
+    if name == "bottleneck":
+        return BottleneckPolicy(_singleton_values(fn), k)
+    if name == "knapsack":
+        return KnapsackSecretaryPolicy(weights, heads=bool(gen.random() < 0.5))
+    if name == "subadditive":
+        if gen.random() < 0.5:
+            return BestSingletonPolicy()
+        n_segments = max(1, -(-n // k))  # ceil(n / k)
+        return SubadditiveSegmentPolicy(k, int(gen.integers(n_segments)))
+    raise InvalidInstanceError(
+        f"unknown online policy {name!r}; known: {SESSION_POLICIES}"
+    )
+
+
+class OnlineSession:
+    """A resumable (workload, policy, arrival process) execution.
+
+    ``prior_calls`` carries the oracle-call count consumed before the
+    last suspend (persisted in the checkpoint), so a resumed session's
+    reported ``oracle_calls`` is cumulative and comparable to an
+    uninterrupted run's — up to the few re-derivation queries some
+    policies issue when restoring incremental-evaluator state.
+    """
+
+    def __init__(self, run: OnlineRun, base: SetFunction,
+                 counting: CountingOracle, recipe: Dict[str, object],
+                 prior_calls: int = 0) -> None:
+        self.run = run
+        self.base = base
+        self.counting = counting
+        self.recipe = recipe
+        self.prior_calls = int(prior_calls)
+
+    def advance(self, max_arrivals: Optional[int] = None) -> "OnlineSession":
+        self.run.run(max_arrivals)
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.run.finished
+
+    @property
+    def oracle_calls(self) -> int:
+        """Cumulative counted queries across all suspend/resume hops."""
+        return self.prior_calls + self.counting.calls
+
+    def checkpoint(self) -> Dict[str, object]:
+        extra = dict(self.recipe)
+        extra["oracle_calls_consumed"] = self.oracle_calls
+        return make_checkpoint(self.run, extra=extra)
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "policy": self.recipe["policy"],
+            "family": self.recipe["family"],
+            "process": self.recipe["process"],
+            "n": self.run.n,
+            "cursor": self.run.cursor,
+            "finished": self.run.finished,
+            "oracle_calls": self.oracle_calls,
+        }
+        if self.run.finished:
+            result = self.run.result()
+            selected = sorted(result.selected, key=repr)
+            out["selected"] = selected
+            out["n_chosen"] = len(selected)
+            out["value"] = float(self.base.value(frozenset(selected)))
+            out["strategy"] = getattr(result, "strategy", None)
+        return out
+
+
+def start_session(
+    policy: str = "monotone",
+    family: str = "additive",
+    n: int = 60,
+    k: int = 4,
+    *,
+    seed: int = 0,
+    process: str = "uniform",
+    aux: int = 0,
+    n_knapsacks: int = 2,
+    distribution: str = "uniform",
+    process_params: Optional[Mapping[str, object]] = None,
+) -> OnlineSession:
+    """Build a fresh session from a workload recipe."""
+    recipe: Dict[str, object] = {
+        "kind": "secretary-workload",
+        "policy": policy,
+        "family": family,
+        "n": int(n),
+        "k": int(k),
+        "aux": int(aux),
+        "n_knapsacks": int(n_knapsacks),
+        "distribution": distribution,
+        "seed": int(seed),
+        "process": process,
+        "process_params": dict(process_params or {}),
+    }
+    fn, weights = _build_workload(recipe)
+    policy_obj = _build_policy(recipe, fn, weights)
+    schedule = build_arrival_schedule(
+        process, fn, derive_seed(int(seed), "online-stream"),
+        **dict(process_params or {}),
+    )
+    counting = CountingOracle(fn)
+    run = OnlineRun(counting, schedule, policy_obj)
+    return OnlineSession(run, fn, counting, recipe)
+
+
+def resume_session(checkpoint: Mapping[str, object]) -> OnlineSession:
+    """Rebuild a suspended session from its self-contained checkpoint."""
+    recipe = checkpoint.get("instance")
+    if not isinstance(recipe, Mapping) or recipe.get("kind") != "secretary-workload":
+        raise InvalidInstanceError(
+            "checkpoint has no embedded workload recipe; resume it through "
+            "repro.online.checkpoint.resume_run with an explicit utility"
+        )
+    fn, _ = _build_workload(recipe)
+    counting = CountingOracle(fn)
+    run = resume_run(checkpoint, counting)
+    recipe = dict(recipe)
+    prior = int(recipe.pop("oracle_calls_consumed", 0))  # type: ignore[arg-type]
+    return OnlineSession(run, fn, counting, recipe, prior_calls=prior)

@@ -4,33 +4,25 @@ Objective: hire exactly k secretaries; the group's efficiency is the
 *minimum* individual efficiency (not submodular — the tests exhibit a
 violating witness for :class:`repro.core.functions.MinValueFunction`).
 
-The paper's simple O(k)-competitive rule: interview the first ``1/k``
-fraction without hiring; let ``a`` be the best efficiency observed; hire
-the first k secretaries whose efficiency surpasses ``a``.  Theorem 3.6.1
-shows this hires exactly the k best with probability at least
-``1/e^{2k}`` (E11 measures that success probability directly).
+The paper's simple O(k)-competitive rule
+(:class:`repro.online.policies.BottleneckPolicy`): interview the first
+``1/k`` fraction without hiring; let ``a`` be the best efficiency
+observed; hire the first k secretaries whose efficiency surpasses
+``a``.  Theorem 3.6.1 shows this hires exactly the k best with
+probability at least ``1/e^{2k}`` (E11 measures that success
+probability directly).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import FrozenSet, Hashable, List, Mapping
+from typing import Hashable, Mapping
 
-from repro.errors import BudgetError
+from repro.online.driver import drive_stream
+from repro.online.policies import BottleneckPolicy
+from repro.online.results import BottleneckResult
 from repro.secretary.stream import SecretaryStream
 
 __all__ = ["BottleneckResult", "bottleneck_secretary"]
-
-
-@dataclass
-class BottleneckResult:
-    """Hired set plus whether it is exactly the top-k set."""
-
-    selected: FrozenSet[Hashable]
-    threshold: float
-    hired_top_k: bool
-    min_value: float
 
 
 def bottleneck_secretary(
@@ -44,31 +36,4 @@ def bottleneck_secretary(
     utility is not consulted — the bottleneck objective is determined by
     individual efficiencies, and the rule itself only compares scalars).
     """
-    if k <= 0:
-        raise BudgetError(f"k must be positive, got {k}")
-    n = stream.n
-    window = max(0, n // k) if k > 1 else max(0, int(math.floor(n / math.e)))
-    # For k = 1 this degenerates to the classical rule; for k >= 2 the
-    # paper's "first 1/k fraction" observation window applies.
-    if k > 1:
-        window = max(1, n // k) if n >= k else 0
-
-    threshold = -math.inf
-    selected: List[Hashable] = []
-    for pos, a in enumerate(stream):
-        v = float(values[a])
-        if pos < window:
-            threshold = max(threshold, v)
-        elif len(selected) < k and v > threshold:
-            selected.append(a)
-
-    chosen = frozenset(selected)
-    top_k = set(sorted(values, key=lambda e: (-values[e], repr(e)))[:k])
-    hired_top_k = len(chosen) == k and chosen == frozenset(top_k)
-    min_value = min((values[a] for a in chosen), default=0.0)
-    return BottleneckResult(
-        selected=chosen,
-        threshold=threshold,
-        hired_top_k=hired_top_k,
-        min_value=min_value if len(chosen) == k else 0.0,
-    )
+    return drive_stream(stream, BottleneckPolicy(values, k))

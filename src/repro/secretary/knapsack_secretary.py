@@ -8,29 +8,30 @@ Two pieces, mirroring the paper exactly:
   instance is feasible originally, and the reduction loses at most a
   ``4l`` factor of value, giving Theorem 3.1.3's O(l) ratio.
 
-* :func:`knapsack_submodular_secretary` — the single-knapsack online
-  rule: flip a coin; on heads try to hire the single most valuable
-  feasible item (classical rule); on tails observe the first half
-  without hiring, estimate OPT offline on it (density greedy + best
-  singleton — a constant-factor estimate standing in for the Lee et al.
-  offline subroutine the paper cites), then hire any second-half item
-  whose marginal-value density beats ``OPT_hat / 6``.
+* :func:`knapsack_submodular_secretary` — Theorem 3.1.3's coin-flip
+  rule, implemented as
+  :class:`repro.online.policies.KnapsackSecretaryPolicy`: on heads try
+  to hire the single most valuable feasible item (classical rule); on
+  tails observe the first half without hiring, estimate OPT offline on
+  it (:func:`offline_knapsack_estimate`, re-exported from
+  :mod:`repro.online.runtime`), then hire any second-half item whose
+  marginal-value density beats ``OPT_hat / 6``.  This wrapper performs
+  the reduction, flips the coin, and drives the policy over the stream.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Hashable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.kernels import evaluator_for
-from repro.core.submodular import SetFunction
-from repro.errors import BudgetError, InvalidInstanceError
+from repro.errors import InvalidInstanceError
+from repro.online.driver import drive_stream
+from repro.online.policies import KnapsackSecretaryPolicy
+from repro.online.results import SecretaryResult
+from repro.online.runtime import offline_knapsack_estimate
 from repro.rng import as_generator
-from repro.secretary.classical import dynkin_threshold
 from repro.secretary.stream import SecretaryStream
-from repro.secretary.submodular_secretary import SecretaryResult
 
 __all__ = ["reduce_knapsacks_to_one", "knapsack_submodular_secretary", "offline_knapsack_estimate"]
 
@@ -78,88 +79,6 @@ def reduce_knapsacks_to_one(
     return reduced
 
 
-def offline_knapsack_estimate(
-    utility: SetFunction,
-    weights: Mapping[Hashable, float],
-    items: Sequence[Hashable],
-    capacity: float = 1.0,
-) -> float:
-    """Constant-factor offline estimate of the knapsack optimum on *items*.
-
-    max(best feasible singleton, density-greedy value): the classical
-    analysis gives value >= OPT/3 for monotone submodular utilities on a
-    knapsack, which is all the online rule needs ("a constant factor
-    estimation of OPT by looking at the first half").
-    """
-    feasible = [j for j in items if weights.get(j, math.inf) <= capacity]
-    if not feasible:
-        return 0.0
-    # One batched pass for the singleton values, one per greedy round for
-    # the density scan: with a kernel-backed utility each round is a
-    # vectorized marginal pass; the naive fallback evaluates (and
-    # counts) one oracle call per still-loadable candidate, exactly as
-    # the original per-item loop did.
-    evaluator = evaluator_for(utility)
-    singles = evaluator.union_values(feasible)
-    best_single = float(singles.max())
-
-    chosen: set = set()
-    load = 0.0
-    value = evaluator.current_value
-
-    if getattr(evaluator, "modular", False):
-        # Modular (plain additive) utility: marginals never change, so
-        # the per-round argmax is equivalent to one pass over items in
-        # (density desc, arrival order) — an item that does not fit now
-        # never fits later (the load only grows).  Densities reuse the
-        # singleton values already queried above, so the query count
-        # only shrinks.
-        w_arr = np.array([float(weights[j]) for j in feasible])
-        gains0 = singles - value
-        with np.errstate(divide="ignore", invalid="ignore"):
-            density = np.where(
-                w_arr > 0, gains0 / np.where(w_arr > 0, w_arr, 1.0),
-                np.where(gains0 > 0, math.inf, 0.0),
-            )
-        for i in np.argsort(-density, kind="stable"):
-            if not density[i] > 0.0:
-                break
-            if load + w_arr[i] > capacity:
-                continue
-            chosen.add(feasible[i])
-            load += float(w_arr[i])
-        value = utility.value(frozenset(chosen)) if chosen else value
-        return max(best_single, value)
-
-    # Scan in the given item order: density ties then break by arrival
-    # position, not by set-iteration (hash) order, keeping the estimate
-    # reproducible across processes.
-    remaining = list(feasible)
-    while remaining:
-        w_arr = np.array([weights[j] for j in remaining])
-        loadable = np.flatnonzero(load + w_arr <= capacity)
-        if not len(loadable):
-            break
-        cand = [remaining[i] for i in loadable]
-        gains = evaluator.gains(cand)
-        w = w_arr[loadable]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            density = np.where(
-                w > 0, gains / np.where(w > 0, w, 1.0),
-                np.where(gains > 0, math.inf, 0.0),
-            )
-        best_local = int(np.argmax(density))
-        if not density[best_local] > 0.0:
-            break
-        best_j = cand[best_local]
-        chosen.add(best_j)
-        load += weights[best_j]
-        value = utility.value(frozenset(chosen))
-        evaluator.advance(best_j, value)
-        remaining.remove(best_j)
-    return max(best_single, value)
-
-
 def knapsack_submodular_secretary(
     stream: SecretaryStream,
     weights: Mapping[Hashable, Sequence[float]] | Mapping[Hashable, float],
@@ -193,56 +112,7 @@ def knapsack_submodular_secretary(
         raise InvalidInstanceError(
             f"items without weights: {sorted(map(repr, missing))[:5]}"
         )
-    if density_divisor <= 0:
-        raise BudgetError("density_divisor must be positive")
-
-    n = stream.n
-    half = n // 2
-
-    if gen.random() < 0.5:
-        # Heads: chase the single best feasible item.
-        window = dynkin_threshold(n)
-        best_seen = -math.inf
-        for pos, a in enumerate(stream):
-            if w1[a] > 1.0:
-                continue
-            score = stream.oracle.value(frozenset({a}))
-            if pos < window:
-                best_seen = max(best_seen, score)
-            elif score >= best_seen:
-                return SecretaryResult(
-                    selected=frozenset({a}), traces=[], strategy="best-singleton"
-                )
-        return SecretaryResult(selected=frozenset(), traces=[], strategy="best-singleton")
-
-    # Tails: estimate OPT on the first half, density-filter the second.
-    first_half = []
-    it = iter(stream)
-    for pos, a in enumerate(it):
-        first_half.append(a)
-        if pos + 1 >= half:
-            break
-    opt_hat = offline_knapsack_estimate(stream.oracle, w1, first_half)
-    bar = opt_hat / density_divisor
-
-    selected: set = set()
-    load = 0.0
-    # Incremental marginals against the growing hired set (one counted
-    # query per arrival, kernel-fast when the utility supports it).
-    evaluator = evaluator_for(stream.oracle)
-    value = evaluator.current_value
-    for a in it:
-        w = w1[a]
-        if load + w > 1.0:
-            continue
-        gain = evaluator.gain1(a)
-        if w > 0 and gain / w >= bar and gain > 0:
-            selected.add(a)
-            load += w
-            value = stream.oracle.value(frozenset(selected))
-            evaluator.advance(a, value)
-        elif w == 0 and gain > 0:
-            selected.add(a)
-            value = stream.oracle.value(frozenset(selected))
-            evaluator.advance(a, value)
-    return SecretaryResult(selected=frozenset(selected), traces=[], strategy="density")
+    policy = KnapsackSecretaryPolicy(
+        w1, heads=bool(gen.random() < 0.5), density_divisor=density_divisor
+    )
+    return drive_stream(stream, policy)

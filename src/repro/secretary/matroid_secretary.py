@@ -16,49 +16,26 @@ Structure of the algorithm (Section 3.3):
   item of the first half suffices; otherwise Algorithm 1 runs on the
   first half with every hire additionally required to keep the selection
   independent in all matroids.
+
+The guess dispatch and both branches live in
+:class:`repro.online.policies.MatroidSecretaryPolicy`; this wrapper
+draws the guess and drives the policy over the stream.
 """
 
 from __future__ import annotations
 
 import math
-from typing import FrozenSet, Hashable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import BudgetError
 from repro.matroids.base import Matroid
+from repro.online.driver import drive_stream
+from repro.online.policies import MatroidSecretaryPolicy
+from repro.online.results import SecretaryResult
 from repro.rng import as_generator
-from repro.secretary.classical import dynkin_threshold
 from repro.secretary.stream import SecretaryStream
-from repro.secretary.submodular_secretary import (
-    SecretaryResult,
-    segmented_submodular_pick,
-)
 
 __all__ = ["matroid_submodular_secretary"]
-
-
-def _independent_in_all(matroids: Sequence[Matroid], subset) -> bool:
-    return all(m.is_independent(subset) for m in matroids)
-
-
-def _best_singleton_first_half(stream: SecretaryStream, matroids: Sequence[Matroid]) -> SecretaryResult:
-    """Classical secretary over the first half, restricted to non-loops."""
-    half = stream.n // 2
-    window = dynkin_threshold(half)
-    best_seen = -math.inf
-    picked: Optional[Hashable] = None
-    for pos, a in enumerate(stream):
-        if pos >= half:
-            break
-        if not _independent_in_all(matroids, frozenset({a})):
-            continue  # loops can never be hired
-        score = stream.oracle.value(frozenset({a}))
-        if pos < window:
-            best_seen = max(best_seen, score)
-        elif picked is None and score >= best_seen and score > -math.inf:
-            picked = a
-            break
-    selected = frozenset({picked}) if picked is not None else frozenset()
-    return SecretaryResult(selected=selected, traces=[], strategy="best-singleton")
 
 
 def matroid_submodular_secretary(
@@ -93,19 +70,4 @@ def matroid_submodular_secretary(
         pool: List[int] = [2**i for i in range(log_r + 1)]
         k = int(pool[int(gen.integers(len(pool)))])
 
-    if k <= max(1, log_r):
-        # Small guess: the best single item is an O(log r) approximation
-        # of f(S*) already; hire it with the classical rule.
-        return _best_singleton_first_half(stream, matroids)
-
-    half = stream.n // 2
-
-    def can_take(current: FrozenSet[Hashable], a: Hashable) -> bool:
-        return _independent_in_all(matroids, frozenset(current) | {a})
-
-    result = segmented_submodular_pick(
-        iter(stream), half, stream.oracle, k, can_take=can_take
-    )
-    return SecretaryResult(
-        selected=result.selected, traces=result.traces, strategy=f"segments-k={k}"
-    )
+    return drive_stream(stream, MatroidSecretaryPolicy(matroids, k))

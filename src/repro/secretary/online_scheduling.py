@@ -29,14 +29,13 @@ from repro.errors import InvalidInstanceError
 from repro.matching.graph import BipartiteGraph
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.matching.weighted import max_weight_matching, weighted_matching_value
+from repro.online.arrivals import ArrivalSchedule, build_arrival_schedule
+from repro.online.driver import OnlineRun
+from repro.online.policies import SegmentedSubmodularPolicy
+from repro.online.results import SecretaryResult
 from repro.rng import as_generator
 from repro.scheduling.instance import Job
 from repro.scheduling.intervals import AwakeInterval
-from repro.secretary.stream import SecretaryStream
-from repro.secretary.submodular_secretary import (
-    SecretaryResult,
-    monotone_submodular_secretary,
-)
 
 __all__ = ["ProcessorMarket", "ProcessorUtility", "online_processor_selection"]
 
@@ -141,17 +140,35 @@ def online_processor_selection(
     weighted: bool = False,
     rng=None,
     order: Optional[Sequence[Hashable]] = None,
+    process: str = "uniform",
+    process_params: Optional[dict] = None,
 ) -> OnlineSelectionResult:
     """Hire up to *k* processors online, maximizing schedulable jobs.
 
     Processors arrive in uniformly random order (or the explicit
-    *order*); decisions are irrevocable.  By Theorem 3.1.1 the expected
-    number of schedulable jobs is at least a 1/(7e) fraction of the best
-    k-processor choice in hindsight (value-weighted when ``weighted``).
+    *order*, or any registered arrival *process* — bursty processor
+    markets batch their offers); decisions are irrevocable.  By Theorem
+    3.1.1 the expected number of schedulable jobs is at least a 1/(7e)
+    fraction of the best k-processor choice in hindsight
+    (value-weighted when ``weighted``).
     """
     utility = ProcessorUtility(market, weighted=weighted)
-    stream = SecretaryStream(utility, rng=as_generator(rng), order=order)
-    result = monotone_submodular_secretary(stream, k)
+    if order is not None:
+        order = list(order)
+        if frozenset(order) != utility.ground_set:
+            raise InvalidInstanceError(
+                "explicit order must enumerate the processor offers exactly"
+            )
+        schedule = ArrivalSchedule(
+            process="explicit", seed=None, order=order,
+            batch_sizes=[1] * len(order),
+        )
+    else:
+        schedule = build_arrival_schedule(
+            process, utility, as_generator(rng), **dict(process_params or {})
+        )
+    run = OnlineRun(utility, schedule, SegmentedSubmodularPolicy(k))
+    result = run.run().result()
 
     slots: set = set()
     for proc in result.selected:

@@ -12,37 +12,26 @@ member", "sum of members", and everything in between at once.
 The implementation follows the natural segment strategy the thesis's
 other algorithms are built from: split the stream into k near-equal
 segments and run an independent classical 1/e rule *on raw values*
-inside each.  Each of the top-k elements in hindsight lands alone in
-its segment with constant probability and is then hired with
-probability >= 1/e, so every prefix {top-1, ..., top-j} is covered in
-expectation up to a constant — which is exactly the property that makes
-the approximation oblivious to gamma (a non-increasing gamma objective
-is a non-negative mixture of prefix sums).
+inside each (:class:`repro.online.policies.RobustTopKPolicy`).  Each of
+the top-k elements in hindsight lands alone in its segment with
+constant probability and is then hired with probability >= 1/e, so
+every prefix {top-1, ..., top-j} is covered in expectation up to a
+constant — which is exactly the property that makes the approximation
+oblivious to gamma (a non-increasing gamma objective is a non-negative
+mixture of prefix sums).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import FrozenSet, Hashable, List, Mapping, Sequence
+from typing import FrozenSet, Hashable, Mapping, Sequence
 
 from repro.errors import BudgetError
-from repro.secretary.classical import dynkin_threshold
+from repro.online.driver import drive_stream
+from repro.online.policies import RobustTopKPolicy
+from repro.online.results import RobustResult
 from repro.secretary.stream import SecretaryStream
 
 __all__ = ["RobustResult", "robust_topk_secretary", "gamma_objective"]
-
-
-@dataclass
-class RobustResult:
-    """Hired set with per-segment provenance."""
-
-    selected: FrozenSet[Hashable]
-    per_segment: List[Hashable | None]
-
-    @property
-    def hires(self) -> int:
-        return len(self.selected)
 
 
 def gamma_objective(
@@ -74,29 +63,4 @@ def robust_topk_secretary(
     One classical-secretary subroutine per segment, thresholding on the
     candidate's raw value within the segment.
     """
-    if k <= 0:
-        raise BudgetError(f"k must be positive, got {k}")
-    n = stream.n
-    bounds = [((j * n) // k, ((j + 1) * n) // k) for j in range(k)]
-    observe = {j: dynkin_threshold(e - s) for j, (s, e) in enumerate(bounds)}
-
-    selected: set = set()
-    per_segment: List[Hashable | None] = [None] * k
-    seg = 0
-    best_seen = -math.inf
-
-    for pos, a in enumerate(stream):
-        while seg < k and pos >= bounds[seg][1]:
-            seg += 1
-            best_seen = -math.inf
-        if seg >= k:
-            break
-        start, _ = bounds[seg]
-        v = float(values[a])
-        if pos - start < observe[seg]:
-            best_seen = max(best_seen, v)
-        elif per_segment[seg] is None and v >= best_seen:
-            per_segment[seg] = a
-            selected.add(a)
-
-    return RobustResult(selected=frozenset(selected), per_segment=per_segment)
+    return drive_stream(stream, RobustTopKPolicy(values, k))

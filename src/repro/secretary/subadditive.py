@@ -12,11 +12,13 @@ Two halves of Theorem 3.1.4:
   ``f(A) + f(B) >= f(A u B) + f(A n B) - 2``), which the tests verify.
 
 * **Algorithm** (Section 3.5.2): an O(sqrt(n))-competitive rule that
-  combines the k-competitive best-singleton strategy with the
-  (n/k)-competitive random-segment strategy — partition the stream into
-  ``ceil(n/k)`` segments of size at most k and hire one uniformly random
-  segment wholesale; subadditivity guarantees some segment carries a
-  ``k/n`` fraction of OPT.
+  combines the k-competitive best-singleton strategy
+  (:class:`repro.online.policies.BestSingletonPolicy`) with the
+  (n/k)-competitive random-segment strategy
+  (:class:`repro.online.policies.SubadditiveSegmentPolicy`) — partition
+  the stream into ``ceil(n/k)`` segments of size at most k and hire one
+  uniformly random segment wholesale; subadditivity guarantees some
+  segment carries a ``k/n`` fraction of OPT.
 """
 
 from __future__ import annotations
@@ -26,10 +28,11 @@ from typing import FrozenSet, Hashable, Iterable
 
 from repro.core.submodular import SetFunction
 from repro.errors import BudgetError
+from repro.online.driver import drive_stream
+from repro.online.policies import BestSingletonPolicy, SubadditiveSegmentPolicy
+from repro.online.results import SecretaryResult
 from repro.rng import as_generator
-from repro.secretary.classical import dynkin_threshold
 from repro.secretary.stream import SecretaryStream
-from repro.secretary.submodular_secretary import SecretaryResult
 
 __all__ = ["HiddenSetFunction", "subadditive_secretary"]
 
@@ -110,29 +113,9 @@ def subadditive_secretary(
 
     if gen.random() < 0.5:
         # Strategy A: single best item via the classical rule.
-        window = dynkin_threshold(n)
-        best_seen = -math.inf
-        for pos, a in enumerate(stream):
-            score = stream.oracle.value(frozenset({a}))
-            if pos < window:
-                best_seen = max(best_seen, score)
-            elif score >= best_seen:
-                return SecretaryResult(
-                    selected=frozenset({a}), traces=[], strategy="best-singleton"
-                )
-        return SecretaryResult(selected=frozenset(), traces=[], strategy="best-singleton")
+        return drive_stream(stream, BestSingletonPolicy())
 
     # Strategy B: hire one uniformly random size-<=k segment wholesale.
     n_segments = max(1, math.ceil(n / k))
     target = int(gen.integers(n_segments))
-    lo = target * k
-    hi = min(n, lo + k)
-    selected: set = set()
-    for pos, a in enumerate(stream):
-        if lo <= pos < hi:
-            selected.add(a)
-        elif pos >= hi:
-            break
-    return SecretaryResult(
-        selected=frozenset(selected), traces=[], strategy=f"segment-{target}"
-    )
+    return drive_stream(stream, SubadditiveSegmentPolicy(k, target))

@@ -3,34 +3,33 @@
 Algorithm 1 (monotone, Theorem 3.1.1, competitive ratio 1/(7e)):
 partition the arrival stream into ``k`` equal segments and run one
 classical-secretary subroutine per segment on the *marginal* value
-``g_i(a) = f(T_{i-1} + a) - f(T_{i-1})``: observe the first ``l/e``
-arrivals of the segment, record the best marginal seen (clamped below by
-the current value — the algorithm's first `if`), then take the first
-later arrival matching it.  At most one hire per segment, k hires total.
+``g_i(a) = f(T_{i-1} + a) - f(T_{i-1})``.  Algorithm 2 (non-monotone,
+8e^2-competitive): split the stream into two halves and run Algorithm 1
+on a uniformly random half.
 
-Algorithm 2 (non-monotone, 8e^2-competitive): split the stream into two
-halves and run Algorithm 1 on a uniformly random half.  The analysis
-(Lemma 3.2.7) needs the two halves' candidate sets to be disjoint, which
-the coin flip provides.
-
-The segment engine is written as a strict single pass over arrivals so
-it composes with :class:`repro.secretary.stream.ArrivalOracle`'s
-no-peeking contract: every oracle query involves only elements already
-interviewed, and the test suite asserts that property by construction.
-Both algorithms accept an optional feasibility predicate
-``can_take(T, a)`` so the matroid and knapsack variants (Algorithm 3 /
-Section 3.4) can reuse the machinery — they differ only in which hires
-are permitted.
+The decision logic lives in
+:class:`repro.online.policies.SegmentedSubmodularPolicy` — an explicit
+state machine the unified runtime can drive over any arrival process,
+suspend, and resume.  These wrappers keep the paper-facing API: they
+configure the policy (including Algorithm 2's coin) and drive it over a
+:class:`~repro.secretary.stream.SecretaryStream` one arrival at a time,
+which preserves the historical oracle-query pattern bit-for-bit.
+Both algorithms accept an optional feasibility predicate ``can_take(T,
+a)`` so the matroid and knapsack variants (Algorithm 3 / Section 3.4)
+can reuse the machinery.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+from typing import Hashable, Iterable, Optional
 
-from repro.core.kernels import evaluator_for
-from repro.errors import BudgetError
+from repro.online.driver import drive_stream
+from repro.online.policies import (
+    CanTake,
+    SegmentedSubmodularPolicy,
+    nonmonotone_half_policy,
+)
+from repro.online.results import SecretaryResult, SegmentTrace
 from repro.rng import as_generator
 from repro.secretary.stream import SecretaryStream
 
@@ -41,45 +40,6 @@ __all__ = [
     "monotone_submodular_secretary",
     "nonmonotone_submodular_secretary",
 ]
-
-CanTake = Callable[[FrozenSet[Hashable], Hashable], bool]
-
-
-@dataclass(frozen=True)
-class SegmentTrace:
-    """What happened inside one segment (for diagnostics/tests)."""
-
-    segment: int
-    start: int
-    observe_until: int
-    end: int
-    threshold: float
-    picked: Optional[Hashable]
-    gain: float
-
-
-@dataclass
-class SecretaryResult:
-    """Outcome of an online run: the hired set plus per-segment traces."""
-
-    selected: FrozenSet[Hashable]
-    traces: List[SegmentTrace] = field(default_factory=list)
-    strategy: str = "segments"
-
-    @property
-    def hires(self) -> int:
-        return len(self.selected)
-
-
-def _segment_bounds(n: int, k: int) -> List[Tuple[int, int]]:
-    """Split positions ``0..n-1`` into k near-equal contiguous segments.
-
-    The paper pads with dummy secretaries to make ``k | n``; distributing
-    the remainder across segments is the equivalent trick without
-    simulating dummies (each real arrival keeps a uniform position).
-    Segments may be empty when ``k > n``.
-    """
-    return [((j * n) // k, ((j + 1) * n) // k) for j in range(k)]
 
 
 def segmented_submodular_pick(
@@ -116,85 +76,19 @@ def segmented_submodular_pick(
         Where this window starts inside a larger stream (trace labels
         only).
     """
-    if k <= 0:
-        raise BudgetError(f"k must be positive, got {k}")
-    bounds = _segment_bounds(n, k)
-    observe_len = {j: int(math.floor((e - s) / math.e)) for j, (s, e) in enumerate(bounds)}
-
-    selected: set = set()
-    traces: List[SegmentTrace] = []
-    # All per-arrival queries F(T_{i-1} + a) go through an incremental
-    # evaluator pinned at the hired set: for the kernel-backed families
-    # each query is O(candidate) state work instead of a from-scratch
-    # union evaluation, and for everything else the naive fallback
-    # evaluates (and counts) exactly the oracle calls the original
-    # one-query-per-arrival scan made.  The evaluator enforces the
-    # Section 3.2.1 no-peeking contract when the oracle does.
-    evaluator = evaluator_for(oracle)
-    current_value = evaluator.current_value
-    base = frozenset()
-
-    seg = 0
-    threshold = -math.inf
-    picked_this_segment: Optional[Hashable] = None
-    best_gain = 0.0
-
-    def close_segment(j: int) -> None:
-        s, e = bounds[j]
-        traces.append(
-            SegmentTrace(
-                segment=j,
-                start=position_offset + s,
-                observe_until=position_offset + s + observe_len[j],
-                end=position_offset + e,
-                threshold=threshold,
-                picked=picked_this_segment,
-                gain=best_gain,
-            )
-        )
-
+    policy = SegmentedSubmodularPolicy(
+        k,
+        monotone_clamp=monotone_clamp,
+        window_n=n,
+        position_offset=position_offset,
+        can_take=can_take,
+    )
+    policy.bind(oracle, n)
     for pos, a in enumerate(arrivals):
-        if pos >= n:
+        policy.observe(pos, a)
+        if policy.done:
             break
-        # Advance past finished (possibly empty) segments.
-        while seg < k and pos >= bounds[seg][1]:
-            close_segment(seg)
-            seg += 1
-            threshold = -math.inf
-            picked_this_segment = None
-            best_gain = 0.0
-            base = frozenset(selected)
-        if seg >= k:
-            break
-        start, end = bounds[seg]
-        in_window = pos - start < observe_len[seg]
-        if in_window:
-            threshold = max(threshold, evaluator.union_value1(a))
-            continue
-        if picked_this_segment is not None:
-            continue  # one hire per segment
-        effective = threshold
-        if monotone_clamp and effective < current_value:
-            effective = current_value
-        if can_take is not None and not can_take(base, a):
-            continue
-        candidate = evaluator.union_value1(a)
-        if candidate >= effective:
-            picked_this_segment = a
-            best_gain = candidate - current_value
-            selected.add(a)
-            evaluator.advance(a, candidate)
-            current_value = candidate
-
-    while seg < k:
-        close_segment(seg)
-        seg += 1
-        threshold = -math.inf
-        picked_this_segment = None
-        best_gain = 0.0
-        base = frozenset(selected)
-
-    return SecretaryResult(selected=frozenset(selected), traces=traces)
+    return policy.finish()
 
 
 def monotone_submodular_secretary(
@@ -204,7 +98,9 @@ def monotone_submodular_secretary(
     can_take: Optional[CanTake] = None,
 ) -> SecretaryResult:
     """Algorithm 1: hire at most k, 1/(7e)-competitive for monotone f."""
-    return segmented_submodular_pick(iter(stream), stream.n, stream.oracle, k, can_take=can_take)
+    return drive_stream(
+        stream, SegmentedSubmodularPolicy(k, window_n=stream.n, can_take=can_take)
+    )
 
 
 def nonmonotone_submodular_secretary(
@@ -220,19 +116,5 @@ def nonmonotone_submodular_secretary(
     """
     gen = as_generator(rng)
     use_first_half = bool(gen.random() < 0.5)
-    half = stream.n // 2
-    it = iter(stream)
-    if use_first_half:
-        result = segmented_submodular_pick(it, half, stream.oracle, k)
-        strategy = "first-half"
-    else:
-        consumed = 0
-        for _ in it:
-            consumed += 1
-            if consumed >= half:
-                break
-        result = segmented_submodular_pick(
-            it, stream.n - half, stream.oracle, k, position_offset=half
-        )
-        strategy = "second-half"
-    return SecretaryResult(selected=result.selected, traces=result.traces, strategy=strategy)
+    policy = nonmonotone_half_policy(stream.n, k, use_first_half)
+    return drive_stream(stream, policy)

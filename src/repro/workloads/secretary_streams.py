@@ -10,6 +10,13 @@ experiment needs) over a fresh ground set of ``n`` elements:
 * :func:`facility_utility` — facility-location benefit matrices;
 * :func:`cut_utility` — weighted cut functions on G(n, p) graphs, the
   canonical non-monotone family for Algorithm 2.
+
+:func:`arrival_stream` bridges these utilities to the online runtime's
+arrival-process registry: it returns a legacy
+:class:`~repro.secretary.stream.SecretaryStream` whose order is drawn
+by any registered process, so stream-based consumers (the E6–E11
+benchmarks, examples) can replay adversarial/bursty/nearly-sorted
+orders without switching to the driver API.
 """
 
 from __future__ import annotations
@@ -22,16 +29,59 @@ from repro.core.functions import (
     CutFunction,
     FacilityLocationFunction,
 )
+from repro.core.submodular import SetFunction
 from repro.errors import InvalidInstanceError
 from repro.rng import as_generator
 
 __all__ = [
+    "STREAM_FAMILIES",
     "additive_values",
     "coverage_utility",
     "facility_utility",
     "cut_utility",
     "knapsack_weights",
+    "arrival_stream",
+    "stream_utility",
 ]
+
+STREAM_FAMILIES = ("additive", "coverage", "facility", "cut")
+
+
+def stream_utility(family: str, n: int, *, aux: int = 0, rng=None, **params):
+    """Build one stream-utility family by name (the single source of
+    family dispatch and aux-size defaults).
+
+    Both the engine's secretary adapters and the online session layer
+    construct their instances through this function, so a given
+    ``(family, n, aux, seed)`` names the same utility everywhere.
+    ``aux`` is the family-specific auxiliary size (coverage universe /
+    facility clients; 0 picks the default); *params* forwards the
+    family's knobs (``distribution``, ``skills_per_secretary``,
+    ``edge_probability``).
+    """
+    gen = as_generator(rng)
+    if family == "additive":
+        fn, _ = additive_values(
+            n, distribution=str(params.get("distribution", "uniform")), rng=gen
+        )
+        return fn
+    if family == "coverage":
+        universe = aux if aux > 0 else max(1, n // 3)
+        return coverage_utility(
+            n, universe,
+            skills_per_secretary=int(params.get("skills_per_secretary", 4)),
+            rng=gen,
+        )
+    if family == "facility":
+        clients = aux if aux > 0 else max(2, n // 4)
+        return facility_utility(n, clients, rng=gen)
+    if family == "cut":
+        return cut_utility(
+            n, edge_probability=float(params.get("edge_probability", 0.3)), rng=gen
+        )
+    raise InvalidInstanceError(
+        f"unknown stream-utility family {family!r}; known: {STREAM_FAMILIES}"
+    )
 
 
 def additive_values(
@@ -80,6 +130,23 @@ def knapsack_weights(
         e: [float(low + span * gen.random()) for _ in range(n_knapsacks)]
         for e in sorted(elements, key=repr)
     }
+
+
+def arrival_stream(utility: SetFunction, process: str = "uniform", seed=None, **params):
+    """A :class:`SecretaryStream` ordered by a registered arrival process.
+
+    ``arrival_stream(fn, "uniform", seed)`` is interchangeable with
+    ``SecretaryStream(fn, rng=seed)`` (same permutation for the same
+    seed); other processes reuse the stream API with their own orders.
+    Minibatch structure is a driver concern — a legacy stream reveals
+    one element at a time regardless of the process's batching.
+    """
+    # Imported here: repro.secretary imports this module's generators.
+    from repro.online.arrivals import build_arrival_schedule
+    from repro.secretary.stream import SecretaryStream
+
+    schedule = build_arrival_schedule(process, utility, seed, **params)
+    return SecretaryStream(utility, order=schedule.order)
 
 
 def coverage_utility(

@@ -156,6 +156,47 @@ class TestMultiprocessing:
         assert seen["method"] == "spawn"
 
 
+class TestVerboseProgress:
+    def test_one_line_per_cell_inline(self):
+        import io
+
+        buf = io.StringIO()
+        result = run_sweep(SMALL, verbose=True, progress_stream=buf)
+        lines = [ln for ln in buf.getvalue().splitlines() if ln]
+        assert len(lines) == len(result.records)
+        total = len(result.records)
+        assert lines[0].startswith(f"[1/{total}]")
+        assert lines[-1].startswith(f"[{total}/{total}]")
+        for line, record in zip(lines, result.records):
+            assert record.family in line
+            assert record.method in line
+            assert f"cost={record.cost:.6g}" in line
+
+    def test_cache_hits_are_labelled(self, tmp_path):
+        import io
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_sweep(SMALL, cache=cache)
+        buf = io.StringIO()
+        run_sweep(SMALL, cache=cache, verbose=True, progress_stream=buf)
+        lines = [ln for ln in buf.getvalue().splitlines() if ln]
+        assert lines and all("cache hit" in ln for ln in lines)
+
+    def test_quiet_by_default(self, capsys):
+        run_sweep(SMALL)
+        assert capsys.readouterr().err == ""
+
+    def test_pool_progress_in_grid_order(self):
+        import io
+
+        buf = io.StringIO()
+        result = run_sweep(SMALL, workers=2, verbose=True, progress_stream=buf)
+        lines = [ln for ln in buf.getvalue().splitlines() if ln]
+        assert len(lines) == len(result.records)
+        for line, record in zip(lines, result.records):
+            assert record.family in line
+
+
 class TestAggregation:
     def test_table_renders_every_cell(self):
         result = run_sweep(E12_LIKE)

@@ -1,0 +1,248 @@
+"""Arrival processes: registry, schedules, determinism, fingerprints."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.online.arrivals import (
+    ARRIVAL_PROCESSES,
+    ArrivalSchedule,
+    arrival_process_names,
+    build_arrival_schedule,
+    register_arrival_process,
+)
+from repro.secretary.stream import SecretaryStream
+from repro.workloads.secretary_streams import additive_values, coverage_utility
+
+ALL_PROCESSES = arrival_process_names()
+
+
+@pytest.fixture(scope="module")
+def fn():
+    return coverage_utility(30, 12, rng=np.random.default_rng(3))
+
+
+class TestRegistry:
+    def test_builtin_processes_registered(self):
+        assert {"uniform", "sorted_desc", "sorted_asc", "bursty", "poisson",
+                "sliding_window"} <= set(ALL_PROCESSES)
+
+    def test_names_sorted(self):
+        assert list(ALL_PROCESSES) == sorted(ALL_PROCESSES)
+
+    def test_unknown_process_rejected(self, fn):
+        with pytest.raises(InvalidInstanceError, match="unknown arrival process"):
+            build_arrival_schedule("no-such-process", fn, 0)
+
+    def test_register_requires_name(self):
+        with pytest.raises(InvalidInstanceError):
+            register_arrival_process("", lambda fn, seed: None)
+
+    def test_register_and_build_custom(self, fn):
+        def reverse_sorted(utility, seed):
+            order = sorted(utility.ground_set, key=repr, reverse=True)
+            return ArrivalSchedule(
+                process="rev", seed=None, order=order, batch_sizes=[1] * len(order)
+            )
+
+        register_arrival_process("rev", reverse_sorted)
+        try:
+            schedule = build_arrival_schedule("rev", fn, 0)
+            assert schedule.order == sorted(fn.ground_set, key=repr, reverse=True)
+        finally:
+            del ARRIVAL_PROCESSES["rev"]
+
+
+class TestScheduleInvariants:
+    @pytest.mark.parametrize("process", ALL_PROCESSES)
+    def test_order_is_a_permutation(self, fn, process):
+        schedule = build_arrival_schedule(process, fn, 11)
+        assert frozenset(schedule.order) == fn.ground_set
+        assert len(schedule.order) == len(fn.ground_set)
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES)
+    def test_batches_partition_the_order(self, fn, process):
+        schedule = build_arrival_schedule(process, fn, 11)
+        assert sum(schedule.batch_sizes) == schedule.n
+        assert all(b >= 1 for b in schedule.batch_sizes)
+        walked = [a for _, batch in schedule.batches() for a in batch]
+        assert walked == schedule.order
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES)
+    def test_deterministic_in_seed(self, fn, process):
+        a = build_arrival_schedule(process, fn, 21)
+        b = build_arrival_schedule(process, fn, 21)
+        c = build_arrival_schedule(process, fn, 22)
+        assert a.order == b.order and a.batch_sizes == b.batch_sizes
+        assert a.fingerprint() == b.fingerprint()
+        if process not in ("sorted_desc", "sorted_asc"):
+            assert a.order != c.order or a.batch_sizes != c.batch_sizes
+
+    def test_batches_resume_mid_batch(self, fn):
+        schedule = build_arrival_schedule("bursty", fn, 4, mean_batch=5.0)
+        # Pick a start strictly inside some batch.
+        first_size = schedule.batch_sizes[0]
+        start = max(1, first_size - 1)
+        walked = [a for _, batch in schedule.batches(start) for a in batch]
+        assert walked == schedule.order[start:]
+        pos0, first_batch = next(schedule.batches(start))
+        assert pos0 == start
+
+    def test_validation(self, fn):
+        order = sorted(fn.ground_set, key=repr)
+        with pytest.raises(InvalidInstanceError, match="batch sizes sum"):
+            ArrivalSchedule(process="x", seed=0, order=order, batch_sizes=[1])
+        with pytest.raises(InvalidInstanceError, match="positive"):
+            ArrivalSchedule(
+                process="x", seed=0, order=order,
+                batch_sizes=[0, len(order)],
+            )
+        with pytest.raises(InvalidInstanceError, match="timestamp"):
+            ArrivalSchedule(
+                process="x", seed=0, order=order,
+                batch_sizes=[1] * len(order), timestamps=[0.0],
+            )
+
+
+class TestUniform:
+    def test_matches_secretary_stream_exactly(self, fn):
+        for seed in (0, 7, 123):
+            schedule = build_arrival_schedule("uniform", fn, seed)
+            stream = SecretaryStream(fn, rng=np.random.default_rng(seed))
+            assert schedule.order == stream.order
+
+    def test_per_arrival_batches(self, fn):
+        schedule = build_arrival_schedule("uniform", fn, 0)
+        assert schedule.batch_sizes == [1] * schedule.n
+
+    def test_accepts_live_generator(self, fn):
+        gen = np.random.default_rng(9)
+        schedule = build_arrival_schedule("uniform", fn, gen)
+        expected = SecretaryStream(fn, rng=np.random.default_rng(9))
+        assert schedule.order == expected.order
+        assert schedule.seed is None  # opaque provenance
+
+
+class TestSortedOrders:
+    def test_descending_by_singleton_value(self):
+        fn, values = additive_values(20, rng=np.random.default_rng(4))
+        schedule = build_arrival_schedule("sorted_desc", fn, 0)
+        vals = [values[e] for e in schedule.order]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_ascending_is_reverse_of_descending(self):
+        fn, _ = additive_values(20, rng=np.random.default_rng(4))
+        desc = build_arrival_schedule("sorted_desc", fn, 0)
+        asc = build_arrival_schedule("sorted_asc", fn, 0)
+        assert asc.order == list(reversed(desc.order))
+
+    def test_seed_independent(self, fn):
+        a = build_arrival_schedule("sorted_desc", fn, 1)
+        b = build_arrival_schedule("sorted_desc", fn, 999)
+        assert a.order == b.order
+
+
+class TestBursty:
+    def test_reuses_uniform_permutation(self, fn):
+        uniform = build_arrival_schedule("uniform", fn, 31)
+        bursty = build_arrival_schedule("bursty", fn, 31)
+        assert bursty.order == uniform.order
+
+    def test_has_multi_arrival_batches(self, fn):
+        schedule = build_arrival_schedule("bursty", fn, 0, mean_batch=6.0)
+        assert max(schedule.batch_sizes) > 1
+
+    def test_mean_batch_validated(self, fn):
+        with pytest.raises(InvalidInstanceError, match="mean_batch"):
+            build_arrival_schedule("bursty", fn, 0, mean_batch=0.5)
+
+
+class TestPoisson:
+    def test_timestamps_strictly_ordered(self, fn):
+        schedule = build_arrival_schedule("poisson", fn, 0, rate=3.0)
+        ts = schedule.timestamps
+        assert ts is not None and len(ts) == schedule.n
+        assert all(a < b for a, b in zip(ts, ts[1:]))
+
+    def test_batches_group_by_integer_tick(self, fn):
+        schedule = build_arrival_schedule("poisson", fn, 0, rate=5.0)
+        pos = 0
+        for size in schedule.batch_sizes:
+            ticks = {math.floor(t) for t in schedule.timestamps[pos:pos + size]}
+            assert len(ticks) == 1
+            pos += size
+
+    def test_rate_validated(self, fn):
+        with pytest.raises(InvalidInstanceError, match="rate"):
+            build_arrival_schedule("poisson", fn, 0, rate=0.0)
+
+
+class TestSlidingWindow:
+    def test_window_one_is_exactly_sorted(self):
+        fn, _ = additive_values(15, rng=np.random.default_rng(4))
+        sw = build_arrival_schedule("sliding_window", fn, 7, window=1)
+        desc = build_arrival_schedule("sorted_desc", fn, 0)
+        assert sw.order == desc.order
+
+    def test_bounded_displacement(self):
+        fn, _ = additive_values(40, rng=np.random.default_rng(4))
+        window = 6
+        sw = build_arrival_schedule("sliding_window", fn, 7, window=window)
+        desc = build_arrival_schedule("sorted_desc", fn, 0)
+        sorted_pos = {e: i for i, e in enumerate(desc.order)}
+        for i, e in enumerate(sw.order):
+            # An element can only leave the buffer after it entered it.
+            assert i >= sorted_pos[e] - (window - 1)
+
+    def test_window_validated(self, fn):
+        with pytest.raises(InvalidInstanceError, match="window"):
+            build_arrival_schedule("sliding_window", fn, 0, window=0)
+
+
+class TestArrivalStreamBridge:
+    """workloads.arrival_stream: legacy streams over any process."""
+
+    def test_uniform_matches_plain_stream(self, fn):
+        from repro.workloads.secretary_streams import arrival_stream
+
+        stream = arrival_stream(fn, "uniform", seed=17)
+        plain = SecretaryStream(fn, rng=np.random.default_rng(17))
+        assert stream.order == plain.order
+
+    def test_nonuniform_order_through_legacy_api(self):
+        from repro.secretary.submodular_secretary import (
+            monotone_submodular_secretary,
+        )
+        from repro.workloads.secretary_streams import arrival_stream
+
+        fn, values = additive_values(20, rng=np.random.default_rng(4))
+        stream = arrival_stream(fn, "sorted_desc", seed=0)
+        vals = [values[e] for e in stream.order]
+        assert vals == sorted(vals, reverse=True)
+        result = monotone_submodular_secretary(stream, 3)
+        assert len(result.selected) <= 3
+
+
+class TestPayloadRoundTrip:
+    @pytest.mark.parametrize("process", ALL_PROCESSES)
+    def test_json_round_trip(self, fn, process):
+        import json
+
+        schedule = build_arrival_schedule(process, fn, 13)
+        payload = json.loads(json.dumps(schedule.payload()))
+        back = ArrivalSchedule.from_payload(payload)
+        assert back.order == schedule.order
+        assert back.batch_sizes == schedule.batch_sizes
+        assert back.timestamps == schedule.timestamps
+        assert back.fingerprint() == schedule.fingerprint()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="payload"):
+            ArrivalSchedule.from_payload({"format": "something-else"})
+
+    def test_fingerprints_distinguish_processes(self, fn):
+        prints = {build_arrival_schedule(p, fn, 5).fingerprint()
+                  for p in ALL_PROCESSES}
+        assert len(prints) == len(ALL_PROCESSES)

@@ -1,0 +1,203 @@
+"""Checkpoint/resume: suspend anywhere, resume exactly.
+
+The satellite property the PR promises: for **each policy × each
+arrival process**, suspending at *every* arrival position, JSON
+round-tripping the checkpoint, and resuming in a fresh session
+reproduces the uninterrupted run's hired set exactly.  The matroid
+policy (not a session policy — its matroids are a runtime dependency)
+gets the same sweep through the lower-level :func:`resume_run` with
+re-injected deps.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import CountingOracle
+from repro.matroids.uniform import UniformMatroid
+from repro.online.arrivals import arrival_process_names, build_arrival_schedule
+from repro.online.checkpoint import make_checkpoint, resume_run
+from repro.online.driver import OnlineRun
+from repro.online.policies import MatroidSecretaryPolicy
+from repro.online.session import (
+    SESSION_POLICIES,
+    resume_session,
+    start_session,
+)
+from repro.workloads.secretary_streams import coverage_utility
+
+ALL_PROCESSES = arrival_process_names()
+N, K, SEED = 14, 3, 20100612
+
+
+def _roundtrip(payload):
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+@pytest.mark.parametrize("process", ALL_PROCESSES)
+@pytest.mark.parametrize("policy", SESSION_POLICIES)
+def test_suspend_everywhere_resume_exact(policy, process):
+    """Every cut point of every policy × process reproduces the full run."""
+    kwargs = dict(policy=policy, family="additive", n=N, k=K, seed=SEED,
+                  process=process)
+    full = start_session(**kwargs).advance()
+    assert full.finished
+    want = full.run.result().selected
+
+    for cut in range(N + 1):
+        session = start_session(**kwargs).advance(cut)
+        if not session.finished:
+            assert session.run.cursor == cut
+        resumed = resume_session(_roundtrip(session.checkpoint())).advance()
+        assert resumed.finished
+        got = resumed.run.result().selected
+        assert got == want, (policy, process, cut)
+
+
+@pytest.mark.parametrize("process", ALL_PROCESSES)
+@pytest.mark.parametrize("k_guess", [1, 4])
+def test_matroid_policy_resume_with_deps(process, k_guess):
+    """Matroid deps re-inject through resume_run's ``deps`` hook."""
+    fn = coverage_utility(N, 6, rng=np.random.default_rng(1))
+    matroids = [UniformMatroid(fn.ground_set, 3)]
+    schedule = build_arrival_schedule(process, fn, 5)
+
+    def fresh_run():
+        return OnlineRun(
+            CountingOracle(fn), schedule, MatroidSecretaryPolicy(matroids, k_guess)
+        )
+
+    want = fresh_run().run().result().selected
+    for cut in range(N + 1):
+        run = fresh_run().run(cut)
+        ck = _roundtrip(make_checkpoint(run))
+        resumed = resume_run(ck, CountingOracle(fn), deps={"matroids": matroids})
+        got = resumed.run().result().selected
+        assert got == want, (process, k_guess, cut)
+
+
+@pytest.mark.parametrize("policy_name", ["robust", "bottleneck", "knapsack"])
+def test_int_element_streams_survive_json(policy_name):
+    """Value/weight-keyed configs keep int element identity through JSON.
+
+    JSON object keys are strings, so these policies encode their
+    element-keyed maps as pair lists — a dict-keyed encoding came back
+    with "0" while the schedule's order kept 0 (KeyError on resume).
+    """
+    from repro.core.functions import AdditiveFunction
+    from repro.online.policies import (
+        BottleneckPolicy,
+        KnapsackSecretaryPolicy,
+        RobustTopKPolicy,
+    )
+
+    values = {i: float(1 + (7 * i) % 11) for i in range(10)}
+    fn = AdditiveFunction(values)
+    schedule = build_arrival_schedule("uniform", fn, 3)
+
+    def policy():
+        if policy_name == "robust":
+            return RobustTopKPolicy(values, 3)
+        if policy_name == "bottleneck":
+            return BottleneckPolicy(values, 2)
+        return KnapsackSecretaryPolicy(
+            {e: 0.4 for e in values}, heads=False
+        )
+
+    want = OnlineRun(CountingOracle(fn), schedule, policy()).run().result().selected
+    run = OnlineRun(CountingOracle(fn), schedule, policy()).run(4)
+    ck = _roundtrip(make_checkpoint(run))
+    resumed = resume_run(ck, CountingOracle(fn))
+    got = resumed.run().result().selected
+    assert got == want
+
+
+def test_checkpoint_is_json_strict():
+    """-inf thresholds and traces survive strict JSON (no NaN/Infinity)."""
+    session = start_session(policy="monotone", family="coverage", n=20, k=3,
+                            seed=3, process="bursty").advance(7)
+    text = json.dumps(session.checkpoint(), sort_keys=True, allow_nan=False)
+    resumed = resume_session(json.loads(text)).advance()
+    assert resumed.finished
+
+
+def test_checkpoint_records_instance_recipe():
+    session = start_session(policy="robust", family="additive", n=12, k=2, seed=9)
+    ck = session.advance(4).checkpoint()
+    assert ck["format"] == "repro-online-checkpoint/1"
+    assert ck["instance"]["policy"] == "robust"
+    assert ck["instance"]["seed"] == 9
+    assert ck["cursor"] == 4
+
+
+def test_resume_without_recipe_rejected():
+    from repro.errors import InvalidInstanceError
+
+    session = start_session(n=10, k=2, seed=1).advance(3)
+    ck = session.checkpoint()
+    del ck["instance"]
+    with pytest.raises(InvalidInstanceError, match="workload recipe"):
+        resume_session(ck)
+
+
+def test_resume_rejects_wrong_format():
+    from repro.errors import InvalidInstanceError
+
+    fn = coverage_utility(8, 4, rng=np.random.default_rng(1))
+    with pytest.raises(InvalidInstanceError, match="checkpoint"):
+        resume_run({"format": "bogus"}, fn)
+
+
+def test_resume_rejects_bad_cursor():
+    from repro.errors import InvalidInstanceError
+
+    session = start_session(n=10, k=2, seed=1).advance(3)
+    ck = _roundtrip(session.checkpoint())
+    ck["cursor"] = 99
+    with pytest.raises(InvalidInstanceError, match="cursor"):
+        resume_session(ck)
+
+
+def test_oracle_frontier_restored_no_peeking():
+    """A resumed run's oracle still refuses not-yet-arrived elements."""
+    from repro.errors import OracleError
+
+    session = start_session(policy="monotone", family="coverage", n=16, k=3,
+                            seed=2).advance(5)
+    resumed = resume_session(_roundtrip(session.checkpoint()))
+    order = resumed.run.schedule.order
+    assert resumed.run.oracle.arrived == frozenset(order[:5])
+    with pytest.raises(OracleError, match="not arrived"):
+        resumed.run.oracle.value(frozenset({order[10]}))
+
+
+def test_oracle_calls_accumulate_across_resume():
+    """A resumed session reports cumulative calls, not post-resume only.
+
+    The classical policy issues exactly one counted query per observed
+    arrival and restores no evaluator state, so suspend/resume must
+    report the same total as the uninterrupted run.
+    """
+    kwargs = dict(policy="classical", family="additive", n=20, k=1, seed=4)
+    oneshot = start_session(**kwargs).advance()
+    want = oneshot.summary()["oracle_calls"]
+    assert want > 0
+
+    hop1 = start_session(**kwargs).advance(7)
+    hop2 = resume_session(_roundtrip(hop1.checkpoint())).advance(6)
+    hop3 = resume_session(_roundtrip(hop2.checkpoint())).advance()
+    assert hop3.summary()["oracle_calls"] == want
+    assert hop3.run.result().selected == oneshot.run.result().selected
+
+
+def test_double_resume_chain():
+    """Checkpoint → resume → checkpoint → resume equals one shot."""
+    kwargs = dict(policy="knapsack", family="additive", n=18, k=3, seed=6,
+                  process="poisson")
+    want = start_session(**kwargs).advance().run.result().selected
+    hop1 = start_session(**kwargs).advance(5)
+    hop2 = resume_session(_roundtrip(hop1.checkpoint())).advance(6)
+    hop3 = resume_session(_roundtrip(hop2.checkpoint())).advance()
+    assert hop3.finished
+    assert hop3.run.result().selected == want

@@ -1,0 +1,72 @@
+"""The refactor's bit-identity pin: runtime == legacy per-algorithm loops.
+
+``golden_refactor.json`` was generated from the *pre-refactor* tree
+(see :mod:`tests.online.generate_golden`); these tests re-run every
+captured case — direct algorithm calls and engine-adapter cells — on
+the unified runtime and require hired sets, oracle-call counts,
+strategies, and adapter metrics to match exactly.
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.online import generate_golden
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(generate_golden.GOLDEN_PATH, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_golden_file_is_committed():
+    assert os.path.exists(generate_golden.GOLDEN_PATH)
+
+
+class TestDirectCalls:
+    """Every wrapper entry point reproduces its pre-refactor capture."""
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        return generate_golden.direct_cases()
+
+    def test_same_case_set(self, golden, measured):
+        assert set(measured) == set(golden["direct"])
+
+    def test_hired_sets_bit_identical(self, golden, measured):
+        for case, want in golden["direct"].items():
+            assert measured[case]["selected"] == want["selected"], case
+
+    def test_oracle_call_counts_bit_identical(self, golden, measured):
+        for case, want in golden["direct"].items():
+            if "calls" in want:  # online_scheduling captures schedule, not calls
+                assert measured[case]["calls"] == want["calls"], case
+
+    def test_auxiliary_fields_match(self, golden, measured):
+        for case, want in golden["direct"].items():
+            for key in ("strategy", "threshold", "hired_top_k", "per_segment",
+                        "utility", "scheduled"):
+                if key in want:
+                    assert measured[case][key] == want[key], (case, key)
+
+
+class TestEngineAdapters:
+    """secretary + knapsack_secretary cells reproduce their captures."""
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        return generate_golden.adapter_cases()
+
+    def test_same_cell_set(self, golden, measured):
+        assert set(measured) == set(golden["adapter"])
+
+    def test_records_bit_identical(self, golden, measured):
+        for cell, want in golden["adapter"].items():
+            got = measured[cell]
+            assert got["utility"] == want["utility"], cell
+            assert got["cost"] == want["cost"], cell
+            assert got["oracle_work"] == want["oracle_work"], cell
+            assert got["n_chosen"] == want["n_chosen"], cell
+            assert got["fingerprint"] == want["fingerprint"], cell

@@ -1,0 +1,118 @@
+"""`repro online run/resume` and the session layer behind them."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import InvalidInstanceError
+from repro.online.session import SESSION_POLICIES, start_session
+
+
+class TestSessionLayer:
+    @pytest.mark.parametrize("policy", SESSION_POLICIES)
+    def test_every_policy_runs_every_family_smoke(self, policy):
+        for family in ("additive", "coverage"):
+            session = start_session(policy=policy, family=family, n=12, k=2,
+                                    seed=3).advance()
+            summary = session.summary()
+            assert summary["finished"] is True
+            assert summary["n_chosen"] == len(summary["selected"])
+            assert summary["oracle_calls"] >= 0
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="family"):
+            start_session(family="nope", n=10, k=2)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="policy"):
+            start_session(policy="nope", n=10, k=2)
+
+    def test_summary_before_finish_has_no_result(self):
+        session = start_session(n=20, k=3, seed=1).advance(4)
+        summary = session.summary()
+        assert summary["finished"] is False
+        assert "selected" not in summary
+
+
+class TestOnlineCLI:
+    def test_run_to_completion(self, capsys):
+        assert main(["online", "run", "--n", "20", "--k", "3", "--seed", "7"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["finished"] is True
+        assert payload["process"] == "uniform"
+        assert "checkpoint" not in payload
+
+    def test_suspend_resume_round_trip(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.json")
+        assert main([
+            "online", "run", "--policy", "monotone", "--family", "coverage",
+            "--n", "30", "--k", "3", "--seed", "5", "--process", "bursty",
+            "--max-arrivals", "11", "--checkpoint", ck,
+        ]) == 0
+        suspended = json.loads(capsys.readouterr().out)
+        assert suspended["finished"] is False
+        assert suspended["cursor"] == 11
+        assert suspended["checkpoint"] == ck
+
+        assert main(["online", "resume", ck]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["finished"] is True
+        assert resumed["cursor"] == 30
+
+        # The resumed hires equal the uninterrupted run's.
+        assert main([
+            "online", "run", "--policy", "monotone", "--family", "coverage",
+            "--n", "30", "--k", "3", "--seed", "5", "--process", "bursty",
+        ]) == 0
+        oneshot = json.loads(capsys.readouterr().out)
+        assert resumed["selected"] == oneshot["selected"]
+        assert resumed["value"] == oneshot["value"]
+
+    def test_resume_overwrites_input_by_default(self, tmp_path, capsys):
+        ck = str(tmp_path / "hop.json")
+        assert main([
+            "online", "run", "--n", "25", "--k", "2", "--seed", "2",
+            "--max-arrivals", "5", "--checkpoint", ck,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["online", "resume", ck, "--max-arrivals", "5"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        if not payload["finished"]:
+            assert payload["checkpoint"] == ck
+            with open(ck, "r", encoding="utf-8") as fh:
+                assert json.load(fh)["cursor"] == payload["cursor"]
+
+    def test_process_params_forwarded(self, capsys):
+        assert main([
+            "online", "run", "--n", "15", "--k", "2", "--seed", "4",
+            "--process", "bursty", "--process-params", '{"mean_batch": 9.0}',
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["finished"] is True
+
+    def test_unknown_process_is_clean_error(self, capsys):
+        assert main(["online", "run", "--process", "warp"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown arrival process" in err
+
+    def test_malformed_process_params_is_clean_error(self, capsys):
+        assert main(["online", "run", "--process-params", "{"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+        assert main(["online", "run", "--process-params", "[1, 2]"]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_unknown_process_param_is_clean_error(self, capsys):
+        assert main([
+            "online", "run", "--process", "bursty",
+            "--process-params", '{"bogus": 1}',
+        ]) == 2
+        assert "bad parameters for arrival process" in capsys.readouterr().err
+
+    def test_workload_knobs_forwarded(self, capsys):
+        assert main([
+            "online", "run", "--policy", "knapsack", "--n", "20", "--seed", "3",
+            "--n-knapsacks", "4", "--distribution", "lognormal", "--aux", "0",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["finished"] is True

@@ -8,9 +8,9 @@ from repro.analysis.ratio import offline_optimum_cardinality
 from repro.core.functions import AdditiveFunction
 from repro.errors import BudgetError
 from repro.rng import spawn, as_generator
+from repro.online.runtime import segment_bounds as _segment_bounds
 from repro.secretary.stream import SecretaryStream
 from repro.secretary.submodular_secretary import (
-    _segment_bounds,
     monotone_submodular_secretary,
     nonmonotone_submodular_secretary,
     segmented_submodular_pick,

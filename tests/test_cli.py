@@ -100,6 +100,24 @@ class TestSweep:
         payload = json.loads(capsys.readouterr().out)
         assert payload["aggregate"][0]["task"] == "secretary"
 
+    def test_sweep_verbose_progress_lines(self, capsys):
+        assert main([
+            "sweep", "--task", "secretary", "--families", "additive",
+            "--grid", "15x2x0", "--methods", "monotone,classical",
+            "--trials", "2", "--verbose",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "[1/4]" in err and "[4/4]" in err
+        assert "secretary/additive" in err
+
+    def test_sweep_runs_process_qualified_family(self, capsys):
+        assert main([
+            "sweep", "--task", "secretary", "--families", "additive@sorted_desc",
+            "--grid", "20x2x0", "--methods", "monotone", "--trials", "1",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["aggregate"][0]["family"] == "additive@sorted_desc"
+
     def test_unknown_family_is_a_clean_error(self, capsys):
         assert main(["sweep", "--families", "no-such-family"]) == 2
         err = capsys.readouterr().err
