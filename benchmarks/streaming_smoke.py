@@ -6,6 +6,12 @@ it mid-stream, JSON round-trips the checkpoint, resumes in-process, and
 checks the resumed hires equal an uninterrupted run's — the end-to-end
 contract of the online runtime, at smoke cost (a few seconds total).
 
+Each pair then re-runs **sharded** (S=2): one shard is drained, the
+other suspended mid-stream, the manifest checkpoint JSON round-trips,
+and the resumed session's merged hires must equal an uninterrupted
+sharded run's — the same contract lifted over the sharded runtime,
+where every shard checkpoints independently.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/streaming_smoke.py [--output smoke.json]
@@ -19,9 +25,16 @@ import sys
 import time
 
 from repro.online.arrivals import arrival_process_names
-from repro.online.session import SESSION_POLICIES, resume_session, start_session
+from repro.online.session import (
+    SESSION_POLICIES,
+    build_workload,
+    resume_sharded_session,
+    resume_session,
+    start_session,
+    start_sharded_session,
+)
 
-N, K, SEED = 16, 3, 20100612
+N, K, SEED, SHARDS = 16, 3, 20100612, 2
 
 
 def run_pair(policy: str, process: str) -> dict:
@@ -40,10 +53,49 @@ def run_pair(policy: str, process: str) -> dict:
     return {
         "policy": policy,
         "process": process,
+        "shards": 1,
         "ok": ok,
         "selected": selected,
         "resumed_selected": resumed_selected,
         "oracle_calls": oneshot.summary()["oracle_calls"],
+        "wall_time": time.perf_counter() - t0,
+    }
+
+
+def run_sharded_pair(policy: str, process: str) -> dict:
+    """S=2 round: drain shard 0, suspend shard 1 mid-stream, resume."""
+    kwargs = dict(policy=policy, family="additive", n=N, k=K, seed=SEED,
+                  process=process, shards=SHARDS)
+    t0 = time.perf_counter()
+    oneshot = start_sharded_session(**kwargs).advance()
+    summary = oneshot.summary()
+    selected = sorted(map(str, summary["selected"]))
+
+    suspended = start_sharded_session(**kwargs)
+    suspended.advance_shard(0)
+    suspended.advance_shard(1, max(1, suspended.run.runs[1].n // 2))
+    checkpoint = json.loads(json.dumps(suspended.checkpoint(), allow_nan=False))
+    resumed = resume_sharded_session(checkpoint).advance()
+    resumed_selected = sorted(map(str, resumed.summary()["selected"]))
+
+    # Feasibility: the merged set respects the policy's constraint —
+    # the reduced unit-knapsack load for the knapsack rule, the hire
+    # budget for everything else.
+    merged = resumed.summary()["selected"]
+    if policy == "knapsack":
+        _, weights = build_workload(resumed.recipe)
+        feasible = sum(weights[e] for e in merged) <= 1.0 + 1e-9
+    else:
+        feasible = len(merged) <= (1 if policy == "classical" else K)
+    ok = resumed.finished and resumed_selected == selected and feasible
+    return {
+        "policy": policy,
+        "process": process,
+        "shards": SHARDS,
+        "ok": ok,
+        "selected": selected,
+        "resumed_selected": resumed_selected,
+        "oracle_calls": summary["oracle_calls"],
         "wall_time": time.perf_counter() - t0,
     }
 
@@ -54,14 +106,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     results = [
-        run_pair(policy, process)
+        runner(policy, process)
         for policy in SESSION_POLICIES
         for process in arrival_process_names()
+        for runner in (run_pair, run_sharded_pair)
     ]
     failures = [r for r in results if not r["ok"]]
     for r in results:
         status = "ok " if r["ok"] else "FAIL"
-        print(f"{status} {r['policy']:<12} {r['process']:<15} "
+        print(f"{status} {r['policy']:<12} {r['process']:<15} S={r['shards']} "
               f"hired={len(r['selected'])} calls={r['oracle_calls']}")
     payload = {
         "pairs": len(results),
@@ -75,7 +128,8 @@ def main(argv=None) -> int:
     if failures:
         print(f"streaming smoke: {len(failures)} failing pairs", file=sys.stderr)
         return 1
-    print(f"streaming smoke: all {len(results)} policy x process pairs ok")
+    print(f"streaming smoke: all {len(results)} policy x process x shard "
+          "cells ok")
     return 0
 
 

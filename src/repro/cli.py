@@ -22,10 +22,14 @@ machine-readable ``BENCH_<profile>.json``, and compares it against the
 committed baseline under ``benchmarks/baselines/`` — exiting 1 on any
 regression beyond tolerance (the CI perf gate).  ``online`` serves the
 unified arrival runtime (:mod:`repro.online`): ``run`` starts a policy
-on a seeded workload under any registered arrival process, optionally
-stopping after ``--max-arrivals`` and writing a self-contained JSON
-checkpoint; ``resume`` picks such a checkpoint up mid-stream — in a
-fresh process — and continues where the suspended run stopped.
+on a seeded workload under any registered arrival process — optionally
+sharded across ``--shards`` policy replicas (merged under the task's
+feasibility constraint, spawn-pool parallel with ``--workers``) —
+optionally stopping after ``--max-arrivals`` and writing a
+self-contained JSON checkpoint (atomically: temp file + rename);
+``resume`` picks such a checkpoint (plain or sharded manifest) up
+mid-stream — in a fresh process — and continues where the suspended
+run stopped.
 """
 
 from __future__ import annotations
@@ -198,8 +202,19 @@ def build_parser() -> argparse.ArgumentParser:
         help='JSON object of process parameters (e.g. \'{"mean_batch": 6}\')',
     )
     online_run.add_argument(
+        "--shards", type=int, default=1,
+        help="shard the stream across this many policy replicas "
+             "(1 = the plain unsharded runtime)",
+    )
+    online_run.add_argument(
         "--max-arrivals", type=int, default=None,
         help="suspend after this many arrivals (default: run to completion)",
+    )
+    online_run.add_argument(
+        "--workers", type=int, default=0,
+        help="run unfinished shards to completion in a spawn pool of this "
+             "many processes (0/1 = inline; sharded runs only, incompatible "
+             "with --max-arrivals)",
     )
     online_run.add_argument(
         "--checkpoint", default=None,
@@ -214,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
     online_resume.add_argument(
         "--max-arrivals", type=int, default=None,
         help="suspend again after this many further arrivals",
+    )
+    online_resume.add_argument(
+        "--workers", type=int, default=0,
+        help="run unfinished shards to completion in a spawn pool of this "
+             "many processes (0/1 = inline; sharded checkpoints only, "
+             "incompatible with --max-arrivals)",
     )
     online_resume.add_argument(
         "--checkpoint", default=None,
@@ -406,15 +427,17 @@ def _finish_online(session, args) -> int:
     """Shared tail of ``online run``/``online resume``.
 
     Emits the session summary; a still-suspended run additionally writes
-    its checkpoint and reports where.
+    its checkpoint (atomically: temp file + rename, so a crash mid-write
+    can never truncate the checkpoint a resume depends on) and reports
+    where.
     """
+    from repro.io import dump_json_atomic
+
     payload = session.summary()
     if not session.finished:
         default = getattr(args, "checkpoint_file", None) or "online_checkpoint.json"
         path = args.checkpoint or default
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(session.checkpoint(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        dump_json_atomic(session.checkpoint(), path)
         payload["checkpoint"] = path
         print(
             f"suspended at arrival {session.run.cursor}/{session.run.n}; "
@@ -425,8 +448,34 @@ def _finish_online(session, args) -> int:
     return 0
 
 
+def _load_checkpoint_file(path: str) -> dict:
+    """Read a checkpoint file, turning corruption into a usage error.
+
+    A crashed writer (pre-atomic-write checkpoints), disk-full
+    truncation, or a hand-edit leaves invalid JSON; surface that as a
+    clean exit-2 error naming the file instead of a raw
+    ``json.JSONDecodeError`` traceback.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"checkpoint file {path} is corrupt or truncated "
+                f"(not valid JSON: {exc})"
+            ) from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"checkpoint file {path} is not a JSON object")
+    return payload
+
+
 def _cmd_online(args) -> int:
-    from repro.online.session import resume_session, start_session
+    from repro.online.session import (
+        ShardedSession,
+        resume_any_session,
+        start_session,
+        start_sharded_session,
+    )
 
     if args.online_command == "run":
         params = None
@@ -439,7 +488,9 @@ def _cmd_online(args) -> int:
                 ) from exc
             if not isinstance(params, dict):
                 raise ReproError("--process-params must be a JSON object")
-        session = start_session(
+        if args.shards < 1:
+            raise ReproError(f"--shards must be >= 1, got {args.shards}")
+        kwargs = dict(
             policy=args.policy,
             family=args.family,
             n=args.n,
@@ -451,10 +502,23 @@ def _cmd_online(args) -> int:
             distribution=args.distribution,
             process_params=params,
         )
+        if args.shards > 1:
+            session = start_sharded_session(shards=args.shards, **kwargs)
+        else:
+            session = start_session(**kwargs)
     else:
-        with open(args.checkpoint_file, "r", encoding="utf-8") as fh:
-            session = resume_session(json.load(fh))
-    session.advance(args.max_arrivals)
+        session = resume_any_session(_load_checkpoint_file(args.checkpoint_file))
+    if args.workers > 1:
+        if not isinstance(session, ShardedSession):
+            raise ReproError("--workers applies to sharded runs only")
+        if args.max_arrivals is not None:
+            raise ReproError(
+                "--workers runs shards to completion; drop --max-arrivals "
+                "or run inline"
+            )
+        session.advance_parallel(args.workers)
+    else:
+        session.advance(args.max_arrivals)
     return _finish_online(session, args)
 
 

@@ -102,6 +102,11 @@ PROFILES: Dict[str, Tuple[SweepSpec, ...]] = {
                   grid=((60, 4, 0),), methods=("monotone",), trials=2),
         SweepSpec(task="knapsack_secretary", families=("additive@sliding_window",),
                   grid=((40, 2, 0),), methods=("online",), trials=2),
+        # Sharded runtime: the same coverage@bursty cell split across
+        # two policy replicas + merge, recording multi-shard wall time
+        # against the single-shard cell above.
+        SweepSpec(task="secretary", families=("coverage@bursty#2",),
+                  grid=((60, 4, 0),), methods=("monotone",), trials=2),
     ),
     "full": (
         SweepSpec(task="schedule_all",
@@ -136,6 +141,15 @@ PROFILES: Dict[str, Tuple[SweepSpec, ...]] = {
                   grid=((400, 8, 0),), methods=("monotone",), trials=2),
         SweepSpec(task="knapsack_secretary",
                   families=("additive@bursty", "additive@sorted_desc"),
+                  grid=((120, 2, 0),), methods=("online",), trials=3),
+        # Sharded runtime at experiment scale: the coverage@bursty and
+        # additive@bursty cells above re-run at S=2 and S=4 (secretary)
+        # and S=2 (knapsack), so throughput scaling of the shard axis is
+        # recorded against the matching single-shard baselines.
+        SweepSpec(task="secretary",
+                  families=("coverage@bursty#2", "coverage@bursty#4"),
+                  grid=((150, 6, 0),), methods=("monotone",), trials=3),
+        SweepSpec(task="knapsack_secretary", families=("additive@bursty#2",),
                   grid=((120, 2, 0),), methods=("online",), trials=3),
         # Production-scale cells, tractable only with the vectorized
         # incremental oracle kernels (PR 3): a 200-job/8-processor

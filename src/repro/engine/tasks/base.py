@@ -76,18 +76,23 @@ class TaskAdapter(abc.ABC):
 
     def validate(self, sweep: "SweepSpec") -> None:
         """Reject sweeps naming unknown families/methods for this task."""
+        self.validate_families(sweep)
+        bad = [m for m in sweep.methods if m not in self.methods]
+        if bad:
+            raise InvalidInstanceError(
+                f"unknown {self.name} solver methods {bad}; "
+                f"known: {sorted(self.methods)}"
+            )
+
+    def validate_families(self, sweep: "SweepSpec") -> None:
+        """Family half of :meth:`validate`; adapters with open-ended
+        family qualifiers (shard counts) override this alone."""
         known = self.families()
         unknown = [f for f in sweep.families if f not in known]
         if unknown:
             raise InvalidInstanceError(
                 f"unknown {self.name} workload families {unknown}; "
                 f"known: {sorted(known)}"
-            )
-        bad = [m for m in sweep.methods if m not in self.methods]
-        if bad:
-            raise InvalidInstanceError(
-                f"unknown {self.name} solver methods {bad}; "
-                f"known: {sorted(self.methods)}"
             )
 
 

@@ -9,7 +9,10 @@ The single method ``online`` runs Theorem 3.1.3's coin-flip rule
 may be qualified with an arrival process — ``additive@sorted_desc``
 replays the same weights under the adversarial sorted order (plain
 ``additive`` means ``uniform``, the paper's model, bit-identical to the
-pre-runtime stream loop).
+pre-runtime stream loop) — and/or a shard count: ``additive@bursty#2``
+runs one coin-flip replica per shard of a hash-partitioned stream and
+merges the per-shard hires under the reduced single-knapsack capacity
+(:mod:`repro.online.sharding`).
 
 Metric mapping: ``utility`` is the hired set's value, ``cost`` the
 hindsight density-greedy estimate of the single-knapsack optimum on the
@@ -31,12 +34,13 @@ from repro.core.oracle import CountingOracle
 from repro.core.submodular import SetFunction
 from repro.engine.hashing import derive_seed, spec_fingerprint
 from repro.engine.tasks.base import TaskAdapter, register_task
-from repro.engine.tasks.secretary import split_family
+from repro.engine.tasks.secretary import split_family, validate_qualified_families
 from repro.errors import InfeasibleError, InvalidInstanceError
 from repro.online.arrivals import arrival_process_names, build_arrival_schedule
 from repro.online.driver import OnlineRun
 from repro.online.policies import KnapsackSecretaryPolicy
 from repro.online.runtime import offline_knapsack_estimate
+from repro.online.sharding import ShardCounters, ShardedRun, knapsack_constraint
 from repro.secretary.knapsack_secretary import reduce_knapsacks_to_one
 from repro.workloads.secretary_streams import additive_values, knapsack_weights
 
@@ -54,6 +58,7 @@ class KnapsackSecretaryInstance:
     algo_seed: int
     family: str
     arrival: str = "uniform"
+    shards: int = 1
 
     def fingerprint_payload(self) -> Dict[str, Any]:
         return {
@@ -78,10 +83,13 @@ class KnapsackSecretaryAdapter(TaskAdapter):
             f"{b}@{p}" for b in self.base_families for p in extra
         )
 
+    def validate_families(self, sweep) -> None:
+        validate_qualified_families(self, sweep.families)
+
     def build(self, spec) -> KnapsackSecretaryInstance:
         params = dict(spec.params)
         n, n_knapsacks = spec.n_jobs, max(1, spec.n_processors)
-        base, arrival = split_family(spec.family)
+        base, arrival, shards = split_family(spec.family)
         gen = np.random.default_rng(spec.seed)
         if base != "additive":
             raise InvalidInstanceError(
@@ -100,6 +108,7 @@ class KnapsackSecretaryAdapter(TaskAdapter):
             algo_seed=derive_seed(spec.seed, "knapsack-algo"),
             family=spec.family,
             arrival=arrival,
+            shards=shards,
         )
 
     def fingerprint(self, instance: KnapsackSecretaryInstance) -> str:
@@ -111,16 +120,37 @@ class KnapsackSecretaryAdapter(TaskAdapter):
         benchmark = offline_knapsack_estimate(
             fn, reduced, sorted(fn.ground_set, key=repr), capacity=1.0
         )
-        counting = CountingOracle(fn)
         # Schedule built over the unwrapped function: sorted-order
         # processes query singleton values to rank arrivals, and that
         # ranking is instance data, not online oracle work.
         schedule = build_arrival_schedule(
             instance.arrival, fn, np.random.default_rng(instance.stream_seed)
         )
-        heads = bool(np.random.default_rng(instance.algo_seed).random() < 0.5)
-        policy = KnapsackSecretaryPolicy(reduced, heads=heads)
-        result = OnlineRun(counting, schedule, policy).run().result()
+        if instance.shards == 1:
+            counting = CountingOracle(fn)
+            heads = bool(np.random.default_rng(instance.algo_seed).random() < 0.5)
+            policy = KnapsackSecretaryPolicy(reduced, heads=heads)
+            result = OnlineRun(counting, schedule, policy).run().result()
+            calls = counting.calls
+        else:
+            # One coin-flip replica per shard; the merge re-ranks the
+            # union of shard hires under the reduced unit capacity, so
+            # the merged set inherits Lemma 3.4.1's feasibility.
+            counters = ShardCounters()
+
+            def policy_factory(index, shard):
+                coin = np.random.default_rng(
+                    derive_seed(instance.algo_seed, "shard", index)
+                ).random()
+                return KnapsackSecretaryPolicy(reduced, heads=bool(coin < 0.5))
+
+            run = ShardedRun.from_schedule(
+                fn, schedule, instance.shards, policy_factory,
+                oracle_factory=counters,
+                can_take=knapsack_constraint(reduced, 1.0),
+            )
+            result = run.run().result()
+            calls = counters.calls + run.merge_calls
         for i, cap in enumerate(caps):
             load = sum(weights[e][i] for e in result.selected)
             if load > cap + 1e-9:
@@ -130,7 +160,7 @@ class KnapsackSecretaryAdapter(TaskAdapter):
         return {
             "cost": float(benchmark),
             "utility": float(fn.value(frozenset(result.selected))),
-            "oracle_work": int(counting.calls),
+            "oracle_work": int(calls),
             "n_chosen": len(result.selected),
         }
 

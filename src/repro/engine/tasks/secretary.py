@@ -7,8 +7,11 @@ the stream generators of :mod:`repro.workloads.secretary_streams`
 (``additive``/``coverage``/``facility``/``cut``), optionally qualified
 with an arrival process from the online runtime's registry —
 ``coverage@bursty`` runs the coverage workload under bursty minibatch
-arrivals (plain family names mean ``uniform``, the paper's model).
-Methods are the policies of :mod:`repro.online.policies`:
+arrivals (plain family names mean ``uniform``, the paper's model) —
+and/or a shard count: ``coverage@bursty#4`` drives four policy replicas
+over a hash-partitioned stream through the sharded runtime
+(:mod:`repro.online.sharding`), merging the per-shard hires under the
+hire budget.  Methods are the policies of :mod:`repro.online.policies`:
 
 ``monotone``
     Algorithm 1, :class:`SegmentedSubmodularPolicy` (1/(7e)).
@@ -38,7 +41,7 @@ reproduces the legacy per-algorithm loops bit-identically (hired sets
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -48,9 +51,10 @@ from repro.core.oracle import CountingOracle
 from repro.core.submodular import SetFunction
 from repro.engine.hashing import derive_seed, spec_fingerprint
 from repro.engine.tasks.base import TaskAdapter, register_task
-from repro.errors import InvalidInstanceError
+from repro.errors import InfeasibleError, InvalidInstanceError
 from repro.online.arrivals import arrival_process_names, build_arrival_schedule
 from repro.online.driver import OnlineRun
+from repro.online.sharding import ShardCounters, ShardedRun
 from repro.online.policies import (
     BestSingletonPolicy,
     RobustTopKPolicy,
@@ -59,13 +63,53 @@ from repro.online.policies import (
 )
 from repro.workloads.secretary_streams import STREAM_FAMILIES, stream_utility
 
-__all__ = ["SecretaryInstance", "SecretaryAdapter", "split_family"]
+__all__ = [
+    "SecretaryInstance",
+    "SecretaryAdapter",
+    "split_family",
+    "validate_qualified_families",
+]
 
 
-def split_family(family: str) -> Tuple[str, str]:
-    """``"coverage@bursty" -> ("coverage", "bursty")``; plain = uniform."""
-    base, _, process = family.partition("@")
-    return base, (process or "uniform")
+def split_family(family: str) -> Tuple[str, str, int]:
+    """Parse a qualified family: ``base[@process][#shards]``.
+
+    ``"coverage@bursty#4" -> ("coverage", "bursty", 4)``; a plain name
+    means the uniform process on a single (unsharded) stream, so
+    ``"coverage" -> ("coverage", "uniform", 1)``.  The shard qualifier
+    selects the sharded runtime (:mod:`repro.online.sharding`): S policy
+    replicas over a hash-partitioned stream, merged under the task's
+    feasibility constraint.
+    """
+    spec, _, shard_txt = family.partition("#")
+    base, _, process = spec.partition("@")
+    shards = 1
+    if shard_txt:
+        if not shard_txt.isdigit() or int(shard_txt) < 1:
+            raise InvalidInstanceError(
+                f"bad shard qualifier in family {family!r}: "
+                f"expected a positive integer after '#', got {shard_txt!r}"
+            )
+        shards = int(shard_txt)
+    return base, (process or "uniform"), shards
+
+
+def validate_qualified_families(adapter: TaskAdapter, families) -> None:
+    """Shared family validation for the ``base[@process][#shards]`` axis.
+
+    The shard count is open-ended, so qualified names are validated by
+    parsing rather than by enumerating ``adapter.families()``.
+    """
+    from repro.online.arrivals import arrival_process_names as _procs
+
+    for family in families:
+        base, process, _shards = split_family(family)
+        if base not in adapter.base_families or process not in _procs():
+            raise InvalidInstanceError(
+                f"unknown {adapter.name} workload family {family!r}; "
+                f"known: {sorted(adapter.families())} (optionally "
+                "'#<shards>'-qualified)"
+            )
 
 
 @dataclass
@@ -88,6 +132,7 @@ class SecretaryInstance:
     family: str
     benchmarks: Dict[int, float]
     arrival: str = "uniform"
+    shards: int = 1
 
     def fingerprint_payload(self) -> Dict[str, Any]:
         return {"task": "secretary", "family": self.family,
@@ -121,11 +166,14 @@ class SecretaryAdapter(TaskAdapter):
             f"{b}@{p}" for b in self.base_families for p in extra
         )
 
+    def validate_families(self, sweep) -> None:
+        validate_qualified_families(self, sweep.families)
+
     def build(self, spec) -> SecretaryInstance:
         params = dict(spec.params)
         n = spec.n_jobs
         aux = spec.horizon
-        base, arrival = split_family(spec.family)
+        base, arrival, shards = split_family(spec.family)
         if base not in self.base_families:
             raise InvalidInstanceError(
                 f"unknown secretary family {spec.family!r}; known: {self.families()}"
@@ -137,7 +185,7 @@ class SecretaryAdapter(TaskAdapter):
         # Only pay for the offline work this cell's method actually
         # reads: the benchmark for its hire budget, and singleton values
         # only for the raw-value rules.
-        budget = 1 if spec.method == "classical" else k
+        budget = self._budget(spec, k)
         singles = (
             {e: fn.value(frozenset({e})) for e in sorted(fn.ground_set, key=repr)}
             if spec.method == "robust"
@@ -152,17 +200,23 @@ class SecretaryAdapter(TaskAdapter):
             family=spec.family,
             benchmarks={budget: _offline_benchmark(fn, budget)},
             arrival=arrival,
+            shards=shards,
         )
 
     def fingerprint(self, instance: SecretaryInstance) -> str:
         return spec_fingerprint(instance.fingerprint_payload())
 
-    def _policy(self, instance: SecretaryInstance, spec, n: int):
+    def _policy(
+        self, instance: SecretaryInstance, spec, n: int,
+        algo_seed: Optional[int] = None,
+    ):
         k = instance.k
+        if algo_seed is None:
+            algo_seed = instance.algo_seed
         if spec.method == "monotone":
             return SegmentedSubmodularPolicy(k), k
         if spec.method == "nonmonotone":
-            coin = bool(np.random.default_rng(instance.algo_seed).random() < 0.5)
+            coin = bool(np.random.default_rng(algo_seed).random() < 0.5)
             return nonmonotone_half_policy(n, k, coin), k
         if spec.method == "classical":
             return BestSingletonPolicy(strict=True), 1
@@ -172,18 +226,48 @@ class SecretaryAdapter(TaskAdapter):
             f"unknown secretary method {spec.method!r}; known: {self.methods}"
         )
 
+    def _budget(self, spec, k: int) -> int:
+        return 1 if spec.method == "classical" else k
+
     def solve(self, instance: SecretaryInstance, spec) -> Dict[str, Any]:
-        counting = CountingOracle(instance.fn)
         schedule = build_arrival_schedule(
             instance.arrival, instance.fn, instance.stream_seed
         )
-        policy, budget = self._policy(instance, spec, schedule.n)
-        result = OnlineRun(counting, schedule, policy).run().result()
+        budget = self._budget(spec, instance.k)
+        if instance.shards == 1:
+            counting = CountingOracle(instance.fn)
+            policy, _ = self._policy(instance, spec, schedule.n)
+            result = OnlineRun(counting, schedule, policy).run().result()
+            calls = counting.calls
+        else:
+            # One replica per shard (each laid out over its own shard
+            # length, nonmonotone coins flipped per shard), merged under
+            # the hire budget; oracle work = shard queries + merge.
+            counters = ShardCounters()
+
+            def policy_factory(index, shard):
+                policy, _ = self._policy(
+                    instance, spec, shard.n,
+                    algo_seed=derive_seed(instance.algo_seed, "shard", index),
+                )
+                return policy
+
+            run = ShardedRun.from_schedule(
+                instance.fn, schedule, instance.shards, policy_factory,
+                oracle_factory=counters, limit=budget,
+            )
+            result = run.run().result()
+            calls = counters.calls + run.merge_calls
         selected = result.selected
+        if len(selected) > budget:
+            raise InfeasibleError(
+                f"hired {len(selected)} > budget {budget} "
+                f"({instance.shards}-shard merge)"
+            )
         return {
             "cost": instance.benchmarks[budget],
             "utility": float(instance.fn.value(frozenset(selected))),
-            "oracle_work": int(counting.calls),
+            "oracle_work": int(calls),
             "n_chosen": len(selected),
         }
 

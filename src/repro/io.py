@@ -28,6 +28,8 @@ be); loading preserves them as given.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any, Dict
 
 from repro.errors import InvalidInstanceError
@@ -50,6 +52,7 @@ __all__ = [
     "schedule_to_dict",
     "schedule_from_dict",
     "dump_instance",
+    "dump_json_atomic",
     "load_instance",
 ]
 
@@ -223,3 +226,36 @@ def dump_instance(instance: ScheduleInstance, path: str) -> None:
 def load_instance(path: str) -> ScheduleInstance:
     with open(path, "r", encoding="utf-8") as fh:
         return instance_from_dict(json.load(fh))
+
+
+def dump_json_atomic(payload: Any, path: str) -> None:
+    """Write *payload* as JSON to *path* crash-safely.
+
+    The payload is serialised to a temp file in the target directory
+    (same filesystem, so the final ``os.replace`` is atomic), then
+    renamed into place — a process killed mid-write can only ever leave
+    a stray temp file behind, never a truncated *path*.  Checkpoints
+    ride on this: the file a resume reads is always either the previous
+    complete payload or the new complete payload.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        # mkstemp creates 0600 files; restore the umask-governed mode a
+        # plain open() would have given, so replacing a checkpoint does
+        # not silently strip group/other read access.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

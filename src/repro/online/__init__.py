@@ -18,8 +18,16 @@ stack into one subsystem:
     minibatch) plus the checkpoint/resume codec; together they make a
     long stream suspendable at any arrival.
 
-:mod:`repro.online.session` packages workload + policy + process into
-the self-contained resumable unit behind ``repro online run/resume``.
+:mod:`repro.online.sharding`
+    The sharded runtime: a stable-hash partition of one schedule into S
+    shard schedules, one policy replica per shard, and a
+    feasibility-aware marginal-gain merge — with manifest checkpoints
+    whose shards resume independently.  S=1 is bit-identical to the
+    unsharded driver.
+
+:mod:`repro.online.session` packages workload + policy + process (and
+shard count) into the self-contained resumable unit behind ``repro
+online run/resume``.
 """
 
 from repro.online.arrivals import (
@@ -29,8 +37,23 @@ from repro.online.arrivals import (
     build_arrival_schedule,
     register_arrival_process,
 )
-from repro.online.checkpoint import CHECKPOINT_FORMAT, make_checkpoint, resume_run
+from repro.online.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_SCHEMA_VERSION,
+    make_checkpoint,
+    resume_run,
+)
 from repro.online.driver import OnlineRun, drive_stream, run_online
+from repro.online.sharding import (
+    SHARDED_CHECKPOINT_FORMAT,
+    ShardedRun,
+    ShardView,
+    make_sharded_checkpoint,
+    merge_hires,
+    resume_sharded_run,
+    shard_of,
+    shard_schedule,
+)
 from repro.online.policies import (
     POLICIES,
     BestSingletonPolicy,
@@ -61,6 +84,7 @@ __all__ = [
     "BottleneckPolicy",
     "BottleneckResult",
     "CHECKPOINT_FORMAT",
+    "CHECKPOINT_SCHEMA_VERSION",
     "KnapsackSecretaryPolicy",
     "MatroidSecretaryPolicy",
     "OnlinePolicy",
@@ -68,21 +92,29 @@ __all__ = [
     "POLICIES",
     "RobustResult",
     "RobustTopKPolicy",
+    "SHARDED_CHECKPOINT_FORMAT",
     "SecretaryResult",
     "SegmentTrace",
     "SegmentedSubmodularPolicy",
+    "ShardView",
+    "ShardedRun",
     "SubadditiveSegmentPolicy",
     "arrival_process_names",
     "build_arrival_schedule",
     "drive_stream",
     "make_checkpoint",
     "make_policy",
+    "make_sharded_checkpoint",
+    "merge_hires",
     "nonmonotone_half_policy",
     "observation_lengths",
     "policy_names",
     "register_policy",
     "register_arrival_process",
     "resume_run",
+    "resume_sharded_run",
     "run_online",
     "segment_bounds",
+    "shard_of",
+    "shard_schedule",
 ]

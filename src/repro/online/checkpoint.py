@@ -26,9 +26,40 @@ from repro.online.arrivals import ArrivalSchedule
 from repro.online.driver import OnlineRun
 from repro.online.policies import OnlinePolicy, make_policy
 
-__all__ = ["CHECKPOINT_FORMAT", "make_checkpoint", "resume_run"]
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "check_schema_version",
+    "make_checkpoint",
+    "resume_run",
+]
 
 CHECKPOINT_FORMAT = "repro-online-checkpoint/1"
+
+#: Version of the checkpoint payload schema (the key layout of the
+#: schedule / policy / instance-recipe sections).  Payloads written
+#: before versioning carry no marker and are accepted as version 1;
+#: any other version is rejected up front with an actionable error
+#: instead of a ``KeyError`` deep inside a policy's ``from_config``.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def check_schema_version(
+    payload: Mapping[str, object],
+    what: str = "checkpoint",
+    *,
+    key: str = "schema_version",
+    supported: int = CHECKPOINT_SCHEMA_VERSION,
+) -> None:
+    """Reject payloads written under an unknown schema version."""
+    version = payload.get(key, 1)
+    if version != supported:
+        raise InvalidInstanceError(
+            f"{what} schema version {version!r} is not supported by this "
+            f"release (supported: {supported}); it was probably written "
+            "by a different release — re-run the stream or resume with "
+            "the release that wrote it"
+        )
 
 
 def make_checkpoint(
@@ -41,6 +72,7 @@ def make_checkpoint(
     """
     payload: Dict[str, object] = {
         "format": CHECKPOINT_FORMAT,
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
         "cursor": run.cursor,
         "schedule": run.schedule.payload(),
         "policy": {
@@ -74,6 +106,7 @@ def resume_run(
         raise InvalidInstanceError(
             f"not a {CHECKPOINT_FORMAT} payload: {checkpoint.get('format')!r}"
         )
+    check_schema_version(checkpoint)
     schedule = ArrivalSchedule.from_payload(checkpoint["schedule"])  # type: ignore[arg-type]
     spec = checkpoint["policy"]
     if policy is None:

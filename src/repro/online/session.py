@@ -16,16 +16,22 @@ RNG state.
 
 from __future__ import annotations
 
+import multiprocessing
+
 import numpy as np
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.oracle import CountingOracle
 from repro.core.submodular import SetFunction
 from repro.engine.hashing import derive_seed
 from repro.errors import InvalidInstanceError
 from repro.online.arrivals import build_arrival_schedule
-from repro.online.checkpoint import make_checkpoint, resume_run
+from repro.online.checkpoint import (
+    check_schema_version,
+    make_checkpoint,
+    resume_run,
+)
 from repro.online.driver import OnlineRun
 from repro.online.policies import (
     BestSingletonPolicy,
@@ -37,6 +43,15 @@ from repro.online.policies import (
     SubadditiveSegmentPolicy,
     nonmonotone_half_policy,
 )
+from repro.online.sharding import (
+    SHARDED_CHECKPOINT_FORMAT,
+    ShardCounters,
+    ShardedRun,
+    ShardView,
+    knapsack_constraint,
+    make_sharded_checkpoint,
+    resume_sharded_run,
+)
 from repro.secretary.knapsack_secretary import reduce_knapsacks_to_one
 from repro.workloads.secretary_streams import (
     STREAM_FAMILIES,
@@ -45,12 +60,24 @@ from repro.workloads.secretary_streams import (
 )
 
 __all__ = [
+    "RECIPE_SCHEMA_VERSION",
     "SESSION_POLICIES",
     "SESSION_FAMILIES",
     "OnlineSession",
+    "ShardedSession",
+    "build_workload",
     "start_session",
     "resume_session",
+    "start_sharded_session",
+    "resume_sharded_session",
+    "resume_any_session",
 ]
+
+#: Version of the embedded workload-recipe schema.  Recipes written
+#: before versioning carry no marker and are accepted as version 1;
+#: unknown versions are rejected up front (see
+#: :func:`repro.online.checkpoint.check_schema_version`).
+RECIPE_SCHEMA_VERSION = 1
 
 SESSION_POLICIES = (
     "monotone",
@@ -64,7 +91,7 @@ SESSION_POLICIES = (
 SESSION_FAMILIES = STREAM_FAMILIES
 
 
-def _build_workload(recipe: Mapping[str, object]) -> Tuple[SetFunction, Dict]:
+def build_workload(recipe: Mapping[str, object]) -> Tuple[SetFunction, Dict]:
     """Rebuild (utility, per-item knapsack weights) from a recipe.
 
     Construction goes through the same
@@ -101,12 +128,25 @@ def _singleton_values(fn: SetFunction) -> Dict:
 
 
 def _build_policy(
-    recipe: Mapping[str, object], fn: SetFunction, weights: Mapping
+    recipe: Mapping[str, object],
+    fn: SetFunction,
+    weights: Mapping,
+    *,
+    n: Optional[int] = None,
+    algo_seed: Optional[int] = None,
 ) -> OnlinePolicy:
+    """Build the recipe's policy (optionally as one shard's replica).
+
+    *n* overrides the stream length the policy lays out against (a shard
+    replica sees its shard's length, not the logical stream's); *algo_seed*
+    overrides the coin-flip seed (shard replicas flip independent,
+    shard-derived coins).  The defaults reproduce the unsharded session.
+    """
     name = str(recipe["policy"])
-    n = int(recipe["n"])  # type: ignore[arg-type]
+    n = int(recipe["n"]) if n is None else int(n)  # type: ignore[arg-type]
     k = int(recipe["k"])  # type: ignore[arg-type]
-    algo_seed = derive_seed(int(recipe["seed"]), "online-algo")  # type: ignore[arg-type]
+    if algo_seed is None:
+        algo_seed = derive_seed(int(recipe["seed"]), "online-algo")  # type: ignore[arg-type]
     gen = np.random.default_rng(algo_seed)
     if name == "monotone":
         return SegmentedSubmodularPolicy(k)
@@ -203,6 +243,7 @@ def start_session(
     """Build a fresh session from a workload recipe."""
     recipe: Dict[str, object] = {
         "kind": "secretary-workload",
+        "recipe_version": RECIPE_SCHEMA_VERSION,
         "policy": policy,
         "family": family,
         "n": int(n),
@@ -214,7 +255,7 @@ def start_session(
         "process": process,
         "process_params": dict(process_params or {}),
     }
-    fn, weights = _build_workload(recipe)
+    fn, weights = build_workload(recipe)
     policy_obj = _build_policy(recipe, fn, weights)
     schedule = build_arrival_schedule(
         process, fn, derive_seed(int(seed), "online-stream"),
@@ -225,17 +266,257 @@ def start_session(
     return OnlineSession(run, fn, counting, recipe)
 
 
-def resume_session(checkpoint: Mapping[str, object]) -> OnlineSession:
-    """Rebuild a suspended session from its self-contained checkpoint."""
+def _checked_recipe(checkpoint: Mapping[str, object]) -> Mapping[str, object]:
+    """The checkpoint's embedded recipe, kind- and version-validated."""
     recipe = checkpoint.get("instance")
     if not isinstance(recipe, Mapping) or recipe.get("kind") != "secretary-workload":
         raise InvalidInstanceError(
             "checkpoint has no embedded workload recipe; resume it through "
             "repro.online.checkpoint.resume_run with an explicit utility"
         )
-    fn, _ = _build_workload(recipe)
+    check_schema_version(
+        recipe, "workload recipe",
+        key="recipe_version", supported=RECIPE_SCHEMA_VERSION,
+    )
+    return recipe
+
+
+def resume_session(checkpoint: Mapping[str, object]) -> OnlineSession:
+    """Rebuild a suspended session from its self-contained checkpoint."""
+    recipe = _checked_recipe(checkpoint)
+    fn, _ = build_workload(recipe)
     counting = CountingOracle(fn)
     run = resume_run(checkpoint, counting)
     recipe = dict(recipe)
     prior = int(recipe.pop("oracle_calls_consumed", 0))  # type: ignore[arg-type]
     return OnlineSession(run, fn, counting, recipe, prior_calls=prior)
+
+
+# -- sharded sessions --------------------------------------------------------
+
+
+def _shard_algo_seed(seed: int, shard_index: int, num_shards: int) -> int:
+    """Coin-flip seed for one shard's policy replica.
+
+    A single shard keeps the unsharded session's seed — that is what
+    pins ``--shards 1`` bit-identical to the plain runtime; multiple
+    shards flip independent, shard-derived coins.
+    """
+    base = derive_seed(int(seed), "online-algo")
+    if num_shards == 1:
+        return base
+    return derive_seed(base, "shard", int(shard_index))
+
+
+def _merge_rule(
+    recipe: Mapping[str, object], weights: Mapping
+) -> Tuple[Optional[Callable], Optional[int]]:
+    """The ``(can_take, limit)`` pair the merge stage enforces.
+
+    Mirrors each policy's own feasibility notion: the knapsack rule's
+    hires must fit the reduced unit knapsack, the classical rule hires
+    one, everything else is cardinality-``k``.
+    """
+    policy = str(recipe["policy"])
+    if policy == "knapsack":
+        return knapsack_constraint(weights), None
+    if policy == "classical":
+        return None, 1
+    return None, int(recipe["k"])  # type: ignore[arg-type]
+
+
+def _finish_shard_worker(job: Tuple[Dict, Dict]) -> Tuple[Dict, int]:
+    """Spawn-pool body: resume one shard checkpoint, run to completion.
+
+    Workers rebuild the utility from the recipe (checkpoints pickle,
+    utilities need not) and return the finished shard's checkpoint plus
+    the oracle calls it consumed.
+    """
+    recipe, shard_ck = job
+    fn, _ = build_workload(recipe)
+    view = ShardView(fn, shard_ck["schedule"]["order"])
+    counting = CountingOracle(view)
+    run = resume_run(shard_ck, counting).run()
+    return make_checkpoint(run), counting.calls
+
+
+class ShardedSession:
+    """A resumable sharded (workload, policy, arrival process) execution.
+
+    The same contract as :class:`OnlineSession`, lifted over a
+    :class:`~repro.online.sharding.ShardedRun`: one counting oracle per
+    shard, cumulative ``oracle_calls`` across suspend/resume hops, a
+    manifest checkpoint any subset of whose shards may be mid-stream.
+    """
+
+    def __init__(
+        self,
+        run: ShardedRun,
+        base: SetFunction,
+        countings: List[CountingOracle],
+        recipe: Dict[str, object],
+        prior_calls: int = 0,
+    ) -> None:
+        self.run = run
+        self.base = base
+        self.countings = countings
+        self.recipe = recipe
+        self.prior_calls = int(prior_calls)
+
+    def advance(self, max_arrivals: Optional[int] = None) -> "ShardedSession":
+        self.run.run(max_arrivals)
+        return self
+
+    def advance_shard(
+        self, index: int, max_arrivals: Optional[int] = None
+    ) -> "ShardedSession":
+        self.run.run_shard(index, max_arrivals)
+        return self
+
+    def advance_parallel(self, workers: int) -> "ShardedSession":
+        """Run every unfinished shard to completion in a spawn pool.
+
+        Each worker resumes one shard from its checkpoint (rebuilding
+        the utility from the recipe, like a cross-process resume) and
+        streams it dry; the parent folds the finished states back in.
+        Falls back to the inline :meth:`advance` when there is nothing
+        to parallelise.
+        """
+        pending = [i for i, r in enumerate(self.run.runs) if not r.finished]
+        if len(pending) <= 1 or workers <= 1:
+            return self.advance()
+        jobs = [
+            (dict(self.recipe), make_checkpoint(self.run.runs[i]))
+            for i in pending
+        ]
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=min(int(workers), len(jobs))) as pool:
+            finished = pool.map(_finish_shard_worker, jobs)
+        for i, (ck, calls) in zip(pending, finished):
+            run = self.run.runs[i]
+            cursor = int(ck["cursor"])
+            for element in run.schedule.order[run.cursor:cursor]:
+                run.oracle.reveal(element)
+            run.cursor = cursor
+            run.policy.load_state(ck["policy"]["state"])
+            self.prior_calls += calls
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.run.finished
+
+    @property
+    def oracle_calls(self) -> int:
+        """Cumulative counted queries: all shards + merge + prior hops."""
+        return (
+            self.prior_calls
+            + sum(c.calls for c in self.countings)
+            + self.run.merge_calls
+        )
+
+    def checkpoint(self) -> Dict[str, object]:
+        extra = dict(self.recipe)
+        extra["oracle_calls_consumed"] = self.oracle_calls
+        return make_sharded_checkpoint(self.run, extra=extra)
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "policy": self.recipe["policy"],
+            "family": self.recipe["family"],
+            "process": self.recipe["process"],
+            "shards": self.run.num_shards,
+            "n": self.run.n,
+            "cursor": self.run.cursor,
+            "cursors": self.run.cursors,
+            "finished": self.run.finished,
+            "oracle_calls": self.oracle_calls,
+        }
+        if self.run.finished:
+            result = self.run.result()
+            selected = sorted(result.selected, key=repr)
+            out["selected"] = selected
+            out["n_chosen"] = len(selected)
+            out["value"] = float(self.base.value(frozenset(selected)))
+            out["strategy"] = getattr(result, "strategy", None)
+            out["shard_n_chosen"] = [
+                len(r.selected) for r in self.run.shard_results()
+            ]
+            out["merge_calls"] = self.run.merge_calls
+            out["oracle_calls"] = self.oracle_calls  # includes the merge now
+        return out
+
+
+def start_sharded_session(
+    policy: str = "monotone",
+    family: str = "additive",
+    n: int = 60,
+    k: int = 4,
+    *,
+    shards: int = 1,
+    seed: int = 0,
+    process: str = "uniform",
+    aux: int = 0,
+    n_knapsacks: int = 2,
+    distribution: str = "uniform",
+    process_params: Optional[Mapping[str, object]] = None,
+) -> ShardedSession:
+    """Build a fresh sharded session: S policy replicas + merge."""
+    if shards < 1:
+        raise InvalidInstanceError(f"shards must be >= 1, got {shards}")
+    recipe: Dict[str, object] = {
+        "kind": "secretary-workload",
+        "recipe_version": RECIPE_SCHEMA_VERSION,
+        "policy": policy,
+        "family": family,
+        "n": int(n),
+        "k": int(k),
+        "aux": int(aux),
+        "n_knapsacks": int(n_knapsacks),
+        "distribution": distribution,
+        "seed": int(seed),
+        "process": process,
+        "process_params": dict(process_params or {}),
+        "shards": int(shards),
+    }
+    fn, weights = build_workload(recipe)
+    schedule = build_arrival_schedule(
+        process, fn, derive_seed(int(seed), "online-stream"),
+        **dict(process_params or {}),
+    )
+    counters = ShardCounters()
+
+    def policy_factory(index: int, shard) -> OnlinePolicy:
+        return _build_policy(
+            recipe, fn, weights,
+            n=shard.n,
+            algo_seed=_shard_algo_seed(int(seed), index, int(shards)),
+        )
+
+    can_take, limit = _merge_rule(recipe, weights)
+    run = ShardedRun.from_schedule(
+        fn, schedule, int(shards), policy_factory,
+        oracle_factory=counters, can_take=can_take, limit=limit,
+    )
+    return ShardedSession(run, fn, counters.countings, recipe)
+
+
+def resume_sharded_session(checkpoint: Mapping[str, object]) -> ShardedSession:
+    """Rebuild a suspended sharded session from its manifest checkpoint."""
+    recipe = _checked_recipe(checkpoint)
+    fn, weights = build_workload(recipe)
+    can_take, _ = _merge_rule(recipe, weights)
+    counters = ShardCounters()
+    run = resume_sharded_run(
+        checkpoint, fn, oracle_factory=counters, can_take=can_take
+    )
+    recipe = dict(recipe)
+    prior = int(recipe.pop("oracle_calls_consumed", 0))  # type: ignore[arg-type]
+    return ShardedSession(run, fn, counters.countings, recipe, prior_calls=prior)
+
+
+def resume_any_session(checkpoint: Mapping[str, object]):
+    """Route a checkpoint payload to the matching resume path."""
+    if checkpoint.get("format") == SHARDED_CHECKPOINT_FORMAT:
+        return resume_sharded_session(checkpoint)
+    return resume_session(checkpoint)

@@ -1,0 +1,495 @@
+"""Sharded online runtime: one logical stream across S policy replicas.
+
+The ROADMAP's distributed-stream-sharding item: an
+:class:`~repro.online.arrivals.ArrivalSchedule` is a materialised order
+plus a minibatch partition, so a logical stream can be split into ``S``
+*shard schedules* — each element is assigned to a shard by a stable
+content hash (:func:`repro.engine.hashing.derive_seed`, so the
+assignment is a pure function of the element and survives process
+boundaries), and each shard schedule preserves the global order's
+relative order, batch structure, and timestamps restricted to its
+elements.  One policy replica runs per shard over a
+:class:`ShardView` of the utility (the same value oracle, ground set
+restricted to the shard), and a feasibility-aware **merge** stage
+re-ranks the union of per-shard hires by marginal gain under the global
+oracle, taking candidates greedily subject to the task's constraint
+(cardinality ``limit``, or any ``can_take`` hook — knapsack load,
+matroid independence).
+
+``S = 1`` is the identity: the single shard schedule *is* the input
+schedule, the shard view delegates every query, and the merge stage is
+skipped — so a one-shard :class:`ShardedRun` reproduces the unsharded
+:class:`~repro.online.driver.OnlineRun` hires and oracle-call counts
+bit-identically (pinned by ``tests/online/test_sharding.py``).
+
+Checkpointing composes: a sharded checkpoint is a *manifest* (shard
+count, salt, schema version) carrying one ordinary per-shard checkpoint
+each — any subset of shards may be mid-stream, finished, or untouched,
+and :func:`resume_sharded_run` rebuilds exactly that state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
+
+from repro.core.kernels import evaluator_for
+from repro.core.oracle import CountingOracle
+from repro.core.submodular import SetFunction
+from repro.errors import InvalidInstanceError
+from repro.online.arrivals import ArrivalSchedule
+from repro.online.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    check_schema_version,
+    make_checkpoint,
+    resume_run,
+)
+from repro.online.driver import OnlineRun
+from repro.online.policies import OnlinePolicy
+from repro.online.results import SecretaryResult
+
+__all__ = [
+    "SHARDED_CHECKPOINT_FORMAT",
+    "ShardCounters",
+    "ShardView",
+    "ShardedRun",
+    "shard_of",
+    "shard_schedule",
+    "merge_hires",
+    "knapsack_constraint",
+    "matroid_constraint",
+    "make_sharded_checkpoint",
+    "resume_sharded_run",
+]
+
+SHARDED_CHECKPOINT_FORMAT = "repro-online-sharded-checkpoint/1"
+
+CanTake = Callable[[FrozenSet[Hashable], Hashable], bool]
+
+
+def shard_of(element: Hashable, num_shards: int, salt: int = 0) -> int:
+    """Stable shard index for *element* under *num_shards* shards.
+
+    Hash-derived through the engine's seed derivation (SHA-256 over the
+    element's ``repr``), so the assignment is a pure function of
+    ``(element, num_shards, salt)`` — identical in every process, under
+    hash randomisation, and across releases.  *salt* lets two sharded
+    runs over the same ground set use independent partitions.
+    """
+    # Imported lazily: engine.hashing lives in the engine package, whose
+    # __init__ imports the task adapters, which import this module.
+    from repro.engine.hashing import derive_seed
+
+    if num_shards <= 0:
+        raise InvalidInstanceError(f"num_shards must be positive, got {num_shards}")
+    return derive_seed(int(salt), "shard", repr(element)) % num_shards
+
+
+def shard_schedule(
+    schedule: ArrivalSchedule, num_shards: int, salt: int = 0
+) -> List[ArrivalSchedule]:
+    """Partition *schedule* into *num_shards* shard schedules.
+
+    Each shard's ``order`` is the subsequence of the global order whose
+    elements hash to that shard (relative order preserved); each global
+    minibatch contributes its per-shard intersection as one shard batch
+    (empty intersections vanish, so revealed-together stays
+    revealed-together within a shard); timestamps follow their
+    arrivals.  Shards may be empty.  ``num_shards == 1`` returns the
+    input schedule itself — the identity partition the S=1 bit-identity
+    pin relies on.
+    """
+    if num_shards <= 0:
+        raise InvalidInstanceError(f"num_shards must be positive, got {num_shards}")
+    if num_shards == 1:
+        return [schedule]
+    assign = [shard_of(e, num_shards, salt) for e in schedule.order]
+    orders: List[List[Hashable]] = [[] for _ in range(num_shards)]
+    stamps: List[List[float]] = [[] for _ in range(num_shards)]
+    sizes: List[List[int]] = [[] for _ in range(num_shards)]
+    pos = 0
+    for batch in schedule.batch_sizes:
+        counts = [0] * num_shards
+        for i in range(pos, pos + batch):
+            s = assign[i]
+            orders[s].append(schedule.order[i])
+            if schedule.timestamps is not None:
+                stamps[s].append(schedule.timestamps[i])
+            counts[s] += 1
+        for s, c in enumerate(counts):
+            if c:
+                sizes[s].append(c)
+        pos += batch
+    return [
+        ArrivalSchedule(
+            process=schedule.process,
+            seed=schedule.seed,
+            order=orders[s],
+            batch_sizes=sizes[s],
+            timestamps=None if schedule.timestamps is None else stamps[s],
+            params={
+                **schedule.params,
+                "shard_index": s,
+                "num_shards": num_shards,
+                "shard_salt": int(salt),
+            },
+        )
+        for s in range(num_shards)
+    ]
+
+
+class ShardView(SetFunction):
+    """The global utility with its ground set restricted to one shard.
+
+    Pure delegation: values (and any kernel evaluator below) come from
+    the base function, so a shard replica scores its candidates exactly
+    as the unsharded run would — only the advertised ground set shrinks,
+    which is what lets the per-shard :class:`~repro.online.driver.OnlineRun`
+    accept the shard schedule.
+    """
+
+    def __init__(self, base: SetFunction, elements: Iterable[Hashable]) -> None:
+        self.base = base
+        self._ground = frozenset(elements)
+        extra = self._ground - base.ground_set
+        if extra:
+            raise InvalidInstanceError(
+                f"shard elements outside the base ground set: "
+                f"{sorted(map(repr, extra))[:5]}"
+            )
+
+    @property
+    def ground_set(self) -> FrozenSet[Hashable]:
+        return self._ground
+
+    def value(self, subset: FrozenSet[Hashable]) -> float:
+        return self.base.value(frozenset(subset))
+
+    def fast_evaluator(self):
+        return getattr(self.base, "fast_evaluator", lambda: None)()
+
+
+def knapsack_constraint(
+    weights: Mapping[Hashable, float], capacity: float = 1.0
+) -> CanTake:
+    """``can_take`` for a single knapsack over reduced per-item weights."""
+    def can_take(current: FrozenSet[Hashable], element: Hashable) -> bool:
+        load = sum(float(weights.get(e, 0.0)) for e in current)
+        return load + float(weights.get(element, math.inf)) <= capacity + 1e-9
+    return can_take
+
+
+def matroid_constraint(matroids: Sequence) -> CanTake:
+    """``can_take`` keeping the merged set independent in every matroid."""
+    def can_take(current: FrozenSet[Hashable], element: Hashable) -> bool:
+        candidate = frozenset(current) | {element}
+        return all(m.is_independent(candidate) for m in matroids)
+    return can_take
+
+
+def merge_hires(
+    utility: SetFunction,
+    candidates: Sequence[Hashable],
+    *,
+    can_take: Optional[CanTake] = None,
+    limit: Optional[int] = None,
+) -> List[Hashable]:
+    """Greedily re-rank *candidates* by marginal gain under *utility*.
+
+    Each round scores every remaining candidate against the merged
+    selection (one vectorized pass with a kernel-backed utility) and
+    takes the best strictly-improving one that *can_take* admits,
+    stopping at *limit* hires, when nothing improves, or when nothing
+    admissible remains.  Ties break by candidate ``repr`` so the merge
+    is deterministic across processes.  The result is always feasible:
+    every prefix passed *can_take* and respected *limit*.
+    """
+    pool = sorted(set(candidates), key=repr)
+    if not pool:
+        return []
+    evaluator = evaluator_for(utility)
+    chosen: List[Hashable] = []
+    current = evaluator.current_value
+    while pool and (limit is None or len(chosen) < limit):
+        gains = evaluator.gains(pool)
+        ranked = sorted(range(len(pool)), key=lambda i: (-float(gains[i]), repr(pool[i])))
+        picked = None
+        for i in ranked:
+            if not float(gains[i]) > 0.0:
+                break
+            if can_take is not None and not can_take(frozenset(chosen), pool[i]):
+                continue
+            picked = i
+            break
+        if picked is None:
+            break
+        element = pool.pop(picked)
+        current += float(gains[picked])
+        chosen.append(element)
+        evaluator.advance(element, current)
+    return chosen
+
+
+OracleFactory = Callable[[int, SetFunction], SetFunction]
+PolicyFactory = Callable[[int, ArrivalSchedule], OnlinePolicy]
+
+
+class ShardCounters:
+    """The standard ``oracle_factory``: one counting oracle per shard.
+
+    Pass an instance as ``oracle_factory`` to
+    :meth:`ShardedRun.from_schedule` / :func:`resume_sharded_run` and
+    read ``calls`` (the sum over shards) afterwards — every consumer
+    that reports per-shard oracle work uses this same accounting.
+    """
+
+    def __init__(self) -> None:
+        self.countings: List[CountingOracle] = []
+
+    def __call__(self, index: int, view: SetFunction) -> CountingOracle:
+        counting = CountingOracle(view)
+        self.countings.append(counting)
+        return counting
+
+    @property
+    def calls(self) -> int:
+        return sum(c.calls for c in self.countings)
+
+
+class ShardedRun:
+    """S policy replicas over one hash-partitioned arrival schedule.
+
+    ``utility`` is the *global* (unrestricted) function the merge stage
+    ranks against; each shard run owns whatever oracle its factory
+    wrapped around the shard view (the session layer counts per shard).
+    With a single shard the run delegates wholly — no merge, no extra
+    oracle traffic — so S=1 is bit-identical to an unsharded
+    :class:`~repro.online.driver.OnlineRun`.
+    """
+
+    def __init__(
+        self,
+        utility: SetFunction,
+        runs: Sequence[OnlineRun],
+        *,
+        can_take: Optional[CanTake] = None,
+        limit: Optional[int] = None,
+        salt: int = 0,
+    ) -> None:
+        if not runs:
+            raise InvalidInstanceError("a sharded run needs at least one shard")
+        self.utility = utility
+        self.runs = list(runs)
+        self.can_take = can_take
+        self.limit = limit
+        self.salt = int(salt)
+        self.merge_calls = 0
+        self._result: Optional[SecretaryResult] = None
+
+    @classmethod
+    def from_schedule(
+        cls,
+        utility: SetFunction,
+        schedule: ArrivalSchedule,
+        num_shards: int,
+        policy_factory: PolicyFactory,
+        *,
+        oracle_factory: Optional[OracleFactory] = None,
+        can_take: Optional[CanTake] = None,
+        limit: Optional[int] = None,
+        salt: int = 0,
+    ) -> "ShardedRun":
+        """Partition *schedule* and build one replica run per shard.
+
+        *policy_factory* gets ``(shard_index, shard_schedule)`` and
+        returns a fresh policy; *oracle_factory* gets ``(shard_index,
+        shard_view)`` and may wrap it (counting, caching) — the wrapped
+        oracle is what the shard's driver reveals to.
+        """
+        shards = shard_schedule(schedule, num_shards, salt=salt)
+        runs = []
+        for i, shard in enumerate(shards):
+            view = ShardView(utility, shard.order)
+            oracle = view if oracle_factory is None else oracle_factory(i, view)
+            runs.append(OnlineRun(oracle, shard, policy_factory(i, shard)))
+        return cls(
+            utility, runs, can_take=can_take, limit=limit, salt=salt
+        )
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.runs)
+
+    @property
+    def n(self) -> int:
+        """Total arrivals across all shards (= the base schedule's n)."""
+        return sum(run.n for run in self.runs)
+
+    @property
+    def cursor(self) -> int:
+        """Total consumed arrivals across all shards."""
+        return sum(run.cursor for run in self.runs)
+
+    @property
+    def cursors(self) -> List[int]:
+        return [run.cursor for run in self.runs]
+
+    @property
+    def finished(self) -> bool:
+        return all(run.finished for run in self.runs)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, max_arrivals: Optional[int] = None) -> "ShardedRun":
+        """Consume up to *max_arrivals* more arrivals, shards in order.
+
+        The budget drains shard 0 first, then flows to shard 1, and so
+        on — deterministic, and a suspended run resumes exactly where
+        the budget ran out (possibly mid-batch inside one shard while
+        later shards are untouched).
+        """
+        budget = None if max_arrivals is None else int(max_arrivals)
+        for run in self.runs:
+            if budget is not None and budget <= 0:
+                break
+            before = run.cursor
+            run.run(budget)
+            if budget is not None:
+                budget -= run.cursor - before
+        return self
+
+    def run_shard(
+        self, index: int, max_arrivals: Optional[int] = None
+    ) -> "ShardedRun":
+        """Advance a single shard (for skewed/out-of-band progress)."""
+        self.runs[index].run(max_arrivals)
+        return self
+
+    def result(self) -> SecretaryResult:
+        """Merge the per-shard hires into the final solution (cached).
+
+        Single-shard runs return the shard's own result object — the
+        merge stage (and its oracle traffic) exists only when there is
+        something to reconcile.  The merge ranks on a counting wrapper
+        of the global utility, so ``merge_calls`` reports its price
+        separately from the shards' online query counts.
+        """
+        if self._result is None:
+            if len(self.runs) == 1:
+                self._result = self.runs[0].result()
+            else:
+                candidates = [
+                    e for run in self.runs for e in run.result().selected
+                ]
+                counting = CountingOracle(self.utility)
+                merged = merge_hires(
+                    counting, candidates, can_take=self.can_take, limit=self.limit
+                )
+                self.merge_calls = counting.calls
+                self._result = SecretaryResult(
+                    selected=frozenset(merged),
+                    traces=[],
+                    strategy="sharded-merge",
+                )
+        return self._result
+
+    def shard_results(self) -> List[SecretaryResult]:
+        """Per-shard results (each shard must be finished)."""
+        return [run.result() for run in self.runs]
+
+
+# -- checkpoint codec --------------------------------------------------------
+
+
+def make_sharded_checkpoint(
+    run: ShardedRun, extra: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """Serialise *run* as a manifest of ordinary per-shard checkpoints.
+
+    Each entry under ``"shards"`` is a standard
+    :func:`~repro.online.checkpoint.make_checkpoint` payload (schedule +
+    cursor + policy config/state), so any subset of shards — mid-stream,
+    finished, or untouched — round-trips.  ``"limit"`` records the
+    merge cardinality; ``can_take`` hooks are runtime dependencies the
+    resuming caller re-injects (the session layer derives them from the
+    embedded recipe).
+    """
+    payload: Dict[str, object] = {
+        "format": SHARDED_CHECKPOINT_FORMAT,
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
+        "num_shards": run.num_shards,
+        "salt": run.salt,
+        "limit": run.limit,
+        "shards": [make_checkpoint(r) for r in run.runs],
+    }
+    if extra is not None:
+        payload["instance"] = dict(extra)
+    return payload
+
+
+def resume_sharded_run(
+    checkpoint: Mapping[str, object],
+    utility: SetFunction,
+    *,
+    oracle_factory: Optional[OracleFactory] = None,
+    policies: Optional[Sequence[OnlinePolicy]] = None,
+    deps: Optional[Mapping[str, object]] = None,
+    can_take: Optional[CanTake] = None,
+) -> ShardedRun:
+    """Rebuild a :class:`ShardedRun` from its manifest checkpoint.
+
+    Every shard resumes through the ordinary
+    :func:`~repro.online.checkpoint.resume_run` path (prefix re-reveals,
+    policy state restore) against a fresh :class:`ShardView` of
+    *utility* — optionally wrapped by *oracle_factory* (counting).
+    *policies*/*deps* forward to the per-shard resume for policies with
+    non-serializable dependencies; *can_take* re-injects the merge
+    constraint.
+    """
+    if checkpoint.get("format") != SHARDED_CHECKPOINT_FORMAT:
+        raise InvalidInstanceError(
+            f"not a {SHARDED_CHECKPOINT_FORMAT} payload: "
+            f"{checkpoint.get('format')!r}"
+        )
+    check_schema_version(checkpoint, "sharded checkpoint")
+    shard_payloads = checkpoint.get("shards")
+    if not isinstance(shard_payloads, list) or not shard_payloads:
+        raise InvalidInstanceError("sharded checkpoint has no shard entries")
+    if len(shard_payloads) != int(checkpoint.get("num_shards", len(shard_payloads))):
+        raise InvalidInstanceError(
+            f"sharded checkpoint manifest declares {checkpoint.get('num_shards')} "
+            f"shards but carries {len(shard_payloads)}"
+        )
+    runs = []
+    for i, shard_ck in enumerate(shard_payloads):
+        order = shard_ck["schedule"]["order"]  # type: ignore[index]
+        view = ShardView(utility, order)
+        oracle = view if oracle_factory is None else oracle_factory(i, view)
+        runs.append(
+            resume_run(
+                shard_ck,
+                oracle,
+                policy=None if policies is None else policies[i],
+                deps=deps,
+            )
+        )
+    limit = checkpoint.get("limit")
+    return ShardedRun(
+        utility,
+        runs,
+        can_take=can_take,
+        limit=None if limit is None else int(limit),  # type: ignore[arg-type]
+        salt=int(checkpoint.get("salt", 0)),  # type: ignore[arg-type]
+    )

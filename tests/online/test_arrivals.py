@@ -246,3 +246,25 @@ class TestPayloadRoundTrip:
         prints = {build_arrival_schedule(p, fn, 5).fingerprint()
                   for p in ALL_PROCESSES}
         assert len(prints) == len(ALL_PROCESSES)
+
+    def test_timestamped_fingerprint_stable_through_checkpoint_hop(self, fn):
+        """A Poisson schedule's fingerprint survives the checkpoint codec.
+
+        Checkpoints serialise with ``sort_keys`` + strict JSON; float
+        timestamps must round-trip exactly (Python floats do through
+        ``json``), or a resumed shard would look like a different
+        instance to provenance checks.
+        """
+        import json
+
+        schedule = build_arrival_schedule("poisson", fn, 13, rate=5.0)
+        assert schedule.timestamps is not None
+        text = json.dumps(schedule.payload(), sort_keys=True, allow_nan=False)
+        back = ArrivalSchedule.from_payload(json.loads(text))
+        assert back.timestamps == schedule.timestamps
+        assert back.fingerprint() == schedule.fingerprint()
+        # And again through a second hop (resume → suspend → resume).
+        text2 = json.dumps(back.payload(), sort_keys=True, allow_nan=False)
+        assert ArrivalSchedule.from_payload(
+            json.loads(text2)
+        ).fingerprint() == schedule.fingerprint()

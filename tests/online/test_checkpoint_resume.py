@@ -201,3 +201,36 @@ def test_double_resume_chain():
     hop3 = resume_session(_roundtrip(hop2.checkpoint())).advance()
     assert hop3.finished
     assert hop3.run.result().selected == want
+
+
+@pytest.mark.parametrize("process,params", [
+    ("bursty", {"mean_batch": 6.0}),
+    ("poisson", {"rate": 6.0}),
+])
+def test_truncated_batch_resumes_from_in_batch_cursor(process, params):
+    """``run(max_arrivals)`` cutting a minibatch suspends *inside* it.
+
+    The cursor must land mid-batch (not snap to a batch boundary), the
+    checkpoint must round-trip that cursor, and the resumed run must
+    replay only the batch's unconsumed tail — same hires as the
+    uninterrupted run for every in-batch cut point.
+    """
+    kwargs = dict(policy="monotone", family="additive", n=24, k=3, seed=9,
+                  process=process, process_params=params)
+    full = start_session(**kwargs).advance()
+    want = full.run.result().selected
+    # Every position strictly inside a multi-arrival batch.
+    sizes = full.run.schedule.batch_sizes
+    in_batch_cuts, pos = [], 0
+    for size in sizes:
+        in_batch_cuts.extend(range(pos + 1, pos + size))
+        pos += size
+    assert in_batch_cuts, f"{process} drew no multi-arrival batch"
+    for cut in in_batch_cuts:
+        session = start_session(**kwargs).advance(cut)
+        if session.finished:
+            continue  # policy went done before the cut
+        assert session.run.cursor == cut
+        resumed = resume_session(_roundtrip(session.checkpoint()))
+        assert resumed.run.cursor == cut
+        assert resumed.advance().run.result().selected == want, (process, cut)

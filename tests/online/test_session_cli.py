@@ -116,3 +116,82 @@ class TestOnlineCLI:
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["finished"] is True
+
+
+class TestShardedCLI:
+    def test_sharded_suspend_resume_round_trip(self, tmp_path, capsys):
+        ck = str(tmp_path / "shards.json")
+        base = ["online", "run", "--policy", "monotone", "--family", "coverage",
+                "--n", "30", "--k", "3", "--seed", "5", "--process", "bursty",
+                "--shards", "3"]
+        assert main(base + ["--max-arrivals", "11", "--checkpoint", ck]) == 0
+        suspended = json.loads(capsys.readouterr().out)
+        assert suspended["finished"] is False
+        assert suspended["shards"] == 3
+        assert suspended["cursor"] == 11
+        assert sum(suspended["cursors"]) == 11
+
+        assert main(["online", "resume", ck]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["finished"] is True
+        assert resumed["n_chosen"] <= 3
+        assert resumed["strategy"] == "sharded-merge"
+
+        # Same hires as the uninterrupted sharded run.
+        assert main(base) == 0
+        oneshot = json.loads(capsys.readouterr().out)
+        assert resumed["selected"] == oneshot["selected"]
+        assert resumed["value"] == oneshot["value"]
+
+    def test_checkpoint_write_is_atomic(self, tmp_path, capsys):
+        """A suspend over an existing checkpoint replaces it whole."""
+        ck = tmp_path / "hop.json"
+        ck.write_text('{"sentinel": true}')
+        assert main([
+            "online", "run", "--n", "25", "--k", "2", "--seed", "2",
+            "--max-arrivals", "5", "--checkpoint", str(ck),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(ck.read_text())
+        assert payload["cursor"] == 5  # fully replaced, never merged/truncated
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_corrupt_checkpoint_is_clean_exit_2(self, tmp_path, capsys):
+        ck = tmp_path / "truncated.json"
+        ck.write_text('{"format": "repro-online-checkpoint/1", "cursor')
+        assert main(["online", "resume", str(ck)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt or truncated" in err
+        assert str(ck) in err
+
+    def test_non_object_checkpoint_is_clean_exit_2(self, tmp_path, capsys):
+        ck = tmp_path / "list.json"
+        ck.write_text("[1, 2, 3]")
+        assert main(["online", "resume", str(ck)]) == 2
+        assert "not a JSON object" in capsys.readouterr().err
+
+    def test_future_schema_version_is_clean_exit_2(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.json")
+        assert main([
+            "online", "run", "--n", "20", "--k", "2", "--seed", "1",
+            "--max-arrivals", "6", "--checkpoint", ck,
+        ]) == 0
+        capsys.readouterr()
+        with open(ck, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        payload["schema_version"] = 99
+        with open(ck, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        assert main(["online", "resume", ck]) == 2
+        assert "schema version 99" in capsys.readouterr().err
+
+    def test_bad_shard_and_worker_flags_rejected(self, capsys):
+        assert main(["online", "run", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(["online", "run", "--n", "10", "--workers", "2"]) == 2
+        assert "sharded runs only" in capsys.readouterr().err
+        assert main([
+            "online", "run", "--n", "10", "--shards", "2", "--workers", "2",
+            "--max-arrivals", "3",
+        ]) == 2
+        assert "--max-arrivals" in capsys.readouterr().err

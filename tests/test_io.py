@@ -8,6 +8,7 @@ import pytest
 from repro.errors import InvalidInstanceError
 from repro.io import (
     dump_instance,
+    dump_json_atomic,
     instance_from_dict,
     instance_to_dict,
     load_instance,
@@ -121,3 +122,28 @@ class TestFileHelpers:
         assert schedule_all_jobs(back).cost == pytest.approx(
             schedule_all_jobs(inst).cost
         )
+
+
+class TestAtomicJsonDump:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "ck.json"
+        dump_json_atomic({"v": 1}, str(path))
+        assert json.loads(path.read_text()) == {"v": 1}
+        dump_json_atomic({"v": 2}, str(path))
+        assert json.loads(path.read_text()) == {"v": 2}
+        assert list(tmp_path.iterdir()) == [path]  # no stray temp files
+
+    def test_failed_write_leaves_previous_file_intact(self, tmp_path):
+        """Kill-mid-write recovery: the old checkpoint survives.
+
+        A serialisation failure part-way through (stand-in for a crash
+        mid-write: the temp file holds a JSON prefix) must neither
+        truncate nor replace the existing payload, and must clean up
+        its temp file.
+        """
+        path = tmp_path / "ck.json"
+        dump_json_atomic({"cursor": 7}, str(path))
+        with pytest.raises(TypeError):
+            dump_json_atomic({"cursor": 8, "bad": object()}, str(path))
+        assert json.loads(path.read_text()) == {"cursor": 7}
+        assert list(tmp_path.iterdir()) == [path]
