@@ -12,9 +12,19 @@ and the resumed session's merged hires must equal an uninterrupted
 sharded run's — the same contract lifted over the sharded runtime,
 where every shard checkpoints independently.
 
+With ``--soak``, a long-stream scaling cell also runs: bursty arrivals
+over an additive utility at n = 10^4 / 10^5 / 10^6, suspended halfway.
+The checkpoint must stay O(selected) — its byte size and the
+parse-plus-restore wall time at n = 10^6 must land within 2x of the
+n = 10^4 cell's (workload and source construction sit outside the
+timer; they are O(n) for any runner).  The curve is written to
+``--soak-output`` (committed as ``BENCH_PR6.json``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/streaming_smoke.py [--output smoke.json]
+    PYTHONPATH=src python benchmarks/streaming_smoke.py --soak \
+        --soak-output BENCH_PR6.json
 """
 
 from __future__ import annotations
@@ -24,7 +34,15 @@ import json
 import sys
 import time
 
-from repro.online.arrivals import arrival_process_names
+from repro.core.functions import AdditiveFunction
+from repro.online.arrivals import (
+    arrival_process_names,
+    build_arrival_schedule,
+    build_arrival_source,
+)
+from repro.online.checkpoint import make_checkpoint, resume_run
+from repro.online.driver import OnlineRun
+from repro.online.policies import SegmentedSubmodularPolicy
 from repro.online.session import (
     SESSION_POLICIES,
     build_workload,
@@ -37,9 +55,18 @@ from repro.online.session import (
 N, K, SEED, SHARDS = 16, 3, 20100612, 2
 
 
+def _process_params(process: str) -> dict:
+    """Per-process stream parameters; replay needs a recorded payload."""
+    if process != "replay":
+        return {}
+    fn, _ = build_workload({"family": "additive", "n": N, "seed": SEED})
+    recorded = build_arrival_schedule("bursty", fn, 99, mean_batch=3.0)
+    return {"payload": recorded.payload()}
+
+
 def run_pair(policy: str, process: str) -> dict:
     kwargs = dict(policy=policy, family="additive", n=N, k=K, seed=SEED,
-                  process=process)
+                  process=process, process_params=_process_params(process))
     t0 = time.perf_counter()
     oneshot = start_session(**kwargs).advance()
     selected = sorted(map(str, oneshot.run.result().selected))
@@ -65,7 +92,8 @@ def run_pair(policy: str, process: str) -> dict:
 def run_sharded_pair(policy: str, process: str) -> dict:
     """S=2 round: drain shard 0, suspend shard 1 mid-stream, resume."""
     kwargs = dict(policy=policy, family="additive", n=N, k=K, seed=SEED,
-                  process=process, shards=SHARDS)
+                  process=process, process_params=_process_params(process),
+                  shards=SHARDS)
     t0 = time.perf_counter()
     oneshot = start_sharded_session(**kwargs).advance()
     summary = oneshot.summary()
@@ -100,9 +128,108 @@ def run_sharded_pair(policy: str, process: str) -> dict:
     }
 
 
+SOAK_NS = (10_000, 100_000, 1_000_000)
+
+
+def run_soak_cell(n: int, *, verify: bool = False) -> dict:
+    """One long-stream cell: suspend at n//2, measure checkpoint cost.
+
+    Workload, source, and policy binding are built outside the timed
+    region — they are O(n) for *any* runner (an uninterrupted run pays
+    the same evaluator-kernel precompute) — so the O(selected) claim is
+    about the checkpoint itself: its byte size and the JSON-parse +
+    :meth:`OnlineRun.restore` time.
+    """
+    values = {i: float((7 * i) % 101 + 1) for i in range(n)}
+
+    def fresh_run():
+        fn = AdditiveFunction(values)
+        src = build_arrival_source("bursty", fn, SEED, mean_batch=8.0)
+        return OnlineRun(fn, src, SegmentedSubmodularPolicy(K))
+
+    run = fresh_run()
+    t0 = time.perf_counter()
+    run.run(n // 2)
+    suspend_seconds = time.perf_counter() - t0
+    text = json.dumps(make_checkpoint(run), sort_keys=True, allow_nan=False)
+
+    # Parse + restore, best of three to shave timer noise.
+    resume_seconds = float("inf")
+    for _ in range(3):
+        resumed = fresh_run()
+        t0 = time.perf_counter()
+        resumed.restore(json.loads(text))
+        resume_seconds = min(resume_seconds, time.perf_counter() - t0)
+    assert resumed.cursor == n // 2
+
+    ok = True
+    if verify:  # pin correctness on the cheap cell only
+        want = fresh_run().run().result().selected
+        through_resume_run = resume_run(
+            json.loads(text), AdditiveFunction(values)
+        )
+        ok = (resumed.run().result().selected == want
+              and through_resume_run.run().result().selected == want)
+    return {
+        "n": n,
+        "ok": ok,
+        "checkpoint_bytes": len(text),
+        "hired": len(resumed.decisions),
+        "suspend_seconds": suspend_seconds,
+        "resume_seconds": resume_seconds,
+    }
+
+
+def run_soak(output: str | None) -> int:
+    cells = [
+        run_soak_cell(n, verify=(n == min(SOAK_NS))) for n in SOAK_NS
+    ]
+    for c in cells:
+        print(f"soak n={c['n']:>9,} ck={c['checkpoint_bytes']:>6}B "
+              f"hired={c['hired']} suspend={c['suspend_seconds']:.3f}s "
+              f"resume={c['resume_seconds'] * 1e3:.2f}ms")
+    small = next(c for c in cells if c["n"] == min(SOAK_NS))
+    big = next(c for c in cells if c["n"] == max(SOAK_NS))
+    # 1 ms floor keeps the ratio meaningful when both resumes are
+    # sub-millisecond.
+    flat_bytes = big["checkpoint_bytes"] <= 2 * small["checkpoint_bytes"]
+    flat_time = (big["resume_seconds"]
+                 <= 2 * max(small["resume_seconds"], 1e-3))
+    ok = flat_bytes and flat_time and all(c["ok"] for c in cells)
+    payload = {
+        "format": "repro-bench-pr/1",
+        "benchmark": "streaming-soak",
+        "policy": "monotone",
+        "process": "bursty",
+        "suspend_at": "n//2",
+        "cells": cells,
+        "flat_checkpoint_bytes": flat_bytes,
+        "flat_resume_seconds": flat_time,
+        "note": ("checkpoint bytes and parse+restore wall time at n=10^6 "
+                 "within 2x of n=10^4; utility/source/policy binding "
+                 "(O(n) for any runner, paid equally by an uninterrupted "
+                 "run) excluded from the timed region"),
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if not ok:
+        print("streaming soak: checkpoint cost is not flat in n",
+              file=sys.stderr)
+        return 1
+    print(f"streaming soak: O(selected) holds across n={min(SOAK_NS):,} "
+          f"... {max(SOAK_NS):,}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default=None, help="write results JSON here")
+    parser.add_argument("--soak", action="store_true",
+                        help="also run the long-stream scaling cells")
+    parser.add_argument("--soak-output", default=None,
+                        help="write the soak scaling curve JSON here")
     args = parser.parse_args(argv)
 
     results = [
@@ -130,6 +257,8 @@ def main(argv=None) -> int:
         return 1
     print(f"streaming smoke: all {len(results)} policy x process x shard "
           "cells ok")
+    if args.soak:
+        return run_soak(args.soak_output)
     return 0
 
 

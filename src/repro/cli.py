@@ -241,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the next checkpoint when still suspended "
              "(default: overwrite the input file)",
     )
+
+    online_inspect = online_sub.add_parser(
+        "inspect",
+        help="describe a checkpoint file without resuming it "
+             "(schema version, process, cursor, hires, shard manifest)",
+    )
+    online_inspect.add_argument("checkpoint_file", help="checkpoint JSON file")
     return parser
 
 
@@ -469,6 +476,96 @@ def _load_checkpoint_file(path: str) -> dict:
     return payload
 
 
+def _describe_shard_checkpoint(ck: dict) -> dict:
+    """Summary of one ordinary (per-shard or unsharded) checkpoint payload."""
+    version = int(ck.get("schema_version", 1))
+    entry: dict = {
+        "schema_version": version,
+        "cursor": ck.get("cursor"),
+        "policy": (ck.get("policy") or {}).get("name"),
+    }
+    if version >= 2:
+        source = ck.get("source") or {}
+        entry["process"] = source.get("process")
+        entry["seed"] = source.get("seed")
+        shard = source.get("shard")
+        if shard:
+            entry["shard"] = shard
+        entry["hired"] = len(ck.get("decisions") or [])
+        entry["frontier"] = len(ck.get("frontier") or [])
+        state = source.get("state") or {}
+        fp = state.get("fingerprint") or {}
+        entry["fingerprint"] = fp.get("chain")
+        entry["embedded_schedule"] = "schedule" in source
+    else:
+        schedule = ck.get("schedule") or {}
+        entry["process"] = schedule.get("process")
+        entry["seed"] = schedule.get("seed")
+        order = schedule.get("order")
+        entry["n"] = None if order is None else len(order)
+        # v1 recorded no decision log; the hire count lives (if anywhere)
+        # inside policy state, whose layout is policy-specific.
+        state = (ck.get("policy") or {}).get("state") or {}
+        selected = state.get("selected")
+        entry["hired"] = len(selected) if isinstance(selected, list) else None
+    return entry
+
+
+def _cmd_online_inspect(args) -> int:
+    """``online inspect``: describe a checkpoint without resuming it.
+
+    Read-only — no utility rebuild, no oracle, no policy construction —
+    so it works even when the workload recipe's family is unknown to
+    this release.  Corrupt files exit 2 through the shared loader.
+    """
+    from repro.online.checkpoint import CHECKPOINT_FORMAT
+    from repro.online.sharding import SHARDED_CHECKPOINT_FORMAT
+
+    payload = _load_checkpoint_file(args.checkpoint_file)
+    fmt = payload.get("format")
+    if fmt not in (CHECKPOINT_FORMAT, SHARDED_CHECKPOINT_FORMAT):
+        raise ReproError(
+            f"checkpoint file {args.checkpoint_file} has unknown format "
+            f"{fmt!r} (expected {CHECKPOINT_FORMAT} or "
+            f"{SHARDED_CHECKPOINT_FORMAT})"
+        )
+    out: dict = {
+        "file": args.checkpoint_file,
+        "format": fmt,
+        "schema_version": int(payload.get("schema_version", 1)),
+    }
+    recipe = payload.get("instance")
+    if isinstance(recipe, dict):
+        out["recipe"] = {
+            key: recipe.get(key)
+            for key in ("policy", "family", "n", "k", "seed", "process",
+                        "shards")
+            if key in recipe
+        }
+    if fmt == SHARDED_CHECKPOINT_FORMAT:
+        shards = payload.get("shards") or []
+        out["num_shards"] = payload.get("num_shards")
+        out["salt"] = payload.get("salt")
+        out["shards"] = [
+            _describe_shard_checkpoint(ck) for ck in shards
+            if isinstance(ck, dict)
+        ]
+        out["cursor"] = sum(
+            int(s["cursor"]) for s in out["shards"]
+            if isinstance(s.get("cursor"), int)
+        )
+        out["hired"] = sum(
+            s["hired"] for s in out["shards"]
+            if isinstance(s.get("hired"), int)
+        ) if all(
+            isinstance(s.get("hired"), int) for s in out["shards"]
+        ) else None
+    else:
+        out.update(_describe_shard_checkpoint(payload))
+    _emit(out)
+    return 0
+
+
 def _cmd_online(args) -> int:
     from repro.online.session import (
         ShardedSession,
@@ -477,6 +574,8 @@ def _cmd_online(args) -> int:
         start_sharded_session,
     )
 
+    if args.online_command == "inspect":
+        return _cmd_online_inspect(args)
     if args.online_command == "run":
         params = None
         if args.process_params:

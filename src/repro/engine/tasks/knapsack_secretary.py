@@ -36,7 +36,7 @@ from repro.engine.hashing import derive_seed, spec_fingerprint
 from repro.engine.tasks.base import TaskAdapter, register_task
 from repro.engine.tasks.secretary import split_family, validate_qualified_families
 from repro.errors import InfeasibleError, InvalidInstanceError
-from repro.online.arrivals import arrival_process_names, build_arrival_schedule
+from repro.online.arrivals import arrival_process_names, build_arrival_source
 from repro.online.driver import OnlineRun
 from repro.online.policies import KnapsackSecretaryPolicy
 from repro.online.runtime import offline_knapsack_estimate
@@ -78,7 +78,10 @@ class KnapsackSecretaryAdapter(TaskAdapter):
     base_families = ("additive",)
 
     def families(self) -> Tuple[str, ...]:
-        extra = tuple(p for p in arrival_process_names() if p != "uniform")
+        extra = tuple(
+            p for p in arrival_process_names()
+            if p not in ("uniform", "replay")
+        )
         return self.base_families + tuple(
             f"{b}@{p}" for b in self.base_families for p in extra
         )
@@ -120,17 +123,21 @@ class KnapsackSecretaryAdapter(TaskAdapter):
         benchmark = offline_knapsack_estimate(
             fn, reduced, sorted(fn.ground_set, key=repr), capacity=1.0
         )
-        # Schedule built over the unwrapped function: sorted-order
+        # Source built over the unwrapped function: sorted-order
         # processes query singleton values to rank arrivals, and that
-        # ranking is instance data, not online oracle work.
-        schedule = build_arrival_schedule(
-            instance.arrival, fn, np.random.default_rng(instance.stream_seed)
-        )
+        # ranking is instance data, not online oracle work.  (The live
+        # Generator seed routes through the materializing fallback —
+        # bit-identical to the eager builder.)
+        def source_factory():
+            return build_arrival_source(
+                instance.arrival, fn, np.random.default_rng(instance.stream_seed)
+            )
+
         if instance.shards == 1:
             counting = CountingOracle(fn)
             heads = bool(np.random.default_rng(instance.algo_seed).random() < 0.5)
             policy = KnapsackSecretaryPolicy(reduced, heads=heads)
-            result = OnlineRun(counting, schedule, policy).run().result()
+            result = OnlineRun(counting, source_factory(), policy).run().result()
             calls = counting.calls
         else:
             # One coin-flip replica per shard; the merge re-ranks the
@@ -144,8 +151,8 @@ class KnapsackSecretaryAdapter(TaskAdapter):
                 ).random()
                 return KnapsackSecretaryPolicy(reduced, heads=bool(coin < 0.5))
 
-            run = ShardedRun.from_schedule(
-                fn, schedule, instance.shards, policy_factory,
+            run = ShardedRun.from_source(
+                fn, source_factory, instance.shards, policy_factory,
                 oracle_factory=counters,
                 can_take=knapsack_constraint(reduced, 1.0),
             )

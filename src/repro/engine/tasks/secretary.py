@@ -52,7 +52,7 @@ from repro.core.submodular import SetFunction
 from repro.engine.hashing import derive_seed, spec_fingerprint
 from repro.engine.tasks.base import TaskAdapter, register_task
 from repro.errors import InfeasibleError, InvalidInstanceError
-from repro.online.arrivals import arrival_process_names, build_arrival_schedule
+from repro.online.arrivals import arrival_process_names, build_arrival_source
 from repro.online.driver import OnlineRun
 from repro.online.sharding import ShardCounters, ShardedRun
 from repro.online.policies import (
@@ -104,7 +104,13 @@ def validate_qualified_families(adapter: TaskAdapter, families) -> None:
 
     for family in families:
         base, process, _shards = split_family(family)
-        if base not in adapter.base_families or process not in _procs():
+        # "replay" needs a recorded schedule payload the sweep grid
+        # cannot supply, so it is not a valid family qualifier.
+        if (
+            base not in adapter.base_families
+            or process == "replay"
+            or process not in _procs()
+        ):
             raise InvalidInstanceError(
                 f"unknown {adapter.name} workload family {family!r}; "
                 f"known: {sorted(adapter.families())} (optionally "
@@ -161,7 +167,10 @@ class SecretaryAdapter(TaskAdapter):
     base_families = STREAM_FAMILIES
 
     def families(self) -> Tuple[str, ...]:
-        extra = tuple(p for p in arrival_process_names() if p != "uniform")
+        extra = tuple(
+            p for p in arrival_process_names()
+            if p not in ("uniform", "replay")
+        )
         return self.base_families + tuple(
             f"{b}@{p}" for b in self.base_families for p in extra
         )
@@ -230,14 +239,17 @@ class SecretaryAdapter(TaskAdapter):
         return 1 if spec.method == "classical" else k
 
     def solve(self, instance: SecretaryInstance, spec) -> Dict[str, Any]:
-        schedule = build_arrival_schedule(
-            instance.arrival, instance.fn, instance.stream_seed
-        )
+        def source_factory():
+            return build_arrival_source(
+                instance.arrival, instance.fn, instance.stream_seed
+            )
+
         budget = self._budget(spec, instance.k)
         if instance.shards == 1:
+            source = source_factory()
             counting = CountingOracle(instance.fn)
-            policy, _ = self._policy(instance, spec, schedule.n)
-            result = OnlineRun(counting, schedule, policy).run().result()
+            policy, _ = self._policy(instance, spec, source.n)
+            result = OnlineRun(counting, source, policy).run().result()
             calls = counting.calls
         else:
             # One replica per shard (each laid out over its own shard
@@ -252,8 +264,8 @@ class SecretaryAdapter(TaskAdapter):
                 )
                 return policy
 
-            run = ShardedRun.from_schedule(
-                instance.fn, schedule, instance.shards, policy_factory,
+            run = ShardedRun.from_source(
+                instance.fn, source_factory, instance.shards, policy_factory,
                 oracle_factory=counters, limit=budget,
             )
             result = run.run().result()

@@ -7,8 +7,11 @@ stack into one subsystem:
     Pluggable *arrival processes* — a registry of seed-derived stream
     generators (``uniform`` exactly reproduces the paper's random
     permutation; ``sorted_desc``/``sorted_asc``, ``bursty``,
-    ``poisson``, and ``sliding_window`` add adversarial, minibatch,
-    timestamped, and nearly-sorted replays).
+    ``poisson``, ``sliding_window``, and ``replay`` add adversarial,
+    minibatch, timestamped, nearly-sorted, and recorded replays) — and
+    *arrival sources*: lazy generator-backed views of the same streams
+    with O(1) suspend state (cursor + chained content fingerprint +
+    RNG state), the substrate of the O(selected) checkpoint schema.
 :mod:`repro.online.policies`
     Every online algorithm as an ``observe(pos, element)`` state
     machine with JSON-serializable state, sharing the segment/threshold
@@ -32,20 +35,31 @@ online run/resume``.
 
 from repro.online.arrivals import (
     ARRIVAL_PROCESSES,
+    ARRIVAL_SOURCES,
+    ArrivalFingerprint,
     ArrivalSchedule,
+    ArrivalSource,
+    BurstySource,
+    ScheduleSource,
     arrival_process_names,
+    as_arrival_source,
     build_arrival_schedule,
+    build_arrival_source,
     register_arrival_process,
+    register_arrival_source,
+    source_from_spec,
 )
 from repro.online.checkpoint import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_SCHEMA_VERSION,
+    SUPPORTED_CHECKPOINT_VERSIONS,
     make_checkpoint,
     resume_run,
 )
 from repro.online.driver import OnlineRun, drive_stream, run_online
 from repro.online.sharding import (
     SHARDED_CHECKPOINT_FORMAT,
+    ShardSource,
     ShardedRun,
     ShardView,
     make_sharded_checkpoint,
@@ -79,8 +93,12 @@ from repro.online.runtime import observation_lengths, segment_bounds
 
 __all__ = [
     "ARRIVAL_PROCESSES",
+    "ARRIVAL_SOURCES",
+    "ArrivalFingerprint",
     "ArrivalSchedule",
+    "ArrivalSource",
     "BestSingletonPolicy",
+    "BurstySource",
     "BottleneckPolicy",
     "BottleneckResult",
     "CHECKPOINT_FORMAT",
@@ -93,14 +111,19 @@ __all__ = [
     "RobustResult",
     "RobustTopKPolicy",
     "SHARDED_CHECKPOINT_FORMAT",
+    "SUPPORTED_CHECKPOINT_VERSIONS",
+    "ScheduleSource",
     "SecretaryResult",
     "SegmentTrace",
     "SegmentedSubmodularPolicy",
+    "ShardSource",
     "ShardView",
     "ShardedRun",
     "SubadditiveSegmentPolicy",
     "arrival_process_names",
+    "as_arrival_source",
     "build_arrival_schedule",
+    "build_arrival_source",
     "drive_stream",
     "make_checkpoint",
     "make_policy",
@@ -111,7 +134,9 @@ __all__ = [
     "policy_names",
     "register_policy",
     "register_arrival_process",
+    "register_arrival_source",
     "resume_run",
+    "source_from_spec",
     "resume_sharded_run",
     "run_online",
     "segment_bounds",

@@ -34,7 +34,10 @@ way the engine's instance fingerprints do.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
@@ -44,13 +47,92 @@ from repro.rng import as_generator, random_permutation
 
 __all__ = [
     "ArrivalSchedule",
+    "ArrivalFingerprint",
+    "ArrivalSource",
+    "ScheduleSource",
+    "BurstySource",
     "ARRIVAL_PROCESSES",
+    "ARRIVAL_SOURCES",
     "register_arrival_process",
+    "register_arrival_source",
     "build_arrival_schedule",
+    "build_arrival_source",
+    "as_arrival_source",
+    "source_from_spec",
     "arrival_process_names",
 ]
 
 SCHEDULE_FORMAT = "repro-arrival-schedule/1"
+
+FINGERPRINT_FORMAT = "repro-arrival-fingerprint/2"
+
+SOURCE_SPEC_FORMAT = "repro-arrival-source/1"
+
+
+def _canonical(payload) -> str:
+    """Canonical JSON (same convention as ``engine.hashing``), inlined
+    so per-arrival fingerprint updates never cross the engine import."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+class ArrivalFingerprint:
+    """Incrementally-maintained content hash of an arrival stream.
+
+    A chained SHA-256: the chain starts from a canonical-JSON header
+    ``(process, seed, params)`` and folds in one record per arrival —
+    ``(repr(element), starts_new_batch, timestamp)`` — so the digest
+    after *c* arrivals is a pure function of the stream's prefix.  The
+    ``(chain, count)`` pair is plain JSON-able state: a suspended source
+    resumes the hash in O(1) instead of replaying the prefix, and a
+    fully drained source's digest equals
+    :meth:`ArrivalSchedule.fingerprint` of the materialized schedule
+    (the property the fingerprint-equivalence suite pins).
+    """
+
+    def __init__(self, header: Dict[str, object], *, chain: Optional[str] = None,
+                 count: int = 0) -> None:
+        self._header = dict(header)
+        if chain is None:
+            chain = hashlib.sha256(
+                _canonical(self._header).encode("utf-8")
+            ).hexdigest()
+        self._chain = str(chain)
+        self._count = int(count)
+
+    @classmethod
+    def for_stream(cls, process: str, seed, params: Dict[str, object],
+                   ) -> "ArrivalFingerprint":
+        return cls({
+            "format": FINGERPRINT_FORMAT,
+            "process": process,
+            "seed": seed,
+            "params": dict(params),
+        })
+
+    def update(self, element: Hashable, new_batch: bool,
+               timestamp: Optional[float]) -> None:
+        record = _canonical([repr(element), bool(new_batch), timestamp])
+        self._chain = hashlib.sha256(
+            (self._chain + record).encode("utf-8")
+        ).hexdigest()
+        self._count += 1
+
+    @property
+    def digest(self) -> str:
+        return self._chain
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"chain": self._chain, "count": self._count}
+
+    @classmethod
+    def from_state(cls, header: Dict[str, object],
+                   state: Dict[str, object]) -> "ArrivalFingerprint":
+        return cls(header, chain=str(state["chain"]), count=int(state["count"]))  # type: ignore[arg-type]
 
 
 @dataclass
@@ -142,14 +224,22 @@ class ArrivalSchedule:
         )
 
     def fingerprint(self) -> str:
-        """Stable content hash of the schedule (provenance anchor)."""
-        # Imported lazily: engine.hashing pulls in the task adapters,
-        # which import the secretary stack, which imports this module.
-        from repro.engine.hashing import spec_fingerprint
+        """Stable content hash of the schedule (provenance anchor).
 
-        payload = self.payload()
-        payload["order"] = [repr(e) for e in self.order]
-        return spec_fingerprint(payload)
+        Defined as the fully-advanced :class:`ArrivalFingerprint` chain,
+        so a lazily-yielding :class:`ArrivalSource` that emits the same
+        stream reaches the same digest without ever materializing.
+        """
+        fp = ArrivalFingerprint.for_stream(self.process, self.seed, self.params)
+        pos = 0
+        for size in self.batch_sizes:
+            for i in range(pos, pos + size):
+                fp.update(
+                    self.order[i], i == pos,
+                    None if self.timestamps is None else self.timestamps[i],
+                )
+            pos += size
+        return fp.digest
 
 
 ProcessBuilder = Callable[..., ArrivalSchedule]
@@ -339,9 +429,404 @@ def sliding_window_process(
     )
 
 
+def replay_process(utility: SetFunction, seed, *, payload) -> ArrivalSchedule:
+    """Verbatim replay of a recorded schedule payload.
+
+    *payload* is an :meth:`ArrivalSchedule.payload` dict (order +
+    batches + timestamps); the replayed schedule reproduces it exactly,
+    so recorded traces round-trip through the same runtime as synthetic
+    processes.  The payload itself becomes the process parameter — a
+    replay stream is reconstructible from its recipe alone, like every
+    other process (at the price of an O(n) recipe, which is inherent to
+    a recorded trace).
+    """
+    recorded = ArrivalSchedule.from_payload(dict(payload))
+    if frozenset(recorded.order) != utility.ground_set:
+        raise InvalidInstanceError(
+            "replay payload does not enumerate the utility's ground set exactly"
+        )
+    return ArrivalSchedule(
+        process="replay", seed=_seed_field(seed), order=recorded.order,
+        batch_sizes=recorded.batch_sizes, timestamps=recorded.timestamps,
+        params={"payload": dict(payload)},
+    )
+
+
 register_arrival_process("uniform", uniform_process)
 register_arrival_process("sorted_desc", sorted_desc_process)
 register_arrival_process("sorted_asc", sorted_asc_process)
 register_arrival_process("bursty", bursty_process)
 register_arrival_process("poisson", poisson_process)
 register_arrival_process("sliding_window", sliding_window_process)
+register_arrival_process("replay", replay_process)
+
+
+# -- arrival sources ---------------------------------------------------------
+#
+# The streaming side of the registry: an ``ArrivalSource`` yields the
+# same batches a materialized ``ArrivalSchedule`` would, but lazily,
+# with a cursor and an incrementally-maintained fingerprint — so a
+# suspended stream serialises as ``(spec, cursor, fingerprint state,
+# a few source-specific extras)`` instead of the whole order, and
+# resumes in O(1) stream work instead of O(cursor).
+
+
+class ArrivalSource:
+    """A resumable, lazily-yielding arrival stream.
+
+    Subclasses implement :meth:`_emit` — return the next slice of the
+    current minibatch (never crossing a batch boundary) — plus the
+    state-dict extras they need to resume without replaying the prefix.
+    The base class owns the cursor and the fingerprint chain.
+    """
+
+    def __init__(self, process: str, seed: Optional[int],
+                 params: Dict[str, object], n: Optional[int]) -> None:
+        self.process = str(process)
+        self.seed = seed
+        self.params = dict(params)
+        self._n = n
+        self._cursor = 0
+        self._fp = ArrivalFingerprint.for_stream(self.process, self.seed,
+                                                 self.params)
+
+    # -- stream state ---------------------------------------------------
+
+    @property
+    def n(self) -> Optional[int]:
+        """Total arrivals, or ``None`` for an unbounded source."""
+        return self._n
+
+    @property
+    def cursor(self) -> int:
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        return self._n is not None and self._cursor >= self._n
+
+    @property
+    def order(self) -> Optional[List[Hashable]]:
+        """The full arrival order when knowable up front, else ``None``."""
+        return None
+
+    # -- consumption ----------------------------------------------------
+
+    def _emit(self, limit: Optional[int]):
+        """Next ``(elements, timestamps_or_None, starts_new_batch)`` slice
+        of at most *limit* arrivals, never crossing a batch boundary;
+        ``None`` when drained.  Must not advance the public cursor."""
+        raise NotImplementedError
+
+    def take(self, limit: Optional[int] = None):
+        """Consume up to *limit* arrivals of the current minibatch.
+
+        Returns ``(first_position, elements, timestamps_or_None)`` and
+        advances cursor + fingerprint, or ``None`` when the stream is
+        drained (or *limit* is 0).  A batch larger than *limit* is
+        truncated — the next ``take`` resumes mid-batch.
+        """
+        if limit is not None and int(limit) <= 0:
+            return None
+        emitted = self._emit(None if limit is None else int(limit))
+        if emitted is None:
+            return None
+        elements, stamps, starts_batch = emitted
+        pos0 = self._cursor
+        for i, element in enumerate(elements):
+            self._fp.update(
+                element, bool(starts_batch) and i == 0,
+                None if stamps is None else stamps[i],
+            )
+        self._cursor = pos0 + len(elements)
+        return pos0, list(elements), (None if stamps is None else list(stamps))
+
+    def batches(self) -> Iterator[Tuple[int, List[Hashable]]]:
+        """Drain the remaining stream one whole minibatch at a time."""
+        while True:
+            step = self.take(None)
+            if step is None:
+                return
+            yield step[0], step[1]
+
+    def seek(self, cursor: int) -> None:
+        """Advance to *cursor* by consuming (and discarding) arrivals.
+
+        O(cursor) — the v1-checkpoint migration path, which has no saved
+        fingerprint state; v2 resumes restore in O(1) via
+        :meth:`restore`.
+        """
+        cursor = int(cursor)
+        if cursor < 0:
+            raise InvalidInstanceError(
+                f"cursor {cursor} outside stream of {self._n}"
+            )
+        while self._cursor < cursor:
+            if self.take(cursor - self._cursor) is None:
+                raise InvalidInstanceError(
+                    f"cursor {cursor} outside stream of {self._n}"
+                )
+
+    # -- resumable state ------------------------------------------------
+
+    def spec(self) -> Dict[str, object]:
+        """How to rebuild this source: ``(process, seed, params)``."""
+        return {
+            "format": SOURCE_SPEC_FORMAT,
+            "process": self.process,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    def _extra_state(self) -> Dict[str, object]:
+        return {}
+
+    def _restore_extra(self, state: Dict[str, object]) -> None:
+        pass
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able suspend state: cursor + fingerprint chain + extras."""
+        state: Dict[str, object] = {
+            "cursor": self._cursor,
+            "fingerprint": self._fp.state_dict(),
+        }
+        state.update(self._extra_state())
+        return state
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """O(1) resume: jump to the saved cursor without replaying."""
+        cursor = int(state["cursor"])  # type: ignore[arg-type]
+        if cursor < 0 or (self._n is not None and cursor > self._n):
+            raise InvalidInstanceError(
+                f"cursor {cursor} outside stream of {self._n}"
+            )
+        self._cursor = cursor
+        self._fp = ArrivalFingerprint.from_state(
+            {
+                "format": FINGERPRINT_FORMAT,
+                "process": self.process,
+                "seed": self.seed,
+                "params": dict(self.params),
+            },
+            state["fingerprint"],  # type: ignore[arg-type]
+        )
+        self._restore_extra(state)
+
+    def fingerprint(self) -> str:
+        """Digest of the consumed prefix (= the schedule fingerprint
+        once the stream is fully drained)."""
+        return self._fp.digest
+
+    def materialize(self) -> ArrivalSchedule:
+        """The equivalent fully-materialized schedule (legacy view)."""
+        raise NotImplementedError
+
+
+class ScheduleSource(ArrivalSource):
+    """Source view over a (deterministically rebuildable) schedule.
+
+    The adapter that keeps every registered process available as a
+    source: the schedule is built eagerly — O(n) memory, exactly as
+    before — but consumption, cursor, and fingerprint follow the source
+    contract.  Only :func:`build_arrival_source` may pass
+    ``rebuildable=True`` — it just built the schedule from exactly the
+    ``(process, seed, params)`` triple the spec records, so the spec
+    alone reconstructs it and suspend state stays O(1).  Every other
+    construction path (hand-built schedules, pre-sharded schedules,
+    live-Generator seeds) embeds the schedule payload in the spec — the
+    v1-style O(n) fallback — because resuming such a spec through the
+    builder could produce a *different* stream (or a source class whose
+    state layout does not match).
+    """
+
+    def __init__(self, schedule: ArrivalSchedule, *,
+                 rebuildable: bool = False) -> None:
+        super().__init__(schedule.process, schedule.seed, schedule.params,
+                         schedule.n)
+        self._rebuildable = bool(rebuildable)
+        self._schedule = schedule
+        starts = [0]
+        for size in schedule.batch_sizes:
+            starts.append(starts[-1] + size)
+        self._starts = starts  # batch start positions, len = #batches + 1
+
+    @property
+    def order(self) -> List[Hashable]:
+        return self._schedule.order
+
+    def _emit(self, limit: Optional[int]):
+        if self._cursor >= self._schedule.n:
+            return None
+        b = bisect_right(self._starts, self._cursor) - 1
+        end = self._starts[b + 1]
+        hi = end if limit is None else min(end, self._cursor + limit)
+        elements = self._schedule.order[self._cursor:hi]
+        ts = self._schedule.timestamps
+        stamps = None if ts is None else ts[self._cursor:hi]
+        return elements, stamps, self._cursor == self._starts[b]
+
+    def spec(self) -> Dict[str, object]:
+        spec = super().spec()
+        if not self._rebuildable:
+            spec["schedule"] = self._schedule.payload()
+        return spec
+
+    def materialize(self) -> ArrivalSchedule:
+        return self._schedule
+
+
+class BurstySource(ArrivalSource):
+    """The bursty process as a genuinely lazy source.
+
+    The uniform permutation is precomputed (it is one vectorized draw),
+    but geometric batch sizes are drawn one at a time exactly as the
+    eager builder draws them — and the generator's ``bit_generator``
+    state rides in the suspend state, so resume continues the RNG
+    mid-stream with no replay and no re-draw.
+    """
+
+    def __init__(self, utility: SetFunction, seed, *,
+                 mean_batch: float = 4.0) -> None:
+        if mean_batch < 1.0:
+            raise InvalidInstanceError(
+                f"mean_batch must be >= 1, got {mean_batch}"
+            )
+        order = _uniform_order(utility, seed)
+        super().__init__("bursty", _seed_field(seed),
+                         {"mean_batch": mean_batch}, len(order))
+        self.mean_batch = mean_batch
+        self._order = order
+        self._gen = _child_gen(seed, "bursty-batches")
+        self._batch_end = 0
+        self._materialized: Optional[ArrivalSchedule] = None
+
+    @property
+    def order(self) -> List[Hashable]:
+        return self._order
+
+    def _emit(self, limit: Optional[int]):
+        if self._cursor >= len(self._order):
+            return None
+        starts = False
+        if self._cursor >= self._batch_end:
+            remaining = len(self._order) - self._cursor
+            size = min(remaining, int(self._gen.geometric(1.0 / self.mean_batch)))
+            self._batch_end = self._cursor + max(1, size)
+            starts = True
+        hi = (self._batch_end if limit is None
+              else min(self._batch_end, self._cursor + limit))
+        return self._order[self._cursor:hi], None, starts
+
+    def _extra_state(self) -> Dict[str, object]:
+        return {
+            "batch_end": self._batch_end,
+            "rng_state": self._gen.bit_generator.state,
+        }
+
+    def _restore_extra(self, state: Dict[str, object]) -> None:
+        self._batch_end = int(state["batch_end"])  # type: ignore[arg-type]
+        self._gen.bit_generator.state = state["rng_state"]
+
+    def materialize(self) -> ArrivalSchedule:
+        if self._materialized is None:
+            self._materialized = bursty_process(
+                _OrderGround(self._order), self.seed,
+                mean_batch=self.mean_batch,
+            )
+        return self._materialized
+
+
+class _OrderGround:
+    """Minimal utility stand-in: just a ground set (for re-building a
+    schedule whose order is already known)."""
+
+    def __init__(self, order: List[Hashable]) -> None:
+        self.ground_set = frozenset(order)
+
+    def value(self, subset) -> float:  # pragma: no cover - never queried
+        raise NotImplementedError
+
+
+SourceBuilder = Callable[..., ArrivalSource]
+
+ARRIVAL_SOURCES: Dict[str, SourceBuilder] = {}
+
+
+def register_arrival_source(name: str, builder: SourceBuilder) -> SourceBuilder:
+    """Register a native (lazy) source for an arrival process."""
+    if not name:
+        raise InvalidInstanceError("arrival source needs a non-empty name")
+    ARRIVAL_SOURCES[name] = builder
+    return builder
+
+
+def build_arrival_source(
+    process: str, utility: SetFunction, seed, **params
+) -> ArrivalSource:
+    """Build *process* as a resumable source over *utility*'s ground set.
+
+    Processes with a registered native source (and a reproducible seed)
+    get genuine lazy yielding; everything else — including live-Generator
+    seeds, whose draws must stay sequential with the caller's stream —
+    falls back to a :class:`ScheduleSource` over the eager builder, so
+    every registered process is available through the source API.
+    """
+    builder = ARRIVAL_SOURCES.get(process)
+    if builder is not None and isinstance(seed, int):
+        try:
+            return builder(utility, seed, **params)
+        except TypeError as exc:
+            raise InvalidInstanceError(
+                f"bad parameters for arrival process {process!r}: {exc}"
+            ) from exc
+    return ScheduleSource(
+        build_arrival_schedule(process, utility, seed, **params),
+        # An int seed makes this exact (process, seed, params) call
+        # reproducible, so the spec alone rebuilds the stream; live
+        # Generators and None seeds are opaque — embed the payload.
+        rebuildable=isinstance(seed, int),
+    )
+
+
+def as_arrival_source(arrivals) -> ArrivalSource:
+    """Coerce a schedule (legacy callers) or source to a source."""
+    if isinstance(arrivals, ArrivalSource):
+        return arrivals
+    if isinstance(arrivals, ArrivalSchedule):
+        return ScheduleSource(arrivals)
+    raise InvalidInstanceError(
+        f"expected an ArrivalSchedule or ArrivalSource, got {type(arrivals).__name__}"
+    )
+
+
+def source_from_spec(spec: Dict[str, object], utility: SetFunction) -> ArrivalSource:
+    """Rebuild a source from its :meth:`ArrivalSource.spec` payload.
+
+    The single resume entry point: handles the embedded-schedule
+    fallback (opaque seeds) and shard-filtered sources (the ``"shard"``
+    key wraps the parent in a :class:`~repro.online.sharding.ShardSource`).
+    """
+    if not isinstance(spec, dict) or "process" not in spec:
+        raise InvalidInstanceError("checkpoint carries no rebuildable source spec")
+    if spec.get("schedule") is not None:
+        base: ArrivalSource = ScheduleSource(
+            ArrivalSchedule.from_payload(spec["schedule"])  # type: ignore[arg-type]
+        )
+    else:
+        base = build_arrival_source(
+            str(spec["process"]), utility, spec.get("seed"),
+            **dict(spec.get("params") or {}),  # type: ignore[arg-type]
+        )
+    shard = spec.get("shard")
+    if shard:
+        # Imported lazily: sharding imports this module.
+        from repro.online.sharding import ShardSource
+
+        return ShardSource(
+            base, int(shard["index"]), int(shard["num_shards"]),  # type: ignore[index]
+            salt=int(shard.get("salt", 0)),  # type: ignore[union-attr]
+        )
+    return base
+
+
+register_arrival_source("bursty", BurstySource)

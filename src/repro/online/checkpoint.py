@@ -1,12 +1,20 @@
 """Checkpoint/resume codec: JSON round-trip of a suspended online run.
 
-A checkpoint is a plain dict (safe for ``json.dumps``) holding the
-arrival schedule, the stream cursor, and the policy's config + mutable
-state.  Resuming rebuilds the arrival oracle by replaying *reveals*
-(never decisions) for the consumed prefix, reconstructs the policy from
-its config, and restores its state — so suspend-at-any-arrival followed
-by resume reproduces the uninterrupted run's hired set exactly (the
-property suite asserts this for every policy × arrival process).
+Schema **v2** (the O(selected) layout): a checkpoint holds the arrival
+*source spec* — ``(process, seed, params)`` plus the source's O(1)
+suspend state (cursor, incremental fingerprint chain, RNG state) — the
+append-only decision log, the resume *frontier* (the hired set plus any
+arrivals the policy may still query), and the policy's config + mutable
+state.  Nothing scales with the consumed prefix: resume rebuilds the
+source from its spec, jumps it to the saved cursor, re-reveals only the
+frontier, and restores the policy state machine — so suspend-at-any-
+arrival followed by resume reproduces the uninterrupted run's hired set
+exactly (the property suite asserts this for every policy × arrival
+process), at O(selected) cost for million-arrival streams.
+
+Schema **v1** checkpoints (PR 5 and earlier: full embedded schedule,
+prefix re-reveal on resume) still load through a migration shim — the
+legacy O(stream) path, kept so old files keep working.
 
 The utility itself is not serialised — values can be arbitrarily large
 objects and are already reproducible from workload seeds — so
@@ -22,13 +30,19 @@ from typing import Dict, Mapping, Optional
 
 from repro.core.submodular import SetFunction
 from repro.errors import InvalidInstanceError
-from repro.online.arrivals import ArrivalSchedule
+from repro.online.arrivals import (
+    ArrivalSchedule,
+    ArrivalSource,
+    ScheduleSource,
+    source_from_spec,
+)
 from repro.online.driver import OnlineRun
 from repro.online.policies import OnlinePolicy, make_policy
 
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_SCHEMA_VERSION",
+    "SUPPORTED_CHECKPOINT_VERSIONS",
     "check_schema_version",
     "make_checkpoint",
     "resume_run",
@@ -36,12 +50,17 @@ __all__ = [
 
 CHECKPOINT_FORMAT = "repro-online-checkpoint/1"
 
-#: Version of the checkpoint payload schema (the key layout of the
-#: schedule / policy / instance-recipe sections).  Payloads written
-#: before versioning carry no marker and are accepted as version 1;
-#: any other version is rejected up front with an actionable error
-#: instead of a ``KeyError`` deep inside a policy's ``from_config``.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: Version of the checkpoint payload schema.  v1 embedded the full
+#: materialized schedule and re-revealed the consumed prefix on resume
+#: (O(stream) at both ends); v2 stores a source spec + decision log +
+#: frontier (O(selected)).  Payloads written before versioning carry no
+#: marker and are accepted as version 1; unknown versions are rejected
+#: up front with an actionable error instead of a ``KeyError`` deep
+#: inside a policy's ``from_config``.
+CHECKPOINT_SCHEMA_VERSION = 2
+
+#: Every schema version this release can read (v1 via the migration shim).
+SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
 
 
 def check_schema_version(
@@ -49,32 +68,62 @@ def check_schema_version(
     what: str = "checkpoint",
     *,
     key: str = "schema_version",
-    supported: int = CHECKPOINT_SCHEMA_VERSION,
+    supported=SUPPORTED_CHECKPOINT_VERSIONS,
 ) -> None:
-    """Reject payloads written under an unknown schema version."""
+    """Reject payloads written under an unknown schema version.
+
+    *supported* is a single version or a collection of readable ones.
+    """
     version = payload.get(key, 1)
-    if version != supported:
+    ok = (
+        tuple(supported)
+        if isinstance(supported, (tuple, list, set, frozenset))
+        else (supported,)
+    )
+    if version not in ok:
+        shown = ", ".join(str(v) for v in ok)
         raise InvalidInstanceError(
             f"{what} schema version {version!r} is not supported by this "
-            f"release (supported: {supported}); it was probably written "
+            f"release (supported: {shown}); it was probably written "
             "by a different release — re-run the stream or resume with "
             "the release that wrote it"
         )
 
 
+def _checked_elements(elements, what: str) -> list:
+    out = []
+    for e in elements:
+        if not isinstance(e, (str, int)):
+            raise InvalidInstanceError(
+                f"checkpoint {what} with element {e!r} is not JSON "
+                "round-trippable; checkpointable streams need str/int elements"
+            )
+        out.append(e)
+    return out
+
+
 def make_checkpoint(
     run: OnlineRun, extra: Optional[Mapping[str, object]] = None
 ) -> Dict[str, object]:
-    """Serialise *run* (policy + schedule + cursor) to a JSON-able dict.
+    """Serialise *run* as an O(selected) schema-v2 payload.
 
+    The stream travels as ``(source spec, source state)``; hires travel
+    as the decision log; the frontier lists what resume must re-reveal.
     *extra* is attached verbatim under ``"instance"`` — callers use it
     to record how to rebuild the utility (workload family, seed, ...).
     """
+    decisions = [
+        [int(pos), element]
+        for pos, element in run.decisions
+    ]
+    _checked_elements((d[1] for d in decisions), "decision log")
     payload: Dict[str, object] = {
         "format": CHECKPOINT_FORMAT,
         "schema_version": CHECKPOINT_SCHEMA_VERSION,
         "cursor": run.cursor,
-        "schedule": run.schedule.payload(),
+        "source": {**run.source.spec(), "state": run.source.state_dict()},
+        "decisions": decisions,
+        "frontier": _checked_elements(run.policy.frontier(), "frontier"),
         "policy": {
             "name": run.policy.name,
             "config": run.policy.config_dict(),
@@ -92,33 +141,71 @@ def resume_run(
     *,
     policy: Optional[OnlinePolicy] = None,
     deps: Optional[Mapping[str, object]] = None,
+    source: Optional[ArrivalSource] = None,
 ) -> OnlineRun:
     """Rebuild a suspended :class:`OnlineRun` from *checkpoint*.
 
-    The consumed prefix of the schedule is re-revealed to a fresh
-    arrival oracle (restoring the no-peeking frontier), then the
-    policy — rebuilt from the checkpoint's config unless an explicit
-    *policy* instance is given (required when the policy carries
-    non-serializable dependencies not coverable by *deps*) — is bound
-    and its mutable state restored.
+    v2 payloads resume in O(selected): the source is rebuilt from its
+    spec (or taken from the explicit *source* argument — the session
+    layer passes one built over the uncounted base utility, so stream
+    construction never inflates oracle-call accounting), jumped to the
+    saved cursor, and only the frontier is re-revealed.  v1 payloads go
+    through the migration shim: schedule from the embedded payload,
+    prefix re-revealed, decision log reconstructed from the restored
+    policy — the legacy O(stream) path.
+
+    The policy is rebuilt from the checkpoint's config unless an
+    explicit *policy* instance is given (required when it carries
+    non-serializable dependencies not coverable by *deps*).
     """
     if checkpoint.get("format") != CHECKPOINT_FORMAT:
         raise InvalidInstanceError(
             f"not a {CHECKPOINT_FORMAT} payload: {checkpoint.get('format')!r}"
         )
     check_schema_version(checkpoint)
-    schedule = ArrivalSchedule.from_payload(checkpoint["schedule"])  # type: ignore[arg-type]
     spec = checkpoint["policy"]
     if policy is None:
         policy = make_policy(
             str(spec["name"]), spec["config"], **dict(deps or {})  # type: ignore[index]
         )
+    version = int(checkpoint.get("schema_version", 1))  # type: ignore[arg-type]
+    if version == 1:
+        return _resume_v1(checkpoint, utility, policy)
+    if source is None:
+        source = source_from_spec(checkpoint.get("source"), utility)  # type: ignore[arg-type]
+    run = OnlineRun(utility, source, policy)
+    run.restore(checkpoint)
+    return run
+
+
+def _resume_v1(
+    checkpoint: Mapping[str, object],
+    utility: SetFunction,
+    policy: OnlinePolicy,
+) -> OnlineRun:
+    """Migration shim for schema-v1 (PR 5) checkpoints.
+
+    The embedded schedule is materialized, the consumed prefix is
+    re-revealed to a fresh arrival oracle (v1 stored no frontier), and
+    the decision log — which v1 never recorded — is reconstructed from
+    the restored policy's hired set, with positions recovered from the
+    embedded order.  O(stream), as v1 always was.
+    """
+    schedule = ArrivalSchedule.from_payload(checkpoint["schedule"])  # type: ignore[arg-type]
     cursor = int(checkpoint["cursor"])  # type: ignore[arg-type]
     if not (0 <= cursor <= schedule.n):
-        raise InvalidInstanceError(f"cursor {cursor} outside stream of {schedule.n}")
-    run = OnlineRun(utility, schedule, policy)
+        raise InvalidInstanceError(
+            f"cursor {cursor} outside stream of {schedule.n}"
+        )
+    run = OnlineRun(utility, ScheduleSource(schedule), policy)
+    run.seek(cursor)
     for element in schedule.order[:cursor]:
         run.oracle.reveal(element)
-    run.cursor = cursor
-    policy.load_state(spec["state"])  # type: ignore[index]
+    policy.load_state(checkpoint["policy"]["state"])  # type: ignore[index]
+    position = {e: i for i, e in enumerate(schedule.order)}
+    hired = frozenset(policy.hired_set())
+    run.decisions = sorted(
+        ([position[e], e] for e in hired), key=lambda d: d[0]
+    )
+    run._hired_logged = hired
     return run

@@ -1,11 +1,18 @@
-"""Drivers: feed an arrival schedule (or legacy stream) to a policy.
+"""Drivers: feed an arrival source (or legacy stream) to a policy.
 
 :class:`OnlineRun` owns one online execution — utility, arrival
-schedule, arrival-restricted oracle, policy, cursor — and supports
+source, arrival-restricted oracle, policy, cursor — and supports
 incremental consumption (``run(max_arrivals=...)``), which is what makes
 long streams suspendable: a run that stops mid-stream serialises to a
 self-contained JSON checkpoint (see :mod:`repro.online.checkpoint`) and
 resumes in another process.
+
+Arrivals come from an :class:`~repro.online.arrivals.ArrivalSource`
+(materialized :class:`~repro.online.arrivals.ArrivalSchedule` inputs are
+wrapped transparently), so the driver itself never needs the full order:
+it pulls batches, reveals them, and appends every hire to an append-only
+``decisions`` log — ``[position, element]`` pairs — which is what the v2
+checkpoint persists instead of the stream.
 
 Minibatch schedules are revealed a whole batch at a time (the
 Section 3.2.1 no-peeking contract holds *per batch*: everything in a
@@ -23,11 +30,11 @@ loops it replaced broke out of their streams.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional, Sequence
+from typing import Hashable, List, Mapping, Optional, Sequence
 
 from repro.core.submodular import SetFunction
 from repro.errors import InvalidInstanceError
-from repro.online.arrivals import ArrivalSchedule
+from repro.online.arrivals import ArrivalSchedule, ArrivalSource, as_arrival_source
 from repro.online.policies import OnlinePolicy
 from repro.secretary.stream import ArrivalOracle
 
@@ -35,36 +42,57 @@ __all__ = ["OnlineRun", "drive_stream", "run_online"]
 
 
 class OnlineRun:
-    """One (suspendable) execution of a policy over an arrival schedule."""
+    """One (suspendable) execution of a policy over an arrival stream."""
 
     def __init__(
         self,
         utility: SetFunction,
-        schedule: ArrivalSchedule,
+        arrivals,
         policy: OnlinePolicy,
     ) -> None:
-        if frozenset(schedule.order) != utility.ground_set:
+        source = as_arrival_source(arrivals)
+        if source.order is not None and (
+            frozenset(source.order) != utility.ground_set
+        ):
             raise InvalidInstanceError(
                 "arrival schedule must enumerate the utility's ground set exactly"
             )
+        if source.n is None:
+            raise InvalidInstanceError(
+                "online policies lay out against a known stream length; "
+                "unbounded sources need an explicit horizon"
+            )
         self.utility = utility
-        self.schedule = schedule
+        self.source: ArrivalSource = source
         self.policy = policy
         self.oracle = ArrivalOracle(utility)
-        self.cursor = 0
+        #: Append-only hire log: ``[stream_position, element]`` pairs in
+        #: hire order.  This (plus policy state) is what checkpoints
+        #: persist — O(selected), not O(arrived).
+        self.decisions: List[List] = []
+        self._hired_logged: frozenset = frozenset()
         self._result = None
-        policy.bind(self.oracle, schedule.n)
+        policy.bind(self.oracle, source.n)
 
     # -- state ----------------------------------------------------------
 
     @property
+    def schedule(self) -> ArrivalSchedule:
+        """Materialized view of the stream (legacy accessor)."""
+        return self.source.materialize()
+
+    @property
     def n(self) -> int:
-        return self.schedule.n
+        return int(self.source.n)  # type: ignore[arg-type]
+
+    @property
+    def cursor(self) -> int:
+        return self.source.cursor
 
     @property
     def finished(self) -> bool:
         """No further arrival will be consumed."""
-        return self.cursor >= self.n or self.policy.done
+        return self.source.exhausted or self.policy.done
 
     # -- execution -------------------------------------------------------
 
@@ -75,7 +103,17 @@ class OnlineRun:
             self.policy.observe(pos0, batch[0])
         else:
             self.policy.observe_batch(pos0, list(batch))
-        self.cursor = pos0 + len(batch)
+        self._log_decisions(pos0, batch)
+
+    def _log_decisions(self, pos0: int, batch: Sequence[Hashable]) -> None:
+        hired = frozenset(self.policy.hired_set())
+        if hired == self._hired_logged:
+            return
+        new = hired - self._hired_logged
+        for i, a in enumerate(batch):
+            if a in new:
+                self.decisions.append([pos0 + i, a])
+        self._hired_logged = hired
 
     def run(self, max_arrivals: Optional[int] = None) -> "OnlineRun":
         """Consume up to *max_arrivals* more arrivals (all, when ``None``).
@@ -84,15 +122,56 @@ class OnlineRun:
         are then never revealed, matching the legacy algorithms that
         return mid-stream.
         """
-        budget = self.n if max_arrivals is None else int(max_arrivals)
-        for pos0, batch in self.schedule.batches(self.cursor):
-            if budget <= 0 or self.finished:
+        budget = None if max_arrivals is None else int(max_arrivals)
+        while not self.finished:
+            if budget is not None and budget <= 0:
                 break
-            if len(batch) > budget:
-                batch = batch[:budget]
+            step = self.source.take(budget)
+            if step is None:
+                break
+            pos0, batch, _stamps = step
             self._consume(pos0, batch)
-            budget -= len(batch)
+            if budget is not None:
+                budget -= len(batch)
         return self
+
+    # -- resume ----------------------------------------------------------
+
+    def seek(self, cursor: int) -> None:
+        """Advance the source to *cursor* without observing (v1 resume)."""
+        self.source.seek(cursor)
+
+    def restore(self, checkpoint: Mapping[str, object]) -> None:
+        """Restore a v2 checkpoint's stream/oracle/policy state in place.
+
+        O(selected): the saved frontier (hired set plus any elements the
+        policy may still query, e.g. the knapsack rule's observation
+        half) is re-revealed to the fresh oracle, the source jumps to
+        its saved cursor/fingerprint, the decision log is reinstated,
+        and the policy state machine reloads.  Nothing scales with the
+        consumed prefix.
+        """
+        cursor = int(checkpoint["cursor"])  # type: ignore[arg-type]
+        n = self.source.n
+        if cursor < 0 or (n is not None and cursor > n):
+            raise InvalidInstanceError(
+                f"cursor {cursor} outside stream of {n}"
+            )
+        source_block = checkpoint.get("source")
+        if not isinstance(source_block, Mapping) or "state" not in source_block:
+            raise InvalidInstanceError("checkpoint carries no source state")
+        self.source.restore(dict(source_block["state"]))  # type: ignore[arg-type]
+        if self.source.cursor != cursor:
+            raise InvalidInstanceError(
+                f"cursor {cursor} does not match the source state's "
+                f"cursor {self.source.cursor}"
+            )
+        for element in checkpoint.get("frontier", ()):  # type: ignore[union-attr]
+            self.oracle.reveal(element)
+        self.decisions = [list(d) for d in checkpoint.get("decisions", ())]  # type: ignore[union-attr]
+        self.policy.load_state(checkpoint["policy"]["state"])  # type: ignore[index]
+        self._hired_logged = frozenset(self.policy.hired_set())
+        self._result = None
 
     def result(self):
         """Finish the policy and return its result (cached)."""

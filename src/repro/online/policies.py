@@ -152,6 +152,24 @@ class OnlinePolicy(abc.ABC):
     def finish(self):
         """Close the run and return the algorithm's result object."""
 
+    # -- decision log / resume frontier --------------------------------
+
+    def hired_set(self) -> FrozenSet[Hashable]:
+        """Elements hired so far (drives the run's decision log)."""
+        return frozenset()
+
+    def frontier(self) -> List[Hashable]:
+        """Elements a resumed run must re-reveal to its fresh oracle.
+
+        The no-peeking contract says a policy only ever queries sets of
+        *arrived* elements; after a resume the only arrived elements it
+        can still query are (by default) its hires.  Policies that keep
+        non-hired arrivals queryable (the knapsack rule's observation
+        half) override this.  Deterministic order so checkpoints are
+        byte-stable.
+        """
+        return sorted(self.hired_set(), key=repr)
+
     # -- checkpoint codec ----------------------------------------------
 
     def config_dict(self) -> Dict[str, object]:
@@ -373,6 +391,9 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
             strategy=self.strategy,
         )
 
+    def hired_set(self) -> FrozenSet[Hashable]:
+        return frozenset(getattr(self, "_selected_set", ()))
+
     # -- checkpoint codec ----------------------------------------------
 
     def config_dict(self) -> Dict[str, object]:
@@ -504,6 +525,10 @@ class BestSingletonPolicy(OnlinePolicy):
     def hired(self) -> Optional[Hashable]:
         return self._hired
 
+    def hired_set(self) -> FrozenSet[Hashable]:
+        hired = getattr(self, "_hired", None)
+        return frozenset() if hired is None else frozenset({hired})
+
     def finish(self) -> SecretaryResult:
         selected = frozenset() if self._hired is None else frozenset({self._hired})
         return SecretaryResult(selected=selected, traces=[], strategy=self.strategy)
@@ -575,6 +600,9 @@ class RobustTopKPolicy(OnlinePolicy):
             selected=frozenset(self._selected),
             per_segment=list(self._per_segment),
         )
+
+    def hired_set(self) -> FrozenSet[Hashable]:
+        return frozenset(getattr(self, "_selected", ()))
 
     def config_dict(self) -> Dict[str, object]:
         return {"values": _encode_element_map(self.values), "k": self.k}
@@ -648,6 +676,9 @@ class BottleneckPolicy(OnlinePolicy):
             hired_top_k=hired_top_k,
             min_value=min_value if len(chosen) == self.k else 0.0,
         )
+
+    def hired_set(self) -> FrozenSet[Hashable]:
+        return frozenset(getattr(self, "_selected", ()))
 
     def config_dict(self) -> Dict[str, object]:
         return {"values": _encode_element_map(self.values), "k": self.k}
@@ -766,6 +797,20 @@ class KnapsackSecretaryPolicy(OnlinePolicy):
             selected=frozenset(self._selected), traces=[], strategy="density"
         )
 
+    def hired_set(self) -> FrozenSet[Hashable]:
+        if self.heads:
+            return self._singleton.hired_set()
+        return frozenset(getattr(self, "_selected", ()))
+
+    def frontier(self) -> List[Hashable]:
+        # The tails rule keeps its observation half queryable: it runs
+        # the offline estimate over ``_first_half`` when the collect
+        # phase closes, so a run resumed mid-collect must re-reveal
+        # those arrivals too (still O(selected + n/2), never O(stream)).
+        if not self.heads and getattr(self, "_phase", None) == "collect":
+            return sorted(set(self._first_half) | self.hired_set(), key=repr)
+        return sorted(self.hired_set(), key=repr)
+
     def config_dict(self) -> Dict[str, object]:
         return {
             "weights": _encode_element_map(self.weights),
@@ -852,6 +897,9 @@ class SubadditiveSegmentPolicy(OnlinePolicy):
             strategy=f"segment-{self.target}",
         )
 
+    def hired_set(self) -> FrozenSet[Hashable]:
+        return frozenset(getattr(self, "_selected", ()))
+
     def config_dict(self) -> Dict[str, object]:
         return {"k": self.k, "target": self.target}
 
@@ -929,6 +977,14 @@ class MatroidSecretaryPolicy(OnlinePolicy):
             traces=result.traces,
             strategy=self._strategy,
         )
+
+    def hired_set(self) -> FrozenSet[Hashable]:
+        inner = getattr(self, "_inner", None)
+        return frozenset() if inner is None else inner.hired_set()
+
+    def frontier(self) -> List[Hashable]:
+        inner = getattr(self, "_inner", None)
+        return [] if inner is None else inner.frontier()
 
     def config_dict(self) -> Dict[str, object]:
         return {"k_guess": self.k_guess}

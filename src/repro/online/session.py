@@ -4,8 +4,9 @@ A *session* bundles a workload recipe (family, sizes, seed), the policy
 it drives, and the arrival process into one resumable unit.  The recipe
 travels inside the checkpoint, so ``repro online resume CHECKPOINT``
 needs nothing but the file: the utility is rebuilt deterministically
-from the recorded seed, the schedule is replayed from the serialized
-order, and the policy state machine picks up mid-stream.
+from the recorded seed, the arrival source is reconstructed from its
+spec and jumped straight to the saved cursor (O(selected) — no prefix
+replay), and the policy state machine picks up mid-stream.
 
 Seeds derive through :func:`repro.engine.hashing.derive_seed` — the
 stream order and the algorithm's coin flips draw from independent child
@@ -26,7 +27,7 @@ from repro.core.oracle import CountingOracle
 from repro.core.submodular import SetFunction
 from repro.engine.hashing import derive_seed
 from repro.errors import InvalidInstanceError
-from repro.online.arrivals import build_arrival_schedule
+from repro.online.arrivals import build_arrival_source, source_from_spec
 from repro.online.checkpoint import (
     check_schema_version,
     make_checkpoint,
@@ -257,12 +258,12 @@ def start_session(
     }
     fn, weights = build_workload(recipe)
     policy_obj = _build_policy(recipe, fn, weights)
-    schedule = build_arrival_schedule(
+    source = build_arrival_source(
         process, fn, derive_seed(int(seed), "online-stream"),
         **dict(process_params or {}),
     )
     counting = CountingOracle(fn)
-    run = OnlineRun(counting, schedule, policy_obj)
+    run = OnlineRun(counting, source, policy_obj)
     return OnlineSession(run, fn, counting, recipe)
 
 
@@ -286,7 +287,12 @@ def resume_session(checkpoint: Mapping[str, object]) -> OnlineSession:
     recipe = _checked_recipe(checkpoint)
     fn, _ = build_workload(recipe)
     counting = CountingOracle(fn)
-    run = resume_run(checkpoint, counting)
+    source = None
+    if int(checkpoint.get("schema_version", 1)) >= 2:  # type: ignore[arg-type]
+        # Rebuild the stream over the *base* utility so value-sorted
+        # processes' construction queries never inflate call accounting.
+        source = source_from_spec(checkpoint.get("source"), fn)
+    run = resume_run(checkpoint, counting, source=source)
     recipe = dict(recipe)
     prior = int(recipe.pop("oracle_calls_consumed", 0))  # type: ignore[arg-type]
     return OnlineSession(run, fn, counting, recipe, prior_calls=prior)
@@ -334,9 +340,15 @@ def _finish_shard_worker(job: Tuple[Dict, Dict]) -> Tuple[Dict, int]:
     """
     recipe, shard_ck = job
     fn, _ = build_workload(recipe)
-    view = ShardView(fn, shard_ck["schedule"]["order"])
-    counting = CountingOracle(view)
-    run = resume_run(shard_ck, counting).run()
+    if int(shard_ck.get("schema_version", 1)) >= 2:
+        src = source_from_spec(shard_ck["source"], fn)
+        view = ShardView(fn, src.order)
+        counting = CountingOracle(view)
+        run = resume_run(shard_ck, counting, source=src).run()
+    else:
+        view = ShardView(fn, shard_ck["schedule"]["order"])
+        counting = CountingOracle(view)
+        run = resume_run(shard_ck, counting).run()
     return make_checkpoint(run), counting.calls
 
 
@@ -393,12 +405,7 @@ class ShardedSession:
         with ctx.Pool(processes=min(int(workers), len(jobs))) as pool:
             finished = pool.map(_finish_shard_worker, jobs)
         for i, (ck, calls) in zip(pending, finished):
-            run = self.run.runs[i]
-            cursor = int(ck["cursor"])
-            for element in run.schedule.order[run.cursor:cursor]:
-                run.oracle.reveal(element)
-            run.cursor = cursor
-            run.policy.load_state(ck["policy"]["state"])
+            self.run.runs[i].restore(ck)
             self.prior_calls += calls
         return self
 
@@ -480,10 +487,12 @@ def start_sharded_session(
         "shards": int(shards),
     }
     fn, weights = build_workload(recipe)
-    schedule = build_arrival_schedule(
-        process, fn, derive_seed(int(seed), "online-stream"),
-        **dict(process_params or {}),
-    )
+    stream_seed = derive_seed(int(seed), "online-stream")
+    params = dict(process_params or {})
+
+    def source_factory():
+        return build_arrival_source(process, fn, stream_seed, **params)
+
     counters = ShardCounters()
 
     def policy_factory(index: int, shard) -> OnlinePolicy:
@@ -494,8 +503,8 @@ def start_sharded_session(
         )
 
     can_take, limit = _merge_rule(recipe, weights)
-    run = ShardedRun.from_schedule(
-        fn, schedule, int(shards), policy_factory,
+    run = ShardedRun.from_source(
+        fn, source_factory, int(shards), policy_factory,
         oracle_factory=counters, can_take=can_take, limit=limit,
     )
     return ShardedSession(run, fn, counters.countings, recipe)

@@ -47,7 +47,7 @@ from repro.core.kernels import evaluator_for
 from repro.core.oracle import CountingOracle
 from repro.core.submodular import SetFunction
 from repro.errors import InvalidInstanceError
-from repro.online.arrivals import ArrivalSchedule
+from repro.online.arrivals import ArrivalSchedule, ArrivalSource
 from repro.online.checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
     check_schema_version,
@@ -61,6 +61,7 @@ from repro.online.results import SecretaryResult
 __all__ = [
     "SHARDED_CHECKPOINT_FORMAT",
     "ShardCounters",
+    "ShardSource",
     "ShardView",
     "ShardedRun",
     "shard_of",
@@ -146,6 +147,121 @@ def shard_schedule(
         )
         for s in range(num_shards)
     ]
+
+
+class ShardSource(ArrivalSource):
+    """Lazy hash partition: one shard's view of a parent arrival source.
+
+    Filters each parent minibatch to the elements hashing to this shard
+    *at yield time* — no materialized pre-split — with shard-local
+    positions, batch structure, and timestamps exactly matching the
+    corresponding :func:`shard_schedule` entry (the streaming ≡
+    materialized equivalence suite pins shard fingerprints equal).
+
+    The source owns its parent exclusively: it pulls whole parent
+    batches, so suspend state is the parent's O(1) state plus the
+    pending (already-pulled, not-yet-emitted) tail of at most one batch.
+    """
+
+    def __init__(self, parent: ArrivalSource, index: int, num_shards: int,
+                 *, salt: int = 0) -> None:
+        if num_shards <= 0:
+            raise InvalidInstanceError(
+                f"num_shards must be positive, got {num_shards}"
+            )
+        if not (0 <= int(index) < int(num_shards)):
+            raise InvalidInstanceError(
+                f"shard index {index} outside [0, {num_shards})"
+            )
+        self._parent = parent
+        self.index = int(index)
+        self.num_shards = int(num_shards)
+        self.salt = int(salt)
+        parent_order = parent.order
+        order = (
+            None if parent_order is None
+            else [e for e in parent_order
+                  if shard_of(e, self.num_shards, self.salt) == self.index]
+        )
+        n = None if order is None else len(order)
+        super().__init__(
+            parent.process, parent.seed,
+            {
+                **parent.params,
+                "shard_index": self.index,
+                "num_shards": self.num_shards,
+                "shard_salt": self.salt,
+            },
+            n,
+        )
+        self._order = order
+        self._pending: List[Hashable] = []
+        self._pending_ts: Optional[List[float]] = None
+        self._pending_new = False
+        self._materialized: Optional[ArrivalSchedule] = None
+
+    @property
+    def order(self) -> Optional[List[Hashable]]:
+        return self._order
+
+    def _emit(self, limit: Optional[int]):
+        while not self._pending:
+            step = self._parent.take(None)
+            if step is None:
+                return None
+            _pos0, batch, stamps = step
+            keep = [
+                i for i, e in enumerate(batch)
+                if shard_of(e, self.num_shards, self.salt) == self.index
+            ]
+            if keep:
+                self._pending = [batch[i] for i in keep]
+                self._pending_ts = (
+                    None if stamps is None else [stamps[i] for i in keep]
+                )
+                self._pending_new = True
+        hi = len(self._pending) if limit is None else min(limit, len(self._pending))
+        elements = self._pending[:hi]
+        stamps = None if self._pending_ts is None else self._pending_ts[:hi]
+        starts = self._pending_new
+        self._pending = self._pending[hi:]
+        if self._pending_ts is not None:
+            self._pending_ts = self._pending_ts[hi:]
+        self._pending_new = False
+        return elements, stamps, starts
+
+    def spec(self) -> Dict[str, object]:
+        spec = self._parent.spec()
+        spec["shard"] = {
+            "index": self.index,
+            "num_shards": self.num_shards,
+            "salt": self.salt,
+        }
+        return spec
+
+    def _extra_state(self) -> Dict[str, object]:
+        return {
+            "parent": self._parent.state_dict(),
+            "pending": list(self._pending),
+            "pending_ts": (
+                None if self._pending_ts is None else list(self._pending_ts)
+            ),
+            "pending_new": self._pending_new,
+        }
+
+    def _restore_extra(self, state: Dict[str, object]) -> None:
+        self._parent.restore(dict(state["parent"]))  # type: ignore[arg-type]
+        self._pending = list(state.get("pending") or [])
+        ts = state.get("pending_ts")
+        self._pending_ts = None if ts is None else [float(t) for t in ts]  # type: ignore[union-attr]
+        self._pending_new = bool(state.get("pending_new", False))
+
+    def materialize(self) -> ArrivalSchedule:
+        if self._materialized is None:
+            self._materialized = shard_schedule(
+                self._parent.materialize(), self.num_shards, salt=self.salt
+            )[self.index]
+        return self._materialized
 
 
 class ShardView(SetFunction):
@@ -326,6 +442,47 @@ class ShardedRun:
             utility, runs, can_take=can_take, limit=limit, salt=salt
         )
 
+    @classmethod
+    def from_source(
+        cls,
+        utility: SetFunction,
+        source_factory: Callable[[], ArrivalSource],
+        num_shards: int,
+        policy_factory: PolicyFactory,
+        *,
+        oracle_factory: Optional[OracleFactory] = None,
+        can_take: Optional[CanTake] = None,
+        limit: Optional[int] = None,
+        salt: int = 0,
+    ) -> "ShardedRun":
+        """Lazy-partition construction: no materialized pre-split.
+
+        *source_factory* builds a fresh parent source per shard (each
+        shard filters its own stream clone at yield time through
+        :class:`ShardSource`).  ``num_shards == 1`` feeds the parent
+        source to the single replica directly — the identity partition
+        the S=1 bit-identity pin relies on.  *policy_factory* gets
+        ``(shard_index, shard_source)``; the source exposes ``n`` like a
+        schedule does.
+        """
+        if num_shards <= 0:
+            raise InvalidInstanceError(
+                f"num_shards must be positive, got {num_shards}"
+            )
+        runs = []
+        for i in range(num_shards):
+            parent = source_factory()
+            src: ArrivalSource = (
+                parent if num_shards == 1
+                else ShardSource(parent, i, num_shards, salt=salt)
+            )
+            view = ShardView(utility, src.order or ())
+            oracle = view if oracle_factory is None else oracle_factory(i, view)
+            runs.append(OnlineRun(oracle, src, policy_factory(i, src)))
+        return cls(
+            utility, runs, can_take=can_take, limit=limit, salt=salt
+        )
+
     # -- state ----------------------------------------------------------
 
     @property
@@ -419,9 +576,9 @@ def make_sharded_checkpoint(
     """Serialise *run* as a manifest of ordinary per-shard checkpoints.
 
     Each entry under ``"shards"`` is a standard
-    :func:`~repro.online.checkpoint.make_checkpoint` payload (schedule +
-    cursor + policy config/state), so any subset of shards — mid-stream,
-    finished, or untouched — round-trips.  ``"limit"`` records the
+    :func:`~repro.online.checkpoint.make_checkpoint` payload (source
+    spec/state + cursor + decision log + policy config/state), so any
+    subset of shards — mid-stream, finished, or untouched — round-trips.  ``"limit"`` records the
     merge cardinality; ``can_take`` hooks are runtime dependencies the
     resuming caller re-injects (the session layer derives them from the
     embedded recipe).
@@ -451,8 +608,9 @@ def resume_sharded_run(
     """Rebuild a :class:`ShardedRun` from its manifest checkpoint.
 
     Every shard resumes through the ordinary
-    :func:`~repro.online.checkpoint.resume_run` path (prefix re-reveals,
-    policy state restore) against a fresh :class:`ShardView` of
+    :func:`~repro.online.checkpoint.resume_run` path (v2: O(selected)
+    source rebuild + frontier reveal; v1 entries: legacy prefix
+    re-reveal) against a fresh :class:`ShardView` of
     *utility* — optionally wrapped by *oracle_factory* (counting).
     *policies*/*deps* forward to the per-shard resume for policies with
     non-serializable dependencies; *can_take* re-injects the merge
@@ -474,7 +632,18 @@ def resume_sharded_run(
         )
     runs = []
     for i, shard_ck in enumerate(shard_payloads):
-        order = shard_ck["schedule"]["order"]  # type: ignore[index]
+        source = None
+        if int(shard_ck.get("schema_version", 1)) >= 2:
+            # v2 entry: rebuild the shard's source from its spec over
+            # the *base* utility (stream construction must not count as
+            # oracle work), then restrict the view to its elements.
+            from repro.online.arrivals import source_from_spec
+
+            source = source_from_spec(shard_ck.get("source"), utility)
+            order = source.order or ()
+        else:
+            # v1 entry (migration shim): the shard order is embedded.
+            order = shard_ck["schedule"]["order"]  # type: ignore[index]
         view = ShardView(utility, order)
         oracle = view if oracle_factory is None else oracle_factory(i, view)
         runs.append(
@@ -483,6 +652,7 @@ def resume_sharded_run(
                 oracle,
                 policy=None if policies is None else policies[i],
                 deps=deps,
+                source=source,
             )
         )
     limit = checkpoint.get("limit")

@@ -1,0 +1,16 @@
+"""Shared helpers for process-parametrized online tests.
+
+``replay`` consumes a recorded schedule payload, so sweeps over
+``arrival_process_names()`` need per-process builder kwargs: every other
+process builds from ``(utility, seed)`` alone.
+"""
+
+from repro.online.arrivals import build_arrival_schedule
+
+
+def process_params(process, fn, seed=99):
+    """Extra builder kwargs *process* needs in a parametrized sweep."""
+    if process == "replay":
+        recorded = build_arrival_schedule("bursty", fn, seed, mean_batch=3.0)
+        return {"payload": recorded.payload()}
+    return {}

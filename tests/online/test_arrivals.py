@@ -16,6 +16,8 @@ from repro.online.arrivals import (
 from repro.secretary.stream import SecretaryStream
 from repro.workloads.secretary_streams import additive_values, coverage_utility
 
+from tests.online.procutil import process_params
+
 ALL_PROCESSES = arrival_process_names()
 
 
@@ -27,7 +29,7 @@ def fn():
 class TestRegistry:
     def test_builtin_processes_registered(self):
         assert {"uniform", "sorted_desc", "sorted_asc", "bursty", "poisson",
-                "sliding_window"} <= set(ALL_PROCESSES)
+                "sliding_window", "replay"} <= set(ALL_PROCESSES)
 
     def test_names_sorted(self):
         assert list(ALL_PROCESSES) == sorted(ALL_PROCESSES)
@@ -58,13 +60,17 @@ class TestRegistry:
 class TestScheduleInvariants:
     @pytest.mark.parametrize("process", ALL_PROCESSES)
     def test_order_is_a_permutation(self, fn, process):
-        schedule = build_arrival_schedule(process, fn, 11)
+        schedule = build_arrival_schedule(
+            process, fn, 11, **process_params(process, fn)
+        )
         assert frozenset(schedule.order) == fn.ground_set
         assert len(schedule.order) == len(fn.ground_set)
 
     @pytest.mark.parametrize("process", ALL_PROCESSES)
     def test_batches_partition_the_order(self, fn, process):
-        schedule = build_arrival_schedule(process, fn, 11)
+        schedule = build_arrival_schedule(
+            process, fn, 11, **process_params(process, fn)
+        )
         assert sum(schedule.batch_sizes) == schedule.n
         assert all(b >= 1 for b in schedule.batch_sizes)
         walked = [a for _, batch in schedule.batches() for a in batch]
@@ -72,12 +78,15 @@ class TestScheduleInvariants:
 
     @pytest.mark.parametrize("process", ALL_PROCESSES)
     def test_deterministic_in_seed(self, fn, process):
-        a = build_arrival_schedule(process, fn, 21)
-        b = build_arrival_schedule(process, fn, 21)
-        c = build_arrival_schedule(process, fn, 22)
+        params = process_params(process, fn)
+        a = build_arrival_schedule(process, fn, 21, **params)
+        b = build_arrival_schedule(process, fn, 21, **params)
+        c = build_arrival_schedule(process, fn, 22, **params)
         assert a.order == b.order and a.batch_sizes == b.batch_sizes
         assert a.fingerprint() == b.fingerprint()
-        if process not in ("sorted_desc", "sorted_asc"):
+        # Value-sorted orders ignore the seed; replay reproduces its
+        # recorded payload no matter the seed.
+        if process not in ("sorted_desc", "sorted_asc", "replay"):
             assert a.order != c.order or a.batch_sizes != c.batch_sizes
 
     def test_batches_resume_mid_batch(self, fn):
@@ -201,6 +210,38 @@ class TestSlidingWindow:
             build_arrival_schedule("sliding_window", fn, 0, window=0)
 
 
+class TestReplay:
+    """The ``replay`` process: a recorded schedule, consumed verbatim."""
+
+    def test_replays_order_batches_timestamps(self, fn):
+        recorded = build_arrival_schedule("poisson", fn, 17, rate=4.0)
+        replayed = build_arrival_schedule(
+            "replay", fn, 0, payload=recorded.payload()
+        )
+        assert replayed.order == recorded.order
+        assert replayed.batch_sizes == recorded.batch_sizes
+        assert replayed.timestamps == recorded.timestamps
+        assert replayed.process == "replay"
+
+    def test_seed_is_irrelevant(self, fn):
+        payload = build_arrival_schedule("bursty", fn, 3).payload()
+        a = build_arrival_schedule("replay", fn, 1, payload=payload)
+        b = build_arrival_schedule("replay", fn, 2, payload=payload)
+        assert a.order == b.order and a.batch_sizes == b.batch_sizes
+
+    def test_ground_set_mismatch_rejected(self, fn):
+        other = coverage_utility(10, 5, rng=np.random.default_rng(8))
+        payload = build_arrival_schedule("uniform", other, 3).payload()
+        with pytest.raises(InvalidInstanceError, match="ground set"):
+            build_arrival_schedule("replay", fn, 0, payload=payload)
+
+    def test_corrupt_payload_rejected(self, fn):
+        with pytest.raises(InvalidInstanceError, match="payload"):
+            build_arrival_schedule(
+                "replay", fn, 0, payload={"format": "something-else"}
+            )
+
+
 class TestArrivalStreamBridge:
     """workloads.arrival_stream: legacy streams over any process."""
 
@@ -230,7 +271,9 @@ class TestPayloadRoundTrip:
     def test_json_round_trip(self, fn, process):
         import json
 
-        schedule = build_arrival_schedule(process, fn, 13)
+        schedule = build_arrival_schedule(
+            process, fn, 13, **process_params(process, fn)
+        )
         payload = json.loads(json.dumps(schedule.payload()))
         back = ArrivalSchedule.from_payload(payload)
         assert back.order == schedule.order
@@ -243,8 +286,12 @@ class TestPayloadRoundTrip:
             ArrivalSchedule.from_payload({"format": "something-else"})
 
     def test_fingerprints_distinguish_processes(self, fn):
-        prints = {build_arrival_schedule(p, fn, 5).fingerprint()
-                  for p in ALL_PROCESSES}
+        prints = {
+            build_arrival_schedule(
+                p, fn, 5, **process_params(p, fn)
+            ).fingerprint()
+            for p in ALL_PROCESSES
+        }
         assert len(prints) == len(ALL_PROCESSES)
 
     def test_timestamped_fingerprint_stable_through_checkpoint_hop(self, fn):

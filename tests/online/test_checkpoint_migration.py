@@ -1,0 +1,181 @@
+"""Schema-v1 (PR 5) checkpoints still resume through the migration shim.
+
+These tests hand-build *genuine* v1 payloads — full embedded schedule,
+no source spec, no decision log, no frontier — exactly as the previous
+release wrote them, and assert this release resumes them to the same
+hires as the uninterrupted run.  They must keep passing for as long as
+v1 sits in ``SUPPORTED_CHECKPOINT_VERSIONS``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import CountingOracle
+from repro.errors import InvalidInstanceError
+from repro.online.arrivals import build_arrival_schedule
+from repro.online.checkpoint import (
+    SUPPORTED_CHECKPOINT_VERSIONS,
+    make_checkpoint,
+    resume_run,
+)
+from repro.online.driver import OnlineRun
+from repro.online.policies import SegmentedSubmodularPolicy
+from repro.online.session import (
+    resume_any_session,
+    resume_session,
+    start_session,
+    start_sharded_session,
+)
+from repro.workloads.secretary_streams import coverage_utility
+
+N, K, SEED = 16, 3, 20100612
+
+
+def _roundtrip(payload):
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+def _as_v1(session, *, drop_marker=False):
+    """Rewrite a live session's state as the payload PR 5 wrote."""
+    v2 = session.checkpoint()
+    v1 = {
+        "format": "repro-online-checkpoint/1",
+        "cursor": v2["cursor"],
+        "schedule": session.run.schedule.payload(),
+        "policy": v2["policy"],
+        "instance": v2["instance"],
+    }
+    if not drop_marker:
+        v1["schema_version"] = 1
+    return _roundtrip(v1)
+
+
+def _shard_entry_as_v1(run, v2_entry, *, drop_marker=False):
+    entry = {
+        "format": "repro-online-checkpoint/1",
+        "cursor": v2_entry["cursor"],
+        "schedule": run.schedule.payload(),
+        "policy": v2_entry["policy"],
+    }
+    if not drop_marker:
+        entry["schema_version"] = 1
+    return entry
+
+
+class TestUnshardedV1:
+    @pytest.mark.parametrize("policy", ["monotone", "classical", "knapsack"])
+    @pytest.mark.parametrize("process", ["uniform", "bursty"])
+    def test_v1_resumes_to_the_same_hires(self, policy, process):
+        kwargs = dict(policy=policy, family="additive", n=N, k=K, seed=SEED,
+                      process=process)
+        want = start_session(**kwargs).advance().run.result().selected
+        for cut in range(N + 1):
+            session = start_session(**kwargs).advance(cut)
+            if session.finished:
+                continue
+            resumed = resume_session(_as_v1(session)).advance()
+            assert resumed.finished
+            assert resumed.run.result().selected == want, (policy, process, cut)
+
+    def test_missing_schema_version_means_version_one(self):
+        kwargs = dict(policy="monotone", family="coverage", n=N, k=K, seed=5,
+                      process="bursty")
+        want = start_session(**kwargs).advance().run.result().selected
+        session = start_session(**kwargs).advance(7)
+        v1 = _as_v1(session, drop_marker=True)
+        assert "schema_version" not in v1
+        resumed = resume_session(v1).advance()
+        assert resumed.run.result().selected == want
+
+    def test_v1_resume_populates_decision_log(self):
+        """The shim reconstructs decisions so a v1 load re-saves as v2."""
+        kwargs = dict(policy="classical", family="additive", n=N, k=1, seed=4)
+        session = start_session(**kwargs).advance()
+        resumed = resume_session(_as_v1(session))
+        hired = {e for _, e in resumed.run.decisions}
+        assert hired == set(resumed.run.policy.hired_set())
+        rehop = _roundtrip(resumed.checkpoint())
+        assert rehop["schema_version"] == 2
+        assert "schedule" not in rehop
+
+    def test_v1_bad_cursor_is_clean_error(self):
+        session = start_session(n=12, k=2, seed=1).advance(3)
+        v1 = _as_v1(session)
+        v1["cursor"] = 99
+        with pytest.raises(InvalidInstanceError, match="cursor 99"):
+            resume_session(v1)
+
+    def test_unsupported_version_lists_supported(self):
+        session = start_session(n=12, k=2, seed=1).advance(3)
+        ck = session.checkpoint()
+        ck["schema_version"] = 7
+        supported = ", ".join(str(v) for v in SUPPORTED_CHECKPOINT_VERSIONS)
+        with pytest.raises(InvalidInstanceError, match=f"supported: {supported}"):
+            resume_session(_roundtrip(ck))
+
+
+class TestShardedV1:
+    def test_v1_manifest_resumes_to_the_same_hires(self):
+        kwargs = dict(policy="monotone", family="coverage", n=30, k=3, seed=5,
+                      process="bursty", shards=3)
+        want = start_sharded_session(**kwargs).advance().run.result().selected
+        session = start_sharded_session(**kwargs).advance(11)
+        v2 = session.checkpoint()
+        v1 = _roundtrip({
+            "format": v2["format"],
+            "schema_version": 1,
+            "num_shards": v2["num_shards"],
+            "salt": v2["salt"],
+            "limit": v2["limit"],
+            "shards": [
+                _shard_entry_as_v1(run, entry)
+                for run, entry in zip(session.run.runs, v2["shards"])
+            ],
+            "instance": v2["instance"],
+        })
+        for entry in v1["shards"]:
+            assert "source" not in entry and "schedule" in entry
+        resumed = resume_any_session(v1).advance()
+        assert resumed.finished
+        assert resumed.run.result().selected == want
+
+    def test_mixed_manifest_v1_and_v2_entries(self):
+        """Per-entry dispatch: a manifest may mix migrated and fresh shards."""
+        kwargs = dict(policy="monotone", family="additive", n=24, k=3, seed=9,
+                      process="bursty", shards=2)
+        want = start_sharded_session(**kwargs).advance().run.result().selected
+        session = start_sharded_session(**kwargs).advance(9)
+        v2 = session.checkpoint()
+        mixed = dict(v2)
+        mixed["shards"] = [
+            _shard_entry_as_v1(session.run.runs[0], v2["shards"][0]),
+            v2["shards"][1],
+        ]
+        resumed = resume_any_session(_roundtrip(mixed)).advance()
+        assert resumed.run.result().selected == want
+
+
+class TestDriverLevelV1:
+    def test_raw_v1_payload_through_resume_run(self):
+        fn = coverage_utility(20, 8, rng=np.random.default_rng(2))
+        schedule = build_arrival_schedule("bursty", fn, 7, mean_batch=3.0)
+        want = (
+            OnlineRun(CountingOracle(fn), schedule, SegmentedSubmodularPolicy(K))
+            .run().result().selected
+        )
+        for cut in (0, 5, 13, 20):
+            run = OnlineRun(
+                CountingOracle(fn), schedule, SegmentedSubmodularPolicy(K)
+            ).run(cut)
+            v2 = make_checkpoint(run)
+            v1 = _roundtrip({
+                "format": "repro-online-checkpoint/1",
+                "schema_version": 1,
+                "cursor": cut,
+                "schedule": schedule.payload(),
+                "policy": v2["policy"],
+            })
+            resumed = resume_run(v1, CountingOracle(fn))
+            assert resumed.run().result().selected == want, cut

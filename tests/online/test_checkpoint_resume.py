@@ -27,6 +27,8 @@ from repro.online.session import (
 )
 from repro.workloads.secretary_streams import coverage_utility
 
+from tests.online.procutil import process_params
+
 ALL_PROCESSES = arrival_process_names()
 N, K, SEED = 14, 3, 20100612
 
@@ -35,12 +37,23 @@ def _roundtrip(payload):
     return json.loads(json.dumps(payload, sort_keys=True))
 
 
+def _session_process_params(process, family="additive", n=N, seed=SEED):
+    """Per-process ``process_params`` for a session over this workload."""
+    from repro.online.session import build_workload
+
+    if process != "replay":
+        return {}
+    fn, _ = build_workload({"family": family, "n": n, "seed": seed})
+    return process_params(process, fn)
+
+
 @pytest.mark.parametrize("process", ALL_PROCESSES)
 @pytest.mark.parametrize("policy", SESSION_POLICIES)
 def test_suspend_everywhere_resume_exact(policy, process):
     """Every cut point of every policy × process reproduces the full run."""
     kwargs = dict(policy=policy, family="additive", n=N, k=K, seed=SEED,
-                  process=process)
+                  process=process,
+                  process_params=_session_process_params(process))
     full = start_session(**kwargs).advance()
     assert full.finished
     want = full.run.result().selected
@@ -61,7 +74,9 @@ def test_matroid_policy_resume_with_deps(process, k_guess):
     """Matroid deps re-inject through resume_run's ``deps`` hook."""
     fn = coverage_utility(N, 6, rng=np.random.default_rng(1))
     matroids = [UniformMatroid(fn.ground_set, 3)]
-    schedule = build_arrival_schedule(process, fn, 5)
+    schedule = build_arrival_schedule(
+        process, fn, 5, **process_params(process, fn)
+    )
 
     def fresh_run():
         return OnlineRun(
@@ -160,14 +175,22 @@ def test_resume_rejects_bad_cursor():
 
 
 def test_oracle_frontier_restored_no_peeking():
-    """A resumed run's oracle still refuses not-yet-arrived elements."""
+    """A resumed run re-reveals only the frontier, and still no peeking.
+
+    The v2 O(selected) contract: resume reveals the checkpointed
+    frontier (the hired set plus whatever the policy may still query) —
+    a subset of the consumed prefix, not the whole prefix — and the
+    arrival oracle keeps refusing anything that never arrived.
+    """
     from repro.errors import OracleError
 
     session = start_session(policy="monotone", family="coverage", n=16, k=3,
                             seed=2).advance(5)
     resumed = resume_session(_roundtrip(session.checkpoint()))
     order = resumed.run.schedule.order
-    assert resumed.run.oracle.arrived == frozenset(order[:5])
+    frontier = frozenset(resumed.run.policy.frontier())
+    assert resumed.run.oracle.arrived == frontier
+    assert frontier <= frozenset(order[:5])
     with pytest.raises(OracleError, match="not arrived"):
         resumed.run.oracle.value(frozenset({order[10]}))
 

@@ -185,6 +185,58 @@ class TestShardedCLI:
         assert main(["online", "resume", ck]) == 2
         assert "schema version 99" in capsys.readouterr().err
 
+    def test_inspect_plain_checkpoint(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.json")
+        assert main([
+            "online", "run", "--policy", "monotone", "--family", "coverage",
+            "--n", "30", "--k", "3", "--seed", "5", "--process", "bursty",
+            "--max-arrivals", "11", "--checkpoint", ck,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["online", "inspect", ck]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["format"] == "repro-online-checkpoint/1"
+        assert info["schema_version"] == 2
+        assert info["process"] == "bursty"
+        assert info["cursor"] == 11
+        assert isinstance(info["hired"], int)
+        assert info["recipe"]["family"] == "coverage"
+        assert info["embedded_schedule"] is False  # O(selected) payload
+        # Inspect is read-only: the file still resumes afterwards.
+        assert main(["online", "resume", ck]) == 0
+        capsys.readouterr()
+
+    def test_inspect_sharded_manifest(self, tmp_path, capsys):
+        ck = str(tmp_path / "shards.json")
+        assert main([
+            "online", "run", "--n", "30", "--k", "3", "--seed", "5",
+            "--shards", "3", "--max-arrivals", "11", "--checkpoint", ck,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["online", "inspect", ck]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["format"] == "repro-online-sharded-checkpoint/1"
+        assert info["num_shards"] == 3
+        assert len(info["shards"]) == 3
+        assert info["cursor"] == 11
+        for shard in info["shards"]:
+            assert shard["schema_version"] == 2
+            assert shard["shard"]["num_shards"] == 3
+
+    def test_inspect_corrupt_checkpoint_is_clean_exit_2(self, tmp_path, capsys):
+        ck = tmp_path / "truncated.json"
+        ck.write_text('{"format": "repro-online-checkpoint/1", "cursor')
+        assert main(["online", "inspect", str(ck)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt or truncated" in err
+        assert str(ck) in err
+
+    def test_inspect_unknown_format_is_clean_exit_2(self, tmp_path, capsys):
+        ck = tmp_path / "other.json"
+        ck.write_text('{"format": "something-else"}')
+        assert main(["online", "inspect", str(ck)]) == 2
+        assert "unknown format" in capsys.readouterr().err
+
     def test_bad_shard_and_worker_flags_rejected(self, capsys):
         assert main(["online", "run", "--shards", "0"]) == 2
         assert "--shards" in capsys.readouterr().err

@@ -36,8 +36,19 @@ from repro.online.session import (
 )
 from repro.workloads.secretary_streams import coverage_utility
 
+from tests.online.procutil import process_params
+
 ALL_PROCESSES = arrival_process_names()
 N, K, SEED = 18, 3, 20100612
+
+
+def _session_process_params(process, family="additive", n=N, seed=SEED):
+    if process != "replay":
+        return {}
+    from repro.online.session import build_workload
+
+    fn, _ = build_workload({"family": family, "n": n, "seed": seed})
+    return process_params(process, fn)
 
 
 def _roundtrip(payload):
@@ -214,7 +225,8 @@ class TestShardedCheckpointResume:
     @pytest.mark.parametrize("policy", ["monotone", "knapsack", "robust"])
     def test_suspend_everywhere_resume_exact(self, policy, process):
         kwargs = dict(policy=policy, family="additive", n=N, k=K, seed=SEED,
-                      process=process, shards=2)
+                      process=process, shards=2,
+                      process_params=_session_process_params(process))
         want = start_sharded_session(**kwargs).advance().summary()["selected"]
         for cut in range(0, N + 1, 3):
             session = start_sharded_session(**kwargs).advance(cut)
@@ -255,11 +267,14 @@ class TestShardedCheckpointResume:
         ).advance(5)
         ck = session.checkpoint()
         assert ck["format"] == "repro-online-sharded-checkpoint/1"
-        assert ck["schema_version"] == 1
+        assert ck["schema_version"] == 2
         assert ck["num_shards"] == 2
         assert len(ck["shards"]) == 2
         for shard_ck in ck["shards"]:
             assert shard_ck["format"] == "repro-online-checkpoint/1"
+            assert shard_ck["schema_version"] == 2
+            assert "schedule" not in shard_ck  # O(selected), not O(n)
+            assert "source" in shard_ck
         assert ck["instance"]["shards"] == 2
 
     def test_manifest_shard_count_mismatch_rejected(self):
@@ -301,12 +316,28 @@ class TestSchemaVersioning:
             resume_any_session(ck)
 
     def test_missing_version_means_version_one(self):
-        """Pre-versioning checkpoints (no marker) still resume."""
+        """Pre-versioning (v1-layout) checkpoints with no marker resume.
+
+        A version-less payload is read as schema v1 — embedded schedule,
+        no source spec or decision log — through the migration shim.
+        """
         session = start_session(n=10, k=2, seed=1).advance(3)
-        ck = _roundtrip(session.checkpoint())
-        del ck["schema_version"]
-        del ck["instance"]["recipe_version"]
-        assert resume_any_session(ck).advance().finished
+        run = session.run
+        v1 = {
+            "format": "repro-online-checkpoint/1",
+            "cursor": run.cursor,
+            "schedule": run.schedule.payload(),
+            "policy": {
+                "name": run.policy.name,
+                "config": run.policy.config_dict(),
+                "state": run.policy.state_dict(),
+            },
+            "instance": {
+                k: v for k, v in session.recipe.items()
+                if k != "recipe_version"
+            },
+        }
+        assert resume_any_session(_roundtrip(v1)).advance().finished
 
     def test_unknown_recipe_version_rejected(self):
         session = start_session(n=10, k=2, seed=1).advance(3)
@@ -318,8 +349,8 @@ class TestSchemaVersioning:
     def test_unknown_sharded_version_rejected(self):
         session = start_sharded_session(n=12, k=2, seed=1, shards=2).advance(4)
         ck = _roundtrip(session.checkpoint())
-        ck["schema_version"] = 2
-        with pytest.raises(InvalidInstanceError, match="schema version 2"):
+        ck["schema_version"] = 99
+        with pytest.raises(InvalidInstanceError, match="schema version 99"):
             resume_any_session(ck)
 
 
