@@ -20,11 +20,23 @@ n = 10^4 cell's (workload and source construction sit outside the
 timer; they are O(n) for any runner).  The curve is written to
 ``--soak-output`` (committed as ``BENCH_PR6.json``).
 
+With ``--serve``, a multi-tenant serving cell also runs: 100+
+concurrent tenant sessions (mixed policies, families, arrival
+processes, one sharded tenant) are multiplexed through one
+:class:`~repro.online.serving.ServingLoop` and every tenant's hires
+and oracle-call count must be bit-identical to running that tenant
+alone.  Throughput (arrivals/second, fleet-wide) and idle-checkpoint
+latency (from a second, paced cell that parks tenants between
+batches) are written to ``--serve-output`` (committed as
+``BENCH_PR7.json``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/streaming_smoke.py [--output smoke.json]
     PYTHONPATH=src python benchmarks/streaming_smoke.py --soak \
         --soak-output BENCH_PR6.json
+    PYTHONPATH=src python benchmarks/streaming_smoke.py --serve \
+        --serve-output BENCH_PR7.json
 """
 
 from __future__ import annotations
@@ -223,6 +235,132 @@ def run_soak(output: str | None) -> int:
     return 0
 
 
+SERVE_FLEET = {
+    "defaults": {"family": "additive", "n": 48, "k": 4, "process": "uniform"},
+    "tenants": [
+        {"id": "robust-coverage", "policy": "robust", "family": "coverage",
+         "n": 36, "aux": 24, "seed": 41},
+        {"id": "knapsack", "policy": "knapsack", "n": 40, "seed": 42},
+        {"id": "nonmono-poisson", "policy": "nonmonotone",
+         "process": "poisson", "n": 40, "seed": 43},
+        {"id": "classical-sorted", "policy": "classical",
+         "process": "sorted_desc", "n": 32, "seed": 44},
+        {"id": "sharded", "policy": "monotone", "shards": 2, "n": 44,
+         "seed": 45},
+        {"id": "bursty", "policy": "monotone", "process": "bursty",
+         "process_params": {"mean_batch": 4}, "seed": 46},
+    ],
+    "replicate": {"count": 102, "id_format": "tenant-{index:04d}",
+                  "seed_start": 1000, "policy": "monotone"},
+}
+
+
+def run_serve(output: str | None) -> int:
+    """100+ tenants through one ServingLoop, bit-identical to sequential."""
+    import tempfile
+
+    from repro.online.checkpoint import IdleCheckpointPolicy
+    from repro.online.serving import ServingLoop, load_tenant_specs
+    from repro.online.session import WorkloadCache
+
+    specs = load_tenant_specs(SERVE_FLEET)
+
+    # Sequential baseline: each tenant alone, summed wall time.
+    t0 = time.perf_counter()
+    baseline = {}
+    for spec in specs:
+        session = spec.start(WorkloadCache())
+        session.advance()
+        summary = session.summary()
+        baseline[spec.tenant_id] = {
+            "selected": sorted(map(str, summary["selected"])),
+            "value": summary["value"],
+            "oracle_calls": summary["oracle_calls"],
+        }
+    sequential_seconds = time.perf_counter() - t0
+
+    # Concurrent cell: the whole fleet through one loop, shared cache.
+    loop = ServingLoop(specs, workload_cache=WorkloadCache())
+    report = loop.serve()
+    mismatches = []
+    for spec in specs:
+        want = baseline[spec.tenant_id]
+        got = report["tenants"][spec.tenant_id]
+        same = (got["finished"]
+                and sorted(map(str, got["selected"])) == want["selected"]
+                and abs(got["value"] - want["value"]) < 1e-9
+                and got["oracle_calls"] == want["oracle_calls"])
+        if not same:
+            mismatches.append(spec.tenant_id)
+    totals = report["totals"]
+
+    # Idle-checkpoint cell: a paced sub-fleet parks between batches so
+    # the monitor checkpoints quiescent tenants mid-serve.
+    idle_specs = specs[:12]
+    with tempfile.TemporaryDirectory() as root:
+        idle_loop = ServingLoop(
+            idle_specs,
+            checkpoint_root=root,
+            idle_policy=IdleCheckpointPolicy(idle_seconds=0.01),
+            pace_seconds=0.02,
+            workload_cache=WorkloadCache(),
+        )
+        idle_report = idle_loop.serve()
+    latency = idle_report.get("checkpoint_latency") or {}
+
+    ok = (not mismatches
+          and totals["tenants"] >= 100
+          and idle_report["totals"]["idle_checkpoints"] > 0)
+    print(f"serve: {totals['tenants']} tenants, "
+          f"{totals['arrivals']} arrivals in {totals['wall_seconds']:.3f}s "
+          f"({totals['arrivals_per_second']:.0f} arrivals/s; "
+          f"sequential {sequential_seconds:.3f}s)")
+    print(f"serve: idle cell wrote "
+          f"{idle_report['totals']['idle_checkpoints']} mid-serve "
+          f"checkpoints, latency mean "
+          f"{latency.get('mean_seconds', 0) * 1e3:.2f}ms "
+          f"max {latency.get('max_seconds', 0) * 1e3:.2f}ms")
+    payload = {
+        "format": "repro-bench-pr/1",
+        "benchmark": "serving",
+        "tenants": totals["tenants"],
+        "bit_identical_to_sequential": not mismatches,
+        "mismatched_tenants": mismatches,
+        "arrivals": totals["arrivals"],
+        "decisions": totals["decisions"],
+        "oracle_calls": totals["oracle_calls"],
+        "wall_seconds": totals["wall_seconds"],
+        "arrivals_per_second": totals["arrivals_per_second"],
+        "sequential_seconds": sequential_seconds,
+        "max_in_flight": totals["max_in_flight"],
+        "workload_cache": report["workload_cache"],
+        "idle_cell": {
+            "tenants": idle_report["totals"]["tenants"],
+            "idle_checkpoints": idle_report["totals"]["idle_checkpoints"],
+            "checkpoint_latency": latency,
+            "pace_seconds": 0.02,
+            "idle_seconds": 0.01,
+        },
+        "note": ("every tenant's hires and oracle-call count equal a "
+                 "standalone run of the same spec; throughput measured "
+                 "on the unpaced 100+-tenant fleet, idle-checkpoint "
+                 "latency on a paced 12-tenant sub-fleet"),
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if not ok:
+        print("serving bench: " + (
+            f"{len(mismatches)} tenants diverged from sequential: "
+            f"{mismatches[:5]}" if mismatches else
+            "fleet too small or no idle checkpoints"), file=sys.stderr)
+        return 1
+    print(f"serving bench: {totals['tenants']} concurrent tenants "
+          "bit-identical to sequential")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default=None, help="write results JSON here")
@@ -230,6 +368,10 @@ def main(argv=None) -> int:
                         help="also run the long-stream scaling cells")
     parser.add_argument("--soak-output", default=None,
                         help="write the soak scaling curve JSON here")
+    parser.add_argument("--serve", action="store_true",
+                        help="also run the multi-tenant serving cell")
+    parser.add_argument("--serve-output", default=None,
+                        help="write the serving bench JSON here")
     args = parser.parse_args(argv)
 
     results = [
@@ -258,7 +400,11 @@ def main(argv=None) -> int:
     print(f"streaming smoke: all {len(results)} policy x process x shard "
           "cells ok")
     if args.soak:
-        return run_soak(args.soak_output)
+        code = run_soak(args.soak_output)
+        if code:
+            return code
+    if args.serve:
+        return run_serve(args.serve_output)
     return 0
 
 

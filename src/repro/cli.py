@@ -10,6 +10,7 @@ Seven subcommands mirroring the library's main entry points::
     python -m repro bench --profile quick           # perf-regression gate
     python -m repro online run --policy monotone --process bursty ...
     python -m repro online resume CHECKPOINT.json
+    python -m repro online serve TENANTS.json --checkpoint-dir DIR
 
 All output is JSON on stdout (render/diagnostics on stderr), so the CLI
 composes with jq-style pipelines.  ``sweep`` drives the batched
@@ -29,7 +30,11 @@ optionally stopping after ``--max-arrivals`` and writing a
 self-contained JSON checkpoint (atomically: temp file + rename);
 ``resume`` picks such a checkpoint (plain or sharded manifest) up
 mid-stream — in a fresh process — and continues where the suspended
-run stopped.
+run stopped.  ``serve`` multiplexes many tenant sessions through one
+asyncio loop (:mod:`repro.online.serving`): a JSON spec file declares
+the tenants, decisions stream concurrently, idle tenants checkpoint to
+per-tenant directories, and SIGINT drains-and-checkpoints instead of
+dropping state.
 """
 
 from __future__ import annotations
@@ -248,6 +253,55 @@ def build_parser() -> argparse.ArgumentParser:
              "(schema version, process, cursor, hires, shard manifest)",
     )
     online_inspect.add_argument("checkpoint_file", help="checkpoint JSON file")
+
+    online_serve = online_sub.add_parser(
+        "serve",
+        help="drive many concurrent tenant sessions from a JSON spec file "
+             "(asyncio multiplexer; SIGINT drains and checkpoints)",
+    )
+    online_serve.add_argument(
+        "spec_file",
+        help="tenant spec JSON: a list of tenant objects, or "
+             '{"defaults": {...}, "tenants": [...], "replicate": {...}}',
+    )
+    online_serve.add_argument(
+        "--checkpoint-dir", default=None,
+        help="root directory for per-tenant checkpoints (one subdirectory "
+             "per tenant id; omit to disable checkpointing)",
+    )
+    online_serve.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="bound of each tenant lane's arrival queue (backpressure knob)",
+    )
+    online_serve.add_argument(
+        "--batch-limit", type=int, default=None,
+        help="max arrivals per queued step (default: whole minibatches, "
+             "which keeps oracle-call counts identical to plain runs)",
+    )
+    online_serve.add_argument(
+        "--idle-seconds", type=float, default=None,
+        help="checkpoint a quiescent tenant after this much idle time "
+             "(default: checkpoint only at drain/finish)",
+    )
+    online_serve.add_argument(
+        "--min-progress", type=int, default=1,
+        help="idle checkpoints also need this many new arrivals since "
+             "the tenant's last snapshot",
+    )
+    online_serve.add_argument(
+        "--pace-seconds", type=float, default=0.0,
+        help="sleep between pushed steps per tenant (simulates real "
+             "arrival gaps; gives the idle checkpointer work)",
+    )
+    online_serve.add_argument(
+        "--resume", action="store_true",
+        help="resume tenants whose checkpoints exist under "
+             "--checkpoint-dir instead of starting them fresh",
+    )
+    online_serve.add_argument(
+        "--output", default=None,
+        help="also write the serving report JSON to this file (atomically)",
+    )
     return parser
 
 
@@ -476,6 +530,28 @@ def _load_checkpoint_file(path: str) -> dict:
     return payload
 
 
+def _render_params(params: object) -> dict:
+    """Deterministic rendering of source/process params for inspection.
+
+    Scalars print verbatim; container values (a replay's embedded
+    payload, say) print as a stable size summary instead of pages of
+    JSON.  Keys come out sorted, so documented inspect output is
+    byte-stable no matter how the params dict was assembled.
+    """
+    if not isinstance(params, dict):
+        return {}
+    out: dict = {}
+    for key in sorted(params, key=str):
+        value = params[key]
+        if isinstance(value, dict):
+            out[str(key)] = f"<object: {len(value)} keys>"
+        elif isinstance(value, (list, tuple)):
+            out[str(key)] = f"<list: {len(value)} items>"
+        else:
+            out[str(key)] = value
+    return out
+
+
 def _describe_shard_checkpoint(ck: dict) -> dict:
     """Summary of one ordinary (per-shard or unsharded) checkpoint payload."""
     version = int(ck.get("schema_version", 1))
@@ -488,6 +564,7 @@ def _describe_shard_checkpoint(ck: dict) -> dict:
         source = ck.get("source") or {}
         entry["process"] = source.get("process")
         entry["seed"] = source.get("seed")
+        entry["params"] = _render_params(source.get("params"))
         shard = source.get("shard")
         if shard:
             entry["shard"] = shard
@@ -501,6 +578,7 @@ def _describe_shard_checkpoint(ck: dict) -> dict:
         schedule = ck.get("schedule") or {}
         entry["process"] = schedule.get("process")
         entry["seed"] = schedule.get("seed")
+        entry["params"] = _render_params(schedule.get("params"))
         order = schedule.get("order")
         entry["n"] = None if order is None else len(order)
         # v1 recorded no decision log; the hire count lives (if anywhere)
@@ -566,6 +644,61 @@ def _cmd_online_inspect(args) -> int:
     return 0
 
 
+def _cmd_online_serve(args) -> int:
+    """``online serve``: multiplex many tenant sessions in one process.
+
+    Loads the tenant spec file, runs the asyncio serving loop with
+    SIGINT mapped to drain-and-checkpoint, and emits the serving report
+    (per-tenant stats + totals + cache effectiveness).  Exit 0 covers
+    both a completed serve and a clean drain — the report's
+    ``totals.drained`` flag says which happened.
+    """
+    import asyncio
+
+    from repro.online.checkpoint import IdleCheckpointPolicy
+    from repro.online.serving import ServingLoop, load_tenant_specs
+
+    with open(args.spec_file, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"spec file {args.spec_file} is not valid JSON: {exc}"
+            ) from exc
+    specs = load_tenant_specs(payload)
+    idle_policy = None
+    if args.idle_seconds is not None:
+        if args.checkpoint_dir is None:
+            raise ReproError("--idle-seconds needs --checkpoint-dir")
+        idle_policy = IdleCheckpointPolicy(
+            idle_seconds=args.idle_seconds, min_progress=args.min_progress
+        )
+    loop = ServingLoop(
+        specs,
+        checkpoint_root=args.checkpoint_dir,
+        queue_depth=args.queue_depth,
+        batch_limit=args.batch_limit,
+        idle_policy=idle_policy,
+        pace_seconds=args.pace_seconds,
+        resume=args.resume,
+    )
+    report = asyncio.run(loop.serve_async(install_sigint=True))
+    totals = report["totals"]
+    print(
+        f"served {totals['tenants']} tenants: {totals['arrivals']} arrivals, "
+        f"{totals['decisions']} hires"
+        + (" (drained early)" if totals["drained"] else ""),
+        file=sys.stderr,
+    )
+    if args.output:
+        from repro.io import dump_json_atomic
+
+        dump_json_atomic(report, args.output)
+        print(f"serving report written to {args.output}", file=sys.stderr)
+    _emit(report)
+    return 0
+
+
 def _cmd_online(args) -> int:
     from repro.online.session import (
         ShardedSession,
@@ -576,6 +709,8 @@ def _cmd_online(args) -> int:
 
     if args.online_command == "inspect":
         return _cmd_online_inspect(args)
+    if args.online_command == "serve":
+        return _cmd_online_serve(args)
     if args.online_command == "run":
         params = None
         if args.process_params:

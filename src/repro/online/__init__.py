@@ -31,6 +31,12 @@ stack into one subsystem:
 :mod:`repro.online.session` packages workload + policy + process (and
 shard count) into the self-contained resumable unit behind ``repro
 online run/resume``.
+
+:mod:`repro.online.serving` multiplexes many such sessions through one
+asyncio loop — bounded per-tenant queues for backpressure, a shared
+workload/value cache across same-workload tenants, idle checkpoints to
+per-tenant directories, and drain-and-checkpoint on SIGINT — behind
+``repro online serve``.
 """
 
 from repro.online.arrivals import (
@@ -53,10 +59,30 @@ from repro.online.checkpoint import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_SCHEMA_VERSION,
     SUPPORTED_CHECKPOINT_VERSIONS,
+    IdleCheckpointPolicy,
+    list_tenant_checkpoints,
     make_checkpoint,
+    read_tenant_checkpoint,
     resume_run,
+    tenant_checkpoint_path,
+    write_tenant_checkpoint,
 )
 from repro.online.driver import OnlineRun, drive_stream, run_online
+from repro.online.serving import (
+    ServingLoop,
+    TenantSpec,
+    load_tenant_specs,
+    serve,
+)
+from repro.online.session import (
+    OnlineSession,
+    ShardedSession,
+    WorkloadCache,
+    resume_any_session,
+    start_session,
+    start_sharded_session,
+    workload_key,
+)
 from repro.online.sharding import (
     SHARDED_CHECKPOINT_FORMAT,
     ShardSource,
@@ -103,10 +129,12 @@ __all__ = [
     "BottleneckResult",
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_SCHEMA_VERSION",
+    "IdleCheckpointPolicy",
     "KnapsackSecretaryPolicy",
     "MatroidSecretaryPolicy",
     "OnlinePolicy",
     "OnlineRun",
+    "OnlineSession",
     "POLICIES",
     "RobustResult",
     "RobustTopKPolicy",
@@ -116,15 +144,21 @@ __all__ = [
     "SecretaryResult",
     "SegmentTrace",
     "SegmentedSubmodularPolicy",
+    "ServingLoop",
     "ShardSource",
     "ShardView",
     "ShardedRun",
+    "ShardedSession",
     "SubadditiveSegmentPolicy",
+    "TenantSpec",
+    "WorkloadCache",
     "arrival_process_names",
     "as_arrival_source",
     "build_arrival_schedule",
     "build_arrival_source",
     "drive_stream",
+    "list_tenant_checkpoints",
+    "load_tenant_specs",
     "make_checkpoint",
     "make_policy",
     "make_sharded_checkpoint",
@@ -132,14 +166,22 @@ __all__ = [
     "nonmonotone_half_policy",
     "observation_lengths",
     "policy_names",
+    "read_tenant_checkpoint",
     "register_policy",
     "register_arrival_process",
     "register_arrival_source",
+    "resume_any_session",
     "resume_run",
     "source_from_spec",
     "resume_sharded_run",
     "run_online",
     "segment_bounds",
+    "serve",
     "shard_of",
     "shard_schedule",
+    "start_session",
+    "start_sharded_session",
+    "tenant_checkpoint_path",
+    "workload_key",
+    "write_tenant_checkpoint",
 ]

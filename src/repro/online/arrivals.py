@@ -103,6 +103,7 @@ class ArrivalFingerprint:
     @classmethod
     def for_stream(cls, process: str, seed, params: Dict[str, object],
                    ) -> "ArrivalFingerprint":
+        """Fresh fingerprint chain for one (process, seed, params) stream."""
         return cls({
             "format": FINGERPRINT_FORMAT,
             "process": process,
@@ -112,6 +113,7 @@ class ArrivalFingerprint:
 
     def update(self, element: Hashable, new_batch: bool,
                timestamp: Optional[float]) -> None:
+        """Extend the chain with one revealed arrival."""
         record = _canonical([repr(element), bool(new_batch), timestamp])
         self._chain = hashlib.sha256(
             (self._chain + record).encode("utf-8")
@@ -120,18 +122,22 @@ class ArrivalFingerprint:
 
     @property
     def digest(self) -> str:
+        """Current chain digest (hex SHA-256)."""
         return self._chain
 
     @property
     def count(self) -> int:
+        """Arrivals hashed into the chain so far."""
         return self._count
 
     def state_dict(self) -> Dict[str, object]:
+        """JSON-able chain state; inverse of :meth:`from_state`."""
         return {"chain": self._chain, "count": self._count}
 
     @classmethod
     def from_state(cls, header: Dict[str, object],
                    state: Dict[str, object]) -> "ArrivalFingerprint":
+        """Resume a chain from its checkpointed (chain, count) state."""
         return cls(header, chain=str(state["chain"]), count=int(state["count"]))  # type: ignore[arg-type]
 
 
@@ -167,6 +173,7 @@ class ArrivalSchedule:
 
     @property
     def n(self) -> int:
+        """Total stream length."""
         return len(self.order)
 
     def __len__(self) -> int:
@@ -202,11 +209,15 @@ class ArrivalSchedule:
             "order": list(self.order),
             "batch_sizes": list(self.batch_sizes),
             "timestamps": None if self.timestamps is None else list(self.timestamps),
-            "params": dict(self.params),
+            # Sorted so every renderer of the payload (checkpoint files,
+            # ``repro online inspect``, docs examples) prints the same
+            # key order regardless of how the params dict was assembled.
+            "params": dict(sorted(self.params.items())),
         }
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "ArrivalSchedule":
+        """Rebuild from a checkpoint-embedded JSON payload."""
         if payload.get("format") != SCHEDULE_FORMAT:
             raise InvalidInstanceError(
                 f"not a {SCHEDULE_FORMAT} payload: {payload.get('format')!r}"
@@ -321,6 +332,7 @@ def _by_singleton_value(
 
 
 def uniform_process(utility: SetFunction, seed) -> ArrivalSchedule:
+    """The paper's arrival model: a seed-derived uniform permutation."""
     order = _uniform_order(utility, seed)
     return ArrivalSchedule(
         process="uniform", seed=_seed_field(seed), order=order,
@@ -329,6 +341,7 @@ def uniform_process(utility: SetFunction, seed) -> ArrivalSchedule:
 
 
 def sorted_desc_process(utility: SetFunction, seed) -> ArrivalSchedule:
+    """Adversarial order: elements arrive best-first."""
     order = _by_singleton_value(utility, descending=True)
     return ArrivalSchedule(
         process="sorted_desc", seed=_seed_field(seed), order=order,
@@ -337,6 +350,7 @@ def sorted_desc_process(utility: SetFunction, seed) -> ArrivalSchedule:
 
 
 def sorted_asc_process(utility: SetFunction, seed) -> ArrivalSchedule:
+    """Adversarial order: elements arrive worst-first."""
     order = _by_singleton_value(utility, descending=False)
     return ArrivalSchedule(
         process="sorted_asc", seed=_seed_field(seed), order=order,
@@ -499,10 +513,12 @@ class ArrivalSource:
 
     @property
     def cursor(self) -> int:
+        """Arrivals consumed so far."""
         return self._cursor
 
     @property
     def exhausted(self) -> bool:
+        """Whether the stream has no arrivals left."""
         return self._n is not None and self._cursor >= self._n
 
     @property
@@ -570,12 +586,17 @@ class ArrivalSource:
     # -- resumable state ------------------------------------------------
 
     def spec(self) -> Dict[str, object]:
-        """How to rebuild this source: ``(process, seed, params)``."""
+        """How to rebuild this source: ``(process, seed, params)``.
+
+        Params are emitted in sorted key order so a rendered spec
+        (checkpoint files, ``repro online inspect``, docs examples) is
+        deterministic across runs.
+        """
         return {
             "format": SOURCE_SPEC_FORMAT,
             "process": self.process,
             "seed": self.seed,
-            "params": dict(self.params),
+            "params": dict(sorted(self.params.items())),
         }
 
     def _extra_state(self) -> Dict[str, object]:
@@ -652,6 +673,7 @@ class ScheduleSource(ArrivalSource):
 
     @property
     def order(self) -> List[Hashable]:
+        """The materialized arrival order (forces lazy generation)."""
         return self._schedule.order
 
     def _emit(self, limit: Optional[int]):
@@ -666,12 +688,14 @@ class ScheduleSource(ArrivalSource):
         return elements, stamps, self._cursor == self._starts[b]
 
     def spec(self) -> Dict[str, object]:
+        """JSON-able stream identity: process name, seed, sorted params."""
         spec = super().spec()
         if not self._rebuildable:
             spec["schedule"] = self._schedule.payload()
         return spec
 
     def materialize(self) -> ArrivalSchedule:
+        """The full remaining stream as an :class:`ArrivalSchedule`."""
         return self._schedule
 
 
@@ -702,6 +726,7 @@ class BurstySource(ArrivalSource):
 
     @property
     def order(self) -> List[Hashable]:
+        """The materialized arrival order (forces lazy generation)."""
         return self._order
 
     def _emit(self, limit: Optional[int]):
@@ -728,6 +753,7 @@ class BurstySource(ArrivalSource):
         self._gen.bit_generator.state = state["rng_state"]
 
     def materialize(self) -> ArrivalSchedule:
+        """The full remaining stream as an :class:`ArrivalSchedule`."""
         if self._materialized is None:
             self._materialized = bursty_process(
                 _OrderGround(self._order), self.seed,

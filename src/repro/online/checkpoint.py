@@ -26,7 +26,10 @@ checkpoint to make that rebuild automatic.
 
 from __future__ import annotations
 
+import os
+
 from typing import Dict, Mapping, Optional
+from urllib.parse import quote, unquote
 
 from repro.core.submodular import SetFunction
 from repro.errors import InvalidInstanceError
@@ -43,9 +46,15 @@ __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_SCHEMA_VERSION",
     "SUPPORTED_CHECKPOINT_VERSIONS",
+    "TENANT_CHECKPOINT_NAME",
+    "IdleCheckpointPolicy",
     "check_schema_version",
+    "list_tenant_checkpoints",
     "make_checkpoint",
+    "read_tenant_checkpoint",
     "resume_run",
+    "tenant_checkpoint_path",
+    "write_tenant_checkpoint",
 ]
 
 CHECKPOINT_FORMAT = "repro-online-checkpoint/1"
@@ -176,6 +185,145 @@ def resume_run(
     run = OnlineRun(utility, source, policy)
     run.restore(checkpoint)
     return run
+
+
+# -- per-tenant checkpoint layout -------------------------------------------
+#
+# The serving layer (:mod:`repro.online.serving`) multiplexes many
+# independent sessions ("tenants") per process; each tenant checkpoints
+# into its own directory so tenants suspend, resume, and garbage-collect
+# independently:
+#
+#     <root>/<encoded tenant id>/checkpoint.json
+#
+# Tenant ids are caller-chosen strings; the directory name percent-
+# encodes anything outside ``[A-Za-z0-9._-]`` so arbitrary ids stay
+# filesystem- and round-trip-safe.
+
+#: File name of a tenant's current checkpoint inside its directory.
+TENANT_CHECKPOINT_NAME = "checkpoint.json"
+
+_TENANT_SAFE = "._-"
+
+
+def _encode_tenant_id(tenant_id: str) -> str:
+    """Percent-encode *tenant_id* into a safe directory name.
+
+    ``""``, ``"."``, and ``".."`` are rejected outright — quote() would
+    pass them through, and a directory by those names aliases the root
+    or its parent.
+    """
+    tenant_id = str(tenant_id)
+    if tenant_id in ("", ".", ".."):
+        raise InvalidInstanceError(
+            f"tenant id {tenant_id!r} cannot name a checkpoint directory"
+        )
+    return quote(tenant_id, safe=_TENANT_SAFE)
+
+
+def tenant_checkpoint_path(root: str, tenant_id: str) -> str:
+    """Where tenant *tenant_id* checkpoints under checkpoint root *root*."""
+    return os.path.join(
+        str(root), _encode_tenant_id(tenant_id), TENANT_CHECKPOINT_NAME
+    )
+
+
+def write_tenant_checkpoint(
+    payload: Mapping[str, object], root: str, tenant_id: str
+) -> str:
+    """Atomically write *payload* as *tenant_id*'s current checkpoint.
+
+    Creates the per-tenant directory on first use and returns the
+    written path.  The write goes through
+    :func:`repro.io.dump_json_atomic`, so a crash mid-write never
+    truncates the checkpoint a resume depends on.
+    """
+    from repro.io import dump_json_atomic  # lazy: io imports scheduling
+
+    path = tenant_checkpoint_path(root, tenant_id)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    dump_json_atomic(dict(payload), path)
+    return path
+
+
+def read_tenant_checkpoint(root: str, tenant_id: str) -> Optional[Dict[str, object]]:
+    """The tenant's current checkpoint payload, or ``None`` if absent.
+
+    Corrupt (non-JSON / non-object) files raise
+    :class:`~repro.errors.InvalidInstanceError` naming the file, the
+    same contract as the CLI's checkpoint loader.
+    """
+    import json
+
+    path = tenant_checkpoint_path(root, tenant_id)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise InvalidInstanceError(
+                f"tenant checkpoint {path} is corrupt or truncated "
+                f"(not valid JSON: {exc})"
+            ) from exc
+    if not isinstance(payload, dict):
+        raise InvalidInstanceError(f"tenant checkpoint {path} is not a JSON object")
+    return payload
+
+
+def list_tenant_checkpoints(root: str) -> Dict[str, str]:
+    """Map tenant id -> checkpoint path for every tenant under *root*.
+
+    Only directories that actually contain a
+    :data:`TENANT_CHECKPOINT_NAME` file count; ids are decoded from
+    their directory names, and the result is sorted by id so callers
+    iterate deterministically.
+    """
+    if not os.path.isdir(root):
+        return {}
+    found = {}
+    for entry in os.listdir(root):
+        path = os.path.join(root, entry, TENANT_CHECKPOINT_NAME)
+        if os.path.isfile(path):
+            found[unquote(entry)] = path
+    return dict(sorted(found.items()))
+
+
+class IdleCheckpointPolicy:
+    """When the serving loop checkpoints an idle tenant.
+
+    A tenant is *quiescent* when its queues are empty and no pulled
+    batch is in flight; the serving loop asks this policy whether a
+    quiescent tenant is *due* a checkpoint.  The defaults checkpoint a
+    tenant after it has sat idle for ``idle_seconds`` — but only if its
+    stream advanced at least ``min_progress`` arrivals since the last
+    checkpoint, so a parked tenant is not re-serialised every poll.
+    """
+
+    def __init__(self, idle_seconds: float = 0.05, min_progress: int = 1) -> None:
+        """Record the idle threshold and the minimum progress between writes."""
+        if idle_seconds < 0:
+            raise InvalidInstanceError(
+                f"idle_seconds must be >= 0, got {idle_seconds}"
+            )
+        if min_progress < 1:
+            raise InvalidInstanceError(
+                f"min_progress must be >= 1, got {min_progress}"
+            )
+        self.idle_seconds = float(idle_seconds)
+        self.min_progress = int(min_progress)
+        self._last_cursor: Dict[str, int] = {}
+
+    def due(self, tenant_id: str, cursor: int, idle_for: float) -> bool:
+        """Whether a tenant idle for *idle_for* seconds should checkpoint now."""
+        if idle_for < self.idle_seconds:
+            return False
+        last = self._last_cursor.get(str(tenant_id))
+        return last is None or int(cursor) - last >= self.min_progress
+
+    def note_checkpoint(self, tenant_id: str, cursor: int) -> None:
+        """Record that the tenant just checkpointed at *cursor*."""
+        self._last_cursor[str(tenant_id)] = int(cursor)
 
 
 def _resume_v1(

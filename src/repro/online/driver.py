@@ -83,10 +83,12 @@ class OnlineRun:
 
     @property
     def n(self) -> int:
+        """Total stream length."""
         return int(self.source.n)  # type: ignore[arg-type]
 
     @property
     def cursor(self) -> int:
+        """Arrivals consumed so far."""
         return self.source.cursor
 
     @property
@@ -114,6 +116,22 @@ class OnlineRun:
             if a in new:
                 self.decisions.append([pos0 + i, a])
         self._hired_logged = hired
+
+    def feed(self, pos0: int, batch: Sequence[Hashable]) -> "OnlineRun":
+        """Consume one externally-pulled batch (the serving push path).
+
+        The serving layer (:mod:`repro.online.serving`) splits the
+        pull/consume halves of :meth:`run` across asyncio tasks: a
+        producer calls ``self.source.take(...)`` and enqueues the step,
+        a consumer feeds it here.  *batch* must be exactly what the
+        source yielded for *pos0* — reveal, observe, and decision
+        logging then match the pull path bit for bit.  A batch arriving
+        after the policy reported ``done`` is dropped without revealing,
+        exactly as :meth:`run` never takes past ``done``.
+        """
+        if not self.policy.done:
+            self._consume(int(pos0), list(batch))
+        return self
 
     def run(self, max_arrivals: Optional[int] = None) -> "OnlineRun":
         """Consume up to *max_arrivals* more arrivals (all, when ``None``).

@@ -130,6 +130,7 @@ class OnlinePolicy(abc.ABC):
 
     @property
     def bound(self) -> bool:
+        """The policy's competitive-ratio guarantee, when one is known."""
         return self._oracle is not None
 
     @property
@@ -186,6 +187,7 @@ class OnlinePolicy(abc.ABC):
 
     @classmethod
     def from_config(cls, config: Mapping[str, object], **deps) -> "OnlinePolicy":
+        """Rebuild an instance from a :meth:`config_dict` payload."""
         return cls(**dict(config), **deps)  # type: ignore[call-arg]
 
 
@@ -270,6 +272,7 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
         self._base = frozenset(self._selected_set)
 
     def observe(self, pos: int, element: Hashable) -> None:
+        """Advance the policy by one arrival at stream position *pos*."""
         self._step(pos, element, None)
 
     def _step(self, pos: int, a: Hashable, scored: Optional[float]) -> None:
@@ -379,6 +382,7 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
             i += advanced + 1
 
     def finish(self) -> SecretaryResult:
+        """Finalize at end of stream and return the result object."""
         if not self._closed_tail:
             while self._seg < self.k:
                 self._close_segment(self._seg)
@@ -392,11 +396,13 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
         )
 
     def hired_set(self) -> FrozenSet[Hashable]:
+        """The policy's current hired set."""
         return frozenset(getattr(self, "_selected_set", ()))
 
     # -- checkpoint codec ----------------------------------------------
 
     def config_dict(self) -> Dict[str, object]:
+        """JSON-able constructor config; inverse of :meth:`from_config`."""
         return {
             "k": self.k,
             "monotone_clamp": self.monotone_clamp,
@@ -407,6 +413,7 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
         }
 
     def state_dict(self) -> Dict[str, object]:
+        """JSON-able mutable state; inverse of :meth:`load_state`."""
         return {
             "selected": list(self._selected),
             "base": sorted(self._base, key=repr),
@@ -424,6 +431,7 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
         }
 
     def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore mutable state from a :meth:`state_dict` payload."""
         self._selected = list(state["selected"])  # type: ignore[arg-type]
         self._selected_set = set(self._selected)
         self._base = frozenset(state["base"])  # type: ignore[arg-type]
@@ -505,6 +513,7 @@ class BestSingletonPolicy(OnlinePolicy):
         self._hired: Optional[Hashable] = None
 
     def observe(self, pos: int, element: Hashable) -> None:
+        """Advance the policy by one arrival at stream position *pos*."""
         if self._done:
             return
         if self.limit is not None and pos >= self.limit:
@@ -523,17 +532,21 @@ class BestSingletonPolicy(OnlinePolicy):
 
     @property
     def hired(self) -> Optional[Hashable]:
+        """The single hired element, or None before any hire."""
         return self._hired
 
     def hired_set(self) -> FrozenSet[Hashable]:
+        """The policy's current hired set."""
         hired = getattr(self, "_hired", None)
         return frozenset() if hired is None else frozenset({hired})
 
     def finish(self) -> SecretaryResult:
+        """Finalize at end of stream and return the result object."""
         selected = frozenset() if self._hired is None else frozenset({self._hired})
         return SecretaryResult(selected=selected, traces=[], strategy=self.strategy)
 
     def config_dict(self) -> Dict[str, object]:
+        """JSON-able constructor config; inverse of :meth:`from_config`."""
         return {
             "strict": self.strict,
             "require_finite": self.require_finite,
@@ -543,6 +556,7 @@ class BestSingletonPolicy(OnlinePolicy):
         }
 
     def state_dict(self) -> Dict[str, object]:
+        """JSON-able mutable state; inverse of :meth:`load_state`."""
         return {
             "best": encode_float(self._best),
             "hired": self._hired,
@@ -550,6 +564,7 @@ class BestSingletonPolicy(OnlinePolicy):
         }
 
     def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore mutable state from a :meth:`state_dict` payload."""
         self._best = decode_float(state["best"])  # type: ignore[arg-type]
         self._hired = state["hired"]
         self._done = bool(state["done"])
@@ -579,6 +594,7 @@ class RobustTopKPolicy(OnlinePolicy):
         self._selected: set = set()
 
     def observe(self, pos: int, element: Hashable) -> None:
+        """Advance the policy by one arrival at stream position *pos*."""
         if self._done:
             return
         while self._seg < self.k and pos >= self._bounds[self._seg][1]:
@@ -596,22 +612,27 @@ class RobustTopKPolicy(OnlinePolicy):
             self._selected.add(element)
 
     def finish(self) -> RobustResult:
+        """Finalize at end of stream and return the result object."""
         return RobustResult(
             selected=frozenset(self._selected),
             per_segment=list(self._per_segment),
         )
 
     def hired_set(self) -> FrozenSet[Hashable]:
+        """The policy's current hired set."""
         return frozenset(getattr(self, "_selected", ()))
 
     def config_dict(self) -> Dict[str, object]:
+        """JSON-able constructor config; inverse of :meth:`from_config`."""
         return {"values": _encode_element_map(self.values), "k": self.k}
 
     @classmethod
     def from_config(cls, config: Mapping[str, object], **deps) -> "RobustTopKPolicy":
+        """Rebuild an instance from a :meth:`config_dict` payload."""
         return cls(_decode_element_map(config["values"]), int(config["k"]), **deps)  # type: ignore[arg-type]
 
     def state_dict(self) -> Dict[str, object]:
+        """JSON-able mutable state; inverse of :meth:`load_state`."""
         return {
             "seg": self._seg,
             "best": encode_float(self._best),
@@ -620,6 +641,7 @@ class RobustTopKPolicy(OnlinePolicy):
         }
 
     def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore mutable state from a :meth:`state_dict` payload."""
         self._seg = int(state["seg"])  # type: ignore[arg-type]
         self._best = decode_float(state["best"])  # type: ignore[arg-type]
         self._per_segment = list(state["per_segment"])  # type: ignore[arg-type]
@@ -655,6 +677,7 @@ class BottleneckPolicy(OnlinePolicy):
         self._selected: List[Hashable] = []
 
     def observe(self, pos: int, element: Hashable) -> None:
+        """Advance the policy by one arrival at stream position *pos*."""
         if self._done:
             return
         v = float(self.values[element])
@@ -664,6 +687,7 @@ class BottleneckPolicy(OnlinePolicy):
             self._selected.append(element)
 
     def finish(self) -> BottleneckResult:
+        """Finalize at end of stream and return the result object."""
         chosen = frozenset(self._selected)
         top_k = set(
             sorted(self.values, key=lambda e: (-self.values[e], repr(e)))[: self.k]
@@ -678,16 +702,20 @@ class BottleneckPolicy(OnlinePolicy):
         )
 
     def hired_set(self) -> FrozenSet[Hashable]:
+        """The policy's current hired set."""
         return frozenset(getattr(self, "_selected", ()))
 
     def config_dict(self) -> Dict[str, object]:
+        """JSON-able constructor config; inverse of :meth:`from_config`."""
         return {"values": _encode_element_map(self.values), "k": self.k}
 
     @classmethod
     def from_config(cls, config: Mapping[str, object], **deps) -> "BottleneckPolicy":
+        """Rebuild an instance from a :meth:`config_dict` payload."""
         return cls(_decode_element_map(config["values"]), int(config["k"]), **deps)  # type: ignore[arg-type]
 
     def state_dict(self) -> Dict[str, object]:
+        """JSON-able mutable state; inverse of :meth:`load_state`."""
         return {
             "threshold": encode_float(self._threshold),
             "selected": list(self._selected),
@@ -695,6 +723,7 @@ class BottleneckPolicy(OnlinePolicy):
         }
 
     def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore mutable state from a :meth:`state_dict` payload."""
         self._threshold = decode_float(state["threshold"])  # type: ignore[arg-type]
         self._selected = list(state["selected"])  # type: ignore[arg-type]
         self._done = bool(state["done"])
@@ -760,11 +789,13 @@ class KnapsackSecretaryPolicy(OnlinePolicy):
 
     @property
     def done(self) -> bool:
+        """Whether the policy will hire nothing further."""
         if self.heads and self.bound:
             return self._singleton.done
         return self._done
 
     def observe(self, pos: int, element: Hashable) -> None:
+        """Advance the policy by one arrival at stream position *pos*."""
         if self.heads:
             self._singleton.observe(pos, element)
             return
@@ -788,6 +819,7 @@ class KnapsackSecretaryPolicy(OnlinePolicy):
         self._evaluator.advance(element, self._value)
 
     def finish(self) -> SecretaryResult:
+        """Finalize at end of stream and return the result object."""
         if self.heads:
             result = self._singleton.finish()
             return SecretaryResult(
@@ -798,6 +830,7 @@ class KnapsackSecretaryPolicy(OnlinePolicy):
         )
 
     def hired_set(self) -> FrozenSet[Hashable]:
+        """The policy's current hired set."""
         if self.heads:
             return self._singleton.hired_set()
         return frozenset(getattr(self, "_selected", ()))
@@ -807,11 +840,13 @@ class KnapsackSecretaryPolicy(OnlinePolicy):
         # the offline estimate over ``_first_half`` when the collect
         # phase closes, so a run resumed mid-collect must re-reveal
         # those arrivals too (still O(selected + n/2), never O(stream)).
+        """Elements a resumed policy may still query (hires + pending)."""
         if not self.heads and getattr(self, "_phase", None) == "collect":
             return sorted(set(self._first_half) | self.hired_set(), key=repr)
         return sorted(self.hired_set(), key=repr)
 
     def config_dict(self) -> Dict[str, object]:
+        """JSON-able constructor config; inverse of :meth:`from_config`."""
         return {
             "weights": _encode_element_map(self.weights),
             "heads": self.heads,
@@ -822,6 +857,7 @@ class KnapsackSecretaryPolicy(OnlinePolicy):
     def from_config(
         cls, config: Mapping[str, object], **deps
     ) -> "KnapsackSecretaryPolicy":
+        """Rebuild an instance from a :meth:`config_dict` payload."""
         return cls(
             _decode_element_map(config["weights"]),
             heads=bool(config["heads"]),
@@ -830,6 +866,7 @@ class KnapsackSecretaryPolicy(OnlinePolicy):
         )
 
     def state_dict(self) -> Dict[str, object]:
+        """JSON-able mutable state; inverse of :meth:`load_state`."""
         if self.heads:
             return {"singleton": self._singleton.state_dict()}
         return {
@@ -843,6 +880,7 @@ class KnapsackSecretaryPolicy(OnlinePolicy):
         }
 
     def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore mutable state from a :meth:`state_dict` payload."""
         if self.heads:
             self._singleton.load_state(state["singleton"])  # type: ignore[arg-type]
             return
@@ -883,6 +921,7 @@ class SubadditiveSegmentPolicy(OnlinePolicy):
         self._selected: List[Hashable] = []
 
     def observe(self, pos: int, element: Hashable) -> None:
+        """Advance the policy by one arrival at stream position *pos*."""
         if self._done:
             return
         if self._lo <= pos < self._hi:
@@ -891,6 +930,7 @@ class SubadditiveSegmentPolicy(OnlinePolicy):
             self._done = True
 
     def finish(self) -> SecretaryResult:
+        """Finalize at end of stream and return the result object."""
         return SecretaryResult(
             selected=frozenset(self._selected),
             traces=[],
@@ -898,15 +938,19 @@ class SubadditiveSegmentPolicy(OnlinePolicy):
         )
 
     def hired_set(self) -> FrozenSet[Hashable]:
+        """The policy's current hired set."""
         return frozenset(getattr(self, "_selected", ()))
 
     def config_dict(self) -> Dict[str, object]:
+        """JSON-able constructor config; inverse of :meth:`from_config`."""
         return {"k": self.k, "target": self.target}
 
     def state_dict(self) -> Dict[str, object]:
+        """JSON-able mutable state; inverse of :meth:`load_state`."""
         return {"selected": list(self._selected), "done": self._done}
 
     def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore mutable state from a :meth:`state_dict` payload."""
         self._selected = list(state["selected"])  # type: ignore[arg-type]
         self._done = bool(state["done"])
 
@@ -960,17 +1004,21 @@ class MatroidSecretaryPolicy(OnlinePolicy):
 
     @property
     def done(self) -> bool:
+        """Whether the policy will hire nothing further."""
         if self.bound:
             return self._inner.done
         return self._done
 
     def observe(self, pos: int, element: Hashable) -> None:
+        """Advance the policy by one arrival at stream position *pos*."""
         self._inner.observe(pos, element)
 
     def observe_batch(self, pos0: int, elements: Sequence[Hashable]) -> None:
+        """Vectorized observe: consume one revealed minibatch."""
         self._inner.observe_batch(pos0, elements)
 
     def finish(self) -> SecretaryResult:
+        """Finalize at end of stream and return the result object."""
         result = self._inner.finish()
         return SecretaryResult(
             selected=result.selected,
@@ -979,20 +1027,25 @@ class MatroidSecretaryPolicy(OnlinePolicy):
         )
 
     def hired_set(self) -> FrozenSet[Hashable]:
+        """The policy's current hired set."""
         inner = getattr(self, "_inner", None)
         return frozenset() if inner is None else inner.hired_set()
 
     def frontier(self) -> List[Hashable]:
+        """Elements a resumed policy may still query (hires + pending)."""
         inner = getattr(self, "_inner", None)
         return [] if inner is None else inner.frontier()
 
     def config_dict(self) -> Dict[str, object]:
+        """JSON-able constructor config; inverse of :meth:`from_config`."""
         return {"k_guess": self.k_guess}
 
     def state_dict(self) -> Dict[str, object]:
+        """JSON-able mutable state; inverse of :meth:`load_state`."""
         return {"inner": self._inner.state_dict()}
 
     def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore mutable state from a :meth:`state_dict` payload."""
         self._inner.load_state(state["inner"])  # type: ignore[arg-type]
 
 
@@ -1002,6 +1055,7 @@ POLICIES: Dict[str, Type[OnlinePolicy]] = {}
 
 
 def register_policy(cls: Type[OnlinePolicy]) -> Type[OnlinePolicy]:
+    """Register a policy constructor under *name*."""
     if not cls.name:
         raise InvalidInstanceError("policy class must set a non-empty name")
     POLICIES[cls.name] = cls
@@ -1009,6 +1063,7 @@ def register_policy(cls: Type[OnlinePolicy]) -> Type[OnlinePolicy]:
 
 
 def policy_names() -> Tuple[str, ...]:
+    """Sorted names of every registered policy."""
     return tuple(sorted(POLICIES))
 
 

@@ -39,6 +39,7 @@ class SecretaryResult:
 
     @property
     def hires(self) -> int:
+        """The hired elements in hire order."""
         return len(self.selected)
 
 
@@ -51,6 +52,7 @@ class RobustResult:
 
     @property
     def hires(self) -> int:
+        """The hired elements in hire order."""
         return len(self.selected)
 
 

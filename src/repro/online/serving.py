@@ -1,0 +1,661 @@
+"""Asyncio multi-tenant serving: many concurrent sessions per process.
+
+The ROADMAP's "millions of users = many independent streams" front end:
+a :class:`ServingLoop` drives N tenant sessions (plain or sharded)
+inside one event loop.  Each tenant gets one *lane* per shard — a
+producer task pulls real batches from that lane's own
+:class:`~repro.online.arrivals.ArrivalSource` and pushes ``(position,
+batch)`` steps onto a bounded :class:`asyncio.Queue`; a consumer task
+feeds them to the lane's :class:`~repro.online.driver.OnlineRun` via
+:meth:`~repro.online.driver.OnlineRun.feed`.  The bounded queue is the
+backpressure: a tenant whose oracle is slow blocks its own producer at
+``put()`` without stalling anyone else's lane.
+
+Determinism is inherited, not re-proven: producers pull the *same*
+batches in the *same* order the pull-based ``run()`` loop would (the
+default ``batch_limit=None`` keeps minibatches whole, so vectorized
+``observe_batch`` calls — and therefore oracle-call counts — are
+untouched), and ``feed`` replays the exact reveal/observe/log sequence.
+Hires and per-tenant oracle counts are bit-identical to running each
+tenant alone (pinned by ``tests/online/test_serving.py``).
+
+Checkpoints piggyback on the schema-v2 codec.  A tenant is *quiescent*
+when no lane holds an in-flight (pulled-but-not-consumed) step — then
+source cursors equal consumed positions and the synchronous
+``session.checkpoint()`` snapshot is consistent (checkpoint writes
+never await, so the single-threaded loop guarantees atomicity).  An
+:class:`~repro.online.checkpoint.IdleCheckpointPolicy` checkpoints
+quiescent-and-idle tenants mid-serve to per-tenant directories;
+:meth:`ServingLoop.request_drain` (the SIGINT path) stops producers,
+lets consumers drain their queues, and checkpoints every tenant — so an
+interrupted serve resumes exactly where each stream stopped.
+
+Tenants on the same workload (same :func:`~repro.online.session.workload_key`)
+share one utility and one memoising value oracle through a
+:class:`~repro.online.session.WorkloadCache`; each tenant still bills
+its own queries through its own counting wrapper.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import InvalidInstanceError
+from repro.online.checkpoint import (
+    IdleCheckpointPolicy,
+    read_tenant_checkpoint,
+    write_tenant_checkpoint,
+)
+from repro.online.driver import OnlineRun
+from repro.online.session import (
+    OnlineSession,
+    ShardedSession,
+    WorkloadCache,
+    resume_any_session,
+    start_session,
+    start_sharded_session,
+)
+
+__all__ = [
+    "ServingLoop",
+    "TenantSpec",
+    "load_tenant_specs",
+    "serve",
+]
+
+#: Sentinel a producer enqueues after its final batch: "this lane's
+#: stream is over (or draining); exit once the queue ahead is consumed."
+_EOS = object()
+
+#: Recipe fields a tenant spec (or its defaults block) may set.
+_SPEC_FIELDS = (
+    "policy",
+    "family",
+    "n",
+    "k",
+    "seed",
+    "process",
+    "aux",
+    "n_knapsacks",
+    "distribution",
+    "process_params",
+    "shards",
+)
+
+OnDecision = Callable[[str, int, object], None]
+
+
+class TenantSpec:
+    """One tenant's workload recipe plus its serving identity.
+
+    A thin, validated bundle of the :func:`~repro.online.session.start_session`
+    keyword surface (``shards > 1`` routes to the sharded starter) under
+    a unique ``tenant_id`` — the name of the tenant's checkpoint
+    directory under the serve root.
+    """
+
+    def __init__(
+        self,
+        tenant_id: str,
+        *,
+        policy: str = "monotone",
+        family: str = "additive",
+        n: int = 60,
+        k: int = 4,
+        seed: int = 0,
+        process: str = "uniform",
+        aux: int = 0,
+        n_knapsacks: int = 2,
+        distribution: str = "uniform",
+        process_params: Optional[Mapping[str, object]] = None,
+        shards: int = 1,
+    ) -> None:
+        """Validate and freeze one tenant's recipe fields."""
+        tenant_id = str(tenant_id)
+        if not tenant_id:
+            raise InvalidInstanceError("tenant id must be non-empty")
+        if int(shards) < 1:
+            raise InvalidInstanceError(
+                f"tenant {tenant_id!r}: shards must be >= 1, got {shards}"
+            )
+        self.tenant_id = tenant_id
+        self.policy = str(policy)
+        self.family = str(family)
+        self.n = int(n)
+        self.k = int(k)
+        self.seed = int(seed)
+        self.process = str(process)
+        self.aux = int(aux)
+        self.n_knapsacks = int(n_knapsacks)
+        self.distribution = str(distribution)
+        self.process_params = dict(process_params or {})
+        self.shards = int(shards)
+
+    @classmethod
+    def from_mapping(
+        cls,
+        payload: Mapping[str, object],
+        defaults: Optional[Mapping[str, object]] = None,
+    ) -> "TenantSpec":
+        """Build a spec from a JSON object, merged over *defaults*.
+
+        Unknown keys are rejected (a typoed field silently reverting to
+        its default would change the tenant's stream).
+        """
+        merged: Dict[str, object] = dict(defaults or {})
+        merged.update(payload)
+        tenant_id = merged.pop("id", None)
+        if tenant_id is None:
+            raise InvalidInstanceError("tenant spec needs an 'id' field")
+        unknown = sorted(set(merged) - set(_SPEC_FIELDS))
+        if unknown:
+            raise InvalidInstanceError(
+                f"tenant {tenant_id!r}: unknown spec fields {unknown}; "
+                f"known: {sorted(_SPEC_FIELDS)}"
+            )
+        return cls(str(tenant_id), **merged)  # type: ignore[arg-type]
+
+    def start(
+        self, workload_cache: Optional[WorkloadCache] = None
+    ) -> Union[OnlineSession, ShardedSession]:
+        """Start a fresh session for this tenant (sharded when asked)."""
+        kwargs = dict(
+            policy=self.policy,
+            family=self.family,
+            n=self.n,
+            k=self.k,
+            seed=self.seed,
+            process=self.process,
+            aux=self.aux,
+            n_knapsacks=self.n_knapsacks,
+            distribution=self.distribution,
+            process_params=self.process_params,
+            workload_cache=workload_cache,
+        )
+        if self.shards > 1:
+            return start_sharded_session(shards=self.shards, **kwargs)  # type: ignore[arg-type]
+        return start_session(**kwargs)  # type: ignore[arg-type]
+
+
+def load_tenant_specs(payload: object) -> List[TenantSpec]:
+    """Parse a serve spec document into a validated tenant list.
+
+    Accepts either a bare JSON list of tenant objects, or an object
+    with any of:
+
+    ``defaults``
+        Recipe fields merged under every tenant entry.
+    ``tenants``
+        Explicit tenant objects (each needs a unique ``id``).
+    ``replicate``
+        Bulk stanza: ``{"count": N, "id_format": "bulk-{index:04d}",
+        "seed_start": S, ...recipe fields...}`` expands to *N* tenants
+        with consecutive seeds — ``{index}`` and ``{seed}`` interpolate
+        into the id — so a hundred-tenant serve is three lines of spec.
+    """
+    if isinstance(payload, list):
+        payload = {"tenants": payload}
+    if not isinstance(payload, Mapping):
+        raise InvalidInstanceError(
+            "serve spec must be a JSON object or a list of tenant objects"
+        )
+    defaults = payload.get("defaults") or {}
+    if not isinstance(defaults, Mapping):
+        raise InvalidInstanceError("'defaults' must be an object")
+    specs: List[TenantSpec] = []
+    tenants = payload.get("tenants") or []
+    if not isinstance(tenants, list):
+        raise InvalidInstanceError("'tenants' must be a list")
+    for entry in tenants:
+        if not isinstance(entry, Mapping):
+            raise InvalidInstanceError("each tenant entry must be an object")
+        specs.append(TenantSpec.from_mapping(entry, defaults))
+    replicate = payload.get("replicate")
+    if replicate is not None:
+        if not isinstance(replicate, Mapping):
+            raise InvalidInstanceError("'replicate' must be an object")
+        replicate = dict(replicate)
+        count = int(replicate.pop("count", 0))  # type: ignore[arg-type]
+        if count < 1:
+            raise InvalidInstanceError("'replicate.count' must be >= 1")
+        id_format = str(replicate.pop("id_format", "tenant-{index:04d}"))
+        seed_start = int(replicate.pop("seed_start", 0))  # type: ignore[arg-type]
+        for index in range(count):
+            seed = seed_start + index
+            entry = {
+                **replicate,
+                "id": id_format.format(index=index, seed=seed),
+                "seed": seed,
+            }
+            specs.append(TenantSpec.from_mapping(entry, defaults))
+    if not specs:
+        raise InvalidInstanceError("serve spec declares no tenants")
+    seen: Dict[str, int] = {}
+    for spec in specs:
+        if spec.tenant_id in seen:
+            raise InvalidInstanceError(
+                f"duplicate tenant id {spec.tenant_id!r} in serve spec"
+            )
+        seen[spec.tenant_id] = 1
+    return specs
+
+
+class _Lane:
+    """One shard's pipe: producer-pulled steps queued for one consumer."""
+
+    def __init__(self, run: OnlineRun, depth: int) -> None:
+        self.run = run
+        self.queue: "asyncio.Queue" = asyncio.Queue(maxsize=depth)
+        #: Steps pulled from the source but not yet fed to the policy.
+        #: Incremented synchronously with ``take()`` (no await between),
+        #: so at every loop suspension point ``cursor - consumed`` equals
+        #: ``in_flight`` exactly — the quiescence invariant checkpoints
+        #: rely on.
+        self.in_flight = 0
+        self.max_in_flight = 0
+
+    @property
+    def quiescent(self) -> bool:
+        return self.in_flight == 0
+
+
+class _Tenant:
+    """Runtime state for one tenant: session, lanes, serving counters."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        session: Union[OnlineSession, ShardedSession],
+        depth: int,
+        *,
+        resumed: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.session = session
+        self.resumed = resumed
+        runs = (
+            session.run.runs
+            if isinstance(session, ShardedSession)
+            else [session.run]
+        )
+        self.lanes = [_Lane(run, depth) for run in runs]
+        self.arrivals = 0
+        self.batches = 0
+        self.last_activity = time.perf_counter()
+        self.idle_checkpoints = 0
+        self.checkpoint_seconds: List[float] = []
+        self.checkpoint_path: Optional[str] = None
+
+    @property
+    def quiescent(self) -> bool:
+        """No lane holds a pulled-but-unconsumed step."""
+        return all(lane.quiescent for lane in self.lanes)
+
+    @property
+    def finished(self) -> bool:
+        return self.session.finished
+
+    @property
+    def cursor(self) -> int:
+        return sum(lane.run.cursor for lane in self.lanes)
+
+    @property
+    def decisions(self) -> int:
+        return sum(len(lane.run.decisions) for lane in self.lanes)
+
+    @property
+    def max_in_flight(self) -> int:
+        return max(lane.max_in_flight for lane in self.lanes)
+
+
+class ServingLoop:
+    """Drive many tenant sessions concurrently in one asyncio loop.
+
+    Parameters
+    ----------
+    specs:
+        The tenants to serve (see :func:`load_tenant_specs`).
+    checkpoint_root:
+        Directory that receives one subdirectory per tenant (percent-
+        encoded id).  ``None`` disables checkpointing entirely.
+    queue_depth:
+        Bound of each lane's arrival queue — the backpressure knob.  A
+        lane never holds more than ``queue_depth + 2`` in-flight steps:
+        the bounded queue, the one in the producer's hand blocked on
+        ``put``, and the one the consumer has dequeued but not fed.
+    batch_limit:
+        Per-``take`` arrival cap passed to the sources.  The default
+        ``None`` pulls whole minibatches, which is what keeps vectorized
+        observe calls — and oracle-call counts — bit-identical to the
+        pull path; set it only when arrival granularity matters more
+        than count parity.
+    idle_policy:
+        :class:`~repro.online.checkpoint.IdleCheckpointPolicy` deciding
+        when a quiescent tenant is worth snapshotting mid-serve.
+        ``None`` checkpoints only at drain/finish.
+    workload_cache:
+        Shared :class:`~repro.online.session.WorkloadCache`; defaults to
+        a fresh one per serve (sharing across same-workload tenants).
+    pace_seconds:
+        Producer sleep between pushed steps — simulates real arrival
+        gaps (and gives the idle monitor something to notice).
+    resume:
+        Resume any tenant whose checkpoint exists under
+        *checkpoint_root* instead of starting it fresh.
+    on_decision:
+        ``callback(tenant_id, position, element)`` streamed every hire,
+        in consume order — the per-tenant decision feed.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[TenantSpec],
+        *,
+        checkpoint_root: Optional[str] = None,
+        queue_depth: int = 8,
+        batch_limit: Optional[int] = None,
+        idle_policy: Optional[IdleCheckpointPolicy] = None,
+        workload_cache: Optional[WorkloadCache] = None,
+        pace_seconds: float = 0.0,
+        resume: bool = False,
+        on_decision: Optional[OnDecision] = None,
+    ) -> None:
+        """Validate knobs and stage the serve (no sessions built yet)."""
+        if not specs:
+            raise InvalidInstanceError("nothing to serve: no tenant specs")
+        if int(queue_depth) < 1:
+            raise InvalidInstanceError(
+                f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        if batch_limit is not None and int(batch_limit) < 1:
+            raise InvalidInstanceError(
+                f"batch_limit must be >= 1 (or None), got {batch_limit}"
+            )
+        self.specs = list(specs)
+        self.checkpoint_root = checkpoint_root
+        self.queue_depth = int(queue_depth)
+        self.batch_limit = None if batch_limit is None else int(batch_limit)
+        self.idle_policy = idle_policy
+        self.workload_cache = (
+            WorkloadCache() if workload_cache is None else workload_cache
+        )
+        self.pace_seconds = float(pace_seconds)
+        self.resume = bool(resume)
+        self.on_decision = on_decision
+        self._tenants: List[_Tenant] = []
+        self._draining = False
+        self._active_consumers = 0
+        self._wall_seconds = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Stop pulling new arrivals; finish in-flight work, checkpoint.
+
+        Safe to call from a signal handler registered on the running
+        loop: producers observe the flag before their next ``take`` and
+        close their lanes, consumers drain what was already queued, and
+        the finalize step snapshots every tenant.
+        """
+        self._draining = True
+
+    def serve(self) -> Dict[str, object]:
+        """Run the serve to completion (or drain) and return the report."""
+        return asyncio.run(self.serve_async())
+
+    async def serve_async(
+        self, *, install_sigint: bool = False
+    ) -> Dict[str, object]:
+        """Async entry point: build tenants, run all lanes, finalize.
+
+        With ``install_sigint=True`` the loop's SIGINT handler becomes
+        :meth:`request_drain` for the duration of the serve — Ctrl-C
+        means "drain and checkpoint", not "drop state on the floor".
+        """
+        started = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        sigint_installed = False
+        if install_sigint:
+            try:
+                loop.add_signal_handler(signal.SIGINT, self.request_drain)
+                sigint_installed = True
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without signal support serve without it
+        try:
+            self._tenants = [self._start_tenant(spec) for spec in self.specs]
+            tasks = []
+            for tenant in self._tenants:
+                for lane in tenant.lanes:
+                    tasks.append(
+                        asyncio.ensure_future(self._produce(tenant, lane))
+                    )
+                    tasks.append(
+                        asyncio.ensure_future(self._consume(tenant, lane))
+                    )
+                    self._active_consumers += 1
+            if self.idle_policy is not None and self.checkpoint_root is not None:
+                tasks.append(asyncio.ensure_future(self._monitor()))
+            await asyncio.gather(*tasks)
+            self._finalize()
+        finally:
+            if sigint_installed:
+                loop.remove_signal_handler(signal.SIGINT)
+        self._wall_seconds = time.perf_counter() - started
+        return self.report()
+
+    def _start_tenant(self, spec: TenantSpec) -> _Tenant:
+        """Start (or, under ``resume``, restore) one tenant's session."""
+        if self.resume and self.checkpoint_root is not None:
+            payload = read_tenant_checkpoint(self.checkpoint_root, spec.tenant_id)
+            if payload is not None:
+                session = resume_any_session(
+                    payload, workload_cache=self.workload_cache
+                )
+                return _Tenant(spec, session, self.queue_depth, resumed=True)
+        return _Tenant(
+            spec, spec.start(self.workload_cache), self.queue_depth
+        )
+
+    # -- tasks -----------------------------------------------------------
+
+    async def _produce(self, tenant: _Tenant, lane: _Lane) -> None:
+        """Pull batches from *lane*'s source and queue them, until done.
+
+        ``take`` and the ``in_flight`` increment run without an
+        intervening await, so the quiescence invariant (cursor ==
+        consumed + in_flight at every suspension point) holds.  Stops on
+        source exhaustion, policy completion, or drain.
+        """
+        run = lane.run
+        try:
+            while not self._draining and not run.policy.done:
+                step = run.source.take(self.batch_limit)
+                if step is None:
+                    break
+                lane.in_flight += 1
+                lane.max_in_flight = max(lane.max_in_flight, lane.in_flight)
+                pos0, batch, _stamps = step
+                await lane.queue.put((pos0, batch))
+                if self.pace_seconds > 0.0:
+                    await asyncio.sleep(self.pace_seconds)
+                else:
+                    # Cooperative yield: a full put() may not suspend.
+                    await asyncio.sleep(0)
+        finally:
+            await lane.queue.put(_EOS)
+
+    async def _before_feed(self, tenant: _Tenant, lane: _Lane) -> None:
+        """Seam between dequeue and feed — the default does nothing.
+
+        Subclasses (and the backpressure tests) override this to stall a
+        tenant's consumer the way a slow oracle would: while it waits,
+        that tenant's producer can run at most ``queue_depth + 1`` steps
+        ahead before its ``put`` blocks, and every other tenant keeps
+        streaming.
+        """
+        return None
+
+    async def _consume(self, tenant: _Tenant, lane: _Lane) -> None:
+        """Feed queued steps to *lane*'s run, streaming decisions out."""
+        run = lane.run
+        while True:
+            item = await lane.queue.get()
+            if item is _EOS:
+                break
+            await self._before_feed(tenant, lane)
+            pos0, batch = item
+            logged = len(run.decisions)
+            run.feed(pos0, batch)
+            lane.in_flight -= 1
+            tenant.arrivals += len(batch)
+            tenant.batches += 1
+            tenant.last_activity = time.perf_counter()
+            if self.on_decision is not None:
+                for position, element in run.decisions[logged:]:
+                    self.on_decision(tenant.spec.tenant_id, position, element)
+            await asyncio.sleep(0)  # fairness: one step per loop pass
+        self._active_consumers -= 1
+
+    async def _monitor(self) -> None:
+        """Checkpoint idle tenants while the serve is running.
+
+        A tenant qualifies when it is unfinished, quiescent (no in-flight
+        step, so its snapshot is consistent), and its
+        :class:`IdleCheckpointPolicy` says the idle time and progress
+        since the last snapshot are worth the write.
+        """
+        policy = self.idle_policy
+        assert policy is not None
+        tick = max(policy.idle_seconds / 2.0, 0.005)
+        while self._active_consumers > 0:
+            await asyncio.sleep(tick)
+            now = time.perf_counter()
+            for tenant in self._tenants:
+                if tenant.finished or not tenant.quiescent:
+                    continue
+                idle_for = now - tenant.last_activity
+                if policy.due(tenant.spec.tenant_id, tenant.cursor, idle_for):
+                    self._write_checkpoint(tenant)
+                    tenant.idle_checkpoints += 1
+                    policy.note_checkpoint(tenant.spec.tenant_id, tenant.cursor)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def _write_checkpoint(self, tenant: _Tenant) -> None:
+        """Atomically snapshot *tenant* to its directory (synchronous)."""
+        assert self.checkpoint_root is not None
+        t0 = time.perf_counter()
+        tenant.checkpoint_path = write_tenant_checkpoint(
+            tenant.session.checkpoint(),
+            self.checkpoint_root,
+            tenant.spec.tenant_id,
+        )
+        tenant.checkpoint_seconds.append(time.perf_counter() - t0)
+
+    def _finalize(self) -> None:
+        """Snapshot every tenant once all lanes have drained.
+
+        All producers and consumers have exited, so every tenant is
+        quiescent; the snapshot is exact whether the tenant finished or
+        was drained mid-stream — either way its checkpoint resumes.
+        """
+        if self.checkpoint_root is None:
+            return
+        for tenant in self._tenants:
+            self._write_checkpoint(tenant)
+
+    # -- reporting -------------------------------------------------------
+
+    def tenant_summary(self, tenant_id: str) -> Dict[str, object]:
+        """One tenant's serving stats (plus its result when finished)."""
+        for tenant in self._tenants:
+            if tenant.spec.tenant_id == tenant_id:
+                return self._tenant_report(tenant)
+        raise InvalidInstanceError(f"unknown tenant {tenant_id!r}")
+
+    def _tenant_report(self, tenant: _Tenant) -> Dict[str, object]:
+        # Finish first: a sharded tenant's merge stage runs (and bills
+        # its merge_calls) inside result(), so the summary must be
+        # computed before oracle_calls is read.
+        summary = tenant.session.summary() if tenant.finished else None
+        out: Dict[str, object] = {
+            "policy": tenant.spec.policy,
+            "family": tenant.spec.family,
+            "process": tenant.spec.process,
+            "shards": tenant.spec.shards,
+            "n": tenant.spec.n,
+            "cursor": tenant.cursor,
+            "arrivals": tenant.arrivals,
+            "batches": tenant.batches,
+            "decisions": tenant.decisions,
+            "finished": tenant.finished,
+            "resumed": tenant.resumed,
+            "oracle_calls": tenant.session.oracle_calls,
+            "max_in_flight": tenant.max_in_flight,
+            "idle_checkpoints": tenant.idle_checkpoints,
+            "checkpoint_path": tenant.checkpoint_path,
+        }
+        if summary is not None:
+            for key in ("selected", "n_chosen", "value", "strategy"):
+                if key in summary:
+                    out[key] = summary[key]
+        return out
+
+    def report(self) -> Dict[str, object]:
+        """The whole serve's JSON-friendly report (per tenant + totals)."""
+        tenants = {
+            t.spec.tenant_id: self._tenant_report(t) for t in self._tenants
+        }
+        arrivals = sum(t.arrivals for t in self._tenants)
+        latencies = [
+            s for t in self._tenants for s in t.checkpoint_seconds
+        ]
+        report: Dict[str, object] = {
+            "tenants": tenants,
+            "totals": {
+                "tenants": len(self._tenants),
+                "finished": sum(1 for t in self._tenants if t.finished),
+                "resumed": sum(1 for t in self._tenants if t.resumed),
+                "arrivals": arrivals,
+                "decisions": sum(t.decisions for t in self._tenants),
+                "oracle_calls": sum(
+                    t.session.oracle_calls for t in self._tenants
+                ),
+                "idle_checkpoints": sum(
+                    t.idle_checkpoints for t in self._tenants
+                ),
+                "max_in_flight": max(
+                    (t.max_in_flight for t in self._tenants), default=0
+                ),
+                "drained": self._draining,
+                "wall_seconds": self._wall_seconds,
+                "arrivals_per_second": (
+                    arrivals / self._wall_seconds
+                    if self._wall_seconds > 0 else None
+                ),
+            },
+            "workload_cache": self.workload_cache.stats(),
+        }
+        if latencies:
+            report["checkpoint_latency"] = {
+                "count": len(latencies),
+                "mean_seconds": sum(latencies) / len(latencies),
+                "max_seconds": max(latencies),
+            }
+        return report
+
+
+def serve(
+    specs: Sequence[TenantSpec], **kwargs: object
+) -> Tuple[ServingLoop, Dict[str, object]]:
+    """One-shot convenience: build a :class:`ServingLoop`, run it.
+
+    Returns ``(loop, report)`` so callers can poke tenants afterwards;
+    keyword arguments forward to :class:`ServingLoop`.
+    """
+    loop = ServingLoop(specs, **kwargs)  # type: ignore[arg-type]
+    return loop, loop.serve()

@@ -23,7 +23,7 @@ import numpy as np
 
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.core.oracle import CountingOracle
+from repro.core.oracle import CachedOracle, CountingOracle
 from repro.core.submodular import SetFunction
 from repro.engine.hashing import derive_seed
 from repro.errors import InvalidInstanceError
@@ -66,7 +66,9 @@ __all__ = [
     "SESSION_FAMILIES",
     "OnlineSession",
     "ShardedSession",
+    "WorkloadCache",
     "build_workload",
+    "workload_key",
     "start_session",
     "resume_session",
     "start_sharded_session",
@@ -122,6 +124,83 @@ def build_workload(recipe: Mapping[str, object]) -> Tuple[SetFunction, Dict]:
             vectors, [1.0] * int(recipe.get("n_knapsacks", 2))  # type: ignore[arg-type]
         )
     return fn, weights
+
+
+def workload_key(recipe: Mapping[str, object]) -> Tuple:
+    """Hashable identity of the workload *recipe* rebuilds.
+
+    Two recipes with equal keys make :func:`build_workload` return the
+    same utility (and, for knapsack policies, the same reduced weights):
+    the generator is seeded by ``seed`` alone and the knapsack vectors
+    are the only other draw.  Policy, arrival process, and ``k`` are
+    deliberately absent — tenants that differ only there still share one
+    utility instance (and one value cache) under :class:`WorkloadCache`.
+    """
+    needs_weights = recipe.get("policy") == "knapsack"
+    return (
+        str(recipe["family"]),
+        int(recipe["n"]),  # type: ignore[arg-type]
+        int(recipe.get("aux", 0)),  # type: ignore[arg-type]
+        int(recipe["seed"]),  # type: ignore[arg-type]
+        str(recipe.get("distribution", "uniform")),
+        int(recipe.get("n_knapsacks", 2)) if needs_weights else None,  # type: ignore[arg-type]
+    )
+
+
+class WorkloadCache:
+    """Shared (utility, weights, value cache) across same-workload tenants.
+
+    The serving layer hands one instance to every ``start_session`` /
+    ``resume_session`` it makes: tenants whose recipes agree on
+    :func:`workload_key` then share a single utility object *and* a
+    single :class:`~repro.core.oracle.CachedOracle` memoising its
+    values.  Each tenant still wraps the shared cache in its own
+    :class:`~repro.core.oracle.CountingOracle`, so per-tenant
+    ``oracle_calls`` stay bit-identical to an uncached run — caching
+    changes where values come from, never how many queries are billed.
+    """
+
+    def __init__(self, max_value_entries: Optional[int] = None) -> None:
+        """Create an empty cache (*max_value_entries* bounds each LRU)."""
+        self._entries: Dict[Tuple, Tuple[SetFunction, Dict, CachedOracle]] = {}
+        self.max_value_entries = max_value_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        """Number of distinct workloads built so far."""
+        return len(self._entries)
+
+    def lookup(
+        self, recipe: Mapping[str, object]
+    ) -> Tuple[SetFunction, Dict, CachedOracle]:
+        """Return (utility, weights, shared cached oracle) for *recipe*.
+
+        Builds the workload on first sight of its :func:`workload_key`
+        and reuses it afterwards; ``hits``/``misses`` count lookups for
+        the serving stats.
+        """
+        key = workload_key(recipe)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            fn, weights = build_workload(recipe)
+            entry = (fn, weights, CachedOracle(fn, self.max_value_entries))
+            self._entries[key] = entry
+        else:
+            self.hits += 1
+        return entry
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate cache effectiveness counters (JSON-friendly)."""
+        shared = [oracle for _, _, oracle in self._entries.values()]
+        return {
+            "workloads": len(self._entries),
+            "lookups": self.hits + self.misses,
+            "workload_hits": self.hits,
+            "value_hits": sum(o.hits for o in shared),
+            "value_misses": sum(o.misses for o in shared),
+        }
 
 
 def _singleton_values(fn: SetFunction) -> Dict:
@@ -191,11 +270,13 @@ class OnlineSession:
         self.prior_calls = int(prior_calls)
 
     def advance(self, max_arrivals: Optional[int] = None) -> "OnlineSession":
+        """Consume up to *max_arrivals* more arrivals (None = run to completion)."""
         self.run.run(max_arrivals)
         return self
 
     @property
     def finished(self) -> bool:
+        """Whether every arrival has been consumed or the policy is done."""
         return self.run.finished
 
     @property
@@ -204,11 +285,13 @@ class OnlineSession:
         return self.prior_calls + self.counting.calls
 
     def checkpoint(self) -> Dict[str, object]:
+        """Suspend-state payload with the workload recipe attached."""
         extra = dict(self.recipe)
         extra["oracle_calls_consumed"] = self.oracle_calls
         return make_checkpoint(self.run, extra=extra)
 
     def summary(self) -> Dict[str, object]:
+        """Selection, value, and oracle-call accounting for the run so far."""
         out: Dict[str, object] = {
             "policy": self.recipe["policy"],
             "family": self.recipe["family"],
@@ -240,8 +323,14 @@ def start_session(
     n_knapsacks: int = 2,
     distribution: str = "uniform",
     process_params: Optional[Mapping[str, object]] = None,
+    workload_cache: Optional[WorkloadCache] = None,
 ) -> OnlineSession:
-    """Build a fresh session from a workload recipe."""
+    """Build a fresh session from a workload recipe.
+
+    With a *workload_cache*, same-workload tenants share one utility and
+    one memoising value oracle; the per-tenant counting wrapper keeps
+    ``oracle_calls`` identical either way.
+    """
     recipe: Dict[str, object] = {
         "kind": "secretary-workload",
         "recipe_version": RECIPE_SCHEMA_VERSION,
@@ -256,13 +345,17 @@ def start_session(
         "process": process,
         "process_params": dict(process_params or {}),
     }
-    fn, weights = build_workload(recipe)
+    if workload_cache is None:
+        fn, weights = build_workload(recipe)
+        shared: SetFunction = fn
+    else:
+        fn, weights, shared = workload_cache.lookup(recipe)
     policy_obj = _build_policy(recipe, fn, weights)
     source = build_arrival_source(
         process, fn, derive_seed(int(seed), "online-stream"),
         **dict(process_params or {}),
     )
-    counting = CountingOracle(fn)
+    counting = CountingOracle(shared)
     run = OnlineRun(counting, source, policy_obj)
     return OnlineSession(run, fn, counting, recipe)
 
@@ -282,11 +375,19 @@ def _checked_recipe(checkpoint: Mapping[str, object]) -> Mapping[str, object]:
     return recipe
 
 
-def resume_session(checkpoint: Mapping[str, object]) -> OnlineSession:
+def resume_session(
+    checkpoint: Mapping[str, object],
+    *,
+    workload_cache: Optional[WorkloadCache] = None,
+) -> OnlineSession:
     """Rebuild a suspended session from its self-contained checkpoint."""
     recipe = _checked_recipe(checkpoint)
-    fn, _ = build_workload(recipe)
-    counting = CountingOracle(fn)
+    if workload_cache is None:
+        fn, _ = build_workload(recipe)
+        shared: SetFunction = fn
+    else:
+        fn, _, shared = workload_cache.lookup(recipe)
+    counting = CountingOracle(shared)
     source = None
     if int(checkpoint.get("schema_version", 1)) >= 2:  # type: ignore[arg-type]
         # Rebuild the stream over the *base* utility so value-sorted
@@ -376,12 +477,14 @@ class ShardedSession:
         self.prior_calls = int(prior_calls)
 
     def advance(self, max_arrivals: Optional[int] = None) -> "ShardedSession":
+        """Consume up to *max_arrivals* more arrivals (None = run to completion)."""
         self.run.run(max_arrivals)
         return self
 
     def advance_shard(
         self, index: int, max_arrivals: Optional[int] = None
     ) -> "ShardedSession":
+        """Advance one shard independently (see :meth:`advance`)."""
         self.run.run_shard(index, max_arrivals)
         return self
 
@@ -411,6 +514,7 @@ class ShardedSession:
 
     @property
     def finished(self) -> bool:
+        """Whether every arrival has been consumed or the policy is done."""
         return self.run.finished
 
     @property
@@ -423,11 +527,13 @@ class ShardedSession:
         )
 
     def checkpoint(self) -> Dict[str, object]:
+        """Suspend-state payload with the workload recipe attached."""
         extra = dict(self.recipe)
         extra["oracle_calls_consumed"] = self.oracle_calls
         return make_sharded_checkpoint(self.run, extra=extra)
 
     def summary(self) -> Dict[str, object]:
+        """Selection, value, and oracle-call accounting for the run so far."""
         out: Dict[str, object] = {
             "policy": self.recipe["policy"],
             "family": self.recipe["family"],
@@ -467,6 +573,7 @@ def start_sharded_session(
     n_knapsacks: int = 2,
     distribution: str = "uniform",
     process_params: Optional[Mapping[str, object]] = None,
+    workload_cache: Optional[WorkloadCache] = None,
 ) -> ShardedSession:
     """Build a fresh sharded session: S policy replicas + merge."""
     if shards < 1:
@@ -486,16 +593,22 @@ def start_sharded_session(
         "process_params": dict(process_params or {}),
         "shards": int(shards),
     }
-    fn, weights = build_workload(recipe)
+    if workload_cache is None:
+        fn, weights = build_workload(recipe)
+        shared: SetFunction = fn
+    else:
+        fn, weights, shared = workload_cache.lookup(recipe)
     stream_seed = derive_seed(int(seed), "online-stream")
     params = dict(process_params or {})
 
     def source_factory():
+        """Build one lazy view of the tenant's full arrival stream."""
         return build_arrival_source(process, fn, stream_seed, **params)
 
     counters = ShardCounters()
 
     def policy_factory(index: int, shard) -> OnlinePolicy:
+        """Build the policy replica for shard *index*."""
         return _build_policy(
             recipe, fn, weights,
             n=shard.n,
@@ -503,29 +616,43 @@ def start_sharded_session(
         )
 
     can_take, limit = _merge_rule(recipe, weights)
+    # Shard views (and the merge stage) delegate to the shared value
+    # cache when one is in play — counting stays per shard, above it.
     run = ShardedRun.from_source(
-        fn, source_factory, int(shards), policy_factory,
+        shared, source_factory, int(shards), policy_factory,
         oracle_factory=counters, can_take=can_take, limit=limit,
     )
     return ShardedSession(run, fn, counters.countings, recipe)
 
 
-def resume_sharded_session(checkpoint: Mapping[str, object]) -> ShardedSession:
+def resume_sharded_session(
+    checkpoint: Mapping[str, object],
+    *,
+    workload_cache: Optional[WorkloadCache] = None,
+) -> ShardedSession:
     """Rebuild a suspended sharded session from its manifest checkpoint."""
     recipe = _checked_recipe(checkpoint)
-    fn, weights = build_workload(recipe)
+    if workload_cache is None:
+        fn, weights = build_workload(recipe)
+        shared: SetFunction = fn
+    else:
+        fn, weights, shared = workload_cache.lookup(recipe)
     can_take, _ = _merge_rule(recipe, weights)
     counters = ShardCounters()
     run = resume_sharded_run(
-        checkpoint, fn, oracle_factory=counters, can_take=can_take
+        checkpoint, shared, oracle_factory=counters, can_take=can_take
     )
     recipe = dict(recipe)
     prior = int(recipe.pop("oracle_calls_consumed", 0))  # type: ignore[arg-type]
     return ShardedSession(run, fn, counters.countings, recipe, prior_calls=prior)
 
 
-def resume_any_session(checkpoint: Mapping[str, object]):
+def resume_any_session(
+    checkpoint: Mapping[str, object],
+    *,
+    workload_cache: Optional[WorkloadCache] = None,
+):
     """Route a checkpoint payload to the matching resume path."""
     if checkpoint.get("format") == SHARDED_CHECKPOINT_FORMAT:
-        return resume_sharded_session(checkpoint)
-    return resume_session(checkpoint)
+        return resume_sharded_session(checkpoint, workload_cache=workload_cache)
+    return resume_session(checkpoint, workload_cache=workload_cache)

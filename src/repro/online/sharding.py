@@ -202,6 +202,7 @@ class ShardSource(ArrivalSource):
 
     @property
     def order(self) -> Optional[List[Hashable]]:
+        """The materialized arrival order (forces lazy generation)."""
         return self._order
 
     def _emit(self, limit: Optional[int]):
@@ -231,6 +232,7 @@ class ShardSource(ArrivalSource):
         return elements, stamps, starts
 
     def spec(self) -> Dict[str, object]:
+        """JSON-able stream identity: process name, seed, sorted params."""
         spec = self._parent.spec()
         spec["shard"] = {
             "index": self.index,
@@ -257,6 +259,7 @@ class ShardSource(ArrivalSource):
         self._pending_new = bool(state.get("pending_new", False))
 
     def materialize(self) -> ArrivalSchedule:
+        """The full remaining stream as an :class:`ArrivalSchedule`."""
         if self._materialized is None:
             self._materialized = shard_schedule(
                 self._parent.materialize(), self.num_shards, salt=self.salt
@@ -286,12 +289,15 @@ class ShardView(SetFunction):
 
     @property
     def ground_set(self) -> FrozenSet[Hashable]:
+        """The shard-restricted ground set."""
         return self._ground
 
     def value(self, subset: FrozenSet[Hashable]) -> float:
+        """Delegate valuation to the shared base utility."""
         return self.base.value(frozenset(subset))
 
     def fast_evaluator(self):
+        """Pass through the base utility's vectorized kernel, if any."""
         return getattr(self.base, "fast_evaluator", lambda: None)()
 
 
@@ -300,6 +306,7 @@ def knapsack_constraint(
 ) -> CanTake:
     """``can_take`` for a single knapsack over reduced per-item weights."""
     def can_take(current: FrozenSet[Hashable], element: Hashable) -> bool:
+        """Feasibility hook for the merge: may *element* join *selected*?"""
         load = sum(float(weights.get(e, 0.0)) for e in current)
         return load + float(weights.get(element, math.inf)) <= capacity + 1e-9
     return can_take
@@ -308,6 +315,7 @@ def knapsack_constraint(
 def matroid_constraint(matroids: Sequence) -> CanTake:
     """``can_take`` keeping the merged set independent in every matroid."""
     def can_take(current: FrozenSet[Hashable], element: Hashable) -> bool:
+        """Feasibility hook for the merge: may *element* join *selected*?"""
         candidate = frozenset(current) | {element}
         return all(m.is_independent(candidate) for m in matroids)
     return can_take
@@ -379,6 +387,7 @@ class ShardCounters:
 
     @property
     def calls(self) -> int:
+        """Oracle calls consumed by this shard."""
         return sum(c.calls for c in self.countings)
 
 
@@ -487,6 +496,7 @@ class ShardedRun:
 
     @property
     def num_shards(self) -> int:
+        """Number of policy replicas the stream is split across."""
         return len(self.runs)
 
     @property
@@ -501,10 +511,12 @@ class ShardedRun:
 
     @property
     def cursors(self) -> List[int]:
+        """Per-shard consumed-arrival counts."""
         return [run.cursor for run in self.runs]
 
     @property
     def finished(self) -> bool:
+        """Whether every arrival has been consumed or the policy is done."""
         return all(run.finished for run in self.runs)
 
     # -- execution -------------------------------------------------------
@@ -532,6 +544,20 @@ class ShardedRun:
     ) -> "ShardedRun":
         """Advance a single shard (for skewed/out-of-band progress)."""
         self.runs[index].run(max_arrivals)
+        return self
+
+    def feed_shard(
+        self, index: int, pos0: int, batch: Sequence[Hashable]
+    ) -> "ShardedRun":
+        """Consume one externally-pulled batch on shard *index*.
+
+        The serving layer's push path for sharded tenants: one queue
+        consumer per shard calls this with batches its producer pulled
+        from that shard's own :class:`ShardSource`, mirroring
+        :meth:`OnlineRun.feed <repro.online.driver.OnlineRun.feed>` —
+        shard hires and oracle counts match the pull path bit for bit.
+        """
+        self.runs[index].feed(pos0, batch)
         return self
 
     def result(self) -> SecretaryResult:
