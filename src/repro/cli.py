@@ -257,7 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     online_serve = online_sub.add_parser(
         "serve",
         help="drive many concurrent tenant sessions from a JSON spec file "
-             "(asyncio multiplexer; SIGINT drains and checkpoints)",
+             "(asyncio multiplexer; SIGINT/SIGTERM drain and checkpoint)",
     )
     online_serve.add_argument(
         "spec_file",
@@ -296,11 +296,27 @@ def build_parser() -> argparse.ArgumentParser:
     online_serve.add_argument(
         "--resume", action="store_true",
         help="resume tenants whose checkpoints exist under "
-             "--checkpoint-dir instead of starting them fresh",
+             "--checkpoint-dir instead of starting them fresh (a corrupt "
+             "per-tenant checkpoint quarantines that tenant, not the fleet)",
     )
     online_serve.add_argument(
         "--output", default=None,
         help="also write the serving report JSON to this file (atomically)",
+    )
+    online_serve.add_argument(
+        "--fault-plan", default=None,
+        help="fault-plan JSON file (repro-fault-plan/1): deterministic "
+             "injected oracle/feed/checkpoint faults, latency, kill points",
+    )
+    online_serve.add_argument(
+        "--memory-budget", type=int, default=None,
+        help="max tenants resident at once; the rest wait parked in their "
+             "per-tenant checkpoints (needs --checkpoint-dir)",
+    )
+    online_serve.add_argument(
+        "--park-arrivals", type=int, default=None,
+        help="arrivals an admitted tenant may consume per slice before it "
+             "is parked for the next tenant (needs --memory-budget)",
     )
     return parser
 
@@ -648,14 +664,18 @@ def _cmd_online_serve(args) -> int:
     """``online serve``: multiplex many tenant sessions in one process.
 
     Loads the tenant spec file, runs the asyncio serving loop with
-    SIGINT mapped to drain-and-checkpoint, and emits the serving report
-    (per-tenant stats + totals + cache effectiveness).  Exit 0 covers
-    both a completed serve and a clean drain — the report's
-    ``totals.drained`` flag says which happened.
+    SIGINT and SIGTERM mapped to drain-and-checkpoint, and emits the
+    serving report (per-tenant stats + totals + cache effectiveness).
+    Exit 0 covers both a completed serve and a clean drain — the
+    report's ``totals.drained`` flag says which happened; exit 3 means
+    the serve ran but one or more tenants ended quarantined (their
+    per-tenant ``error`` fields say why).
     """
     import asyncio
+    import time
 
     from repro.online.checkpoint import IdleCheckpointPolicy
+    from repro.online.faults import load_fault_plan
     from repro.online.serving import ServingLoop, load_tenant_specs
 
     with open(args.spec_file, "r", encoding="utf-8") as fh:
@@ -673,6 +693,9 @@ def _cmd_online_serve(args) -> int:
         idle_policy = IdleCheckpointPolicy(
             idle_seconds=args.idle_seconds, min_progress=args.min_progress
         )
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = load_fault_plan(args.fault_plan)
     loop = ServingLoop(
         specs,
         checkpoint_root=args.checkpoint_dir,
@@ -681,22 +704,33 @@ def _cmd_online_serve(args) -> int:
         idle_policy=idle_policy,
         pace_seconds=args.pace_seconds,
         resume=args.resume,
+        fault_plan=fault_plan,
+        memory_budget=args.memory_budget,
+        park_arrivals=args.park_arrivals,
     )
-    report = asyncio.run(loop.serve_async(install_sigint=True))
+    report = asyncio.run(loop.serve_async(install_signals=True))
     totals = report["totals"]
+    quarantined = int(totals.get("quarantined", 0))
     print(
         f"served {totals['tenants']} tenants: {totals['arrivals']} arrivals, "
         f"{totals['decisions']} hires"
-        + (" (drained early)" if totals["drained"] else ""),
+        + (" (drained early)" if totals["drained"] else "")
+        + (f" ({quarantined} quarantined)" if quarantined else ""),
         file=sys.stderr,
     )
     if args.output:
         from repro.io import dump_json_atomic
 
+        if loop.fault_injector is not None:
+            # The report write is itself a registered fault site, so the
+            # kill-point audit can prove a crash here loses no tenant state.
+            delay = loop.fault_injector.hit("report.write", "serve")
+            if delay > 0.0:
+                time.sleep(delay)
         dump_json_atomic(report, args.output)
         print(f"serving report written to {args.output}", file=sys.stderr)
     _emit(report)
-    return 0
+    return 3 if quarantined else 0
 
 
 def _cmd_online(args) -> int:

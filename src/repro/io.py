@@ -228,7 +228,7 @@ def load_instance(path: str) -> ScheduleInstance:
         return instance_from_dict(json.load(fh))
 
 
-def dump_json_atomic(payload: Any, path: str) -> None:
+def dump_json_atomic(payload: Any, path: str, *, mid_write_hook=None) -> None:
     """Write *payload* as JSON to *path* crash-safely.
 
     The payload is serialised to a temp file in the target directory
@@ -237,6 +237,11 @@ def dump_json_atomic(payload: Any, path: str) -> None:
     a stray temp file behind, never a truncated *path*.  Checkpoints
     ride on this: the file a resume reads is always either the previous
     complete payload or the new complete payload.
+
+    *mid_write_hook* (when given) runs after the temp file is fully
+    written but before the atomic rename — the torn-write window.  The
+    fault-injection layer uses it to hard-kill a process exactly there
+    and prove the guarantee above empirically.
     """
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp_path = tempfile.mkstemp(
@@ -252,6 +257,8 @@ def dump_json_atomic(payload: Any, path: str) -> None:
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
+        if mid_write_hook is not None:
+            mid_write_hook()
         os.replace(tmp_path, path)
     except BaseException:
         try:

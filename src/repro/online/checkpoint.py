@@ -237,12 +237,25 @@ def write_tenant_checkpoint(
     written path.  The write goes through
     :func:`repro.io.dump_json_atomic`, so a crash mid-write never
     truncates the checkpoint a resume depends on.
+
+    Three fault sites bracket the write (scope = tenant id):
+    ``checkpoint.before_write``, ``checkpoint.mid_write`` (inside the
+    torn-write window, after the temp file but before the atomic
+    rename), and ``checkpoint.after_write`` — the crash-consistency
+    audit hard-kills at each to prove the atomicity claim above.
     """
     from repro.io import dump_json_atomic  # lazy: io imports scheduling
+    from repro.online.faults import fault_hit  # lazy: faults imports numpy
 
     path = tenant_checkpoint_path(root, tenant_id)
     os.makedirs(os.path.dirname(path), exist_ok=True)
-    dump_json_atomic(dict(payload), path)
+    fault_hit("checkpoint.before_write", tenant_id)
+    dump_json_atomic(
+        dict(payload),
+        path,
+        mid_write_hook=lambda: fault_hit("checkpoint.mid_write", tenant_id),
+    )
+    fault_hit("checkpoint.after_write", tenant_id)
     return path
 
 

@@ -30,7 +30,9 @@ loops it replaced broke out of their streams.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Mapping, Optional, Sequence
+import json
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
 from repro.core.submodular import SetFunction
 from repro.errors import InvalidInstanceError
@@ -152,6 +154,43 @@ class OnlineRun:
             if budget is not None:
                 budget -= len(batch)
         return self
+
+    # -- transactional feeds ---------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture the mutable run state a single feed may touch.
+
+        The fault-tolerant serving path brackets each :meth:`feed` with
+        ``snapshot()`` / :meth:`rollback`: if an injected (or real)
+        oracle failure escapes mid-batch, the batch is rolled back and
+        retried as if it had never been observed.  The policy state
+        travels through a JSON round-trip of ``state_dict()`` (the same
+        encoding checkpoints use), so the snapshot shares no mutable
+        structure with the live policy.  Source state is deliberately
+        absent: the serving producer has already pulled the batch, and
+        a retry re-feeds that same in-hand batch.
+        """
+        return {
+            "policy": json.loads(json.dumps(self.policy.state_dict())),
+            "decisions": [list(d) for d in self.decisions],
+            "hired": self._hired_logged,
+        }
+
+    def rollback(self, snap: Mapping[str, object]) -> None:
+        """Restore a :meth:`snapshot` taken before a failed feed.
+
+        Reinstates the policy state machine, the decision log, and the
+        hired-set watermark.  The arrival oracle needs no rollback —
+        ``reveal`` is an idempotent set-add, and the retried feed
+        re-reveals the same batch.  Counting-oracle rollback is the
+        caller's job (the serving loop snapshots ``calls`` alongside),
+        because the policy's ``load_state`` may itself bill restore
+        queries.
+        """
+        self.policy.load_state(json.loads(json.dumps(snap["policy"])))
+        self.decisions = [list(d) for d in snap["decisions"]]  # type: ignore[union-attr]
+        self._hired_logged = frozenset(snap["hired"])  # type: ignore[arg-type]
+        self._result = None
 
     # -- resume ----------------------------------------------------------
 

@@ -26,9 +26,29 @@ source cursors equal consumed positions and the synchronous
 never await, so the single-threaded loop guarantees atomicity).  An
 :class:`~repro.online.checkpoint.IdleCheckpointPolicy` checkpoints
 quiescent-and-idle tenants mid-serve to per-tenant directories;
-:meth:`ServingLoop.request_drain` (the SIGINT path) stops producers,
-lets consumers drain their queues, and checkpoints every tenant — so an
-interrupted serve resumes exactly where each stream stopped.
+:meth:`ServingLoop.request_drain` (the SIGINT/SIGTERM path) stops
+producers, lets consumers drain their queues, and checkpoints every
+tenant — so an interrupted serve resumes exactly where each stream
+stopped.
+
+Tenants are *failure domains* (see ``docs/RELIABILITY.md``): a feed
+that raises an injected (or real) oracle failure is rolled back and
+retried on the fault plan's deterministic backoff schedule; transient
+faults that outlast ``max_attempts``, or ``max_strikes`` permanent
+faults, transition the tenant to ``quarantined`` — its producers stop,
+its last durable checkpoint survives untouched, and every other tenant
+keeps serving.  The same isolation covers resume: one corrupt
+per-tenant checkpoint quarantines that tenant with a per-tenant error
+instead of aborting the fleet.
+
+A ``memory_budget`` turns the loop into an admission controller: at
+most that many tenants hold live sessions at once, everyone else waits
+parked in its per-tenant checkpoint.  Admitted tenants run a slice
+(optionally capped at ``park_arrivals`` arrivals), park back to their
+checkpoint, and rehydrate on a later admission — a fleet larger than
+memory degrades to bounded-resident instead of OOM, and the netted
+oracle-call accounting keeps parked tenants' totals bit-identical to
+an unbudgeted serve.
 
 Tenants on the same workload (same :func:`~repro.online.session.workload_key`)
 share one utility and one memoising value oracle through a
@@ -44,6 +64,7 @@ import time
 
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core.oracle import CountingOracle
 from repro.errors import InvalidInstanceError
 from repro.online.checkpoint import (
     IdleCheckpointPolicy,
@@ -51,6 +72,13 @@ from repro.online.checkpoint import (
     write_tenant_checkpoint,
 )
 from repro.online.driver import OnlineRun
+from repro.online.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    PermanentFault,
+    install_injector,
+)
 from repro.online.session import (
     OnlineSession,
     ShardedSession,
@@ -160,7 +188,11 @@ class TenantSpec:
         return cls(str(tenant_id), **merged)  # type: ignore[arg-type]
 
     def start(
-        self, workload_cache: Optional[WorkloadCache] = None
+        self,
+        workload_cache: Optional[WorkloadCache] = None,
+        *,
+        fault_injector: Optional[FaultInjector] = None,
+        fault_scope: Optional[str] = None,
     ) -> Union[OnlineSession, ShardedSession]:
         """Start a fresh session for this tenant (sharded when asked)."""
         kwargs = dict(
@@ -175,6 +207,8 @@ class TenantSpec:
             distribution=self.distribution,
             process_params=self.process_params,
             workload_cache=workload_cache,
+            fault_injector=fault_injector,
+            fault_scope=fault_scope or self.tenant_id,
         )
         if self.shards > 1:
             return start_sharded_session(shards=self.shards, **kwargs)  # type: ignore[arg-type]
@@ -247,8 +281,16 @@ def load_tenant_specs(payload: object) -> List[TenantSpec]:
 class _Lane:
     """One shard's pipe: producer-pulled steps queued for one consumer."""
 
-    def __init__(self, run: OnlineRun, depth: int) -> None:
+    def __init__(
+        self, run: OnlineRun, depth: int,
+        counting: Optional[CountingOracle] = None,
+    ) -> None:
         self.run = run
+        #: The lane's own counting oracle — what the guarded feed
+        #: snapshots and rolls back so a retried batch bills exactly
+        #: once (plain sessions have one lane/counter; sharded sessions
+        #: one per shard, in shard order).
+        self.counting = counting
         self.queue: "asyncio.Queue" = asyncio.Queue(maxsize=depth)
         #: Steps pulled from the source but not yet fed to the policy.
         #: Incremented synchronously with ``take()`` (no await between),
@@ -264,31 +306,90 @@ class _Lane:
 
 
 class _Tenant:
-    """Runtime state for one tenant: session, lanes, serving counters."""
+    """Runtime state for one tenant: session, lanes, serving counters.
+
+    The session is *detachable*: a memory-budgeted serve parks a tenant
+    by checkpointing and dropping its session (and lanes), then
+    re-attaches a resumed session on the next admission.  Reportable
+    facts survive detachment in ``_stash``; cumulative quantities
+    (cursor, decisions, oracle calls) need no summation because the
+    checkpoint codec already carries them across hops.
+    """
 
     def __init__(
         self,
         spec: TenantSpec,
-        session: Union[OnlineSession, ShardedSession],
+        session: Optional[Union[OnlineSession, ShardedSession]],
         depth: int,
         *,
         resumed: bool = False,
     ) -> None:
         self.spec = spec
-        self.session = session
-        self.resumed = resumed
-        runs = (
-            session.run.runs
-            if isinstance(session, ShardedSession)
-            else [session.run]
-        )
-        self.lanes = [_Lane(run, depth) for run in runs]
+        self.depth = depth
+        self.session: Optional[Union[OnlineSession, ShardedSession]] = None
+        self.lanes: List[_Lane] = []
+        self.resumed = False
+        #: Lifecycle state: ``pending`` (no session yet), ``running``,
+        #: or ``quarantined`` (terminal).  ``finished`` / ``drained`` /
+        #: ``parked`` are derived at report time.
+        self.state = "pending"
+        self.error: Optional[str] = None
+        self.halted = False
+        self.retries = 0
+        self.retry_delays: List[float] = []
+        self.strikes = 0
+        self.parks = 0
+        self.rehydrations = 0
         self.arrivals = 0
         self.batches = 0
         self.last_activity = time.perf_counter()
         self.idle_checkpoints = 0
         self.checkpoint_seconds: List[float] = []
         self.checkpoint_path: Optional[str] = None
+        self.final_summary: Optional[Dict[str, object]] = None
+        self._stash: Dict[str, object] = {
+            "cursor": 0,
+            "decisions": 0,
+            "oracle_calls": 0,
+            "finished": False,
+            "max_in_flight": 0,
+        }
+        if session is not None:
+            self.attach(session, resumed=resumed)
+
+    def attach(
+        self,
+        session: Union[OnlineSession, ShardedSession],
+        *,
+        resumed: bool = False,
+    ) -> None:
+        """Adopt a live session: build one lane (+ counter) per shard."""
+        self.session = session
+        self.resumed = self.resumed or resumed
+        if isinstance(session, ShardedSession):
+            runs = session.run.runs
+            countings: List[Optional[CountingOracle]] = list(session.countings)
+        else:
+            runs = [session.run]
+            countings = [session.counting]
+        self.lanes = [
+            _Lane(run, self.depth, counting)
+            for run, counting in zip(runs, countings)
+        ]
+        self.state = "running"
+
+    def detach(self) -> None:
+        """Release the session (park/finish), stashing reportable facts."""
+        assert self.session is not None
+        self._stash = {
+            "cursor": self.cursor,
+            "decisions": self.decisions,
+            "oracle_calls": self.session.oracle_calls,
+            "finished": self.session.finished,
+            "max_in_flight": self.max_in_flight,
+        }
+        self.session = None
+        self.lanes = []
 
     @property
     def quiescent(self) -> bool:
@@ -297,19 +398,32 @@ class _Tenant:
 
     @property
     def finished(self) -> bool:
-        return self.session.finished
+        if self.session is not None:
+            return self.session.finished
+        return bool(self._stash["finished"])
 
     @property
     def cursor(self) -> int:
-        return sum(lane.run.cursor for lane in self.lanes)
+        if self.session is not None:
+            return sum(lane.run.cursor for lane in self.lanes)
+        return int(self._stash["cursor"])  # type: ignore[arg-type]
 
     @property
     def decisions(self) -> int:
-        return sum(len(lane.run.decisions) for lane in self.lanes)
+        if self.session is not None:
+            return sum(len(lane.run.decisions) for lane in self.lanes)
+        return int(self._stash["decisions"])  # type: ignore[arg-type]
+
+    @property
+    def oracle_calls(self) -> int:
+        if self.session is not None:
+            return self.session.oracle_calls
+        return int(self._stash["oracle_calls"])  # type: ignore[arg-type]
 
     @property
     def max_in_flight(self) -> int:
-        return max(lane.max_in_flight for lane in self.lanes)
+        live = max((lane.max_in_flight for lane in self.lanes), default=0)
+        return max(int(self._stash["max_in_flight"]), live)  # type: ignore[arg-type]
 
 
 class ServingLoop:
@@ -345,10 +459,25 @@ class ServingLoop:
         gaps (and gives the idle monitor something to notice).
     resume:
         Resume any tenant whose checkpoint exists under
-        *checkpoint_root* instead of starting it fresh.
+        *checkpoint_root* instead of starting it fresh.  A corrupt
+        per-tenant checkpoint quarantines that tenant (with its error
+        in the summary) instead of aborting the fleet.
     on_decision:
         ``callback(tenant_id, position, element)`` streamed every hire,
         in consume order — the per-tenant decision feed.
+    fault_plan:
+        :class:`~repro.online.faults.FaultPlan` to execute during the
+        serve (also installed process-globally so checkpoint-write kill
+        sites fire).  ``None`` serves the plain, zero-overhead path.
+    memory_budget:
+        Maximum tenants resident (holding live sessions) at once; the
+        rest wait parked in their per-tenant checkpoints.  Requires
+        *checkpoint_root*; incompatible with *idle_policy* (parking
+        already checkpoints on every eviction).
+    park_arrivals:
+        Arrivals an admitted tenant may consume per slice before it is
+        parked and the next tenant admitted (``None`` = run to
+        completion once admitted).  Requires *memory_budget*.
     """
 
     def __init__(
@@ -363,6 +492,9 @@ class ServingLoop:
         pace_seconds: float = 0.0,
         resume: bool = False,
         on_decision: Optional[OnDecision] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        memory_budget: Optional[int] = None,
+        park_arrivals: Optional[int] = None,
     ) -> None:
         """Validate knobs and stage the serve (no sessions built yet)."""
         if not specs:
@@ -375,6 +507,28 @@ class ServingLoop:
             raise InvalidInstanceError(
                 f"batch_limit must be >= 1 (or None), got {batch_limit}"
             )
+        if memory_budget is not None:
+            if int(memory_budget) < 1:
+                raise InvalidInstanceError(
+                    f"memory_budget must be >= 1, got {memory_budget}"
+                )
+            if checkpoint_root is None:
+                raise InvalidInstanceError(
+                    "memory_budget needs checkpoint_root: parked tenants "
+                    "live in their per-tenant checkpoints"
+                )
+            if idle_policy is not None:
+                raise InvalidInstanceError(
+                    "memory_budget and idle_policy are mutually exclusive "
+                    "(parking already checkpoints on every eviction)"
+                )
+        if park_arrivals is not None:
+            if memory_budget is None:
+                raise InvalidInstanceError("park_arrivals needs memory_budget")
+            if int(park_arrivals) < 1:
+                raise InvalidInstanceError(
+                    f"park_arrivals must be >= 1, got {park_arrivals}"
+                )
         self.specs = list(specs)
         self.checkpoint_root = checkpoint_root
         self.queue_depth = int(queue_depth)
@@ -386,10 +540,22 @@ class ServingLoop:
         self.pace_seconds = float(pace_seconds)
         self.resume = bool(resume)
         self.on_decision = on_decision
+        self.fault_plan = fault_plan
+        self.fault_injector = (
+            None if fault_plan is None else FaultInjector(fault_plan)
+        )
+        self.memory_budget = (
+            None if memory_budget is None else int(memory_budget)
+        )
+        self.park_arrivals = (
+            None if park_arrivals is None else int(park_arrivals)
+        )
         self._tenants: List[_Tenant] = []
         self._draining = False
         self._active_consumers = 0
         self._wall_seconds = 0.0
+        self._resident = 0
+        self._max_resident = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -408,77 +574,221 @@ class ServingLoop:
         return asyncio.run(self.serve_async())
 
     async def serve_async(
-        self, *, install_sigint: bool = False
+        self, *, install_signals: bool = False
     ) -> Dict[str, object]:
         """Async entry point: build tenants, run all lanes, finalize.
 
-        With ``install_sigint=True`` the loop's SIGINT handler becomes
-        :meth:`request_drain` for the duration of the serve — Ctrl-C
-        means "drain and checkpoint", not "drop state on the floor".
+        With ``install_signals=True`` the loop's SIGINT *and* SIGTERM
+        handlers become :meth:`request_drain` for the duration of the
+        serve — Ctrl-C and an orchestrator's shutdown signal both mean
+        "drain and checkpoint", not "drop state on the floor".
         """
         started = time.perf_counter()
         loop = asyncio.get_running_loop()
-        sigint_installed = False
-        if install_sigint:
-            try:
-                loop.add_signal_handler(signal.SIGINT, self.request_drain)
-                sigint_installed = True
-            except (NotImplementedError, RuntimeError):
-                pass  # platforms without signal support serve without it
+        installed: List[object] = []
+        if install_signals:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, self.request_drain)
+                    installed.append(sig)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # platforms without signal support serve without it
+        previous_injector = None
+        if self.fault_injector is not None:
+            # Global install lets the checkpoint-write fault sites fire;
+            # the previous injector is restored so faulted scopes nest.
+            previous_injector = install_injector(self.fault_injector)
         try:
-            self._tenants = [self._start_tenant(spec) for spec in self.specs]
-            tasks = []
-            for tenant in self._tenants:
-                for lane in tenant.lanes:
-                    tasks.append(
-                        asyncio.ensure_future(self._produce(tenant, lane))
-                    )
-                    tasks.append(
-                        asyncio.ensure_future(self._consume(tenant, lane))
-                    )
-                    self._active_consumers += 1
-            if self.idle_policy is not None and self.checkpoint_root is not None:
-                tasks.append(asyncio.ensure_future(self._monitor()))
-            await asyncio.gather(*tasks)
+            if self.memory_budget is None:
+                await self._serve_static()
+            else:
+                await self._serve_budgeted()
             self._finalize()
         finally:
-            if sigint_installed:
-                loop.remove_signal_handler(signal.SIGINT)
+            if self.fault_injector is not None:
+                install_injector(previous_injector)
+            for sig in installed:
+                loop.remove_signal_handler(sig)  # type: ignore[arg-type]
         self._wall_seconds = time.perf_counter() - started
         return self.report()
 
+    async def _serve_static(self) -> None:
+        """The plain serve: every tenant resident for the whole run."""
+        self._tenants = [self._start_tenant(spec) for spec in self.specs]
+        self._resident = sum(
+            1 for t in self._tenants if t.session is not None
+        )
+        self._max_resident = self._resident
+        tasks = []
+        for tenant in self._tenants:
+            for lane in tenant.lanes:
+                tasks.append(
+                    asyncio.ensure_future(self._produce(tenant, lane))
+                )
+                tasks.append(
+                    asyncio.ensure_future(self._consume(tenant, lane))
+                )
+                self._active_consumers += 1
+        if self.idle_policy is not None and self.checkpoint_root is not None:
+            tasks.append(asyncio.ensure_future(self._monitor()))
+        await asyncio.gather(*tasks)
+
+    async def _serve_budgeted(self) -> None:
+        """The admission-controlled serve: bounded resident sessions.
+
+        One lifecycle task per tenant competes for ``memory_budget``
+        admission slots; everything else about a slice (lanes, guarded
+        feeds, checkpointing) reuses the static machinery.
+        """
+        self._tenants = [
+            _Tenant(spec, None, self.queue_depth) for spec in self.specs
+        ]
+        self._admission = asyncio.Semaphore(self.memory_budget)
+        await asyncio.gather(
+            *(
+                asyncio.ensure_future(self._tenant_lifecycle(tenant))
+                for tenant in self._tenants
+            )
+        )
+
+    async def _tenant_lifecycle(self, tenant: _Tenant) -> None:
+        """Admit → hydrate → run a slice → park/finish, until terminal."""
+        while True:
+            async with self._admission:
+                if self._draining and tenant.parks > 0:
+                    return  # already durably parked; drain leaves it be
+                if not self._hydrate(tenant):
+                    return  # quarantined at hydrate (corrupt checkpoint)
+                self._resident += 1
+                self._max_resident = max(self._max_resident, self._resident)
+                try:
+                    await self._run_slice(tenant)
+                finally:
+                    self._resident -= 1
+                if tenant.state == "quarantined":
+                    # Keep the session attached for reporting; its last
+                    # durable checkpoint stays untouched on disk.
+                    return
+                finished = tenant.finished
+                if finished:
+                    # Summarise (sharded merge bills here) *before* the
+                    # stash snapshots oracle_calls.
+                    tenant.final_summary = tenant.session.summary()  # type: ignore[union-attr]
+                self._write_checkpoint(tenant)
+                tenant.detach()
+                if finished or self._draining:
+                    return
+                tenant.parks += 1
+            # Yield outside the slot so waiting tenants admit fairly.
+            await asyncio.sleep(0)
+
+    async def _run_slice(self, tenant: _Tenant) -> None:
+        """Run one admitted tenant's lanes until slice end or stream end."""
+        tasks = []
+        for lane in tenant.lanes:
+            tasks.append(
+                asyncio.ensure_future(
+                    self._produce(tenant, lane, quota=self.park_arrivals)
+                )
+            )
+            tasks.append(asyncio.ensure_future(self._consume(tenant, lane)))
+            self._active_consumers += 1
+        await asyncio.gather(*tasks)
+
     def _start_tenant(self, spec: TenantSpec) -> _Tenant:
         """Start (or, under ``resume``, restore) one tenant's session."""
-        if self.resume and self.checkpoint_root is not None:
-            payload = read_tenant_checkpoint(self.checkpoint_root, spec.tenant_id)
-            if payload is not None:
-                session = resume_any_session(
-                    payload, workload_cache=self.workload_cache
-                )
-                return _Tenant(spec, session, self.queue_depth, resumed=True)
-        return _Tenant(
-            spec, spec.start(self.workload_cache), self.queue_depth
+        tenant = _Tenant(spec, None, self.queue_depth)
+        self._hydrate(tenant)
+        return tenant
+
+    def _hydrate(self, tenant: _Tenant) -> bool:
+        """Attach a live session (fresh, resumed, or rehydrated).
+
+        Returns ``False`` — after quarantining the tenant — when its
+        checkpoint is corrupt or unresumable; the rest of the fleet is
+        unaffected (the satellite bugfix: one bad file used to abort
+        the whole serve).
+        """
+        spec = tenant.spec
+        want_resume = self.checkpoint_root is not None and (
+            self.resume or tenant.parks > 0
         )
+        if want_resume:
+            try:
+                payload = read_tenant_checkpoint(
+                    self.checkpoint_root, spec.tenant_id
+                )
+            except InvalidInstanceError as exc:
+                self._quarantine(tenant, f"unreadable checkpoint: {exc}")
+                return False
+            if payload is not None:
+                try:
+                    session = resume_any_session(
+                        payload,
+                        workload_cache=self.workload_cache,
+                        fault_injector=self.fault_injector,
+                        fault_scope=spec.tenant_id,
+                    )
+                except InvalidInstanceError as exc:
+                    self._quarantine(
+                        tenant, f"checkpoint resume failed: {exc}"
+                    )
+                    return False
+                tenant.attach(session, resumed=tenant.parks == 0)
+                if tenant.parks > 0:
+                    tenant.rehydrations += 1
+                return True
+        tenant.attach(
+            spec.start(
+                self.workload_cache,
+                fault_injector=self.fault_injector,
+                fault_scope=spec.tenant_id,
+            )
+        )
+        return True
+
+    def _quarantine(self, tenant: _Tenant, error: str) -> None:
+        """Isolate *tenant*: stop its lanes, record the error, move on.
+
+        Its last durable checkpoint (if any) is left untouched — the
+        finalize pass skips quarantined tenants — so an operator can
+        inspect or resume it after fixing the cause.
+        """
+        tenant.state = "quarantined"
+        tenant.error = str(error)
+        tenant.halted = True
 
     # -- tasks -----------------------------------------------------------
 
-    async def _produce(self, tenant: _Tenant, lane: _Lane) -> None:
+    async def _produce(
+        self, tenant: _Tenant, lane: _Lane, quota: Optional[int] = None
+    ) -> None:
         """Pull batches from *lane*'s source and queue them, until done.
 
         ``take`` and the ``in_flight`` increment run without an
         intervening await, so the quiescence invariant (cursor ==
         consumed + in_flight at every suspension point) holds.  Stops on
-        source exhaustion, policy completion, or drain.
+        source exhaustion, policy completion, drain, tenant halt
+        (quarantine), or an exhausted slice *quota* (memory-budget
+        parking).
         """
         run = lane.run
+        pulled = 0
         try:
-            while not self._draining and not run.policy.done:
+            while (
+                not self._draining
+                and not tenant.halted
+                and not run.policy.done
+            ):
+                if quota is not None and pulled >= quota:
+                    break
                 step = run.source.take(self.batch_limit)
                 if step is None:
                     break
                 lane.in_flight += 1
                 lane.max_in_flight = max(lane.max_in_flight, lane.in_flight)
                 pos0, batch, _stamps = step
+                pulled += len(batch)
                 await lane.queue.put((pos0, batch))
                 if self.pace_seconds > 0.0:
                     await asyncio.sleep(self.pace_seconds)
@@ -500,17 +810,31 @@ class ServingLoop:
         return None
 
     async def _consume(self, tenant: _Tenant, lane: _Lane) -> None:
-        """Feed queued steps to *lane*'s run, streaming decisions out."""
+        """Feed queued steps to *lane*'s run, streaming decisions out.
+
+        A quarantined (halted) tenant's consumer keeps dequeuing — and
+        discarding — until EOS, so its producer is never wedged on a
+        full queue and the rest of the fleet drains normally.
+        """
         run = lane.run
         while True:
             item = await lane.queue.get()
             if item is _EOS:
                 break
+            if tenant.halted:
+                lane.in_flight -= 1
+                continue
             await self._before_feed(tenant, lane)
             pos0, batch = item
             logged = len(run.decisions)
-            run.feed(pos0, batch)
+            if self.fault_injector is None:
+                run.feed(pos0, batch)
+                fed = True
+            else:
+                fed = await self._feed_guarded(tenant, lane, pos0, batch)
             lane.in_flight -= 1
+            if not fed:
+                continue
             tenant.arrivals += len(batch)
             tenant.batches += 1
             tenant.last_activity = time.perf_counter()
@@ -520,13 +844,73 @@ class ServingLoop:
             await asyncio.sleep(0)  # fairness: one step per loop pass
         self._active_consumers -= 1
 
+    async def _feed_guarded(
+        self, tenant: _Tenant, lane: _Lane, pos0: int, batch: Sequence
+    ) -> bool:
+        """Feed one batch transactionally under the fault plan.
+
+        Each attempt brackets :meth:`OnlineRun.feed` with a snapshot of
+        the mutable run state plus the lane's counting-oracle tally; an
+        :class:`InjectedFault` rolls both back, so the eventual
+        successful attempt bills exactly the unfaulted run's queries.
+        Transient faults retry on the plan's deterministic backoff
+        schedule up to ``max_attempts`` total attempts; each permanent
+        fault is a strike, and ``max_strikes`` of them — or an
+        exhausted retry budget — quarantine the tenant.  Returns whether
+        the batch was actually consumed.
+        """
+        run = lane.run
+        injector = self.fault_injector
+        assert injector is not None
+        retry = injector.plan.retry
+        scope = tenant.spec.tenant_id
+        attempt = 0
+        while True:
+            snap = run.snapshot()
+            calls_before = (
+                None if lane.counting is None else lane.counting.calls
+            )
+            try:
+                delay = injector.hit("serve.feed", scope)
+                if delay > 0.0:
+                    await asyncio.sleep(delay)
+                run.feed(pos0, batch)
+                return True
+            except InjectedFault as exc:
+                # Rollback order matters: load_state may itself bill
+                # restore queries, so the counter resets last.
+                run.rollback(snap)
+                if calls_before is not None:
+                    lane.counting.calls = calls_before
+                if isinstance(exc, PermanentFault):
+                    tenant.strikes += 1
+                    if tenant.strikes >= retry.max_strikes:
+                        self._quarantine(
+                            tenant,
+                            f"quarantined after {tenant.strikes} permanent "
+                            f"fault strikes: {exc}",
+                        )
+                        return False
+                attempt += 1
+                if attempt >= retry.max_attempts:
+                    self._quarantine(
+                        tenant,
+                        f"fault persisted through {attempt} feed attempts: "
+                        f"{exc}",
+                    )
+                    return False
+                backoff = retry.delay(injector.plan.seed, scope, attempt)
+                tenant.retries += 1
+                tenant.retry_delays.append(backoff)
+                await asyncio.sleep(backoff)
+
     async def _monitor(self) -> None:
         """Checkpoint idle tenants while the serve is running.
 
-        A tenant qualifies when it is unfinished, quiescent (no in-flight
-        step, so its snapshot is consistent), and its
-        :class:`IdleCheckpointPolicy` says the idle time and progress
-        since the last snapshot are worth the write.
+        A tenant qualifies when it is live (not quarantined or parked),
+        unfinished, quiescent (no in-flight step, so its snapshot is
+        consistent), and its :class:`IdleCheckpointPolicy` says the idle
+        time and progress since the last snapshot are worth the write.
         """
         policy = self.idle_policy
         assert policy is not None
@@ -535,6 +919,8 @@ class ServingLoop:
             await asyncio.sleep(tick)
             now = time.perf_counter()
             for tenant in self._tenants:
+                if tenant.session is None or tenant.halted:
+                    continue
                 if tenant.finished or not tenant.quiescent:
                     continue
                 idle_for = now - tenant.last_activity
@@ -548,6 +934,7 @@ class ServingLoop:
     def _write_checkpoint(self, tenant: _Tenant) -> None:
         """Atomically snapshot *tenant* to its directory (synchronous)."""
         assert self.checkpoint_root is not None
+        assert tenant.session is not None
         t0 = time.perf_counter()
         tenant.checkpoint_path = write_tenant_checkpoint(
             tenant.session.checkpoint(),
@@ -557,15 +944,21 @@ class ServingLoop:
         tenant.checkpoint_seconds.append(time.perf_counter() - t0)
 
     def _finalize(self) -> None:
-        """Snapshot every tenant once all lanes have drained.
+        """Snapshot every live tenant once all lanes have drained.
 
-        All producers and consumers have exited, so every tenant is
+        All producers and consumers have exited, so every live tenant is
         quiescent; the snapshot is exact whether the tenant finished or
         was drained mid-stream — either way its checkpoint resumes.
+        Quarantined tenants are skipped: their last *durable* checkpoint
+        is the recovery point, and overwriting it with post-fault state
+        would destroy it.  Parked tenants already checkpointed at
+        eviction.
         """
         if self.checkpoint_root is None:
             return
         for tenant in self._tenants:
+            if tenant.session is None or tenant.state == "quarantined":
+                continue
             self._write_checkpoint(tenant)
 
     # -- reporting -------------------------------------------------------
@@ -577,11 +970,27 @@ class ServingLoop:
                 return self._tenant_report(tenant)
         raise InvalidInstanceError(f"unknown tenant {tenant_id!r}")
 
+    def _tenant_state(self, tenant: _Tenant) -> str:
+        """The tenant's terminal state label for reports."""
+        if tenant.state == "quarantined":
+            return "quarantined"
+        if tenant.finished:
+            return "finished"
+        if tenant.session is None and tenant.parks > 0:
+            return "parked"
+        if self._draining:
+            return "drained"
+        return tenant.state
+
     def _tenant_report(self, tenant: _Tenant) -> Dict[str, object]:
         # Finish first: a sharded tenant's merge stage runs (and bills
         # its merge_calls) inside result(), so the summary must be
-        # computed before oracle_calls is read.
-        summary = tenant.session.summary() if tenant.finished else None
+        # computed before oracle_calls is read.  Detached (parked or
+        # budget-finished) tenants report their stashed summary.
+        if tenant.session is not None and tenant.finished:
+            summary = tenant.session.summary()
+        else:
+            summary = tenant.final_summary
         out: Dict[str, object] = {
             "policy": tenant.spec.policy,
             "family": tenant.spec.family,
@@ -594,11 +1003,21 @@ class ServingLoop:
             "decisions": tenant.decisions,
             "finished": tenant.finished,
             "resumed": tenant.resumed,
-            "oracle_calls": tenant.session.oracle_calls,
+            "state": self._tenant_state(tenant),
+            "oracle_calls": tenant.oracle_calls,
             "max_in_flight": tenant.max_in_flight,
             "idle_checkpoints": tenant.idle_checkpoints,
             "checkpoint_path": tenant.checkpoint_path,
         }
+        if tenant.error is not None:
+            out["error"] = tenant.error
+        if self.fault_injector is not None:
+            out["retries"] = tenant.retries
+            out["strikes"] = tenant.strikes
+            out["retry_delays"] = list(tenant.retry_delays)
+        if self.memory_budget is not None:
+            out["parks"] = tenant.parks
+            out["rehydrations"] = tenant.rehydrations
         if summary is not None:
             for key in ("selected", "n_chosen", "value", "strategy"):
                 if key in summary:
@@ -614,32 +1033,46 @@ class ServingLoop:
         latencies = [
             s for t in self._tenants for s in t.checkpoint_seconds
         ]
+        totals: Dict[str, object] = {
+            "tenants": len(self._tenants),
+            "finished": sum(1 for t in self._tenants if t.finished),
+            "resumed": sum(1 for t in self._tenants if t.resumed),
+            "quarantined": sum(
+                1 for t in self._tenants if t.state == "quarantined"
+            ),
+            "arrivals": arrivals,
+            "decisions": sum(t.decisions for t in self._tenants),
+            "oracle_calls": sum(t.oracle_calls for t in self._tenants),
+            "idle_checkpoints": sum(
+                t.idle_checkpoints for t in self._tenants
+            ),
+            "max_in_flight": max(
+                (t.max_in_flight for t in self._tenants), default=0
+            ),
+            "drained": self._draining,
+            "wall_seconds": self._wall_seconds,
+            "arrivals_per_second": (
+                arrivals / self._wall_seconds
+                if self._wall_seconds > 0 else None
+            ),
+        }
+        if self.fault_injector is not None:
+            totals["retries"] = sum(t.retries for t in self._tenants)
+            totals["strikes"] = sum(t.strikes for t in self._tenants)
+        if self.memory_budget is not None:
+            totals["memory_budget"] = self.memory_budget
+            totals["max_resident"] = self._max_resident
+            totals["parks"] = sum(t.parks for t in self._tenants)
+            totals["rehydrations"] = sum(
+                t.rehydrations for t in self._tenants
+            )
         report: Dict[str, object] = {
             "tenants": tenants,
-            "totals": {
-                "tenants": len(self._tenants),
-                "finished": sum(1 for t in self._tenants if t.finished),
-                "resumed": sum(1 for t in self._tenants if t.resumed),
-                "arrivals": arrivals,
-                "decisions": sum(t.decisions for t in self._tenants),
-                "oracle_calls": sum(
-                    t.session.oracle_calls for t in self._tenants
-                ),
-                "idle_checkpoints": sum(
-                    t.idle_checkpoints for t in self._tenants
-                ),
-                "max_in_flight": max(
-                    (t.max_in_flight for t in self._tenants), default=0
-                ),
-                "drained": self._draining,
-                "wall_seconds": self._wall_seconds,
-                "arrivals_per_second": (
-                    arrivals / self._wall_seconds
-                    if self._wall_seconds > 0 else None
-                ),
-            },
+            "totals": totals,
             "workload_cache": self.workload_cache.stats(),
         }
+        if self.fault_injector is not None:
+            report["faults"] = self.fault_injector.stats()
         if latencies:
             report["checkpoint_latency"] = {
                 "count": len(latencies),

@@ -255,9 +255,12 @@ class OnlineSession:
 
     ``prior_calls`` carries the oracle-call count consumed before the
     last suspend (persisted in the checkpoint), so a resumed session's
-    reported ``oracle_calls`` is cumulative and comparable to an
-    uninterrupted run's — up to the few re-derivation queries some
-    policies issue when restoring incremental-evaluator state.
+    reported ``oracle_calls`` is cumulative and *exactly* equal to an
+    uninterrupted run's: the few re-derivation queries a policy issues
+    while restoring incremental-evaluator state are measured at resume
+    time and netted out of ``prior_calls`` (they re-derive values the
+    uninterrupted run already paid for — billing them again would make
+    every suspend/resume hop inflate the count).
     """
 
     def __init__(self, run: OnlineRun, base: SetFunction,
@@ -324,12 +327,21 @@ def start_session(
     distribution: str = "uniform",
     process_params: Optional[Mapping[str, object]] = None,
     workload_cache: Optional[WorkloadCache] = None,
+    fault_injector=None,
+    fault_scope: Optional[str] = None,
 ) -> OnlineSession:
     """Build a fresh session from a workload recipe.
 
     With a *workload_cache*, same-workload tenants share one utility and
     one memoising value oracle; the per-tenant counting wrapper keeps
     ``oracle_calls`` identical either way.
+
+    With a *fault_injector* (see :mod:`repro.online.faults`), the
+    counting oracle is wrapped so every query passes through the
+    ``oracle.value`` / ``oracle.batch`` fault sites under *fault_scope*
+    (the tenant id, under the serving layer).  The wrapper sits outside
+    the counting layer, so a query aborted by an injected fault is
+    never billed.
     """
     recipe: Dict[str, object] = {
         "kind": "secretary-workload",
@@ -356,7 +368,10 @@ def start_session(
         **dict(process_params or {}),
     )
     counting = CountingOracle(shared)
-    run = OnlineRun(counting, source, policy_obj)
+    target: SetFunction = counting
+    if fault_injector is not None:
+        target = fault_injector.wrap_oracle(counting, fault_scope or "session")
+    run = OnlineRun(target, source, policy_obj)
     return OnlineSession(run, fn, counting, recipe)
 
 
@@ -379,8 +394,18 @@ def resume_session(
     checkpoint: Mapping[str, object],
     *,
     workload_cache: Optional[WorkloadCache] = None,
+    fault_injector=None,
+    fault_scope: Optional[str] = None,
 ) -> OnlineSession:
-    """Rebuild a suspended session from its self-contained checkpoint."""
+    """Rebuild a suspended session from its self-contained checkpoint.
+
+    Cumulative ``oracle_calls`` accounting is exact: whatever restore
+    itself bills (evaluator construction, frontier re-derivation) is
+    measured right after :func:`~repro.online.checkpoint.resume_run`
+    and netted out of the checkpoint's recorded prior count, so a
+    suspend/resume hop never inflates the total over an uninterrupted
+    run.
+    """
     recipe = _checked_recipe(checkpoint)
     if workload_cache is None:
         fn, _ = build_workload(recipe)
@@ -388,15 +413,21 @@ def resume_session(
     else:
         fn, _, shared = workload_cache.lookup(recipe)
     counting = CountingOracle(shared)
+    target: SetFunction = counting
+    if fault_injector is not None:
+        target = fault_injector.wrap_oracle(counting, fault_scope or "session")
     source = None
     if int(checkpoint.get("schema_version", 1)) >= 2:  # type: ignore[arg-type]
         # Rebuild the stream over the *base* utility so value-sorted
         # processes' construction queries never inflate call accounting.
         source = source_from_spec(checkpoint.get("source"), fn)
-    run = resume_run(checkpoint, counting, source=source)
+    run = resume_run(checkpoint, target, source=source)
+    restore_overhead = counting.calls
     recipe = dict(recipe)
     prior = int(recipe.pop("oracle_calls_consumed", 0))  # type: ignore[arg-type]
-    return OnlineSession(run, fn, counting, recipe, prior_calls=prior)
+    return OnlineSession(
+        run, fn, counting, recipe, prior_calls=prior - restore_overhead
+    )
 
 
 # -- sharded sessions --------------------------------------------------------
@@ -445,12 +476,18 @@ def _finish_shard_worker(job: Tuple[Dict, Dict]) -> Tuple[Dict, int]:
         src = source_from_spec(shard_ck["source"], fn)
         view = ShardView(fn, src.order)
         counting = CountingOracle(view)
-        run = resume_run(shard_ck, counting, source=src).run()
+        run = resume_run(shard_ck, counting, source=src)
     else:
         view = ShardView(fn, shard_ck["schedule"]["order"])
         counting = CountingOracle(view)
-        run = resume_run(shard_ck, counting).run()
-    return make_checkpoint(run), counting.calls
+        run = resume_run(shard_ck, counting)
+    # Net out what the resume itself billed (evaluator construction,
+    # frontier re-derivation): the parent already accounted for those
+    # values, so the worker reports only genuinely new queries and the
+    # parallel finish stays call-identical to the inline one.
+    restore_overhead = counting.calls
+    run.run()
+    return make_checkpoint(run), counting.calls - restore_overhead
 
 
 class ShardedSession:
@@ -574,8 +611,15 @@ def start_sharded_session(
     distribution: str = "uniform",
     process_params: Optional[Mapping[str, object]] = None,
     workload_cache: Optional[WorkloadCache] = None,
+    fault_injector=None,
+    fault_scope: Optional[str] = None,
 ) -> ShardedSession:
-    """Build a fresh sharded session: S policy replicas + merge."""
+    """Build a fresh sharded session: S policy replicas + merge.
+
+    With a *fault_injector*, each shard's counting oracle is wrapped
+    under its own derived scope (``<fault_scope>#s<index>``) so every
+    shard sees an independent deterministic fault stream.
+    """
     if shards < 1:
         raise InvalidInstanceError(f"shards must be >= 1, got {shards}")
     recipe: Dict[str, object] = {
@@ -606,6 +650,7 @@ def start_sharded_session(
         return build_arrival_source(process, fn, stream_seed, **params)
 
     counters = ShardCounters()
+    oracle_factory = _shard_oracle_factory(counters, fault_injector, fault_scope)
 
     def policy_factory(index: int, shard) -> OnlinePolicy:
         """Build the policy replica for shard *index*."""
@@ -620,17 +665,48 @@ def start_sharded_session(
     # cache when one is in play — counting stays per shard, above it.
     run = ShardedRun.from_source(
         shared, source_factory, int(shards), policy_factory,
-        oracle_factory=counters, can_take=can_take, limit=limit,
+        oracle_factory=oracle_factory, can_take=can_take, limit=limit,
     )
     return ShardedSession(run, fn, counters.countings, recipe)
+
+
+def _shard_oracle_factory(
+    counters: ShardCounters, fault_injector, fault_scope: Optional[str]
+):
+    """Per-shard oracle factory: counting, optionally fault-wrapped.
+
+    Without an injector this *is* the plain :class:`ShardCounters`
+    instance (the no-fault path is byte-for-byte the old wiring); with
+    one, each shard's counting oracle is wrapped under a shard-derived
+    scope so fault streams stay deterministic per shard.
+    """
+    if fault_injector is None:
+        return counters
+    scope = fault_scope or "session"
+
+    def factory(index: int, view):
+        """Wrap shard *index*'s counting oracle in its fault scope."""
+        return fault_injector.wrap_oracle(
+            counters(index, view), f"{scope}#s{index}"
+        )
+
+    return factory
 
 
 def resume_sharded_session(
     checkpoint: Mapping[str, object],
     *,
     workload_cache: Optional[WorkloadCache] = None,
+    fault_injector=None,
+    fault_scope: Optional[str] = None,
 ) -> ShardedSession:
-    """Rebuild a suspended sharded session from its manifest checkpoint."""
+    """Rebuild a suspended sharded session from its manifest checkpoint.
+
+    Like :func:`resume_session`, the queries restore itself bills are
+    measured per shard and netted out of the recorded prior count, so
+    cumulative ``oracle_calls`` across hops matches an uninterrupted
+    sharded run exactly.
+    """
     recipe = _checked_recipe(checkpoint)
     if workload_cache is None:
         fn, weights = build_workload(recipe)
@@ -639,20 +715,32 @@ def resume_sharded_session(
         fn, weights, shared = workload_cache.lookup(recipe)
     can_take, _ = _merge_rule(recipe, weights)
     counters = ShardCounters()
+    oracle_factory = _shard_oracle_factory(counters, fault_injector, fault_scope)
     run = resume_sharded_run(
-        checkpoint, shared, oracle_factory=counters, can_take=can_take
+        checkpoint, shared, oracle_factory=oracle_factory, can_take=can_take
     )
+    restore_overhead = sum(c.calls for c in counters.countings)
     recipe = dict(recipe)
     prior = int(recipe.pop("oracle_calls_consumed", 0))  # type: ignore[arg-type]
-    return ShardedSession(run, fn, counters.countings, recipe, prior_calls=prior)
+    return ShardedSession(
+        run, fn, counters.countings, recipe,
+        prior_calls=prior - restore_overhead,
+    )
 
 
 def resume_any_session(
     checkpoint: Mapping[str, object],
     *,
     workload_cache: Optional[WorkloadCache] = None,
+    fault_injector=None,
+    fault_scope: Optional[str] = None,
 ):
     """Route a checkpoint payload to the matching resume path."""
+    kwargs = dict(
+        workload_cache=workload_cache,
+        fault_injector=fault_injector,
+        fault_scope=fault_scope,
+    )
     if checkpoint.get("format") == SHARDED_CHECKPOINT_FORMAT:
-        return resume_sharded_session(checkpoint, workload_cache=workload_cache)
-    return resume_session(checkpoint, workload_cache=workload_cache)
+        return resume_sharded_session(checkpoint, **kwargs)  # type: ignore[arg-type]
+    return resume_session(checkpoint, **kwargs)  # type: ignore[arg-type]

@@ -214,6 +214,46 @@ def test_oracle_calls_accumulate_across_resume():
     assert hop3.run.result().selected == oneshot.run.result().selected
 
 
+@pytest.mark.parametrize("policy", SESSION_POLICIES)
+def test_oracle_calls_exact_across_resume_every_policy(policy):
+    """Resume must not inflate call counts, for any policy.
+
+    Policies that restore evaluator state bill re-derivation queries in
+    ``load_state``; the session layer nets that restore overhead out of
+    the prior-calls carry, so the cumulative total equals the
+    uninterrupted run's *exactly* — restores are an accounting no-op,
+    not billable oracle work.
+    """
+    kwargs = dict(policy=policy, family="additive", n=20, k=3, seed=4)
+    want = start_session(**kwargs).advance().summary()["oracle_calls"]
+
+    hop1 = start_session(**kwargs).advance(7)
+    hop2 = resume_session(_roundtrip(hop1.checkpoint())).advance(6)
+    hop3 = resume_session(_roundtrip(hop2.checkpoint())).advance()
+    assert hop3.summary()["oracle_calls"] == want
+
+
+def test_oracle_calls_exact_across_sharded_resume():
+    """The same exact-total contract over the sharded runtime.
+
+    Every shard's resume bills its own restore overhead; the sharded
+    session nets the sum, so a suspend/resume hop leaves the merged
+    call count identical to an uninterrupted sharded run's.
+    """
+    from repro.online.session import resume_sharded_session, start_sharded_session
+
+    kwargs = dict(policy="monotone", family="additive", n=24, k=3, seed=9,
+                  shards=2)
+    want = start_sharded_session(**kwargs).advance().summary()["oracle_calls"]
+
+    suspended = start_sharded_session(**kwargs)
+    suspended.advance_shard(0, 5)
+    suspended.advance_shard(1, 4)
+    resumed = resume_sharded_session(
+        _roundtrip(suspended.checkpoint())).advance()
+    assert resumed.summary()["oracle_calls"] == want
+
+
 def test_double_resume_chain():
     """Checkpoint → resume → checkpoint → resume equals one shot."""
     kwargs = dict(policy="knapsack", family="additive", n=18, k=3, seed=6,

@@ -1,0 +1,131 @@
+"""Crash-point audit at process level: hard kills and real signals.
+
+Tier-1 subset of the full ``benchmarks/fault_smoke.py`` matrix: the
+serve CLI is run in real subprocesses, hard-killed (``os._exit(137)``)
+at registered checkpoint-write kill points, and ``serve --resume`` must
+recover every tenant bit-identical to an unfaulted baseline — plus the
+SIGTERM satellite: a real SIGTERM drains and checkpoints exactly like
+SIGINT instead of dropping state.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.online.faults import KILL_EXIT_CODE
+from repro.online.serving import ServingLoop, load_tenant_specs
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+FLEET = {
+    "defaults": {"family": "additive", "n": 32, "k": 3},
+    "tenants": [
+        {"id": "mono", "policy": "monotone", "seed": 31},
+        {"id": "sharded", "policy": "monotone", "seed": 32, "shards": 2},
+    ],
+}
+
+RESULT_KEYS = ("selected", "value", "oracle_calls", "decisions", "cursor")
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return env
+
+
+def run_serve(*args, expect=0, timeout=60):
+    cmd = [sys.executable, "-m", "repro", "online", "serve", *args]
+    proc = subprocess.run(cmd, cwd=REPO, env=cli_env(),
+                          capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == expect, (proc.returncode, proc.stderr[-1500:])
+    return proc
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Unfaulted in-process serve of the same fleet the CLI runs."""
+    return ServingLoop(load_tenant_specs(FLEET)).serve()
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "fleet.json"
+    path.write_text(json.dumps(FLEET))
+    return str(path)
+
+
+def assert_recovered(baseline, report):
+    for tid, want in baseline["tenants"].items():
+        got = report["tenants"][tid]
+        assert got["finished"], (tid, got.get("state"), got.get("error"))
+        for key in RESULT_KEYS:
+            assert got[key] == want[key], (tid, key)
+
+
+class TestKillPointRecovery:
+    @pytest.mark.parametrize("site", ["checkpoint.mid_write",
+                                      "checkpoint.after_write"])
+    def test_hard_kill_then_resume_bit_identical(self, tmp_path, spec_file,
+                                                 baseline, site):
+        plan = tmp_path / "kill.json"
+        plan.write_text(json.dumps({
+            "format": "repro-fault-plan/1", "seed": 0,
+            "rules": [{"site": site, "kind": "kill", "at": [1]}],
+        }))
+        ckpt = str(tmp_path / "ckpt")
+        run_serve(spec_file, "--checkpoint-dir", ckpt,
+                  "--fault-plan", str(plan), expect=KILL_EXIT_CODE)
+        # mid_write kills inside the torn-write window: at most a stray
+        # temp file may exist, never a truncated checkpoint.
+        if os.path.isdir(ckpt):
+            for root, _dirs, files in os.walk(ckpt):
+                for name in files:
+                    if name.endswith(".tmp"):
+                        continue
+                    with open(os.path.join(root, name)) as fh:
+                        json.load(fh)  # parses => not torn
+        out = str(tmp_path / "resumed.json")
+        run_serve(spec_file, "--checkpoint-dir", ckpt, "--resume",
+                  "--output", out)
+        with open(out) as fh:
+            assert_recovered(baseline, json.load(fh))
+
+
+class TestSigtermDrains:
+    def test_sigterm_drains_checkpoints_and_resumes(self, tmp_path,
+                                                    spec_file, baseline):
+        ckpt = str(tmp_path / "ckpt")
+        out = str(tmp_path / "drained.json")
+        cmd = [sys.executable, "-m", "repro", "online", "serve", spec_file,
+               "--checkpoint-dir", ckpt, "--pace-seconds", "0.05",
+               "--output", out]
+        proc = subprocess.Popen(cmd, cwd=REPO, env=cli_env(),
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.PIPE, text=True)
+        try:
+            time.sleep(1.0)  # let the paced serve get genuinely mid-stream
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 0, proc.stderr.read()[-1500:]
+        with open(out) as fh:
+            drained = json.load(fh)
+        assert drained["totals"]["drained"] is True
+        # Mid-stream: SIGTERM landed before the paced streams finished.
+        assert drained["totals"]["finished"] < len(baseline["tenants"])
+        resumed_out = str(tmp_path / "resumed.json")
+        run_serve(spec_file, "--checkpoint-dir", ckpt, "--resume",
+                  "--output", resumed_out)
+        with open(resumed_out) as fh:
+            report = json.load(fh)
+        assert_recovered(baseline, report)
+        assert report["totals"]["resumed"] >= 1

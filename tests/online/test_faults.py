@@ -1,0 +1,310 @@
+"""Deterministic fault injection: plans, schedules, and billing safety.
+
+The contract under test: a :class:`FaultPlan` is a pure function from
+``(seed, site, scope, hit)`` to faults — the same plan fires the same
+faults on every run; backoff delays are stateless (same seed/scope/
+attempt, same delay, even across a resume hop); and a fault raised at
+an oracle site aborts the query *before* the counting layer bills it.
+"""
+
+import json
+
+import pytest
+
+from repro.core.oracle import CountingOracle
+from repro.errors import InvalidInstanceError
+from repro.online.faults import (
+    FAULT_PLAN_FORMAT,
+    KILL_EXIT_CODE,
+    KILL_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    PermanentFault,
+    RetryPolicy,
+    TransientFault,
+    clear_injector,
+    current_injector,
+    fault_hit,
+    install_injector,
+    load_fault_plan,
+)
+from repro.online.session import build_workload
+
+
+@pytest.fixture(autouse=True)
+def _no_global_injector():
+    """Every test starts and ends with the global injector cleared."""
+    clear_injector()
+    yield
+    clear_injector()
+
+
+class TestFaultRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown fault kind"):
+            FaultRule("serve.feed", "explode", at=[1])
+
+    def test_exactly_one_of_at_or_rate(self):
+        with pytest.raises(InvalidInstanceError, match="exactly one"):
+            FaultRule("serve.feed", "transient")
+        with pytest.raises(InvalidInstanceError, match="exactly one"):
+            FaultRule("serve.feed", "transient", at=[1], rate=0.5)
+
+    def test_at_indices_are_one_based(self):
+        with pytest.raises(InvalidInstanceError, match="1-based"):
+            FaultRule("serve.feed", "transient", at=[0])
+
+    def test_rate_bounds(self):
+        with pytest.raises(InvalidInstanceError, match="rate"):
+            FaultRule("serve.feed", "transient", rate=1.5)
+
+    def test_latency_needs_delay(self):
+        with pytest.raises(InvalidInstanceError, match="delay"):
+            FaultRule("serve.feed", "latency", at=[1])
+
+    def test_payload_round_trip(self):
+        rule = FaultRule("checkpoint.*", "kill", scope="t-1", at=[2, 5])
+        back = FaultRule.from_payload(rule.payload())
+        assert back.payload() == rule.payload()
+
+    def test_unknown_payload_keys_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown fields"):
+            FaultRule.from_payload(
+                {"site": "serve.feed", "kind": "transient", "at": [1],
+                 "when": "now"}
+            )
+
+    def test_fnmatch_on_site_and_scope(self):
+        rule = FaultRule("checkpoint.*", "transient", scope="t-*", at=[1])
+        assert rule.matches("checkpoint.before_write", "t-3")
+        assert not rule.matches("serve.feed", "t-3")
+        assert not rule.matches("checkpoint.before_write", "other")
+
+
+class TestRetryPolicy:
+    def test_delay_is_a_pure_function(self):
+        # Stateless schedule: same (seed, scope, attempt) => same delay,
+        # on a fresh policy object — which is exactly why the schedule
+        # survives a checkpoint/resume hop unchanged.
+        a = RetryPolicy().delay(7, "tenant-a", 2)
+        b = RetryPolicy().delay(7, "tenant-a", 2)
+        assert a == b
+        assert RetryPolicy().delay(7, "tenant-b", 2) != a
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.04, jitter=0.0)
+        delays = [policy.delay(0, "t", a) for a in range(1, 6)]
+        assert delays == [0.01, 0.02, 0.04, 0.04, 0.04]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=1.0, jitter=0.5)
+        for attempt in range(1, 8):
+            d = policy.delay(3, "t", attempt)
+            base = min(1.0, 0.01 * 2 ** (attempt - 1))
+            assert base <= d <= base * 1.5
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(InvalidInstanceError, match="1-based"):
+            RetryPolicy().delay(0, "t", 0)
+
+    def test_payload_round_trip(self):
+        policy = RetryPolicy(max_attempts=9, base_delay=0.5, max_delay=2.0,
+                             jitter=0.0, max_strikes=5)
+        back = RetryPolicy.from_payload(policy.payload())
+        assert back.payload() == policy.payload()
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(InvalidInstanceError):
+            RetryPolicy(max_strikes=0)
+        with pytest.raises(InvalidInstanceError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(InvalidInstanceError, match="unknown fields"):
+            RetryPolicy.from_payload({"max_tries": 3})
+
+
+class TestFaultPlan:
+    def test_payload_round_trip(self):
+        plan = FaultPlan(seed=42, rules=(
+            FaultRule("serve.feed", "transient", scope="a", at=[1]),
+            FaultRule("oracle.*", "latency", rate=0.25, delay=0.01),
+        ))
+        back = FaultPlan.from_payload(plan.payload())
+        assert back.payload() == plan.payload()
+        assert back.payload()["format"] == FAULT_PLAN_FORMAT
+
+    def test_format_checked(self):
+        with pytest.raises(InvalidInstanceError, match="repro-fault-plan"):
+            FaultPlan.from_payload({"format": "something/9"})
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(FaultPlan(seed=5).payload()))
+        assert load_fault_plan(str(path)).seed == 5
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(InvalidInstanceError, match="not valid JSON"):
+            load_fault_plan(str(path))
+
+
+class TestFaultInjector:
+    def test_at_rule_fires_on_exact_hits_per_scope(self):
+        plan = FaultPlan(rules=(
+            FaultRule("serve.feed", "transient", scope="a", at=[2]),
+        ))
+        inj = FaultInjector(plan)
+        assert inj.hit("serve.feed", "a") == 0.0  # hit 1: no fire
+        with pytest.raises(TransientFault):
+            inj.hit("serve.feed", "a")  # hit 2 fires
+        # Scope "b" has its own counter: its hit 2 does not exist yet.
+        assert inj.hit("serve.feed", "b") == 0.0
+        assert inj.hits("serve.feed", "a") == 2
+        assert inj.hits("serve.feed", "b") == 1
+
+    def test_rate_rule_is_seed_deterministic(self):
+        plan = FaultPlan(seed=99, rules=(
+            FaultRule("oracle.value", "transient", rate=0.3),
+        ))
+
+        def fire_pattern():
+            inj = FaultInjector(plan)
+            pattern = []
+            for _ in range(50):
+                try:
+                    inj.hit("oracle.value", "t")
+                    pattern.append(False)
+                except TransientFault:
+                    pattern.append(True)
+            return pattern, inj.fired
+
+        (p1, f1), (p2, f2) = fire_pattern(), fire_pattern()
+        assert p1 == p2
+        assert f1 == f2
+        assert any(p1) and not all(p1)  # rate 0.3 fires some, not all
+
+    def test_different_seeds_differ(self):
+        def pattern(seed):
+            inj = FaultInjector(FaultPlan(seed=seed, rules=(
+                FaultRule("s", "transient", rate=0.5),
+            )))
+            out = []
+            for _ in range(30):
+                try:
+                    inj.hit("s")
+                    out.append(False)
+                except TransientFault:
+                    out.append(True)
+            return out
+
+        assert pattern(1) != pattern(2)
+
+    def test_latency_accumulates_and_returns(self):
+        plan = FaultPlan(rules=(
+            FaultRule("site", "latency", at=[1], delay=0.25),
+            FaultRule("site", "latency", at=[1, 2], delay=0.5),
+        ))
+        inj = FaultInjector(plan)
+        assert inj.hit("site") == pytest.approx(0.75)
+        assert inj.hit("site") == pytest.approx(0.5)
+        assert inj.hit("site") == 0.0
+
+    def test_kill_calls_kill_fn_with_exit_code(self):
+        plan = FaultPlan(rules=(FaultRule("checkpoint.mid_write", "kill",
+                                          at=[1]),))
+        inj = FaultInjector(plan)
+        killed = []
+        inj.kill_fn = killed.append
+        inj.hit("checkpoint.mid_write", "t")
+        assert killed == [KILL_EXIT_CODE]
+
+    def test_permanent_fault_raises_permanent(self):
+        inj = FaultInjector(FaultPlan(rules=(
+            FaultRule("serve.feed", "permanent", at=[1]),
+        )))
+        with pytest.raises(PermanentFault):
+            inj.hit("serve.feed", "t")
+
+    def test_stats_shape(self):
+        inj = FaultInjector(FaultPlan(rules=(
+            FaultRule("a", "latency", at=[1], delay=0.1),
+        )))
+        inj.hit("a")
+        stats = inj.stats()
+        assert stats["fired"] == 1
+        assert stats["by_site"] == {"a": 1}
+        assert stats["by_kind"] == {"latency": 1}
+
+    def test_kill_sites_registry(self):
+        assert "checkpoint.mid_write" in KILL_SITES
+        assert "report.write" in KILL_SITES
+
+
+def _counting_oracle(n=12, seed=3):
+    fn, _ = build_workload({"family": "additive", "n": n, "seed": seed})
+    return fn, CountingOracle(fn)
+
+
+class TestFaultyOracleBilling:
+    def test_value_fault_fires_before_billing(self):
+        fn, counting = _counting_oracle()
+        inj = FaultInjector(FaultPlan(rules=(
+            FaultRule("oracle.value", "transient", at=[1]),
+        )))
+        faulty = inj.wrap_oracle(counting, "t")
+        subset = frozenset(list(fn.ground_set)[:2])
+        with pytest.raises(TransientFault):
+            faulty.value(subset)
+        assert counting.calls == 0  # aborted query never billed
+        assert faulty.value(subset) == fn.value(subset)
+        assert counting.calls == 1
+
+    def test_batch_fault_fires_before_billing(self):
+        fn, counting = _counting_oracle()
+        inj = FaultInjector(FaultPlan(rules=(
+            FaultRule("oracle.batch", "transient", at=[1]),
+        )))
+        faulty = inj.wrap_oracle(counting, "t")
+        ev = faulty.fast_evaluator()
+        assert ev is not None
+        billed_at_setup = counting.calls  # evaluator construction bills
+        candidates = list(fn.ground_set)[:4]
+        with pytest.raises(TransientFault):
+            ev.gains(candidates)
+        assert counting.calls == billed_at_setup
+        ev.gains(candidates)  # hit 2: no rule, bills normally
+        assert counting.calls > billed_at_setup
+
+    def test_ground_set_passthrough(self):
+        fn, counting = _counting_oracle()
+        inj = FaultInjector(FaultPlan())
+        assert inj.wrap_oracle(counting, "t").ground_set == fn.ground_set
+
+
+class TestGlobalInjector:
+    def test_fault_hit_is_noop_without_injector(self):
+        assert current_injector() is None
+        assert fault_hit("checkpoint.before_write", "t") == 0.0
+
+    def test_install_returns_previous_for_nesting(self):
+        first = FaultInjector(FaultPlan())
+        second = FaultInjector(FaultPlan())
+        assert install_injector(first) is None
+        assert install_injector(second) is first
+        assert current_injector() is second
+        install_injector(first)
+        assert current_injector() is first
+        clear_injector()
+        assert current_injector() is None
+
+    def test_fault_hit_routes_to_installed_injector(self):
+        inj = FaultInjector(FaultPlan(rules=(
+            FaultRule("checkpoint.after_write", "transient", at=[1]),
+        )))
+        install_injector(inj)
+        with pytest.raises(TransientFault):
+            fault_hit("checkpoint.after_write", "t")
+        assert inj.hits("checkpoint.after_write", "t") == 1

@@ -120,6 +120,20 @@ class TestDocsTree:
         ):
             assert module in text, f"ARCHITECTURE.md does not mention {module}"
 
+    def test_reliability_doc_tracks_the_fault_constants(self):
+        from repro.online.faults import (
+            FAULT_PLAN_FORMAT,
+            KILL_EXIT_CODE,
+            KILL_SITES,
+        )
+
+        with open(os.path.join(DOCS, "RELIABILITY.md"), encoding="utf-8") as fh:
+            text = fh.read()
+        assert FAULT_PLAN_FORMAT in text
+        assert str(KILL_EXIT_CODE) in text
+        for site in KILL_SITES:
+            assert site in text, f"RELIABILITY.md does not mention {site}"
+
     def test_checkpoint_doc_tracks_the_codec_constants(self):
         from repro.online.checkpoint import (
             CHECKPOINT_FORMAT,
