@@ -1,24 +1,47 @@
 """Oracle-kernel microbenchmark: naive vs vectorized batch marginals.
 
-Times ``batch_marginals`` (the one-shot batched-marginal API) for every
-kernel-backed utility family, once through the family's vectorized
-kernel and once through the generic naive fallback (the same function
-hidden behind a ``LambdaSetFunction``, which advertises no kernel).
-This is the before/after pair for the PR-3 oracle-kernel layer: the
-naive column is what every greedy round cost per candidate before, the
-kernel column what it costs now.
+Two modes:
+
+* **default** — times ``batch_marginals`` for every kernel-backed
+  utility family, once through the family's vectorized kernel and once
+  through the generic naive fallback (the same function hidden behind a
+  ``LambdaSetFunction``, which advertises no kernel).  This is the
+  before/after pair for the PR-3 oracle-kernel layer, and the output
+  shape is unchanged from that PR so ``BENCH_PR3.json``-style records
+  still compare.  ``--n``/``--rounds``/``--families``/``--backend``
+  parameterize it.
+
+* **--scaling** — the kernel-backend-v2 scaling curve: for each family
+  in coverage / weighted_coverage / cut / additive and each
+  ``n = 10^3..10^6`` (capped by ``--max-n``), build an array-backed
+  sparse instance, time one batched-marginal call over a fixed
+  candidate pool per available backend (sparse always; dense only where
+  the dense arrays fit under ``DENSE_CELL_LIMIT``; naive only at small
+  n), and record best-of-rounds wall time plus tracemalloc peak and
+  ``ru_maxrss``.  A subsampled section runs exact greedy vs
+  stochastic-greedy (per-round seeded uniform candidate samples) and
+  records the **measured** utility drift — subsampling is opt-in
+  everywhere, so its cost/accuracy trade lives in the bench output, not
+  in defaults.  ``--compare BASE.json`` gates wall time against a
+  committed curve (>1.8x on any matched cell fails), which is what the
+  CI ``kernels-scaling`` job runs.
 
 Run standalone (CI's bench-gate job uploads the JSON as an artifact):
 
     PYTHONPATH=src python benchmarks/microbench_kernels.py \
         --output kernel_microbench.json
+    PYTHONPATH=src python benchmarks/microbench_kernels.py \
+        --scaling --output BENCH_PR9.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import resource
+import sys
 import time
+import tracemalloc
 
 import numpy as np
 
@@ -30,7 +53,23 @@ from repro.core.functions import (
     FacilityLocationFunction,
     WeightedCoverageFunction,
 )
+from repro.core.kernels import DENSE_CELL_LIMIT
 from repro.core.submodular import LambdaSetFunction
+from repro.workloads.secretary_streams import (
+    sparse_additive_utility,
+    sparse_coverage_utility,
+    sparse_cut_utility,
+)
+
+SCALING_SCHEMA = "kernels-scaling/1"
+
+#: Wall-regression gate (mirrors the repro-bench CI gate): a matched
+#: cell may not be slower than 1.8x its committed baseline.
+WALL_TOLERANCE = 1.8
+
+#: Cells faster than this (seconds per call) on *both* sides are noise
+#: at CI-runner resolution and never gate.
+WALL_FLOOR_S = 5e-4
 
 
 def _build(family: str, n: int, rng: np.random.Generator):
@@ -73,31 +112,43 @@ FAMILIES = (
     "facility",
 )
 
+SCALING_FAMILIES = ("coverage", "weighted_coverage", "cut", "additive")
 
-def _time_batches(fn, selection, candidates, rounds: int) -> float:
+SCALING_NS = (1_000, 10_000, 100_000, 1_000_000)
+
+#: The naive fallback re-evaluates F per candidate; past this n it
+#: contributes nothing but hours to the curve.
+NAIVE_MAX_N = 2_000
+
+SCALING_BATCH = 4096
+SCALING_SELECTED = 16
+
+
+def _time_batches(fn, selection, candidates, rounds: int, backend=None) -> float:
     best = float("inf")
     for _ in range(rounds):
         t0 = time.perf_counter()
-        fn.batch_marginals(selection, candidates)
+        fn.batch_marginals(selection, candidates, backend=backend)
         best = min(best, time.perf_counter() - t0)
     return best
 
 
-def run(n: int, rounds: int, seed: int) -> dict:
+def run(n: int, rounds: int, seed: int, families=FAMILIES, backend=None) -> dict:
+    """Default mode: kernel vs naive per family (PR-3 report shape)."""
     rng = np.random.default_rng(seed)
     report: dict = {"n": n, "rounds": rounds, "families": {}}
-    for family in FAMILIES:
+    for family in families:
         fn = _build(family, n, rng)
         ground = sorted(fn.ground_set, key=repr)
         selection = set(ground[: n // 4])
         candidates = ground
         naive = LambdaSetFunction(fn.ground_set, fn.value)
         # Verify agreement before trusting the timing comparison.
-        fast_g = fn.batch_marginals(selection, candidates)
+        fast_g = fn.batch_marginals(selection, candidates, backend=backend)
         naive_g = naive.batch_marginals(selection, candidates)
         if not np.allclose(fast_g, naive_g, rtol=1e-12, atol=1e-12):
             raise AssertionError(f"kernel/naive disagreement for {family}")
-        t_kernel = _time_batches(fn, selection, candidates, rounds)
+        t_kernel = _time_batches(fn, selection, candidates, rounds, backend=backend)
         t_naive = _time_batches(naive, selection, candidates, rounds)
         report["families"][family] = {
             "kernel_s": t_kernel,
@@ -107,17 +158,250 @@ def run(n: int, rounds: int, seed: int) -> dict:
     return report
 
 
+# -- scaling-curve mode ------------------------------------------------------
+
+
+def _scaling_instance(family: str, n: int, seed: int):
+    """Array-backed instance + its dense-array cell count."""
+    rng = np.random.default_rng(seed)
+    universe = max(16, n // 2)
+    if family == "coverage":
+        fn = sparse_coverage_utility(n, universe, skills_per_secretary=6, rng=rng)
+        return fn, n * universe
+    if family == "weighted_coverage":
+        fn = sparse_coverage_utility(
+            n, universe, skills_per_secretary=6, weighted=True, rng=rng
+        )
+        return fn, n * universe
+    if family == "cut":
+        fn = sparse_cut_utility(n, avg_degree=8.0, rng=rng)
+        return fn, n * n
+    if family == "additive":
+        fn = sparse_additive_utility(n, rng=rng)
+        return fn, n
+    raise ValueError(family)
+
+
+def _backends_for(family: str, n: int, cells: int):
+    """Which backends produce a distinct measurement for this cell.
+
+    weighted_coverage and additive have a single kernel implementation
+    (their arithmetic is CSR/vector-native), so only one kernel column
+    is recorded for them; coverage and cut measure dense vs sparse
+    wherever the dense arrays fit.
+    """
+    if family in ("weighted_coverage", "additive"):
+        out = ["sparse"]
+    else:
+        out = ["sparse"] + (["dense"] if cells <= DENSE_CELL_LIMIT else [])
+    if n <= NAIVE_MAX_N:
+        out.append("naive")
+    return out
+
+
+def _measure_cell(fn, n: int, backend: str, rounds: int, seed: int) -> dict:
+    """Time one batched-marginal call; peak memory over build + call."""
+    rng = np.random.default_rng(seed + 1)
+    pool = np.sort(rng.choice(n, size=min(SCALING_BATCH, n), replace=False))
+    pool_list = [int(e) for e in pool]
+    selected = pool_list[:SCALING_SELECTED]
+    rss0 = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    tracemalloc.start()
+    ev = fn.incremental_evaluator(backend=backend)
+    for e in selected:
+        ev.add(e)
+    ev.gains(pool_list)  # warm + included in the traced peak
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        ev.gains(pool_list)
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "backend": backend,
+        "batch": len(pool_list),
+        "ms_per_call": best * 1e3,
+        "peak_traced_bytes": int(peak),
+        "ru_maxrss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "ru_maxrss_kb_before": int(rss0),
+    }
+
+
+def _greedy_value(fn, k: int, pool, sample_size=None, seed: int = 0):
+    """(value, wall seconds) of (stochastic-)greedy over *pool*."""
+    ev = fn.incremental_evaluator()
+    remaining = list(pool)
+    t0 = time.perf_counter()
+    for r in range(k):
+        if not remaining:
+            break
+        if sample_size is None or sample_size >= len(remaining):
+            idx = np.arange(len(remaining))
+        else:
+            gen = np.random.default_rng((seed, r))
+            idx = np.sort(gen.choice(len(remaining), size=sample_size, replace=False))
+        gains = ev.gains([remaining[i] for i in idx])
+        best = int(idx[int(np.argmax(gains))])
+        e = remaining.pop(best)
+        ev.add(e)
+    return float(ev.current_value), time.perf_counter() - t0
+
+
+def _measure_subsampled(seed: int) -> list:
+    """Exact vs stochastic greedy: measured drift per (family, rate)."""
+    out = []
+    k = SCALING_SELECTED
+    for family in ("coverage", "additive"):
+        fn, _cells = _scaling_instance(family, 10_000, seed)
+        pool = list(range(10_000))
+        exact_value, exact_s = _greedy_value(fn, k, pool)
+        for sample_size in (256, 1024):
+            sub_value, sub_s = _greedy_value(
+                fn, k, pool, sample_size=sample_size, seed=seed
+            )
+            out.append(
+                {
+                    "family": family,
+                    "n": 10_000,
+                    "k": k,
+                    "sample_size": sample_size,
+                    "exact_value": exact_value,
+                    "subsampled_value": sub_value,
+                    "utility_drift": (
+                        (exact_value - sub_value) / exact_value if exact_value else 0.0
+                    ),
+                    "exact_s": exact_s,
+                    "subsampled_s": sub_s,
+                    "speedup": exact_s / sub_s if sub_s > 0 else float("inf"),
+                }
+            )
+    return out
+
+
+def run_scaling(rounds: int, seed: int, max_n: int, families=SCALING_FAMILIES) -> dict:
+    """The scaling-curve report (schema ``kernels-scaling/1``)."""
+    cells = []
+    for family in families:
+        for n in SCALING_NS:
+            if n > max_n:
+                continue
+            fn, cell_count = _scaling_instance(family, n, seed)
+            for backend in _backends_for(family, n, cell_count):
+                row = _measure_cell(fn, n, backend, rounds, seed)
+                row.update({"family": family, "n": n, "dense_cells": cell_count})
+                cells.append(row)
+                print(
+                    f"  {family:<18} n={n:<8} {backend:<7}"
+                    f" {row['ms_per_call']:9.3f} ms/call"
+                    f"  peak {row['peak_traced_bytes'] / 1e6:8.1f} MB",
+                    flush=True,
+                )
+    return {
+        "schema": SCALING_SCHEMA,
+        "seed": seed,
+        "rounds": rounds,
+        "batch": SCALING_BATCH,
+        "selected": SCALING_SELECTED,
+        "cells": cells,
+        "subsampled": _measure_subsampled(seed),
+    }
+
+
+def compare_scaling(report: dict, baseline: dict) -> list:
+    """Wall-regression check vs a committed curve; returns failures.
+
+    Cells are matched by ``(family, n, backend)``; cells missing on
+    either side are skipped (a reduced CI curve gates only what it
+    ran).  A matched cell fails when it is more than ``WALL_TOLERANCE``
+    times slower than baseline and above the noise floor.
+    """
+    base = {
+        (c["family"], c["n"], c["backend"]): c for c in baseline.get("cells", [])
+    }
+    failures = []
+    for c in report.get("cells", []):
+        key = (c["family"], c["n"], c["backend"])
+        b = base.get(key)
+        if b is None:
+            continue
+        cur_s = c["ms_per_call"] / 1e3
+        base_s = b["ms_per_call"] / 1e3
+        if cur_s <= WALL_FLOOR_S and base_s <= WALL_FLOOR_S:
+            continue
+        if cur_s > WALL_TOLERANCE * max(base_s, WALL_FLOOR_S):
+            failures.append(
+                f"{key}: {c['ms_per_call']:.3f} ms vs baseline "
+                f"{b['ms_per_call']:.3f} ms (> {WALL_TOLERANCE}x)"
+            )
+    return failures
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--n", type=int, default=400, help="ground-set size")
     parser.add_argument("--rounds", type=int, default=5, help="timing repeats (best-of)")
     parser.add_argument("--seed", type=int, default=20100612)
     parser.add_argument("--output", default="kernel_microbench.json")
+    parser.add_argument(
+        "--families",
+        default=None,
+        help="comma-separated family subset (default: all for the mode)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("auto", "dense", "sparse", "naive"),
+        help="pin the kernel backend in default mode (default: auto)",
+    )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="emit the kernels-scaling/1 curve instead of the PR-3 report",
+    )
+    parser.add_argument(
+        "--max-n",
+        type=int,
+        default=max(SCALING_NS),
+        help="cap the scaling curve's ground-set sizes (CI uses 1e5)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        help="scaling mode: gate wall time against a committed curve",
+    )
     args = parser.parse_args()
-    report = run(args.n, args.rounds, args.seed)
+    if args.scaling:
+        families = (
+            tuple(args.families.split(",")) if args.families else SCALING_FAMILIES
+        )
+        report = run_scaling(args.rounds, args.seed, args.max_n, families)
+    else:
+        families = tuple(args.families.split(",")) if args.families else FAMILIES
+        report = run(args.n, args.rounds, args.seed, families, args.backend)
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if args.scaling:
+        print(f"kernel scaling curve -> {args.output} ({len(report['cells'])} cells)")
+        for row in report["subsampled"]:
+            print(
+                f"  subsampled {row['family']:<10} s={row['sample_size']:<5}"
+                f" drift {row['utility_drift'] * 100:6.2f}%"
+                f"  speedup x{row['speedup']:.1f}"
+            )
+        if args.compare:
+            with open(args.compare, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+            failures = compare_scaling(report, baseline)
+            if failures:
+                print("WALL REGRESSION vs committed curve:")
+                for f in failures:
+                    print(f"  {f}")
+                sys.exit(1)
+            print(f"gate clean vs {args.compare}")
+        return
     width = max(len(f) for f in report["families"])
     print(f"oracle-kernel microbench (n={args.n}, best of {args.rounds})")
     for family, row in report["families"].items():

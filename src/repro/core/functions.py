@@ -9,12 +9,22 @@ non-monotone secretary experiments), facility location, and the additive
 problem [36].  ``MaxValueFunction`` and ``MinValueFunction`` model the
 two aggregate objectives discussed in the conclusions (Section 3.6) —
 note ``min`` is *not* submodular, which the tests assert.
+
+The coverage, cut, and additive families have two constructors: the
+mapping-based ``__init__`` (hashable elements, python containers — the
+right interface at test/experiment scale) and an array-based
+``from_arrays`` for million-element instances, where elements are the
+integers ``0..n-1``, the instance lives in CSR/COO numpy arrays, and
+nothing O(ground set) in python objects is ever built eagerly — the
+naive ``value`` path reads the arrays through lazy mapping views, and
+``ground_set`` materializes only if something actually asks for it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
-from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +43,84 @@ __all__ = [
 ]
 
 
+def _array_digest(*arrays: np.ndarray) -> str:
+    """Stable content hash of numpy arrays (fingerprint payloads)."""
+    h = hashlib.sha256()
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+class _CsrCovers(Mapping):
+    """Lazy ``{element id -> frozenset(items)}`` view of a CSR incidence.
+
+    Backs the naive ``value``/``covered`` path of array-built coverage
+    functions: each row materializes as a frozenset only when somebody
+    actually indexes it, so holding a 10^6-row instance costs the CSR
+    arrays and nothing more.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        self._indptr = indptr
+        self._indices = indices
+
+    def __getitem__(self, i) -> FrozenSet:
+        i = int(i)
+        if not 0 <= i < len(self._indptr) - 1:
+            raise KeyError(i)
+        return frozenset(self._indices[self._indptr[i]:self._indptr[i + 1]].tolist())
+
+    def __iter__(self):
+        return iter(range(len(self._indptr) - 1))
+
+    def __len__(self) -> int:
+        return len(self._indptr) - 1
+
+
+class _ArrayWeights(Mapping):
+    """Lazy ``{item id -> weight}`` view of a weight vector."""
+
+    def __init__(self, weights: np.ndarray):
+        self._weights = weights
+
+    def get(self, key, default=None):
+        try:
+            k = int(key)
+        except (TypeError, ValueError):
+            return default
+        if 0 <= k < len(self._weights):
+            return float(self._weights[k])
+        return default
+
+    def __getitem__(self, key):
+        out = self.get(key)
+        if out is None:
+            raise KeyError(key)
+        return out
+
+    def __iter__(self):
+        return iter(range(len(self._weights)))
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+
+class _LazyEdges:
+    """Lazy triple view of COO edge arrays for the naive cut path."""
+
+    def __init__(self, u: np.ndarray, v: np.ndarray, w: np.ndarray):
+        self._u, self._v, self._w = u, v, w
+
+    def __iter__(self):
+        return zip(self._u.tolist(), self._v.tolist(), self._w.tolist())
+
+    def __len__(self) -> int:
+        return len(self._u)
+
+
 class CoverageFunction(SetFunction):
     """``F(S) = | union of the item sets chosen by S |``.
 
@@ -44,19 +132,57 @@ class CoverageFunction(SetFunction):
     """
 
     def __init__(self, covers: Mapping[Element, Iterable[Hashable]]):
-        self._covers: Dict[Element, FrozenSet[Hashable]] = {
+        self._covers: Mapping[Element, FrozenSet[Hashable]] = {
             k: frozenset(v) for k, v in covers.items()
         }
-        self._ground = frozenset(self._covers)
+        self._ground: FrozenSet[Element] | None = frozenset(self._covers)
         self._universe: FrozenSet[Hashable] | None = None
         self._kernel = None
+        self._positional = False
+
+    @classmethod
+    def from_arrays(
+        cls, indptr, indices, *, n_items: Optional[int] = None
+    ) -> "CoverageFunction":
+        """Build from a CSR incidence over integer elements/items.
+
+        Row ``i`` of ``(indptr, indices)`` lists the item ids covered by
+        element ``i``; rows are canonicalized (sorted, deduplicated) on
+        kernel construction.  Elements are ``0..n-1``, items
+        ``0..n_items-1`` (default: ``max(indices) + 1``).  The instance
+        stays in its arrays — no per-element python sets are built until
+        the naive path asks for them.
+        """
+        from repro.core.kernels import _CoverageKernel
+
+        self = cls.__new__(cls)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.intp)
+        if n_items is None:
+            n_items = int(indices.max()) + 1 if len(indices) else 0
+        self._kernel = _CoverageKernel.from_csr(indptr, indices, int(n_items))
+        self._covers = _CsrCovers(self._kernel.indptr, self._kernel.indices)
+        self._ground = None
+        self._universe = None
+        self._positional = True
+        return self
 
     @property
     def ground_set(self) -> FrozenSet[Element]:
+        if self._ground is None:
+            self._ground = frozenset(range(len(self._covers)))
         return self._ground
 
     def canonical_payload(self) -> Dict[str, object]:
         """JSON-able content description (engine fingerprints hash this)."""
+        if self._positional:
+            k = self._kernel
+            return {
+                "kind": "coverage_csr",
+                "n": len(k.indptr) - 1,
+                "n_items": k.n_items,
+                "digest": _array_digest(k.indptr, k.indices),
+            }
         return {
             "kind": "coverage",
             "covers": {repr(k): sorted(map(repr, v)) for k, v in self._covers.items()},
@@ -71,10 +197,15 @@ class CoverageFunction(SetFunction):
         construction, so re-unioning per access was pure waste.
         """
         if self._universe is None:
-            out: set = set()
-            for s in self._covers.values():
-                out |= s
-            self._universe = frozenset(out)
+            if self._positional:
+                self._universe = frozenset(
+                    np.unique(self._kernel.indices).tolist()
+                )
+            else:
+                out: set = set()
+                for s in self._covers.values():
+                    out |= s
+                self._universe = frozenset(out)
         return self._universe
 
     def _coverage_kernel(self):
@@ -84,11 +215,27 @@ class CoverageFunction(SetFunction):
             self._kernel = _CoverageKernel(self._covers)
         return self._kernel
 
-    def fast_evaluator(self):
-        """Packed-bitset popcount kernel (see :mod:`repro.core.kernels`)."""
-        from repro.core.kernels import CoverageEvaluator
+    def fast_evaluator(self, backend: Optional[str] = None):
+        """Coverage kernel: packed-bitset popcounts or CSR bincounts.
 
-        return CoverageEvaluator(self, self._coverage_kernel())
+        ``backend`` picks dense vs sparse (``None``/``"auto"`` applies
+        the size/density rule in :func:`repro.core.kernels
+        .resolve_backend`); both return bit-identical marginals.
+        ``"naive"`` opts out of kernels entirely.
+        """
+        from repro.core.kernels import (
+            CoverageEvaluator,
+            SparseCoverageEvaluator,
+            resolve_backend,
+        )
+
+        backend = self.resolve_backend_arg(backend)
+        if backend == "naive":
+            return None
+        kernel = self._coverage_kernel()
+        if resolve_backend(backend, cells=kernel.cells, nnz=kernel.nnz) == "sparse":
+            return SparseCoverageEvaluator(self, kernel)
+        return CoverageEvaluator(self, kernel)
 
     def covered(self, subset: FrozenSet[Element]) -> FrozenSet[Hashable]:
         out: set = set()
@@ -118,10 +265,47 @@ class WeightedCoverageFunction(CoverageFunction):
         if bad:
             raise ValueError(f"negative item weights not allowed: {bad[:3]}")
 
+    @classmethod
+    def from_arrays(
+        cls, indptr, indices, weights, *, n_items: Optional[int] = None
+    ) -> "WeightedCoverageFunction":
+        """CSR incidence + aligned item-weight vector (see base class)."""
+        from repro.core.kernels import _CoverageKernel
+
+        weights = np.asarray(weights, dtype=float)
+        if len(weights) and float(weights.min()) < 0:
+            raise ValueError("negative item weights not allowed")
+        self = cls.__new__(cls)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.intp)
+        if n_items is None:
+            n_items = len(weights)
+        self._kernel = _CoverageKernel.from_csr(indptr, indices, int(n_items), weights)
+        self._covers = _CsrCovers(self._kernel.indptr, self._kernel.indices)
+        self._weights = _ArrayWeights(weights)
+        self._ground = None
+        self._universe = None
+        self._positional = True
+        return self
+
     def value(self, subset: FrozenSet[Element]) -> float:
         # fsum: exactly-rounded, so the value cannot depend on the set's
         # (hash-randomised) iteration order — oracles must be deterministic.
         return math.fsum(self._weights.get(i, 1.0) for i in self.covered(subset))
+
+    def canonical_payload(self) -> Dict[str, object]:
+        """JSON-able content description (engine fingerprints hash this).
+
+        The mapping-built payload is unchanged from the base class
+        (engine fingerprints hash it; committed bench cells pin those
+        fingerprints) — only array-built instances gain a weights
+        digest.
+        """
+        payload = super().canonical_payload()
+        if self._positional:
+            payload["kind"] = "weighted_coverage_csr"
+            payload["weights_digest"] = _array_digest(self._kernel.weights)
+        return payload
 
     def _coverage_kernel(self):
         from repro.core.kernels import _CoverageKernel
@@ -130,10 +314,18 @@ class WeightedCoverageFunction(CoverageFunction):
             self._kernel = _CoverageKernel(self._covers, self._weights)
         return self._kernel
 
-    def fast_evaluator(self):
-        """Float incidence-matrix kernel against the uncovered weights."""
+    def fast_evaluator(self, backend: Optional[str] = None):
+        """CSR gather kernel against the active item-weight vector.
+
+        One implementation serves both backend names — the weighted
+        family's arithmetic is CSR-native, so ``dense``/``sparse`` are
+        trivially bit-identical here.
+        """
         from repro.core.kernels import WeightedCoverageEvaluator
 
+        backend = self.resolve_backend_arg(backend)
+        if backend == "naive":
+            return None
         return WeightedCoverageEvaluator(self, self._coverage_kernel())
 
 
@@ -146,11 +338,24 @@ class AdditiveFunction(SetFunction):
 
     def __init__(self, values: Mapping[Element, float]):
         self._values = {k: float(v) for k, v in values.items()}
-        self._ground = frozenset(self._values)
+        self._ground: FrozenSet[Element] | None = frozenset(self._values)
         self._kernel = None
+        self._positional = False
+
+    @classmethod
+    def from_arrays(cls, values) -> "AdditiveFunction":
+        """Value-vector instance over integer elements ``0..n-1``."""
+        self = cls.__new__(cls)
+        self._values = np.asarray(values, dtype=float)
+        self._ground = None
+        self._kernel = None
+        self._positional = True
+        return self
 
     @property
     def ground_set(self) -> FrozenSet[Element]:
+        if self._ground is None:
+            self._ground = frozenset(range(len(self._values)))
         return self._ground
 
     def value(self, subset: FrozenSet[Element]) -> float:
@@ -159,26 +364,43 @@ class AdditiveFunction(SetFunction):
 
     def canonical_payload(self) -> Dict[str, object]:
         """JSON-able content description (engine fingerprints hash this)."""
+        if self._positional:
+            return {
+                "kind": "additive_array",
+                "n": len(self._values),
+                "digest": _array_digest(self._values),
+            }
         return {
             "kind": "additive",
             "values": {repr(k): v for k, v in self._values.items()},
         }
 
     def _additive_kernel(self):
-        # Built once per function: the sorted element order and the
-        # aligned value vector are selection-independent.
+        # Built once per function: the canonical element order and the
+        # aligned value vector are selection-independent.  Array-built
+        # instances are already in kernel form (positional order).
         if self._kernel is None:
-            elements = sorted(self._values, key=repr)
-            values = np.array([self._values[e] for e in elements], dtype=float)
-            self._kernel = (elements, values)
+            if self._positional:
+                self._kernel = (range(len(self._values)), self._values)
+            else:
+                elements = sorted(self._values, key=repr)
+                values = np.array([self._values[e] for e in elements], dtype=float)
+                self._kernel = (elements, values)
         return self._kernel
 
-    def fast_evaluator(self):
-        """Value-vector kernel: a fresh element's marginal is its value."""
+    def fast_evaluator(self, backend: Optional[str] = None):
+        """Value-vector kernel: a fresh element's marginal is its value.
+
+        The vector is already O(n); ``dense`` and ``sparse`` both
+        resolve to the same evaluator.
+        """
         from repro.core.kernels import AdditiveEvaluator
 
+        backend = self.resolve_backend_arg(backend)
+        if backend == "naive":
+            return None
         elements, values = self._additive_kernel()
-        return AdditiveEvaluator(self, elements, values)
+        return AdditiveEvaluator(self, elements, values, positional=self._positional)
 
 
 class BudgetAdditiveFunction(AdditiveFunction):
@@ -194,15 +416,41 @@ class BudgetAdditiveFunction(AdditiveFunction):
             raise ValueError(f"cap must be non-negative, got {cap}")
         self.cap = float(cap)
 
+    @classmethod
+    def from_arrays(cls, values, cap: float = 0.0) -> "BudgetAdditiveFunction":
+        """Value-vector instance truncated at *cap* (see base class)."""
+        if cap < 0:
+            raise ValueError(f"cap must be non-negative, got {cap}")
+        self = super().from_arrays(values)
+        self.cap = float(cap)
+        return self
+
     def value(self, subset: FrozenSet[Element]) -> float:
         return min(self.cap, super().value(subset))
 
-    def fast_evaluator(self):
+    def canonical_payload(self) -> Dict[str, object]:
+        """JSON-able content description (engine fingerprints hash this).
+
+        Mapping-built payloads stay byte-identical to the additive base
+        (committed fingerprints pin them); only array-built instances
+        record the cap alongside the value digest.
+        """
+        payload = super().canonical_payload()
+        if self._positional:
+            payload["cap"] = self.cap
+        return payload
+
+    def fast_evaluator(self, backend: Optional[str] = None):
         """Additive kernel truncated at ``cap`` (still one fancy-index)."""
         from repro.core.kernels import AdditiveEvaluator
 
+        backend = self.resolve_backend_arg(backend)
+        if backend == "naive":
+            return None
         elements, values = self._additive_kernel()
-        return AdditiveEvaluator(self, elements, values, cap=self.cap)
+        return AdditiveEvaluator(
+            self, elements, values, cap=self.cap, positional=self._positional
+        )
 
 
 class CutFunction(SetFunction):
@@ -214,8 +462,10 @@ class CutFunction(SetFunction):
     """
 
     def __init__(self, vertices: Iterable[Element], edges: Iterable[Tuple[Element, Element, float]]):
-        self._ground = frozenset(vertices)
+        self._ground: FrozenSet[Element] | None = frozenset(vertices)
         self._kernel = None
+        self._positional = False
+        self._n = len(self._ground)
         self._edges: list[Tuple[Element, Element, float]] = []
         for u, v, w in edges:
             if u not in self._ground or v not in self._ground:
@@ -225,8 +475,40 @@ class CutFunction(SetFunction):
             if u != v:
                 self._edges.append((u, v, float(w)))
 
+    @classmethod
+    def from_arrays(cls, n: int, u, v, w) -> "CutFunction":
+        """COO edge arrays over integer vertices ``0..n-1``.
+
+        Self-loops are dropped (they never cross a cut); parallel edges
+        are legal and consolidate by weight sum in the kernel.  The
+        triples stay in their arrays — the naive ``value`` path iterates
+        them through a lazy view.
+        """
+        u = np.asarray(u, dtype=np.intp)
+        v = np.asarray(v, dtype=np.intp)
+        w = np.asarray(w, dtype=float)
+        if not (len(u) == len(v) == len(w)):
+            raise ValueError("edge arrays must have equal length")
+        if len(u):
+            if int(u.min()) < 0 or int(v.min()) < 0 or int(max(u.max(), v.max())) >= n:
+                raise ValueError("edge endpoints must lie in 0..n-1")
+            if float(w.min()) < 0:
+                raise ValueError("cut functions require non-negative edge weights")
+        keep = u != v
+        if not keep.all():
+            u, v, w = u[keep], v[keep], w[keep]
+        self = cls.__new__(cls)
+        self._ground = None
+        self._kernel = None
+        self._positional = True
+        self._n = int(n)
+        self._edges = _LazyEdges(u, v, w)
+        return self
+
     @property
     def ground_set(self) -> FrozenSet[Element]:
+        if self._ground is None:
+            self._ground = frozenset(range(self._n))
         return self._ground
 
     def value(self, subset: FrozenSet[Element]) -> float:
@@ -234,28 +516,50 @@ class CutFunction(SetFunction):
 
     def canonical_payload(self) -> Dict[str, object]:
         """JSON-able content description (engine fingerprints hash this)."""
+        if self._positional:
+            e = self._edges
+            return {
+                "kind": "cut_coo",
+                "n": self._n,
+                "digest": _array_digest(e._u, e._v, e._w),
+            }
         edges = sorted(
             sorted([repr(u), repr(v)]) + [w] for u, v, w in self._edges
         )
         return {"kind": "cut", "vertices": sorted(map(repr, self._ground)), "edges": edges}
 
-    def fast_evaluator(self):
-        """Dense-adjacency kernel with a maintained ``W @ x`` product."""
-        from repro.core.kernels import CutEvaluator
+    def _cut_kernel(self):
+        from repro.core.kernels import _CutKernel
 
         if self._kernel is None:
-            # The O(V^2) adjacency build is selection-independent; pay
-            # it once per function, not once per evaluator.
-            vertices = sorted(self._ground, key=repr)
-            index = {v: i for i, v in enumerate(vertices)}
-            W = np.zeros((len(vertices), len(vertices)))
-            for u, v, w in self._edges:
-                i, j = index[u], index[v]
-                W[i, j] += w
-                W[j, i] += w
-            self._kernel = (vertices, W)
-        vertices, W = self._kernel
-        return CutEvaluator(self, vertices, W)
+            if self._positional:
+                e = self._edges
+                self._kernel = _CutKernel(
+                    range(self._n), (e._u, e._v, e._w), positional=True
+                )
+            else:
+                vertices = sorted(self._ground, key=repr)
+                self._kernel = _CutKernel(vertices, self._edges)
+        return self._kernel
+
+    def fast_evaluator(self, backend: Optional[str] = None):
+        """Cut kernel with a maintained ``W @ x`` product.
+
+        Dense keeps the symmetric adjacency matrix (O(n) row additions
+        per pick); sparse keeps CSR neighbour lists (O(deg) scatter
+        adds).  Both read the same CSR-derived degree vector and update
+        ``W @ x`` with identical addends, so their marginals are
+        bit-identical.
+        """
+        from repro.core.kernels import CutEvaluator, SparseCutEvaluator, resolve_backend
+
+        backend = self.resolve_backend_arg(backend)
+        if backend == "naive":
+            return None
+        kernel = self._cut_kernel()
+        if resolve_backend(backend, cells=kernel.cells, nnz=kernel.nnz) == "sparse":
+            return SparseCutEvaluator(self, kernel)
+        return CutEvaluator(self, kernel)
 
 
 class FacilityLocationFunction(SetFunction):
@@ -299,10 +603,17 @@ class FacilityLocationFunction(SetFunction):
             "benefit": self._benefit.tolist(),
         }
 
-    def fast_evaluator(self):
-        """Running per-client best-benefit kernel."""
+    def fast_evaluator(self, backend: Optional[str] = None):
+        """Running per-client best-benefit kernel.
+
+        The benefit matrix is inherently dense (clients × facilities),
+        so both backend names resolve to the one evaluator.
+        """
         from repro.core.kernels import FacilityLocationEvaluator
 
+        backend = self.resolve_backend_arg(backend)
+        if backend == "naive":
+            return None
         return FacilityLocationEvaluator(self, self._facilities, self._benefit)
 
 

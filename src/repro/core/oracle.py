@@ -140,11 +140,14 @@ class CountingOracle(SetFunction):
     def reset(self) -> None:
         self.calls = 0
 
-    def fast_evaluator(self):
+    def fast_evaluator(self, backend=None):
         # A kernel below gets the counting view; otherwise ``None`` so
         # the generic fallback is built on *this* oracle and every
         # evaluation is counted exactly as before the kernel layer.
-        inner = getattr(self.base, "fast_evaluator", lambda: None)()
+        # ``backend`` passes through untouched — selection is the base
+        # function's concern, billing is this wrapper's.
+        backend = self.resolve_backend_arg(backend)
+        inner = getattr(self.base, "fast_evaluator", lambda backend=None: None)(backend)
         if inner is not None:
             return _CountingEvaluator(inner, self)
         return None
@@ -218,12 +221,13 @@ class CachedOracle(SetFunction):
         self._insert(self._marginal_cache, key, gain)
         return gain
 
-    def fast_evaluator(self):
+    def fast_evaluator(self, backend=None):
         # Kernel state already subsumes the memoisation (it never
         # recomputes covered work); bypass the dict caches entirely.
         # With no kernel below, ``None`` makes the generic fallback run
         # on this oracle, so queries keep hitting the dict caches.
-        return getattr(self.base, "fast_evaluator", lambda: None)()
+        backend = self.resolve_backend_arg(backend)
+        return getattr(self.base, "fast_evaluator", lambda backend=None: None)(backend)
 
     def clear(self) -> None:
         self._cache.clear()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from itertools import chain, combinations
-from typing import Callable, FrozenSet, Hashable, Iterable
+from typing import Callable, FrozenSet, Hashable, Iterable, NamedTuple, Optional
 
 import numpy as np
 
@@ -30,12 +30,26 @@ __all__ = [
     "LambdaSetFunction",
     "TruncatedFunction",
     "RestrictedFunction",
+    "SubsampledMarginals",
     "check_monotone",
     "check_submodular",
     "powerset",
 ]
 
 Element = Hashable
+
+
+class SubsampledMarginals(NamedTuple):
+    """Result of an explicitly subsampled :meth:`SetFunction.batch_marginals`.
+
+    *indices* are positions into the caller's candidate sequence (sorted
+    ascending) that were actually scored; *gains* aligns with them.  The
+    distinct return type is deliberate: callers cannot mistake a
+    subsampled scan for an exact one.
+    """
+
+    indices: "np.ndarray"
+    gains: "np.ndarray"
 
 
 def _as_frozen(s: Iterable[Element]) -> FrozenSet[Element]:
@@ -77,7 +91,7 @@ class SetFunction(ABC):
         base = _as_frozen(subset)
         return self.value(base | {element}) - self.value(base)
 
-    def fast_evaluator(self):
+    def fast_evaluator(self, backend: Optional[str] = None):
         """A vectorized kernel evaluator, or ``None`` when there is none.
 
         Concrete families in :mod:`repro.core.functions` override this;
@@ -85,10 +99,37 @@ class SetFunction(ABC):
         Kept separate from :meth:`incremental_evaluator` so probing for
         a kernel never constructs — or queries through — a throwaway
         naive evaluator.
+
+        *backend* selects the kernel backend for families that have
+        more than one (``"auto"``/``None``, ``"dense"``, ``"sparse"``,
+        or ``"naive"`` to force the generic fallback); see
+        :func:`repro.core.kernels.resolve_backend`.
         """
         return None
 
-    def incremental_evaluator(self) -> "IncrementalEvaluator":
+    def resolve_backend_arg(self, backend: Optional[str]) -> Optional[str]:
+        """Apply the instance default when no explicit *backend* is given."""
+        if backend is None:
+            return getattr(self, "_default_backend", None)
+        return backend
+
+    def set_default_backend(self, backend: Optional[str]) -> None:
+        """Pin this instance's kernel backend for calls that pass none.
+
+        Workload builders use this to thread a sweep-level ``backend``
+        parameter through to consumers that construct evaluators
+        without one (engine adapters, the serving layer).  ``None``
+        restores automatic selection.
+        """
+        from repro.core.kernels import KERNEL_BACKENDS
+
+        if backend is not None and backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {backend!r}; expected one of {KERNEL_BACKENDS}"
+            )
+        self._default_backend = backend
+
+    def incremental_evaluator(self, backend: Optional[str] = None) -> "IncrementalEvaluator":
         """A stateful incremental view of this function (see kernels).
 
         Returns the family's vectorized kernel when one exists
@@ -96,14 +137,23 @@ class SetFunction(ABC):
         answers every query through :meth:`value` — correct for any
         oracle, including user-supplied :class:`LambdaSetFunction`
         wrappers.  Consumer loops check ``fast`` before switching to
-        batched scoring.
+        batched scoring.  ``backend="naive"`` forces the fallback.
         """
         from repro.core.kernels import IncrementalEvaluator
 
-        fast = self.fast_evaluator()
+        backend = self.resolve_backend_arg(backend)
+        fast = None if backend == "naive" else self.fast_evaluator(backend)
         return fast if fast is not None else IncrementalEvaluator(self)
 
-    def batch_marginals(self, subset: Iterable[Element], candidates) -> "np.ndarray":
+    def batch_marginals(
+        self,
+        subset: Iterable[Element],
+        candidates,
+        *,
+        backend: Optional[str] = None,
+        subsample: Optional[int] = None,
+        seed: int = 0,
+    ):
         """``F(subset + c) - F(subset)`` for every single-element candidate.
 
         One-shot form of the incremental API: builds an evaluator at
@@ -111,10 +161,28 @@ class SetFunction(ABC):
         the kernel-backed families, a python loop otherwise).  Greedy
         loops that score the same pool repeatedly should hold on to an
         evaluator instead of calling this per round.
+
+        *subsample* is the stochastic-greedy opt-in: when set to an
+        integer ``s``, only a seed-deterministic uniform sample of
+        ``min(s, len(candidates))`` candidates is scored and the result
+        is a :class:`SubsampledMarginals` (indices + gains) instead of
+        a plain array — subsampling is never silent, in the call or in
+        the return type.  Exact scoring (the default) is unchanged.
         """
-        ev = self.incremental_evaluator()
+        ev = self.incremental_evaluator(backend=backend)
         ev.reset(subset)
-        return ev.gains(list(candidates))
+        pool = list(candidates)
+        if subsample is None:
+            return ev.gains(pool)
+        s = int(subsample)
+        if s <= 0:
+            raise ValueError(f"subsample must be a positive sample size, got {subsample}")
+        if s >= len(pool):
+            idx = np.arange(len(pool), dtype=np.intp)
+        else:
+            gen = np.random.default_rng(seed)
+            idx = np.sort(gen.choice(len(pool), size=s, replace=False)).astype(np.intp)
+        return SubsampledMarginals(idx, ev.gains([pool[i] for i in idx]))
 
     def is_normalized(self, tol: float = 1e-12) -> bool:
         """True when ``F(empty) == 0`` (all paper utilities are)."""

@@ -574,9 +574,14 @@ class FaultyOracle(SetFunction):
         self.hit("oracle.value")
         return self.base.value(subset)
 
-    def fast_evaluator(self):
-        """Faulted view of the wrapped oracle's kernel evaluator (if any)."""
-        inner = getattr(self.base, "fast_evaluator", lambda: None)()
+    def fast_evaluator(self, backend=None):
+        """Faulted view of the wrapped oracle's kernel evaluator (if any).
+
+        ``backend`` passes through to the base so a ``--fault-plan``
+        serve runs on the same kernels a clean run would pick.
+        """
+        backend = self.resolve_backend_arg(backend)
+        inner = getattr(self.base, "fast_evaluator", lambda backend=None: None)(backend)
         if inner is not None:
             return _FaultyEvaluator(inner, self)
         return None

@@ -66,6 +66,7 @@ from repro.online.runtime import (
     observation_lengths,
     offline_knapsack_estimate,
     segment_bounds,
+    subsample_keep,
 )
 from repro.secretary.classical import dynkin_threshold
 
@@ -203,6 +204,17 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
     stream positions.  Per-arrival queries go through an incremental
     evaluator pinned at the hired set, enforcing the Section 3.2.1
     no-peeking contract whenever the oracle does.
+
+    ``subsample`` is the sieve-style **opt-in**: when set to a rate in
+    ``(0, 1]``, only a deterministic-hash-selected fraction of
+    *observation-window* arrivals is scored when building each segment
+    threshold (decision-phase arrivals are always scored — they decide
+    hires).  The coin (:func:`repro.online.runtime.subsample_keep`)
+    depends only on ``(subsample_seed, global position)``, so batched
+    and sequential driving, and checkpoint/resume at any arrival, all
+    drop exactly the same queries.  Default ``None`` — exact, and every
+    construction site in the library leaves it that way; the bench
+    harness measures the resulting utility drift whenever it is on.
     """
 
     name = "segmented"
@@ -217,10 +229,16 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
         position_offset: Optional[int] = None,
         strategy: str = "segments",
         can_take: Optional[CanTake] = None,
+        subsample: Optional[float] = None,
+        subsample_seed: int = 0,
     ) -> None:
         super().__init__()
         if k <= 0:
             raise BudgetError(f"k must be positive, got {k}")
+        if subsample is not None and not 0.0 < float(subsample) <= 1.0:
+            raise InvalidInstanceError(
+                f"subsample must be a rate in (0, 1], got {subsample}"
+            )
         self.k = int(k)
         self.monotone_clamp = bool(monotone_clamp)
         self.skip = int(skip)
@@ -230,6 +248,8 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
         )
         self.strategy = strategy
         self.can_take = can_take
+        self.subsample = None if subsample is None else float(subsample)
+        self.subsample_seed = int(subsample_seed)
 
     def _setup(self) -> None:
         n = self.window_n if self.window_n is not None else self._n - self.skip
@@ -295,6 +315,12 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
         start, _end = self._bounds[self._seg]
         in_window = ipos - start < self._observe_len[self._seg]
         if in_window:
+            if (
+                self.subsample is not None
+                and scored is None
+                and not subsample_keep(self.subsample_seed, pos, self.subsample)
+            ):
+                return  # coin-dropped window arrival: never queried
             uv = scored if scored is not None else self._evaluator.union_value1(a)
             self._threshold = max(self._threshold, uv)
             return
@@ -338,7 +364,18 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
                 mask.append(False)
                 continue
             in_window = ipos - self._bounds[seg][0] < self._observe_len[seg]
-            mask.append(in_window or not picked)
+            if in_window:
+                # Window arrivals query unless the subsample coin drops
+                # them — keyed on the global position, so this mirror
+                # agrees with the sequential coin in ``_step`` exactly.
+                mask.append(
+                    self.subsample is None
+                    or subsample_keep(
+                        self.subsample_seed, ipos + self.skip, self.subsample
+                    )
+                )
+            else:
+                mask.append(not picked)
         return mask
 
     def observe_batch(self, pos0: int, elements: Sequence[Hashable]) -> None:
@@ -402,8 +439,13 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
     # -- checkpoint codec ----------------------------------------------
 
     def config_dict(self) -> Dict[str, object]:
-        """JSON-able constructor config; inverse of :meth:`from_config`."""
-        return {
+        """JSON-able constructor config; inverse of :meth:`from_config`.
+
+        The subsample keys are emitted only when the opt-in is active,
+        so exact-mode checkpoints stay byte-identical to pre-subsample
+        builds (and old checkpoints load via constructor defaults).
+        """
+        cfg = {
             "k": self.k,
             "monotone_clamp": self.monotone_clamp,
             "skip": self.skip,
@@ -411,6 +453,10 @@ class SegmentedSubmodularPolicy(OnlinePolicy):
             "position_offset": self.position_offset,
             "strategy": self.strategy,
         }
+        if self.subsample is not None:
+            cfg["subsample"] = self.subsample
+            cfg["subsample_seed"] = self.subsample_seed
+        return cfg
 
     def state_dict(self) -> Dict[str, object]:
         """JSON-able mutable state; inverse of :meth:`load_state`."""

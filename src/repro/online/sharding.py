@@ -296,9 +296,10 @@ class ShardView(SetFunction):
         """Delegate valuation to the shared base utility."""
         return self.base.value(frozenset(subset))
 
-    def fast_evaluator(self):
+    def fast_evaluator(self, backend=None):
         """Pass through the base utility's vectorized kernel, if any."""
-        return getattr(self.base, "fast_evaluator", lambda: None)()
+        backend = self.resolve_backend_arg(backend)
+        return getattr(self.base, "fast_evaluator", lambda backend=None: None)(backend)
 
 
 def knapsack_constraint(

@@ -127,12 +127,13 @@ class ArrivalOracle(SetFunction):
             )
         return self.base.value(subset)
 
-    def fast_evaluator(self):
+    def fast_evaluator(self, backend=None):
         # A kernel below gets the arrival-checked view; otherwise
         # ``None`` so the generic fallback routes through self.value,
         # which enforces the arrival restriction (and any wrapped
-        # counting) per query.
-        inner = getattr(self.base, "fast_evaluator", lambda: None)()
+        # counting) per query.  ``backend`` passes through to the base.
+        backend = self.resolve_backend_arg(backend)
+        inner = getattr(self.base, "fast_evaluator", lambda backend=None: None)(backend)
         if inner is not None:
             return _ArrivalEvaluator(inner, self)
         return None

@@ -23,11 +23,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.core.functions import (
     AdditiveFunction,
     CoverageFunction,
     CutFunction,
     FacilityLocationFunction,
+    WeightedCoverageFunction,
 )
 from repro.core.submodular import SetFunction
 from repro.errors import InvalidInstanceError
@@ -42,6 +45,9 @@ __all__ = [
     "knapsack_weights",
     "arrival_stream",
     "stream_utility",
+    "sparse_coverage_utility",
+    "sparse_cut_utility",
+    "sparse_additive_utility",
 ]
 
 STREAM_FAMILIES = ("additive", "coverage", "facility", "cut")
@@ -58,30 +64,42 @@ def stream_utility(family: str, n: int, *, aux: int = 0, rng=None, **params):
     facility clients; 0 picks the default); *params* forwards the
     family's knobs (``distribution``, ``skills_per_secretary``,
     ``edge_probability``).
+
+    A ``backend`` param (``"dense"``/``"sparse"``/``"naive"``/
+    ``"auto"``) pins the returned utility's kernel backend via
+    :meth:`~repro.core.submodular.SetFunction.set_default_backend`, so
+    sweep specs can select it without any consumer-side plumbing — the
+    instance itself is identical either way (backends are
+    bit-identical; only wall time changes).
     """
+    backend = params.pop("backend", None)
     gen = as_generator(rng)
+    fn = None
     if family == "additive":
         fn, _ = additive_values(
             n, distribution=str(params.get("distribution", "uniform")), rng=gen
         )
-        return fn
-    if family == "coverage":
+    elif family == "coverage":
         universe = aux if aux > 0 else max(1, n // 3)
-        return coverage_utility(
+        fn = coverage_utility(
             n, universe,
             skills_per_secretary=int(params.get("skills_per_secretary", 4)),
             rng=gen,
         )
-    if family == "facility":
+    elif family == "facility":
         clients = aux if aux > 0 else max(2, n // 4)
-        return facility_utility(n, clients, rng=gen)
-    if family == "cut":
-        return cut_utility(
+        fn = facility_utility(n, clients, rng=gen)
+    elif family == "cut":
+        fn = cut_utility(
             n, edge_probability=float(params.get("edge_probability", 0.3)), rng=gen
         )
-    raise InvalidInstanceError(
-        f"unknown stream-utility family {family!r}; known: {STREAM_FAMILIES}"
-    )
+    if fn is None:
+        raise InvalidInstanceError(
+            f"unknown stream-utility family {family!r}; known: {STREAM_FAMILIES}"
+        )
+    if backend is not None:
+        fn.set_default_backend(str(backend))
+    return fn
 
 
 def additive_values(
@@ -201,3 +219,91 @@ def cut_utility(
             if gen.random() < edge_probability:
                 edges.append((vertices[i], vertices[j], float(gen.random())))
     return CutFunction(vertices, edges)
+
+
+# -- array-built sparse instances (10^6-element ground sets) -----------------
+#
+# The mapping-based builders above top out around n≈10^4 — python dicts
+# of frozensets dominate memory long before the kernels do.  These
+# builders generate the instance directly in CSR/COO numpy arrays and
+# hand it to the ``from_arrays`` constructors, so a million-element
+# utility costs its nnz and nothing more.  Elements are the integers
+# ``0..n-1`` (positional kernels skip the element-index dict entirely).
+
+
+def sparse_coverage_utility(
+    n: int,
+    universe_size: int,
+    *,
+    skills_per_secretary: int = 6,
+    weighted: bool = False,
+    rng=None,
+) -> CoverageFunction:
+    """CSR-built (weighted) coverage over integer elements/items.
+
+    Per-element item draws are uniform **with replacement** and
+    deduplicated during kernel canonicalization, so a row's effective
+    size can be slightly below its draw count — the price of fully
+    vectorized generation (no per-element ``choice`` loop, which is
+    what makes n=10^6 constructible in seconds).
+    """
+    gen = as_generator(rng)
+    if n <= 0 or universe_size <= 0:
+        raise InvalidInstanceError("n and universe_size must be positive")
+    if skills_per_secretary <= 0:
+        raise InvalidInstanceError("skills_per_secretary must be positive")
+    hi = min(universe_size, skills_per_secretary) + 1
+    sizes = gen.integers(1, hi, size=n) if hi > 2 else np.ones(n, dtype=np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(sizes, out=indptr[1:])
+    indices = gen.integers(0, universe_size, size=int(indptr[-1]))
+    if weighted:
+        weights = gen.random(universe_size)
+        return WeightedCoverageFunction.from_arrays(
+            indptr, indices, weights, n_items=universe_size
+        )
+    return CoverageFunction.from_arrays(indptr, indices, n_items=universe_size)
+
+
+def sparse_cut_utility(
+    n: int,
+    *,
+    avg_degree: float = 8.0,
+    rng=None,
+) -> CutFunction:
+    """COO-built weighted cut on a uniform random multigraph.
+
+    Draws ``n · avg_degree / 2`` endpoint pairs uniformly (self-loops
+    dropped, parallel edges consolidated by weight sum in the kernel) —
+    the sparse analogue of :func:`cut_utility`'s G(n, p), constructible
+    at n=10^6 where the O(n²) pair scan is not.
+    """
+    gen = as_generator(rng)
+    if n <= 0:
+        raise InvalidInstanceError(f"n must be positive, got {n}")
+    if avg_degree <= 0:
+        raise InvalidInstanceError(f"avg_degree must be positive, got {avg_degree}")
+    m = max(1, int(n * avg_degree / 2))
+    u = gen.integers(0, n, size=m)
+    v = gen.integers(0, n, size=m)
+    w = gen.random(m)
+    return CutFunction.from_arrays(n, u, v, w)
+
+
+def sparse_additive_utility(
+    n: int,
+    *,
+    distribution: str = "uniform",
+    rng=None,
+) -> AdditiveFunction:
+    """Value-vector additive utility over integer elements ``0..n-1``."""
+    gen = as_generator(rng)
+    if n <= 0:
+        raise InvalidInstanceError(f"n must be positive, got {n}")
+    if distribution == "uniform":
+        raw = gen.random(n)
+    elif distribution == "lognormal":
+        raw = gen.lognormal(mean=0.0, sigma=1.0, size=n)
+    else:
+        raise InvalidInstanceError(f"unknown distribution {distribution!r}")
+    return AdditiveFunction.from_arrays(raw)

@@ -134,6 +134,37 @@ class TestDocsTree:
         for site in KILL_SITES:
             assert site in text, f"RELIABILITY.md does not mention {site}"
 
+    def test_architecture_doc_tracks_the_kernel_backend_constants(self):
+        """The selection-rule constants in ARCHITECTURE.md are the code's.
+
+        The doc states each constant as a power of two (e.g. ``2^26``);
+        the pinned values here make a silent drift between prose and
+        ``repro.core.kernels`` a test failure, not a doc bug.
+        """
+        from repro.core.kernels import (
+            DENSE_CELL_LIMIT,
+            DENSE_CELL_MIN,
+            KERNEL_BACKENDS,
+            POPCOUNT_TILE_BYTES,
+            SPARSE_DENSITY_CUTOFF,
+        )
+
+        assert DENSE_CELL_LIMIT == 1 << 26
+        assert DENSE_CELL_MIN == 1 << 21
+        assert SPARSE_DENSITY_CUTOFF == 1.0 / 16.0
+        assert POPCOUNT_TILE_BYTES == 1 << 18
+        assert KERNEL_BACKENDS == ("auto", "dense", "sparse", "naive")
+        with open(os.path.join(DOCS, "ARCHITECTURE.md"), encoding="utf-8") as fh:
+            text = fh.read()
+        assert "## Kernel backends" in text
+        for token in (
+            "DENSE_CELL_LIMIT` (= 2^26",
+            "DENSE_CELL_MIN` (= 2^21",
+            "cutoff = 1/16",
+            "POPCOUNT_TILE_BYTES` (= 2^18",
+        ):
+            assert token in text, f"ARCHITECTURE.md selection rule lost {token!r}"
+
     def test_checkpoint_doc_tracks_the_codec_constants(self):
         from repro.online.checkpoint import (
             CHECKPOINT_FORMAT,
