@@ -1,0 +1,207 @@
+"""Reshard smoke: the S -> S' manifest transform, timed and verified.
+
+Two groups of cells:
+
+**Transform cells** (always run).  For each stream size, a sharded
+session is suspended at n//2, hopped 2 -> 4 -> 2 through
+:func:`repro.online.session.reshard_session` (salt kept, no progress
+at the intermediate width), and resumed to completion; the resumed
+hires must equal an uninterrupted sharded run's.  Each cell records
+the manifest byte size and the wall time of one reshard hop — the
+transform is O(n) replay of the partition epochs plus O(selected)
+state carry, so hop time must stay a small fraction of the run time.
+
+**Steal cell** (``--steal``).  A fleet of sharded tenants is prepared
+with *skewed* lanes — one shard drained, the other untouched — and
+checkpointed.  The same fleet is then resumed through a paced
+:class:`~repro.online.serving.ServingLoop` twice: once statically and
+once with ``autoscale=(2, 2)``, where the load-aware rebalancer
+re-partitions each tenant's unconsumed suffix across both lanes
+mid-serve.  The cell gates on at least one rebind firing and on the
+autoscaled serve beating the static serve's wall time — work-stealing
+must pay for itself on exactly the skew it exists for.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/reshard_smoke.py
+    PYTHONPATH=src python benchmarks/reshard_smoke.py --steal \
+        --output BENCH_PR10.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+
+from repro.online.checkpoint import write_tenant_checkpoint
+from repro.online.session import (
+    reshard_session,
+    resume_sharded_session,
+    start_sharded_session,
+)
+
+SEED = 20100612
+TRANSFORM_NS = (64, 256, 1024)
+SHARDS = 2
+
+
+def run_transform_cell(n: int) -> dict:
+    """One 2 -> 4 -> 2 round-trip cell at stream size ``n``."""
+    kwargs = dict(policy="monotone", family="additive", n=n, k=4,
+                  seed=SEED, process="bursty", shards=SHARDS)
+    t0 = time.perf_counter()
+    straight = start_sharded_session(**kwargs).advance()
+    run_seconds = time.perf_counter() - t0
+    selected = sorted(map(str, straight.summary()["selected"]))
+
+    suspended = start_sharded_session(**kwargs).advance(n // 2)
+    checkpoint = json.loads(json.dumps(suspended.checkpoint(),
+                                       allow_nan=False))
+    manifest_bytes = len(json.dumps(checkpoint, sort_keys=True))
+
+    t0 = time.perf_counter()
+    grown = reshard_session(checkpoint, 2 * SHARDS)
+    hop_seconds = time.perf_counter() - t0
+    hopped = reshard_session(grown, SHARDS)
+
+    resumed = resume_sharded_session(hopped).advance()
+    resumed_selected = sorted(map(str, resumed.summary()["selected"]))
+    return {
+        "n": n,
+        "ok": resumed.finished and resumed_selected == selected,
+        "selected": selected,
+        "resumed_selected": resumed_selected,
+        "manifest_bytes": manifest_bytes,
+        "run_seconds": run_seconds,
+        "hop_seconds": hop_seconds,
+    }
+
+
+STEAL_TENANTS = 3
+STEAL_N = 80
+STEAL_PACE = 0.004
+
+
+def _prepare_skewed_fleet(root: str) -> list:
+    """Checkpoint STEAL_TENANTS skewed tenants under ``root``.
+
+    Each tenant's lane 1 is drained to the end of its subsequence while
+    lane 0 is untouched — the worst-case imbalance a static serve must
+    then grind through on a single lane.
+    """
+    from repro.online.serving import TenantSpec
+
+    specs = []
+    for i in range(STEAL_TENANTS):
+        tenant_id = f"skew-{i}"
+        session = start_sharded_session(
+            policy="monotone", family="additive", n=STEAL_N, k=4,
+            seed=SEED + i, shards=SHARDS,
+        )
+        session.advance_shard(1)
+        remaining = [r.n - r.cursor for r in session.run.runs]
+        assert remaining[1] == 0 and remaining[0] > 2
+        write_tenant_checkpoint(session.checkpoint(), root, tenant_id)
+        specs.append(TenantSpec(tenant_id, policy="monotone",
+                                family="additive", n=STEAL_N, k=4,
+                                seed=SEED + i, shards=SHARDS))
+    return specs
+
+
+def _serve(specs, root: str, autoscale) -> dict:
+    from repro.online.serving import ServingLoop
+
+    loop = ServingLoop(
+        specs, checkpoint_root=root, resume=True,
+        pace_seconds=STEAL_PACE, autoscale=autoscale,
+    )
+    return asyncio.run(loop.serve_async(install_signals=False))
+
+
+def run_steal_cell() -> dict:
+    """Static vs autoscaled serve over the same skewed fleet."""
+    with tempfile.TemporaryDirectory() as static_root, \
+            tempfile.TemporaryDirectory() as elastic_root:
+        static_specs = _prepare_skewed_fleet(static_root)
+        elastic_specs = _prepare_skewed_fleet(elastic_root)
+
+        static = _serve(static_specs, static_root, None)
+        elastic = _serve(elastic_specs, elastic_root, (SHARDS, SHARDS))
+
+    static_wall = static["totals"]["wall_seconds"]
+    elastic_wall = elastic["totals"]["wall_seconds"]
+    rebinds = elastic["totals"]["rebinds"]
+    finished = (static["totals"]["finished"] == STEAL_TENANTS
+                and elastic["totals"]["finished"] == STEAL_TENANTS)
+    feasible = all(t["n_chosen"] <= 4 and t["value"] > 0
+                   for t in elastic["tenants"].values())
+    speedup = static_wall / max(elastic_wall, 1e-9)
+    return {
+        "tenants": STEAL_TENANTS,
+        "n": STEAL_N,
+        "pace_seconds": STEAL_PACE,
+        "ok": finished and feasible and rebinds >= 1 and speedup > 1.0,
+        "static_wall_seconds": static_wall,
+        "elastic_wall_seconds": elastic_wall,
+        "speedup": speedup,
+        "rebinds": rebinds,
+        "autoscale": [SHARDS, SHARDS],
+        "note": ("each tenant starts with one drained and one untouched "
+                 "lane; the rebalancer re-partitions the unconsumed "
+                 "suffix across both lanes, so the paced serve finishes "
+                 "in roughly half the single-lane wall time"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="write results JSON here")
+    parser.add_argument("--steal", action="store_true",
+                        help="also run the work-stealing serve cell")
+    args = parser.parse_args(argv)
+
+    cells = [run_transform_cell(n) for n in TRANSFORM_NS]
+    for c in cells:
+        status = "ok " if c["ok"] else "FAIL"
+        print(f"{status} reshard n={c['n']:>5} "
+              f"manifest={c['manifest_bytes']:>6}B "
+              f"hop={c['hop_seconds'] * 1e3:.2f}ms "
+              f"run={c['run_seconds'] * 1e3:.1f}ms")
+    ok = all(c["ok"] for c in cells)
+
+    payload = {
+        "format": "repro-bench-pr/1",
+        "benchmark": "reshard-smoke",
+        "shards": SHARDS,
+        "hop": f"{SHARDS}>{2 * SHARDS}>{SHARDS}",
+        "suspend_at": "n//2",
+        "transform_cells": cells,
+    }
+    if args.steal:
+        steal = run_steal_cell()
+        payload["steal_cell"] = steal
+        print(f"{'ok ' if steal['ok'] else 'FAIL'} steal "
+              f"static={steal['static_wall_seconds']:.3f}s "
+              f"elastic={steal['elastic_wall_seconds']:.3f}s "
+              f"speedup={steal['speedup']:.2f}x "
+              f"rebinds={steal['rebinds']}")
+        ok = ok and steal["ok"]
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if not ok:
+        print("reshard smoke: FAILED", file=sys.stderr)
+        return 1
+    print("reshard smoke: all cells ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,12 @@ and the resumed session's merged hires must equal an uninterrupted
 sharded run's — the same contract lifted over the sharded runtime,
 where every shard checkpoints independently.
 
+Each pair then runs the **reshard** cells: the suspended manifest hops
+2 -> 4 -> 2 and 4 -> 2 -> 4 through :func:`reshard_session` (no
+progress at the intermediate width, salt kept) before resuming, and
+the resumed hires must still equal the uninterrupted run's — the
+partition-map round-trip identity, as an end-to-end smoke.
+
 With ``--soak``, a long-stream scaling cell also runs: bursty arrivals
 over an additive utility at n = 10^4 / 10^5 / 10^6, suspended halfway.
 The checkpoint must stay O(selected) — its byte size and the
@@ -58,6 +64,7 @@ from repro.online.policies import SegmentedSubmodularPolicy
 from repro.online.session import (
     SESSION_POLICIES,
     build_workload,
+    reshard_session,
     resume_sharded_session,
     resume_session,
     start_session,
@@ -136,6 +143,47 @@ def run_sharded_pair(policy: str, process: str) -> dict:
         "selected": selected,
         "resumed_selected": resumed_selected,
         "oracle_calls": summary["oracle_calls"],
+        "wall_time": time.perf_counter() - t0,
+    }
+
+
+def _reshard_round_trip(policy: str, process: str, shards: int,
+                        hop_to: int) -> bool:
+    """Suspend at n//2, hop S -> S' -> S, resume; hires must match."""
+    kwargs = dict(policy=policy, family="additive", n=N, k=K, seed=SEED,
+                  process=process, process_params=_process_params(process),
+                  shards=shards)
+    straight = start_sharded_session(**kwargs).advance()
+    selected = sorted(map(str, straight.summary()["selected"]))
+
+    suspended = start_sharded_session(**kwargs).advance(N // 2)
+    checkpoint = json.loads(json.dumps(suspended.checkpoint(), allow_nan=False))
+    hopped = reshard_session(reshard_session(checkpoint, hop_to), shards)
+    resumed = resume_sharded_session(hopped).advance()
+    resumed_selected = sorted(map(str, resumed.summary()["selected"]))
+    return resumed.finished and resumed_selected == selected
+
+
+def run_reshard_pair(policy: str, process: str) -> dict:
+    """Reshard cells: 2 -> 4 -> 2 and 4 -> 2 -> 4 vs straight-through.
+
+    A suspended manifest is re-partitioned to a new lane count and back
+    (no progress at the intermediate width, salt kept), then resumed to
+    completion; the resumed hires must equal an uninterrupted sharded
+    run's — the identity round trip of the versioned partition map,
+    lifted over every policy x arrival process.
+    """
+    t0 = time.perf_counter()
+    grow_ok = _reshard_round_trip(policy, process, SHARDS, 2 * SHARDS)
+    shrink_ok = _reshard_round_trip(policy, process, 2 * SHARDS, SHARDS)
+    return {
+        "policy": policy,
+        "process": process,
+        "shards": f"{SHARDS}>{2 * SHARDS}>{SHARDS}"
+                  f"|{2 * SHARDS}>{SHARDS}>{2 * SHARDS}",
+        "ok": grow_ok and shrink_ok,
+        "grow_round_trip_ok": grow_ok,
+        "shrink_round_trip_ok": shrink_ok,
         "wall_time": time.perf_counter() - t0,
     }
 
@@ -378,13 +426,15 @@ def main(argv=None) -> int:
         runner(policy, process)
         for policy in SESSION_POLICIES
         for process in arrival_process_names()
-        for runner in (run_pair, run_sharded_pair)
+        for runner in (run_pair, run_sharded_pair, run_reshard_pair)
     ]
     failures = [r for r in results if not r["ok"]]
     for r in results:
         status = "ok " if r["ok"] else "FAIL"
-        print(f"{status} {r['policy']:<12} {r['process']:<15} S={r['shards']} "
-              f"hired={len(r['selected'])} calls={r['oracle_calls']}")
+        detail = (f"hired={len(r['selected'])} calls={r['oracle_calls']}"
+                  if "selected" in r else "reshard round trips")
+        print(f"{status} {r['policy']:<12} {r['process']:<15} "
+              f"S={r['shards']} {detail}")
     payload = {
         "pairs": len(results),
         "failures": len(failures),

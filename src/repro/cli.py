@@ -10,6 +10,7 @@ Seven subcommands mirroring the library's main entry points::
     python -m repro bench --profile quick           # perf-regression gate
     python -m repro online run --policy monotone --process bursty ...
     python -m repro online resume CHECKPOINT.json
+    python -m repro online reshard MANIFEST.json --shards 4
     python -m repro online serve TENANTS.json --checkpoint-dir DIR
 
 All output is JSON on stdout (render/diagnostics on stderr), so the CLI
@@ -30,7 +31,12 @@ optionally stopping after ``--max-arrivals`` and writing a
 self-contained JSON checkpoint (atomically: temp file + rename);
 ``resume`` picks such a checkpoint (plain or sharded manifest) up
 mid-stream — in a fresh process — and continues where the suspended
-run stopped.  ``serve`` multiplexes many tenant sessions through one
+run stopped.  ``reshard`` rewrites a suspended sharded manifest from S
+to S' lanes without losing a single consumed arrival or hire: consumed
+prefixes stay pinned to their lanes, only the unconsumed suffix is
+re-partitioned under a new partition-map epoch (so an S → S' → S round
+trip is bit-identical to never resharding).  ``serve`` multiplexes
+many tenant sessions through one
 asyncio loop (:mod:`repro.online.serving`): a JSON spec file declares
 the tenants, decisions stream concurrently, idle tenants checkpoint to
 per-tenant directories, and SIGINT drains-and-checkpoints instead of
@@ -247,10 +253,36 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: overwrite the input file)",
     )
 
+    online_reshard = online_sub.add_parser(
+        "reshard",
+        help="re-partition a suspended sharded manifest to a new shard "
+             "count (consumed prefixes and hires stay where they are; "
+             "only the unconsumed suffix moves, under a new epoch)",
+    )
+    online_reshard.add_argument(
+        "checkpoint_file", help="sharded manifest JSON file"
+    )
+    online_reshard.add_argument(
+        "--shards", type=int, required=True,
+        help="new shard count S' (>= 1; S' == S is the identity)",
+    )
+    online_reshard.add_argument(
+        "--salt", type=int, default=None,
+        help="partition salt for the new epoch (default: keep the "
+             "current salt, which makes S -> S' -> S a bit-identical "
+             "round trip)",
+    )
+    online_reshard.add_argument(
+        "--output", default=None,
+        help="where to write the resharded manifest "
+             "(default: overwrite the input file, atomically)",
+    )
+
     online_inspect = online_sub.add_parser(
         "inspect",
         help="describe a checkpoint file without resuming it "
-             "(schema version, process, cursor, hires, shard manifest)",
+             "(schema version, process, cursor, hires, shard manifest, "
+             "partition epochs)",
     )
     online_inspect.add_argument("checkpoint_file", help="checkpoint JSON file")
 
@@ -317,6 +349,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--park-arrivals", type=int, default=None,
         help="arrivals an admitted tenant may consume per slice before it "
              "is parked for the next tenant (needs --memory-budget)",
+    )
+    online_serve.add_argument(
+        "--autoscale", default=None, metavar="MIN:MAX",
+        help="elastic shard topology: keep each tenant's lane count "
+             "inside MIN:MAX and steal unconsumed work from hot lanes "
+             "onto idle ones mid-serve (incompatible with "
+             "--memory-budget)",
     )
     return parser
 
@@ -583,7 +622,21 @@ def _describe_shard_checkpoint(ck: dict) -> dict:
         entry["params"] = _render_params(source.get("params"))
         shard = source.get("shard")
         if shard:
-            entry["shard"] = shard
+            partition = shard.get("partition") if isinstance(shard, dict) else None
+            if isinstance(partition, dict):
+                # A resharded lane: summarise the epoch history instead
+                # of dumping the full per-epoch cursor lists.
+                epochs = partition.get("epochs") or []
+                entry["shard"] = {
+                    "index": shard.get("index"),
+                    "partition_epoch": max(0, len(epochs) - 1),
+                    "num_shards": (epochs[-1] or {}).get("num_shards")
+                    if epochs else None,
+                    "salt": (epochs[-1] or {}).get("salt")
+                    if epochs else None,
+                }
+            else:
+                entry["shard"] = shard
         entry["hired"] = len(ck.get("decisions") or [])
         entry["frontier"] = len(ck.get("frontier") or [])
         state = source.get("state") or {}
@@ -640,6 +693,23 @@ def _cmd_online_inspect(args) -> int:
         shards = payload.get("shards") or []
         out["num_shards"] = payload.get("num_shards")
         out["salt"] = payload.get("salt")
+        partition = payload.get("partition")
+        if isinstance(partition, dict):
+            # v3 manifests carry the partition-map epoch history; show
+            # one compact line per epoch (epoch 0 has no consumed list).
+            epochs = partition.get("epochs") or []
+            out["partition"] = {
+                "epoch": max(0, len(epochs) - 1),
+                "history": [
+                    {
+                        "num_shards": (ep or {}).get("num_shards"),
+                        "salt": (ep or {}).get("salt"),
+                        "consumed": list((ep or {}).get("consumed") or [])
+                        or None,
+                    }
+                    for ep in epochs
+                ],
+            }
         out["shards"] = [
             _describe_shard_checkpoint(ck) for ck in shards
             if isinstance(ck, dict)
@@ -658,6 +728,59 @@ def _cmd_online_inspect(args) -> int:
         out.update(_describe_shard_checkpoint(payload))
     _emit(out)
     return 0
+
+
+def _cmd_online_reshard(args) -> int:
+    """``online reshard``: rewrite a sharded manifest from S to S' lanes.
+
+    The transform is offline — no policy is advanced, no oracle call is
+    made for carried lanes — and atomic: the output manifest lands via
+    temp-file + rename, so an interrupted reshard leaves the input
+    usable.  Fresh lanes (growing S) are seeded exactly as
+    ``start_sharded_session`` would have seeded them.
+    """
+    from repro.io import dump_json_atomic
+    from repro.online.session import reshard_session
+    from repro.online.sharding import partition_from_manifest
+
+    if args.shards < 1:
+        raise ReproError(f"--shards must be >= 1, got {args.shards}")
+    payload = _load_checkpoint_file(args.checkpoint_file)
+    out = reshard_session(payload, args.shards, salt=args.salt)
+    path = args.output or args.checkpoint_file
+    dump_json_atomic(out, path)
+    partition = partition_from_manifest(out)
+    print(
+        f"resharded {args.checkpoint_file} to {args.shards} shard(s) "
+        f"(partition epoch {partition.epoch}); written to {path}",
+        file=sys.stderr,
+    )
+    _emit({
+        "file": path,
+        "num_shards": out.get("num_shards"),
+        "schema_version": out.get("schema_version"),
+        "partition_epoch": partition.epoch,
+        "cursors": [
+            (ck.get("cursor") if isinstance(ck, dict) else None)
+            for ck in (out.get("shards") or [])
+        ],
+    })
+    return 0
+
+
+def _parse_autoscale(text: str):
+    """Parse ``--autoscale MIN:MAX`` into an ``(int, int)`` pair."""
+    parts = text.split(":")
+    if len(parts) != 2 or not all(p.strip().isdigit() for p in parts):
+        raise ReproError(
+            f"--autoscale expects MIN:MAX (e.g. 2:8), got {text!r}"
+        )
+    lo, hi = (int(p) for p in parts)
+    if lo < 1 or lo > hi:
+        raise ReproError(
+            f"--autoscale needs 1 <= MIN <= MAX, got {lo}:{hi}"
+        )
+    return lo, hi
 
 
 def _cmd_online_serve(args) -> int:
@@ -696,6 +819,9 @@ def _cmd_online_serve(args) -> int:
     fault_plan = None
     if args.fault_plan is not None:
         fault_plan = load_fault_plan(args.fault_plan)
+    autoscale = None
+    if args.autoscale is not None:
+        autoscale = _parse_autoscale(args.autoscale)
     loop = ServingLoop(
         specs,
         checkpoint_root=args.checkpoint_dir,
@@ -707,6 +833,7 @@ def _cmd_online_serve(args) -> int:
         fault_plan=fault_plan,
         memory_budget=args.memory_budget,
         park_arrivals=args.park_arrivals,
+        autoscale=autoscale,
     )
     report = asyncio.run(loop.serve_async(install_signals=True))
     totals = report["totals"]
@@ -745,6 +872,18 @@ def _cmd_online(args) -> int:
         return _cmd_online_inspect(args)
     if args.online_command == "serve":
         return _cmd_online_serve(args)
+    if args.online_command == "reshard":
+        return _cmd_online_reshard(args)
+    # run/resume share tail flags; reject nonsense values up front with
+    # the flag's name (a negative --workers used to fall through to the
+    # inline path silently, a negative --max-arrivals ran the full
+    # stream).
+    if args.workers < 0:
+        raise ReproError(f"--workers must be >= 0, got {args.workers}")
+    if args.max_arrivals is not None and args.max_arrivals < 0:
+        raise ReproError(
+            f"--max-arrivals must be >= 0, got {args.max_arrivals}"
+        )
     if args.online_command == "run":
         params = None
         if args.process_params:

@@ -12,7 +12,9 @@ replays the same weights under the adversarial sorted order (plain
 pre-runtime stream loop) — and/or a shard count: ``additive@bursty#2``
 runs one coin-flip replica per shard of a hash-partitioned stream and
 merges the per-shard hires under the reduced single-knapsack capacity
-(:mod:`repro.online.sharding`).
+(:mod:`repro.online.sharding`); ``additive#2>4`` adds a mid-stream
+re-partition from 2 to 4 lanes through the suspended-manifest reshard
+path.
 
 Metric mapping: ``utility`` is the hired set's value, ``cost`` the
 hindsight density-greedy estimate of the single-knapsack optimum on the
@@ -26,7 +28,7 @@ data point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Mapping, Tuple
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -59,6 +61,7 @@ class KnapsackSecretaryInstance:
     family: str
     arrival: str = "uniform"
     shards: int = 1
+    reshard_to: Optional[int] = None
 
     def fingerprint_payload(self) -> Dict[str, Any]:
         return {
@@ -92,7 +95,7 @@ class KnapsackSecretaryAdapter(TaskAdapter):
     def build(self, spec) -> KnapsackSecretaryInstance:
         params = dict(spec.params)
         n, n_knapsacks = spec.n_jobs, max(1, spec.n_processors)
-        base, arrival, shards = split_family(spec.family)
+        base, arrival, shards, reshard_to = split_family(spec.family)
         gen = np.random.default_rng(spec.seed)
         if base != "additive":
             raise InvalidInstanceError(
@@ -112,6 +115,7 @@ class KnapsackSecretaryAdapter(TaskAdapter):
             family=spec.family,
             arrival=arrival,
             shards=shards,
+            reshard_to=reshard_to,
         )
 
     def fingerprint(self, instance: KnapsackSecretaryInstance) -> str:
@@ -133,7 +137,7 @@ class KnapsackSecretaryAdapter(TaskAdapter):
                 instance.arrival, fn, np.random.default_rng(instance.stream_seed)
             )
 
-        if instance.shards == 1:
+        if instance.shards == 1 and instance.reshard_to is None:
             counting = CountingOracle(fn)
             heads = bool(np.random.default_rng(instance.algo_seed).random() < 0.5)
             policy = KnapsackSecretaryPolicy(reduced, heads=heads)
@@ -156,8 +160,32 @@ class KnapsackSecretaryAdapter(TaskAdapter):
                 oracle_factory=counters,
                 can_take=knapsack_constraint(reduced, 1.0),
             )
+            rebuild_calls = 0
+            if instance.reshard_to is not None:
+                # Half-stream S -> S' hop: suspend, re-partition, resume
+                # (the resumed run re-injects the capacity constraint the
+                # manifest cannot serialise).
+                from repro.online.sharding import (
+                    make_sharded_checkpoint,
+                    reshard_manifest,
+                    resume_sharded_run,
+                )
+
+                run.run(max(1, sum(r.n for r in run.runs) // 2))
+                resharded = reshard_manifest(
+                    make_sharded_checkpoint(run), instance.reshard_to, fn,
+                    policy_factory=policy_factory,
+                )
+                before = counters.calls
+                run = resume_sharded_run(
+                    resharded, fn, oracle_factory=counters,
+                    can_take=knapsack_constraint(reduced, 1.0),
+                )
+                rebuild_calls = counters.calls - before
             result = run.run().result()
-            calls = counters.calls + run.merge_calls
+            # Resume-rebuild reveals netted out, matching the session
+            # layer's oracle accounting for suspended runs.
+            calls = counters.calls - rebuild_calls + run.merge_calls
         for i, cap in enumerate(caps):
             load = sum(weights[e][i] for e in result.selected)
             if load > cap + 1e-9:

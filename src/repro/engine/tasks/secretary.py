@@ -11,7 +11,10 @@ arrivals (plain family names mean ``uniform``, the paper's model) —
 and/or a shard count: ``coverage@bursty#4`` drives four policy replicas
 over a hash-partitioned stream through the sharded runtime
 (:mod:`repro.online.sharding`), merging the per-shard hires under the
-hire budget.  Methods are the policies of :mod:`repro.online.policies`:
+hire budget.  A ``>``-suffixed shard qualifier (``coverage#2>4``) adds
+a mid-stream topology change: half the stream at 2 shards, a suspended
+re-partition to 4, and a resumed finish — the re-sharding path measured
+as an ordinary sweep cell.  Methods are the policies of :mod:`repro.online.policies`:
 
 ``monotone``
     Algorithm 1, :class:`SegmentedSubmodularPolicy` (1/(7e)).
@@ -71,27 +74,42 @@ __all__ = [
 ]
 
 
-def split_family(family: str) -> Tuple[str, str, int]:
-    """Parse a qualified family: ``base[@process][#shards]``.
+def split_family(family: str) -> Tuple[str, str, int, Optional[int]]:
+    """Parse a qualified family: ``base[@process][#shards[>reshard]]``.
 
-    ``"coverage@bursty#4" -> ("coverage", "bursty", 4)``; a plain name
-    means the uniform process on a single (unsharded) stream, so
-    ``"coverage" -> ("coverage", "uniform", 1)``.  The shard qualifier
-    selects the sharded runtime (:mod:`repro.online.sharding`): S policy
-    replicas over a hash-partitioned stream, merged under the task's
-    feasibility constraint.
+    ``"coverage@bursty#4" -> ("coverage", "bursty", 4, None)``; a plain
+    name means the uniform process on a single (unsharded) stream, so
+    ``"coverage" -> ("coverage", "uniform", 1, None)``.  The shard
+    qualifier selects the sharded runtime
+    (:mod:`repro.online.sharding`): S policy replicas over a
+    hash-partitioned stream, merged under the task's feasibility
+    constraint.  A ``>``-suffixed qualifier — ``coverage#2>4`` — runs
+    the stream's first half at S shards, suspends, re-partitions the
+    manifest to S' lanes (:func:`repro.online.sharding.reshard_manifest`),
+    and resumes to completion: the elastic-topology path as one sweep
+    cell.
     """
     spec, _, shard_txt = family.partition("#")
     base, _, process = spec.partition("@")
     shards = 1
+    reshard_to: Optional[int] = None
     if shard_txt:
-        if not shard_txt.isdigit() or int(shard_txt) < 1:
+        count_txt, _, reshard_txt = shard_txt.partition(">")
+        if not count_txt.isdigit() or int(count_txt) < 1:
             raise InvalidInstanceError(
                 f"bad shard qualifier in family {family!r}: "
-                f"expected a positive integer after '#', got {shard_txt!r}"
+                f"expected a positive integer after '#', got {count_txt!r}"
             )
-        shards = int(shard_txt)
-    return base, (process or "uniform"), shards
+        shards = int(count_txt)
+        if reshard_txt:
+            if not reshard_txt.isdigit() or int(reshard_txt) < 1:
+                raise InvalidInstanceError(
+                    f"bad reshard qualifier in family {family!r}: "
+                    f"expected a positive integer after '>', got "
+                    f"{reshard_txt!r}"
+                )
+            reshard_to = int(reshard_txt)
+    return base, (process or "uniform"), shards, reshard_to
 
 
 def validate_qualified_families(adapter: TaskAdapter, families) -> None:
@@ -103,7 +121,7 @@ def validate_qualified_families(adapter: TaskAdapter, families) -> None:
     from repro.online.arrivals import arrival_process_names as _procs
 
     for family in families:
-        base, process, _shards = split_family(family)
+        base, process, _shards, _reshard = split_family(family)
         # "replay" needs a recorded schedule payload the sweep grid
         # cannot supply, so it is not a valid family qualifier.
         if (
@@ -139,6 +157,7 @@ class SecretaryInstance:
     benchmarks: Dict[int, float]
     arrival: str = "uniform"
     shards: int = 1
+    reshard_to: Optional[int] = None
 
     def fingerprint_payload(self) -> Dict[str, Any]:
         return {"task": "secretary", "family": self.family,
@@ -182,7 +201,7 @@ class SecretaryAdapter(TaskAdapter):
         params = dict(spec.params)
         n = spec.n_jobs
         aux = spec.horizon
-        base, arrival, shards = split_family(spec.family)
+        base, arrival, shards, reshard_to = split_family(spec.family)
         if base not in self.base_families:
             raise InvalidInstanceError(
                 f"unknown secretary family {spec.family!r}; known: {self.families()}"
@@ -210,6 +229,7 @@ class SecretaryAdapter(TaskAdapter):
             benchmarks={budget: _offline_benchmark(fn, budget)},
             arrival=arrival,
             shards=shards,
+            reshard_to=reshard_to,
         )
 
     def fingerprint(self, instance: SecretaryInstance) -> str:
@@ -238,6 +258,36 @@ class SecretaryAdapter(TaskAdapter):
     def _budget(self, spec, k: int) -> int:
         return 1 if spec.method == "classical" else k
 
+    @staticmethod
+    def _reshard_midstream(instance, run, counters, policy_factory):
+        """Half-stream S -> S' hop: suspend, re-partition, resume.
+
+        The cell measures the elastic-topology path end to end: the
+        first half of the stream runs at ``instance.shards`` lanes, the
+        suspended manifest is re-partitioned to ``instance.reshard_to``
+        lanes (consumed prefixes and hires pinned, suffix re-hashed
+        under a new epoch), and the returned run finishes the stream.
+        Returns ``(resumed_run, rebuild_calls)`` — the oracle calls the
+        resume's frontier re-reveal billed, which the caller nets out.
+        """
+        from repro.online.sharding import (
+            make_sharded_checkpoint,
+            reshard_manifest,
+            resume_sharded_run,
+        )
+
+        run.run(max(1, sum(r.n for r in run.runs) // 2))
+        manifest = make_sharded_checkpoint(run)
+        resharded = reshard_manifest(
+            manifest, instance.reshard_to, instance.fn,
+            policy_factory=policy_factory,
+        )
+        before = counters.calls
+        resumed = resume_sharded_run(
+            resharded, instance.fn, oracle_factory=counters
+        )
+        return resumed, counters.calls - before
+
     def solve(self, instance: SecretaryInstance, spec) -> Dict[str, Any]:
         def source_factory():
             return build_arrival_source(
@@ -245,7 +295,7 @@ class SecretaryAdapter(TaskAdapter):
             )
 
         budget = self._budget(spec, instance.k)
-        if instance.shards == 1:
+        if instance.shards == 1 and instance.reshard_to is None:
             source = source_factory()
             counting = CountingOracle(instance.fn)
             policy, _ = self._policy(instance, spec, source.n)
@@ -268,8 +318,16 @@ class SecretaryAdapter(TaskAdapter):
                 instance.fn, source_factory, instance.shards, policy_factory,
                 oracle_factory=counters, limit=budget,
             )
+            rebuild_calls = 0
+            if instance.reshard_to is not None:
+                run, rebuild_calls = self._reshard_midstream(
+                    instance, run, counters, policy_factory
+                )
             result = run.run().result()
-            calls = counters.calls + run.merge_calls
+            # Net out the resume-rebuild reveals (the same netting the
+            # session layer does), so a reshard hop's oracle_work is
+            # comparable to an uninterrupted sharded run's.
+            calls = counters.calls - rebuild_calls + run.merge_calls
         selected = result.selected
         if len(selected) > budget:
             raise InfeasibleError(

@@ -846,8 +846,19 @@ def source_from_spec(spec: Dict[str, object], utility: SetFunction) -> ArrivalSo
     shard = spec.get("shard")
     if shard:
         # Imported lazily: sharding imports this module.
-        from repro.online.sharding import ShardSource
+        from repro.online.sharding import (
+            PartitionMap,
+            ShardSource,
+            partition_lane_source,
+        )
 
+        partition = shard.get("partition")  # type: ignore[union-attr]
+        if partition is not None:
+            # A resharded lane: the spec carries the full epoch history.
+            return partition_lane_source(
+                base, int(shard["index"]),  # type: ignore[index]
+                PartitionMap.from_payload(partition),
+            )
         return ShardSource(
             base, int(shard["index"]), int(shard["num_shards"]),  # type: ignore[index]
             salt=int(shard.get("salt", 0)),  # type: ignore[union-attr]

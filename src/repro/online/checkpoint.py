@@ -45,7 +45,9 @@ from repro.online.policies import OnlinePolicy, make_policy
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_SCHEMA_VERSION",
+    "SHARDED_MANIFEST_SCHEMA_VERSION",
     "SUPPORTED_CHECKPOINT_VERSIONS",
+    "SUPPORTED_MANIFEST_VERSIONS",
     "TENANT_CHECKPOINT_NAME",
     "IdleCheckpointPolicy",
     "check_schema_version",
@@ -70,6 +72,19 @@ CHECKPOINT_SCHEMA_VERSION = 2
 
 #: Every schema version this release can read (v1 via the migration shim).
 SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
+
+#: Schema version of a *sharded manifest* that carries a partition-epoch
+#: history (a ``"partition"`` block recording every reshard; see
+#: :class:`repro.online.sharding.PartitionMap`).  A never-resharded
+#: manifest keeps writing :data:`CHECKPOINT_SCHEMA_VERSION` with the old
+#: single-epoch shard blocks, so its bytes are unchanged; only
+#: :func:`repro.online.sharding.reshard_manifest` emits version 3.
+SHARDED_MANIFEST_SCHEMA_VERSION = 3
+
+#: Every sharded-manifest schema version this release can read (v1/v2
+#: through the same migration shims as flat checkpoints, v3 with the
+#: epoch history).
+SUPPORTED_MANIFEST_VERSIONS = (1, 2, 3)
 
 
 def check_schema_version(

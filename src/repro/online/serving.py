@@ -79,14 +79,17 @@ from repro.online.faults import (
     PermanentFault,
     install_injector,
 )
+from repro.engine.hashing import derive_seed
 from repro.online.session import (
     OnlineSession,
     ShardedSession,
     WorkloadCache,
+    reshard_session,
     resume_any_session,
     start_session,
     start_sharded_session,
 )
+from repro.online.sharding import partition_from_manifest
 
 __all__ = [
     "ServingLoop",
@@ -193,8 +196,15 @@ class TenantSpec:
         *,
         fault_injector: Optional[FaultInjector] = None,
         fault_scope: Optional[str] = None,
+        force_sharded: bool = False,
     ) -> Union[OnlineSession, ShardedSession]:
-        """Start a fresh session for this tenant (sharded when asked)."""
+        """Start a fresh session for this tenant (sharded when asked).
+
+        *force_sharded* starts even a one-shard tenant through the
+        sharded path (an autoscaling serve needs the manifest format to
+        reshard; ``--shards 1`` sharded runs are pinned bit-identical to
+        the plain runtime, so results are unchanged).
+        """
         kwargs = dict(
             policy=self.policy,
             family=self.family,
@@ -210,7 +220,7 @@ class TenantSpec:
             fault_injector=fault_injector,
             fault_scope=fault_scope or self.tenant_id,
         )
-        if self.shards > 1:
+        if self.shards > 1 or force_sharded:
             return start_sharded_session(shards=self.shards, **kwargs)  # type: ignore[arg-type]
         return start_session(**kwargs)  # type: ignore[arg-type]
 
@@ -338,6 +348,14 @@ class _Tenant:
         self.retries = 0
         self.retry_delays: List[float] = []
         self.strikes = 0
+        #: Elastic-topology state: the rebalancer sets ``rebinding`` to
+        #: ask this tenant's lane tasks to wind down; the tenant's
+        #: generation loop then reshards and re-attaches.  ``rebinds``
+        #: counts completed topology changes; ``last_rebind_cursor``
+        #: dampens the loop (no rebind without progress since the last).
+        self.rebinding = False
+        self.rebinds = 0
+        self.last_rebind_cursor = -1
         self.parks = 0
         self.rehydrations = 0
         self.arrivals = 0
@@ -478,6 +496,19 @@ class ServingLoop:
         Arrivals an admitted tenant may consume per slice before it is
         parked and the next tenant admitted (``None`` = run to
         completion once admitted).  Requires *memory_budget*.
+    autoscale:
+        ``(min, max)`` lane bounds enabling the elastic-topology serve:
+        a load-aware rebalancer watches each tenant's per-lane remaining
+        work and, when a lane runs dry while siblings still hold
+        unconsumed suffix (or the topology violates the bounds),
+        suspends the tenant at a quiescent point, re-shards its manifest
+        under a fresh epoch salt (stealing unconsumed suffix from hot
+        lanes), and re-binds the lanes mid-serve.  Every tenant starts
+        through the sharded path so its manifest can reshard
+        (``shards 1`` sharded runs are pinned bit-identical to plain).
+        ``None`` — the default — leaves the static serve byte-unchanged.
+        Incompatible with *memory_budget* (parked tenants have no lanes
+        to watch).
     """
 
     def __init__(
@@ -495,6 +526,7 @@ class ServingLoop:
         fault_plan: Optional[FaultPlan] = None,
         memory_budget: Optional[int] = None,
         park_arrivals: Optional[int] = None,
+        autoscale: Optional[Tuple[int, int]] = None,
     ) -> None:
         """Validate knobs and stage the serve (no sessions built yet)."""
         if not specs:
@@ -529,6 +561,24 @@ class ServingLoop:
                 raise InvalidInstanceError(
                     f"park_arrivals must be >= 1, got {park_arrivals}"
                 )
+        if autoscale is not None:
+            try:
+                lo, hi = (int(autoscale[0]), int(autoscale[1]))
+            except (TypeError, ValueError, IndexError) as exc:
+                raise InvalidInstanceError(
+                    f"autoscale must be a (min, max) lane pair, got "
+                    f"{autoscale!r}"
+                ) from exc
+            if lo < 1 or hi < lo:
+                raise InvalidInstanceError(
+                    f"autoscale bounds need 1 <= min <= max, got {lo}:{hi}"
+                )
+            if memory_budget is not None:
+                raise InvalidInstanceError(
+                    "autoscale and memory_budget are mutually exclusive "
+                    "(parked tenants have no lanes to rebalance)"
+                )
+            autoscale = (lo, hi)
         self.specs = list(specs)
         self.checkpoint_root = checkpoint_root
         self.queue_depth = int(queue_depth)
@@ -550,9 +600,11 @@ class ServingLoop:
         self.park_arrivals = (
             None if park_arrivals is None else int(park_arrivals)
         )
+        self.autoscale = autoscale
         self._tenants: List[_Tenant] = []
         self._draining = False
         self._active_consumers = 0
+        self._elastic_live = 0
         self._wall_seconds = 0.0
         self._resident = 0
         self._max_resident = 0
@@ -599,10 +651,12 @@ class ServingLoop:
             # the previous injector is restored so faulted scopes nest.
             previous_injector = install_injector(self.fault_injector)
         try:
-            if self.memory_budget is None:
-                await self._serve_static()
-            else:
+            if self.memory_budget is not None:
                 await self._serve_budgeted()
+            elif self.autoscale is not None:
+                await self._serve_elastic()
+            else:
+                await self._serve_static()
             self._finalize()
         finally:
             if self.fault_injector is not None:
@@ -632,6 +686,158 @@ class ServingLoop:
         if self.idle_policy is not None and self.checkpoint_root is not None:
             tasks.append(asyncio.ensure_future(self._monitor()))
         await asyncio.gather(*tasks)
+
+    async def _serve_elastic(self) -> None:
+        """The autoscaling serve: static residency, dynamic lane topology.
+
+        Each tenant runs a *generation loop*: one produce/consume task
+        pair per lane, regenerated every time the rebalancer re-binds
+        the topology.  A separate rebalancer task watches per-lane
+        remaining work and flags tenants for rebind at their next
+        quiescent point.
+        """
+        self._tenants = [self._start_tenant(spec) for spec in self.specs]
+        self._resident = sum(
+            1 for t in self._tenants if t.session is not None
+        )
+        self._max_resident = self._resident
+        self._elastic_live = sum(
+            1 for t in self._tenants if t.session is not None
+        )
+        tasks = [
+            asyncio.ensure_future(self._tenant_elastic(tenant))
+            for tenant in self._tenants
+            if tenant.session is not None
+        ]
+        tasks.append(asyncio.ensure_future(self._rebalancer()))
+        if self.idle_policy is not None and self.checkpoint_root is not None:
+            tasks.append(asyncio.ensure_future(self._monitor()))
+        await asyncio.gather(*tasks)
+
+    async def _tenant_elastic(self, tenant: _Tenant) -> None:
+        """One tenant's generation loop: run lanes, rebind, repeat."""
+        try:
+            while True:
+                lane_tasks = []
+                for lane in tenant.lanes:
+                    lane_tasks.append(
+                        asyncio.ensure_future(self._produce(tenant, lane))
+                    )
+                    lane_tasks.append(
+                        asyncio.ensure_future(self._consume(tenant, lane))
+                    )
+                    self._active_consumers += 1
+                await asyncio.gather(*lane_tasks)
+                if (
+                    self._draining
+                    or tenant.halted
+                    or tenant.finished
+                    or not tenant.rebinding
+                ):
+                    return
+                tenant.rebinding = False
+                # All lane tasks have exited, so the tenant is quiescent
+                # and its synchronous checkpoint is consistent.
+                target = self._rebind_target(tenant)
+                if target is not None:
+                    self._rebind(tenant, target)
+        finally:
+            self._elastic_live -= 1
+
+    def _rebind_target(self, tenant: _Tenant) -> Optional[int]:
+        """Lane count to reshard *tenant* to, or ``None`` to leave it be.
+
+        The load rule: target ``max(min_lanes, min(remaining, max_lanes))``
+        — enough lanes that every one has work, never outside the
+        autoscale bounds.  A rebind is worth it when the active topology
+        violates the bounds, or when some lane has run dry while another
+        still holds at least a batch of unconsumed suffix (the work-
+        stealing trigger).  Progress damping: never rebind twice at the
+        same cursor, so a stream that cannot advance cannot thrash.
+        """
+        session = tenant.session
+        if not isinstance(session, ShardedSession):
+            return None
+        if tenant.halted or session.finished:
+            return None
+        if tenant.cursor <= tenant.last_rebind_cursor:
+            return None
+        assert self.autoscale is not None
+        lo, hi = self.autoscale
+        remaining = [
+            0 if run.policy.done else max(0, run.n - run.cursor)
+            for run in session.run.runs
+        ]
+        total = sum(remaining)
+        if total < 2:
+            return None  # nothing left worth moving
+        busy = sum(1 for r in remaining if r > 0)
+        partition = session.run.partition
+        active = (
+            partition.num_shards if partition is not None
+            else len(session.run.runs)
+        )
+        target = max(lo, min(total, hi))
+        if active < lo or active > hi:
+            return target
+        if busy < target and max(remaining) >= 2:
+            return target  # idle lane(s) while a hot lane holds suffix
+        return None
+
+    def _rebind(self, tenant: _Tenant, target: int) -> None:
+        """Re-shard a quiescent tenant to *target* lanes and re-attach.
+
+        Checkpoint → :func:`~repro.online.session.reshard_session` under
+        a fresh rebind-derived epoch salt (same-width reshards must
+        still move suffix, and the salt keeps each rebind's assignment
+        deterministic from the manifest) → resume → attach.  Failures
+        quarantine the tenant; its pre-rebind state is still live in the
+        session object and its last durable checkpoint is untouched.
+        """
+        session = tenant.session
+        assert session is not None
+        try:
+            manifest = session.checkpoint()
+            salt = derive_seed(
+                int(partition_from_manifest(manifest).salt),
+                "rebalance", tenant.rebinds + 1,
+            )
+            resharded = reshard_session(
+                manifest, int(target), salt=salt,
+                workload_cache=self.workload_cache,
+            )
+            replacement = resume_any_session(
+                resharded,
+                workload_cache=self.workload_cache,
+                fault_injector=self.fault_injector,
+                fault_scope=tenant.spec.tenant_id,
+            )
+        except InvalidInstanceError as exc:
+            self._quarantine(tenant, f"rebind failed: {exc}")
+            return
+        tenant.attach(replacement)
+        tenant.rebinds += 1
+        tenant.last_rebind_cursor = tenant.cursor
+
+    async def _rebalancer(self) -> None:
+        """Flag tenants whose lane topology is worth re-binding.
+
+        Runs alongside the generation loops: a flagged tenant's
+        producers stop at their next check, its consumers drain, and the
+        generation loop re-shards at the quiescent point.  The tick is
+        deliberately small relative to the producer pace so a lane going
+        idle is noticed within a few arrivals.
+        """
+        tick = max(self.pace_seconds / 2.0, 0.002)
+        while self._elastic_live > 0:
+            await asyncio.sleep(tick)
+            if self._draining:
+                continue
+            for tenant in self._tenants:
+                if tenant.rebinding or tenant.session is None:
+                    continue
+                if self._rebind_target(tenant) is not None:
+                    tenant.rebinding = True
 
     async def _serve_budgeted(self) -> None:
         """The admission-controlled serve: bounded resident sessions.
@@ -743,6 +949,7 @@ class ServingLoop:
                 self.workload_cache,
                 fault_injector=self.fault_injector,
                 fault_scope=spec.tenant_id,
+                force_sharded=self.autoscale is not None,
             )
         )
         return True
@@ -778,6 +985,7 @@ class ServingLoop:
             while (
                 not self._draining
                 and not tenant.halted
+                and not tenant.rebinding
                 and not run.policy.done
             ):
                 if quota is not None and pulled >= quota:
@@ -1018,6 +1226,9 @@ class ServingLoop:
         if self.memory_budget is not None:
             out["parks"] = tenant.parks
             out["rehydrations"] = tenant.rehydrations
+        if self.autoscale is not None:
+            out["rebinds"] = tenant.rebinds
+            out["lanes"] = len(tenant.lanes)
         if summary is not None:
             for key in ("selected", "n_chosen", "value", "strategy"):
                 if key in summary:
@@ -1066,6 +1277,9 @@ class ServingLoop:
             totals["rehydrations"] = sum(
                 t.rehydrations for t in self._tenants
             )
+        if self.autoscale is not None:
+            totals["autoscale"] = list(self.autoscale)
+            totals["rebinds"] = sum(t.rebinds for t in self._tenants)
         report: Dict[str, object] = {
             "tenants": tenants,
             "totals": totals,

@@ -51,6 +51,7 @@ from repro.online.sharding import (
     ShardView,
     knapsack_constraint,
     make_sharded_checkpoint,
+    reshard_manifest,
     resume_sharded_run,
 )
 from repro.secretary.knapsack_secretary import reduce_knapsacks_to_one
@@ -73,6 +74,7 @@ __all__ = [
     "resume_session",
     "start_sharded_session",
     "resume_sharded_session",
+    "reshard_session",
     "resume_any_session",
 ]
 
@@ -726,6 +728,58 @@ def resume_sharded_session(
         run, fn, counters.countings, recipe,
         prior_calls=prior - restore_overhead,
     )
+
+
+def reshard_session(
+    checkpoint: Mapping[str, object],
+    num_shards: int,
+    *,
+    salt: Optional[int] = None,
+    workload_cache: Optional[WorkloadCache] = None,
+) -> Dict[str, object]:
+    """Re-partition a suspended sharded-session manifest (S → S').
+
+    Pure manifest → manifest: the workload is rebuilt from the embedded
+    recipe, lanes added by a grow are seeded with the same shard-derived
+    policy replicas a fresh ``--shards S'`` session would flip, and
+    :func:`~repro.online.sharding.reshard_manifest` does the partition
+    work — consumed prefixes, hires, and cumulative oracle accounting
+    stay exactly where they are.  The result resumes through the
+    ordinary :func:`resume_sharded_session` / :func:`resume_any_session`
+    path.
+    """
+    if int(num_shards) < 1:
+        raise InvalidInstanceError(
+            f"shards must be >= 1, got {num_shards}"
+        )
+    if checkpoint.get("format") != SHARDED_CHECKPOINT_FORMAT:
+        raise InvalidInstanceError(
+            "only sharded session manifests can be resharded; start the "
+            "run with --shards (a --shards 1 manifest counts)"
+        )
+    recipe = _checked_recipe(checkpoint)
+    if workload_cache is None:
+        fn, weights = build_workload(recipe)
+    else:
+        fn, weights, _ = workload_cache.lookup(recipe)
+    seed = int(recipe["seed"])  # type: ignore[arg-type]
+
+    def policy_factory(index: int, lane) -> OnlinePolicy:
+        """Seed the policy replica for a lane added by the grow."""
+        return _build_policy(
+            recipe, fn, weights,
+            n=lane.n,
+            algo_seed=_shard_algo_seed(seed, index, int(num_shards)),
+        )
+
+    out = reshard_manifest(
+        checkpoint, int(num_shards), fn,
+        policy_factory=policy_factory, salt=salt,
+    )
+    instance = out.get("instance")
+    if isinstance(instance, dict) and "shards" in instance:
+        instance["shards"] = int(num_shards)
+    return out
 
 
 def resume_any_session(

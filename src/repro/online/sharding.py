@@ -26,11 +26,27 @@ Checkpointing composes: a sharded checkpoint is a *manifest* (shard
 count, salt, schema version) carrying one ordinary per-shard checkpoint
 each — any subset of shards may be mid-stream, finished, or untouched,
 and :func:`resume_sharded_run` rebuilds exactly that state.
+
+The partition itself is an explicit, *versioned* layer: a
+:class:`PartitionMap` is an append-only list of epochs ``(num_shards,
+salt, consumed boundary)``, and lane sources consult the map at yield
+time instead of baking the hash in.  A topology change (S → S') is a
+new epoch appended by :func:`reshard_manifest`: every already-consumed
+prefix (and its hired set, decision log, and fingerprint chain) stays
+exactly where it is, pinned to its lane forever, and only the
+unconsumed suffix is re-assigned under the newest epoch's hash.  S' = S
+with the same salt is the identity, and any S → S' → S round-trip
+re-derives the original assignment for every unconsumed element — so
+the round-tripped manifest resumes and merges bit-identically to the
+straight-through sharded run (pinned by
+``tests/online/test_resharding.py``).
 """
 
 from __future__ import annotations
 
+import copy
 import math
+from bisect import bisect_right
 from typing import (
     Callable,
     Dict,
@@ -41,15 +57,22 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Tuple,
 )
 
 from repro.core.kernels import evaluator_for
 from repro.core.oracle import CountingOracle
 from repro.core.submodular import SetFunction
 from repro.errors import InvalidInstanceError
-from repro.online.arrivals import ArrivalSchedule, ArrivalSource
+from repro.online.arrivals import (
+    ArrivalSchedule,
+    ArrivalSource,
+    source_from_spec,
+)
 from repro.online.checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
+    SHARDED_MANIFEST_SCHEMA_VERSION,
+    SUPPORTED_MANIFEST_VERSIONS,
     check_schema_version,
     make_checkpoint,
     resume_run,
@@ -60,6 +83,10 @@ from repro.online.results import SecretaryResult
 
 __all__ = [
     "SHARDED_CHECKPOINT_FORMAT",
+    "SHARDED_MANIFEST_SCHEMA_VERSION",
+    "SUPPORTED_MANIFEST_VERSIONS",
+    "PartitionLaneSource",
+    "PartitionMap",
     "ShardCounters",
     "ShardSource",
     "ShardView",
@@ -70,6 +97,9 @@ __all__ = [
     "knapsack_constraint",
     "matroid_constraint",
     "make_sharded_checkpoint",
+    "partition_from_manifest",
+    "partition_lane_source",
+    "reshard_manifest",
     "resume_sharded_run",
 ]
 
@@ -149,6 +179,212 @@ def shard_schedule(
     ]
 
 
+class PartitionMap:
+    """Versioned shard assignment: an append-only history of epochs.
+
+    Epoch 0 is the run's base topology ``(num_shards, salt)``; every
+    later epoch is one reshard, recording the new ``(num_shards, salt)``
+    plus the per-lane ``consumed`` boundary — each lane's cursor at the
+    moment the topology changed.  The boundaries are what make the map
+    *deterministic without O(consumed) state*: replaying the epochs over
+    the parent order (:meth:`lane_streams`) re-derives exactly which
+    elements each lane had consumed (those stay pinned to that lane
+    forever) and re-assigns every unconsumed element under the newest
+    epoch's hash.
+
+    A single-epoch map is byte-compatible with the pre-epoch runtime:
+    its lane sources emit the old ``{"index", "num_shards", "salt"}``
+    shard spec and filter by the same :func:`shard_of` hash.
+    """
+
+    def __init__(self, epochs: Sequence[Mapping[str, object]]) -> None:
+        if not epochs:
+            raise InvalidInstanceError("a partition map needs at least one epoch")
+        normalized: List[Dict[str, object]] = []
+        for k, epoch in enumerate(epochs):
+            num_shards = int(epoch["num_shards"])  # type: ignore[arg-type]
+            if num_shards < 1:
+                raise InvalidInstanceError(
+                    f"partition epoch {k}: num_shards must be >= 1, "
+                    f"got {num_shards}"
+                )
+            entry: Dict[str, object] = {
+                "num_shards": num_shards,
+                "salt": int(epoch.get("salt", 0)),  # type: ignore[arg-type]
+            }
+            if k == 0:
+                if epoch.get("consumed"):
+                    raise InvalidInstanceError(
+                        "partition epoch 0 is the base topology and "
+                        "records no consumed boundary"
+                    )
+            else:
+                consumed = epoch.get("consumed")
+                if not isinstance(consumed, (list, tuple)):
+                    raise InvalidInstanceError(
+                        f"partition epoch {k} needs a per-lane 'consumed' "
+                        "boundary list"
+                    )
+                boundary = [int(c) for c in consumed]
+                if any(c < 0 for c in boundary):
+                    raise InvalidInstanceError(
+                        f"partition epoch {k}: negative consumed boundary "
+                        f"{boundary}"
+                    )
+                entry["consumed"] = boundary
+            normalized.append(entry)
+        self._epochs = tuple(normalized)
+
+    @classmethod
+    def base(cls, num_shards: int, salt: int = 0) -> "PartitionMap":
+        """The single-epoch map of a fresh run: ``(num_shards, salt)``."""
+        return cls([{"num_shards": int(num_shards), "salt": int(salt)}])
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "PartitionMap":
+        """Rebuild a map from its :meth:`payload` (checkpoint block)."""
+        if not isinstance(payload, Mapping) or "epochs" not in payload:
+            raise InvalidInstanceError(
+                "partition payload needs an 'epochs' list"
+            )
+        return cls(payload["epochs"])  # type: ignore[arg-type]
+
+    def payload(self) -> Dict[str, object]:
+        """JSON-able epoch history (the manifest's ``partition`` block)."""
+        return {"epochs": [dict(e) for e in self._epochs]}
+
+    @property
+    def epochs(self) -> Sequence[Mapping[str, object]]:
+        """The epoch history, oldest first (read-only)."""
+        return self._epochs
+
+    @property
+    def epoch(self) -> int:
+        """Index of the newest epoch (0 for a never-resharded map)."""
+        return len(self._epochs) - 1
+
+    @property
+    def single_epoch(self) -> bool:
+        """Whether the map is the base topology with no reshard history."""
+        return len(self._epochs) == 1
+
+    @property
+    def num_shards(self) -> int:
+        """The active topology: the newest epoch's shard count."""
+        return int(self._epochs[-1]["num_shards"])  # type: ignore[arg-type]
+
+    @property
+    def salt(self) -> int:
+        """The newest epoch's hash salt."""
+        return int(self._epochs[-1]["salt"])  # type: ignore[arg-type]
+
+    def assign(self, element: Hashable) -> int:
+        """Newest-epoch lane for an *unconsumed* element (pure hash)."""
+        return shard_of(element, self.num_shards, self.salt)
+
+    def lane_count(self) -> int:
+        """Lanes that may hold state under this history.
+
+        The maximum over every epoch's topology and boundary width: a
+        lane retired by a shrink keeps existing (frozen at its consumed
+        prefix) as long as it has state, so manifests may carry more
+        lane entries than the active ``num_shards``.
+        """
+        lanes = 0
+        for epoch in self._epochs:
+            lanes = max(lanes, int(epoch["num_shards"]))  # type: ignore[arg-type]
+            lanes = max(lanes, len(epoch.get("consumed") or ()))
+        return lanes
+
+    def reshard(
+        self, num_shards: int, consumed: Sequence[int], *,
+        salt: Optional[int] = None,
+    ) -> "PartitionMap":
+        """A new map with one more epoch appended.
+
+        *consumed* is the per-lane cursor list at the moment of the
+        change (one entry per current manifest lane); *salt* defaults to
+        the current epoch's salt — which is exactly what makes an
+        S → S' → S round-trip restore the original assignment.
+        """
+        return PartitionMap(
+            list(self._epochs)
+            + [{
+                "num_shards": int(num_shards),
+                "salt": self.salt if salt is None else int(salt),
+                "consumed": [int(c) for c in consumed],
+            }]
+        )
+
+    def lane_streams(
+        self, order: Sequence[Hashable]
+    ) -> List[Tuple[List[int], List[int]]]:
+        """Replay the epoch history over the parent *order*.
+
+        Returns one ``(pinned_positions, suffix_positions)`` pair per
+        lane (:meth:`lane_count` of them): *pinned_positions* are the
+        parent positions the lane consumed before some epoch boundary,
+        **in consumption order**; *suffix_positions* are the unconsumed
+        parent positions the newest epoch assigns to the lane, in parent
+        order.  Every parent position lands in exactly one lane's pinned
+        or suffix list.
+
+        O(n · epochs): each epoch is one pass over the parent order —
+        unpinned elements consume the lane's boundary quota front-first
+        (that *is* the order the lane consumed them in) and everything
+        past the quota re-hashes under the epoch's ``(num_shards,
+        salt)``.
+        """
+        lanes = self.lane_count()
+        order = list(order)
+        first = self._epochs[0]
+        lane = [
+            shard_of(e, int(first["num_shards"]), int(first["salt"]))  # type: ignore[arg-type]
+            for e in order
+        ]
+        pinned = [False] * len(order)
+        pinned_by_lane: List[List[int]] = [[] for _ in range(lanes)]
+        for k, epoch in enumerate(self._epochs[1:], start=1):
+            boundary = list(epoch["consumed"])  # type: ignore[arg-type]
+            quota = []
+            for a in range(lanes):
+                have = len(pinned_by_lane[a])
+                # Lanes beyond the boundary list held no manifest entry
+                # at this epoch; their cursor is whatever was pinned.
+                want = int(boundary[a]) if a < len(boundary) else have
+                if want < have:
+                    raise InvalidInstanceError(
+                        f"partition epoch {k}: lane {a} boundary {want} "
+                        f"below its already-pinned prefix ({have})"
+                    )
+                quota.append(want - have)
+            num_shards = int(epoch["num_shards"])  # type: ignore[arg-type]
+            salt = int(epoch["salt"])  # type: ignore[arg-type]
+            for p, e in enumerate(order):
+                if pinned[p]:
+                    continue
+                a = lane[p]
+                if quota[a] > 0:
+                    pinned[p] = True
+                    pinned_by_lane[a].append(p)
+                    quota[a] -= 1
+                else:
+                    lane[p] = shard_of(e, num_shards, salt)
+            leftover = [(a, q) for a, q in enumerate(quota) if q]
+            if leftover:
+                raise InvalidInstanceError(
+                    f"partition epoch {k}: consumed boundary exceeds the "
+                    f"stream (lanes with unmet quota: {leftover})"
+                )
+        suffix_by_lane: List[List[int]] = [[] for _ in range(lanes)]
+        for p in range(len(order)):
+            if not pinned[p]:
+                suffix_by_lane[lane[p]].append(p)
+        return [
+            (pinned_by_lane[a], suffix_by_lane[a]) for a in range(lanes)
+        ]
+
+
 class ShardSource(ArrivalSource):
     """Lazy hash partition: one shard's view of a parent arrival source.
 
@@ -175,13 +411,14 @@ class ShardSource(ArrivalSource):
             )
         self._parent = parent
         self.index = int(index)
-        self.num_shards = int(num_shards)
-        self.salt = int(salt)
+        self.partition = PartitionMap.base(int(num_shards), int(salt))
+        self.num_shards = self.partition.num_shards
+        self.salt = self.partition.salt
         parent_order = parent.order
         order = (
             None if parent_order is None
             else [e for e in parent_order
-                  if shard_of(e, self.num_shards, self.salt) == self.index]
+                  if self.partition.assign(e) == self.index]
         )
         n = None if order is None else len(order)
         super().__init__(
@@ -213,7 +450,7 @@ class ShardSource(ArrivalSource):
             _pos0, batch, stamps = step
             keep = [
                 i for i, e in enumerate(batch)
-                if shard_of(e, self.num_shards, self.salt) == self.index
+                if self.partition.assign(e) == self.index
             ]
             if keep:
                 self._pending = [batch[i] for i in keep]
@@ -265,6 +502,148 @@ class ShardSource(ArrivalSource):
                 self._parent.materialize(), self.num_shards, salt=self.salt
             )[self.index]
         return self._materialized
+
+
+class PartitionLaneSource(ArrivalSource):
+    """One lane's stream under a multi-epoch :class:`PartitionMap`.
+
+    The post-reshard replacement for :class:`ShardSource`: the lane's
+    order is its pinned consumed prefix (every element the lane took
+    before some epoch boundary, in consumption order) followed by the
+    unconsumed suffix the newest epoch assigns to it (in parent order).
+    A resumed lane's cursor always sits at or past the prefix boundary,
+    so emission only ever walks the suffix — the prefix exists to keep
+    the cursor = consumed-count invariant (and hence O(1) restore and
+    fingerprint-chain continuity) intact across topology changes.
+
+    Batch structure groups consecutive lane arrivals by their parent
+    minibatch (revealed-together stays revealed-together within a lane,
+    exactly like :class:`ShardSource`) — across the prefix/suffix
+    boundary too, so a lane suspended mid-batch resumes the batch's tail
+    without opening a new one.  Suspend state is the plain cursor +
+    fingerprint pair — emission is purely positional, so no parent
+    stream state is needed.
+    """
+
+    def __init__(self, parent: ArrivalSource, index: int,
+                 partition: PartitionMap) -> None:
+        lanes = partition.lane_count()
+        if not (0 <= int(index) < lanes):
+            raise InvalidInstanceError(
+                f"lane index {index} outside [0, {lanes})"
+            )
+        self._parent = parent
+        self.index = int(index)
+        self.partition = partition
+        schedule = parent.materialize()
+        pinned, suffix = partition.lane_streams(schedule.order)[self.index]
+        positions = list(pinned) + list(suffix)
+        order = [schedule.order[p] for p in positions]
+        ts = schedule.timestamps
+        stamps = None if ts is None else [float(ts[p]) for p in positions]
+        parent_starts = [0]
+        for size in schedule.batch_sizes:
+            parent_starts.append(parent_starts[-1] + size)
+        # Group consecutive lane arrivals sharing a parent minibatch —
+        # across the prefix/suffix boundary too, so a lane suspended
+        # mid-batch resumes its tail with ``starts_new_batch=False``
+        # exactly like an un-resharded ShardSource would.
+        sizes: List[int] = []
+        last_batch = None
+        for p in positions:
+            b = bisect_right(parent_starts, p) - 1
+            if sizes and b == last_batch:
+                sizes[-1] += 1
+            else:
+                sizes.append(1)
+            last_batch = b
+        super().__init__(
+            parent.process, parent.seed,
+            {
+                **parent.params,
+                "shard_index": self.index,
+                "num_shards": partition.num_shards,
+                "shard_salt": partition.salt,
+                "partition_epoch": partition.epoch,
+            },
+            len(order),
+        )
+        self._order = order
+        self._stamps = stamps
+        self._suffix_start = len(pinned)
+        starts = [0]
+        for size in sizes:
+            starts.append(starts[-1] + size)
+        self._starts = starts  # batch start positions, len = #batches + 1
+        self._materialized: Optional[ArrivalSchedule] = None
+
+    @property
+    def order(self) -> List[Hashable]:
+        """The materialized arrival order (forces lazy generation)."""
+        return self._order
+
+    @property
+    def suffix_start(self) -> int:
+        """First lane position past the pinned consumed prefix."""
+        return self._suffix_start
+
+    def _emit(self, limit: Optional[int]):
+        if self._cursor >= len(self._order):
+            return None
+        b = bisect_right(self._starts, self._cursor) - 1
+        end = self._starts[b + 1]
+        hi = end if limit is None else min(end, self._cursor + limit)
+        elements = self._order[self._cursor:hi]
+        stamps = (
+            None if self._stamps is None else self._stamps[self._cursor:hi]
+        )
+        return elements, stamps, self._cursor == self._starts[b]
+
+    def spec(self) -> Dict[str, object]:
+        """JSON-able stream identity: process name, seed, sorted params."""
+        spec = self._parent.spec()
+        spec["shard"] = {
+            "index": self.index,
+            "partition": self.partition.payload(),
+        }
+        return spec
+
+    def materialize(self) -> ArrivalSchedule:
+        """The full remaining stream as an :class:`ArrivalSchedule`."""
+        if self._materialized is None:
+            sizes = [
+                self._starts[i + 1] - self._starts[i]
+                for i in range(len(self._starts) - 1)
+            ]
+            self._materialized = ArrivalSchedule(
+                process=self.process, seed=self.seed,
+                order=list(self._order), batch_sizes=sizes,
+                timestamps=(
+                    None if self._stamps is None else list(self._stamps)
+                ),
+                params=dict(self.params),
+            )
+        return self._materialized
+
+
+def partition_lane_source(
+    parent: ArrivalSource, index: int, partition: PartitionMap
+) -> ArrivalSource:
+    """Lane *index* of *parent* under *partition*.
+
+    Single-epoch maps stay on the byte-compatible fast paths — the
+    parent itself for a one-shard map, :class:`ShardSource` (lazy
+    filtering, old-style spec) otherwise — so never-resharded runs keep
+    their exact pre-epoch checkpoints.  Multi-epoch maps build a
+    :class:`PartitionLaneSource`.
+    """
+    if partition.single_epoch:
+        if partition.num_shards == 1:
+            return parent
+        return ShardSource(
+            parent, index, partition.num_shards, salt=partition.salt
+        )
+    return PartitionLaneSource(parent, index, partition)
 
 
 class ShardView(SetFunction):
@@ -411,6 +790,7 @@ class ShardedRun:
         can_take: Optional[CanTake] = None,
         limit: Optional[int] = None,
         salt: int = 0,
+        partition: Optional[PartitionMap] = None,
     ) -> None:
         if not runs:
             raise InvalidInstanceError("a sharded run needs at least one shard")
@@ -419,6 +799,10 @@ class ShardedRun:
         self.can_take = can_take
         self.limit = limit
         self.salt = int(salt)
+        #: Multi-epoch partition history, present iff the run was resumed
+        #: from a resharded (schema-v3) manifest — re-suspending must
+        #: carry it forward so the epoch history survives every hop.
+        self.partition = partition
         self.merge_calls = 0
         self._result: Optional[SecretaryResult] = None
 
@@ -618,9 +1002,141 @@ def make_sharded_checkpoint(
         "limit": run.limit,
         "shards": [make_checkpoint(r) for r in run.runs],
     }
+    if run.partition is not None and not run.partition.single_epoch:
+        # Resharded runs re-suspend at schema v3 with their full epoch
+        # history; never-resharded manifests keep their exact v2 bytes.
+        payload["schema_version"] = SHARDED_MANIFEST_SCHEMA_VERSION
+        payload["partition"] = run.partition.payload()
     if extra is not None:
         payload["instance"] = dict(extra)
     return payload
+
+
+def partition_from_manifest(manifest: Mapping[str, object]) -> PartitionMap:
+    """The manifest's partition map.
+
+    v3 manifests carry it verbatim under ``"partition"``; older
+    (never-resharded) manifests synthesise the single-epoch base map
+    from their ``num_shards``/``salt`` fields — which is exactly the
+    migration shim: every pre-epoch manifest is a valid epoch-0 history.
+    """
+    block = manifest.get("partition")
+    if block:
+        return PartitionMap.from_payload(block)  # type: ignore[arg-type]
+    return PartitionMap.base(
+        int(manifest.get("num_shards", 1)),  # type: ignore[arg-type]
+        int(manifest.get("salt", 0)),  # type: ignore[arg-type]
+    )
+
+
+def reshard_manifest(
+    manifest: Mapping[str, object],
+    num_shards: int,
+    utility: SetFunction,
+    *,
+    policy_factory: Optional[PolicyFactory] = None,
+    salt: Optional[int] = None,
+) -> Dict[str, object]:
+    """Re-partition a suspended sharded manifest to *num_shards* lanes.
+
+    Appends one epoch to the manifest's :class:`PartitionMap` with the
+    current per-lane cursors as the consumed boundary: every consumed
+    prefix — hires, decision log, policy state, fingerprint chain —
+    stays exactly where it is, and only the unconsumed suffix is
+    re-assigned under the new epoch's hash.  Carried lane entries keep
+    their cursor and fingerprint state verbatim (only the source spec is
+    rewritten to the partition form); lanes added by a grow are seeded
+    as fresh cursor-0 entries via *policy_factory*; trailing lanes whose
+    cursor is still 0 are dropped by a shrink (interior lanes never
+    move — lane indices are positional and pinned prefixes refer to
+    them).
+
+    *salt* defaults to the current epoch's salt, which makes
+    ``num_shards == current`` (and any S → S' → S round-trip) the
+    identity: the round-tripped manifest resumes and merges
+    bit-identically to the straight-through run.  The output is a
+    schema-v3 manifest carrying the full epoch history; the input is
+    not modified.
+    """
+    if manifest.get("format") != SHARDED_CHECKPOINT_FORMAT:
+        raise InvalidInstanceError(
+            f"not a {SHARDED_CHECKPOINT_FORMAT} payload: "
+            f"{manifest.get('format')!r}"
+        )
+    check_schema_version(
+        manifest, "sharded checkpoint", supported=SUPPORTED_MANIFEST_VERSIONS
+    )
+    if int(num_shards) <= 0:
+        raise InvalidInstanceError(
+            f"num_shards must be positive, got {num_shards}"
+        )
+    entries = manifest.get("shards")
+    if not isinstance(entries, list) or not entries:
+        raise InvalidInstanceError("sharded checkpoint has no shard entries")
+    partition = partition_from_manifest(manifest)
+    if (
+        int(num_shards) == partition.num_shards
+        and (salt is None or int(salt) == partition.salt)
+    ):
+        return copy.deepcopy(dict(manifest))
+    for i, entry in enumerate(entries):
+        if int(entry.get("schema_version", 1)) < 2:
+            raise InvalidInstanceError(
+                f"shard {i} is a v1 checkpoint entry with no rebuildable "
+                "source spec; resume and re-checkpoint it before resharding"
+            )
+    cursors = [int(e.get("cursor", 0)) for e in entries]
+    new_partition = partition.reshard(int(num_shards), cursors, salt=salt)
+    # The shared parent stream: any entry's source spec minus its shard
+    # filter and suspend state (every lane wraps the same parent).
+    parent_spec = {
+        k: v for k, v in dict(entries[0]["source"]).items()
+        if k not in ("shard", "state")
+    }
+    # Keep lanes [0, keep): at least the new topology, plus every lane
+    # with consumed state.  Only *trailing* cursor-0 lanes are dropped —
+    # lane indices are positional and must not shift.
+    keep = int(num_shards)
+    for i, c in enumerate(cursors):
+        if c > 0:
+            keep = max(keep, i + 1)
+    new_entries: List[Dict[str, object]] = []
+    for i in range(keep):
+        lane_src = partition_lane_source(
+            source_from_spec(copy.deepcopy(parent_spec), utility),
+            i, new_partition,
+        )
+        if i < len(entries):
+            entry = copy.deepcopy(dict(entries[i]))
+            old_state = dict(entry["source"].get("state") or {})
+            spec = lane_src.spec()
+            spec["state"] = {
+                "cursor": int(old_state.get("cursor", entry.get("cursor", 0))),
+                "fingerprint": dict(old_state["fingerprint"]),  # type: ignore[arg-type]
+            }
+            entry["source"] = spec
+            new_entries.append(entry)
+        else:
+            if policy_factory is None:
+                raise InvalidInstanceError(
+                    f"resharding to {num_shards} shards adds lane {i}; "
+                    "a policy_factory is required to seed its entry"
+                )
+            view = ShardView(utility, lane_src.order or ())
+            run = OnlineRun(view, lane_src, policy_factory(i, lane_src))
+            new_entries.append(make_checkpoint(run))
+    out: Dict[str, object] = {
+        "format": SHARDED_CHECKPOINT_FORMAT,
+        "schema_version": SHARDED_MANIFEST_SCHEMA_VERSION,
+        "num_shards": keep,
+        "salt": new_partition.salt,
+        "limit": manifest.get("limit"),
+        "partition": new_partition.payload(),
+        "shards": new_entries,
+    }
+    if manifest.get("instance") is not None:
+        out["instance"] = copy.deepcopy(dict(manifest["instance"]))  # type: ignore[arg-type]
+    return out
 
 
 def resume_sharded_run(
@@ -648,7 +1164,9 @@ def resume_sharded_run(
             f"not a {SHARDED_CHECKPOINT_FORMAT} payload: "
             f"{checkpoint.get('format')!r}"
         )
-    check_schema_version(checkpoint, "sharded checkpoint")
+    check_schema_version(
+        checkpoint, "sharded checkpoint", supported=SUPPORTED_MANIFEST_VERSIONS
+    )
     shard_payloads = checkpoint.get("shards")
     if not isinstance(shard_payloads, list) or not shard_payloads:
         raise InvalidInstanceError("sharded checkpoint has no shard entries")
@@ -664,8 +1182,6 @@ def resume_sharded_run(
             # v2 entry: rebuild the shard's source from its spec over
             # the *base* utility (stream construction must not count as
             # oracle work), then restrict the view to its elements.
-            from repro.online.arrivals import source_from_spec
-
             source = source_from_spec(shard_ck.get("source"), utility)
             order = source.order or ()
         else:
@@ -683,10 +1199,12 @@ def resume_sharded_run(
             )
         )
     limit = checkpoint.get("limit")
+    partition = partition_from_manifest(checkpoint)
     return ShardedRun(
         utility,
         runs,
         can_take=can_take,
         limit=None if limit is None else int(limit),  # type: ignore[arg-type]
         salt=int(checkpoint.get("salt", 0)),  # type: ignore[arg-type]
+        partition=None if partition.single_epoch else partition,
     )

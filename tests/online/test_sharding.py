@@ -373,14 +373,26 @@ class TestShardedAdapters:
     def test_split_family_parses_all_forms(self):
         from repro.engine.tasks.secretary import split_family
 
-        assert split_family("coverage") == ("coverage", "uniform", 1)
-        assert split_family("coverage@bursty") == ("coverage", "bursty", 1)
-        assert split_family("coverage@bursty#4") == ("coverage", "bursty", 4)
-        assert split_family("additive#3") == ("additive", "uniform", 3)
+        assert split_family("coverage") == ("coverage", "uniform", 1, None)
+        assert split_family("coverage@bursty") == (
+            "coverage", "bursty", 1, None
+        )
+        assert split_family("coverage@bursty#4") == (
+            "coverage", "bursty", 4, None
+        )
+        assert split_family("additive#3") == ("additive", "uniform", 3, None)
+        assert split_family("additive#2>4") == ("additive", "uniform", 2, 4)
+        assert split_family("coverage@bursty#4>2") == (
+            "coverage", "bursty", 4, 2
+        )
         with pytest.raises(InvalidInstanceError, match="shard qualifier"):
             split_family("coverage@bursty#0")
         with pytest.raises(InvalidInstanceError, match="shard qualifier"):
             split_family("coverage#x")
+        with pytest.raises(InvalidInstanceError, match="reshard qualifier"):
+            split_family("coverage#2>0")
+        with pytest.raises(InvalidInstanceError, match="reshard qualifier"):
+            split_family("coverage#2>x")
 
     def test_secretary_sharded_cell_runs_and_is_feasible(self):
         from repro.engine import SweepSpec, run_sweep

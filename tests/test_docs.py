@@ -181,3 +181,31 @@ class TestDocsTree:
         assert SHARDED_CHECKPOINT_FORMAT in text
         assert TENANT_CHECKPOINT_NAME in text
         assert f"`{CHECKPOINT_SCHEMA_VERSION}` (current" in text
+
+    def test_checkpoint_doc_tracks_the_manifest_versioning(self):
+        """The sharded-manifest version story in the doc is the code's.
+
+        Pinning the values here means bumping
+        ``SHARDED_MANIFEST_SCHEMA_VERSION`` forces a deliberate rewrite
+        of the reshard section in CHECKPOINT_FORMAT.md (and of this
+        test), never a silent drift.
+        """
+        from repro.online.checkpoint import (
+            SHARDED_MANIFEST_SCHEMA_VERSION,
+            SUPPORTED_MANIFEST_VERSIONS,
+        )
+
+        assert SHARDED_MANIFEST_SCHEMA_VERSION == 3
+        assert SUPPORTED_MANIFEST_VERSIONS == (1, 2, 3)
+        with open(
+            os.path.join(DOCS, "CHECKPOINT_FORMAT.md"), encoding="utf-8"
+        ) as fh:
+            text = fh.read()
+        assert "SHARDED_MANIFEST_SCHEMA_VERSION = 3" in text
+        assert "SUPPORTED_MANIFEST_VERSIONS = (1, 2, 3)" in text
+        assert "## Re-sharding" in text
+        assert '"partition"' in text or "`partition`" in text
+        with open(os.path.join(DOCS, "ARCHITECTURE.md"), encoding="utf-8") as fh:
+            arch = fh.read()
+        assert "## Elastic topology" in arch
+        assert "PartitionMap" in arch
